@@ -1,0 +1,91 @@
+// Engineering micro-benchmarks for the kernel layer (google-benchmark).
+// Not a paper table; kept for performance-regression tracking of the
+// substrate the latency estimator depends on.
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/nn/attention.h"
+#include "src/nn/norm.h"
+#include "src/nn/transformer_block.h"
+#include "src/tensor/conv_ops.h"
+#include "src/tensor/tensor_ops.h"
+
+namespace gmorph {
+namespace {
+
+void BM_MatmulNN(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::RandomGaussian(Shape{n, n}, rng);
+  Tensor b = Tensor::RandomGaussian(Shape{n, n}, rng);
+  Tensor c(Shape{n, n});
+  for (auto _ : state) {
+    MatmulNN(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulNN)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const int64_t c = state.range(0);
+  Rng rng(2);
+  Tensor x = Tensor::RandomGaussian(Shape{1, c, 32, 32}, rng);
+  Tensor w = Tensor::RandomGaussian(Shape{c, c, 3, 3}, rng);
+  Tensor b = Tensor::RandomGaussian(Shape{c}, rng);
+  for (auto _ : state) {
+    Tensor y = Conv2dForward(x, w, b, {1, 1});
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * c * c * 9 * 32 * 32);
+}
+BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_BilinearResize(benchmark::State& state) {
+  Rng rng(3);
+  Tensor x = Tensor::RandomGaussian(Shape{1, 16, 16, 16}, rng);
+  for (auto _ : state) {
+    Tensor y = BilinearResizeForward(x, 32, 32);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_BilinearResize);
+
+void BM_Attention(benchmark::State& state) {
+  const int64_t t = state.range(0);
+  Rng rng(4);
+  MultiHeadSelfAttention attn(32, 4, rng);
+  Tensor x = Tensor::RandomGaussian(Shape{1, t, 32}, rng);
+  for (auto _ : state) {
+    Tensor y = attn.Forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Attention)->Arg(16)->Arg(64);
+
+void BM_TransformerBlock(benchmark::State& state) {
+  Rng rng(5);
+  TransformerBlock block(32, 4, 2, rng);
+  Tensor x = Tensor::RandomGaussian(Shape{1, 16, 32}, rng);
+  for (auto _ : state) {
+    Tensor y = block.Forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_TransformerBlock);
+
+void BM_BatchNormForward(benchmark::State& state) {
+  Rng rng(6);
+  BatchNorm2d bn(32);
+  Tensor x = Tensor::RandomGaussian(Shape{8, 32, 16, 16}, rng);
+  for (auto _ : state) {
+    Tensor y = bn.Forward(x, true);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_BatchNormForward);
+
+}  // namespace
+}  // namespace gmorph
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Table 3: latency of Original vs GMorph-fused models on both inference
+// engines (eager = PyTorch stand-in, fused = TensorRT stand-in), at accuracy
+// drop < 2%. Shows model fusion is complementary to engine-level graph
+// optimization: both engines speed up by a similar factor.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/graph_io.h"
+#include "src/core/model_parser.h"
+#include "src/runtime/engine.h"
+
+int main() {
+  using namespace gmorph;
+  using namespace gmorph::bench;
+  PrintHeader("Table 3: Original vs GMorph on eager and fused engines", "paper Table 3");
+  PrintRow({"Benchmark", "eagerOrig", "eagerFused", "speedup", "optOrig", "optFused",
+            "speedup"});
+
+  for (int b = 1; b <= kNumBenchmarks; ++b) {
+    SearchSummary s = RunSearchCached(b, /*threshold=*/0.02, Variant::kBase);
+    Rng rng(41);
+    AbsGraph original = OriginalGraph(b);
+    AbsGraph best;
+    if (!LoadGraph(s.best_graph_path, best)) {
+      std::fprintf(stderr, "missing cached graph for B%d\n", b);
+      return 1;
+    }
+    MultiTaskModel original_model(original, rng);
+    MultiTaskModel best_model(best, rng);
+    const Shape input = original.node(original.root()).output_shape;
+
+    std::vector<std::string> row = {"B" + std::to_string(b)};
+    for (EngineKind kind : {EngineKind::kEager, EngineKind::kFused}) {
+      auto engine_orig = MakeEngine(kind, &original_model);
+      auto engine_best = MakeEngine(kind, &best_model);
+      const double lat_orig = MeasureEngineLatencyMs(*engine_orig, input);
+      const double lat_best = MeasureEngineLatencyMs(*engine_best, input);
+      row.push_back(Fmt(lat_orig));
+      row.push_back(Fmt(lat_best));
+      row.push_back(Fmt(lat_orig / lat_best) + "x");
+    }
+    PrintRow(row);
+  }
+  std::printf("\n'eager' executes module-by-module; 'opt' applies BN folding, conv+ReLU\n"
+              "fusion and identity elimination before executing (see src/runtime).\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Table 5: search time (ST) of GMorph vs GMorph w P vs GMorph w P+R per
+// benchmark and accuracy threshold, with the savings from predictive
+// filtering. Reuses the cached searches shared with fig7_speedups.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace gmorph;
+  using namespace gmorph::bench;
+  PrintHeader("Table 5: search time and predictive-filtering savings", "paper Table 5");
+
+  for (double threshold : {0.0, 0.01, 0.02}) {
+    std::printf("--- accuracy drop < %.0f%% ---\n", threshold * 100);
+    PrintRow({"Benchmark", "ST(s)", "ST w P(s)", "saving", "ST w P+R", "saving",
+              "finetuned", "filtered"});
+    for (int b = 1; b <= kNumBenchmarks; ++b) {
+      SearchSummary base = RunSearchCached(b, threshold, Variant::kBase);
+      SearchSummary p = RunSearchCached(b, threshold, Variant::kP);
+      SearchSummary pr = RunSearchCached(b, threshold, Variant::kPR);
+      auto saving = [&](double t) {
+        return base.search_seconds > 0.0
+                   ? Fmt(100.0 * (1.0 - t / base.search_seconds), 0) + "%"
+                   : std::string("-");
+      };
+      PrintRow({"B" + std::to_string(b), Fmt(base.search_seconds, 1),
+                Fmt(p.search_seconds, 1), saving(p.search_seconds),
+                Fmt(pr.search_seconds, 1), saving(pr.search_seconds),
+                std::to_string(pr.candidates_finetuned),
+                std::to_string(pr.candidates_filtered)});
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

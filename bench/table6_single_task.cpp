@@ -1,0 +1,23 @@
+// Table 6 (appendix A): per-task single-model scores for every benchmark.
+// Pre-trains each task-specific teacher on its synthetic dataset and reports
+// its test score under the task's metric.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace gmorph;
+  using namespace gmorph::bench;
+  PrintHeader("Table 6: single-task models and scores", "paper Table 6 (appendix A)");
+  PrintRow({"Benchmark", "Task", "Model", "Metric", "Score"});
+
+  for (int b = 1; b <= kNumBenchmarks; ++b) {
+    const PreparedBenchmark& p = GetBenchmark(b);
+    for (size_t t = 0; t < p.def.tasks.size(); ++t) {
+      const BenchmarkTask& task = p.def.tasks[t];
+      PrintRow({p.def.id, task.name, task.model.name, MetricKindName(task.metric),
+                Fmt(p.teacher_scores[t], 3)});
+    }
+  }
+  return 0;
+}

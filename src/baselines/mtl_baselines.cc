@@ -1,0 +1,172 @@
+#include "src/baselines/mtl_baselines.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/core/model_parser.h"
+#include "src/core/multitask_model.h"
+#include "src/data/teacher.h"
+
+namespace gmorph {
+namespace {
+
+std::vector<const TaskModel*> AsConst(const std::vector<TaskModel*>& teachers) {
+  return std::vector<const TaskModel*>(teachers.begin(), teachers.end());
+}
+
+// Shared state both baselines need: teacher logits/scores and the original
+// (no-sharing) latency baseline.
+struct BaselineContext {
+  std::vector<Tensor> teacher_train_logits;
+  std::vector<double> teacher_scores;
+  double original_latency_ms = 0.0;
+  int64_t original_flops = 0;
+};
+
+BaselineContext MakeContext(const std::vector<TaskModel*>& teachers,
+                            const MultiTaskDataset& train, const MultiTaskDataset& test,
+                            const MtlBaselineOptions& options, Rng& rng) {
+  BaselineContext ctx;
+  for (size_t t = 0; t < teachers.size(); ++t) {
+    ctx.teacher_train_logits.push_back(PredictAll(*teachers[t], train));
+    ctx.teacher_scores.push_back(EvaluateTeacher(*teachers[t], test, t));
+  }
+  AbsGraph original = ParseTaskModels(AsConst(teachers));
+  MultiTaskModel original_model(original, rng);
+  ctx.original_latency_ms = MeasureLatencyMs(original_model, options.latency);
+  ctx.original_flops = original.TotalFlops();
+  return ctx;
+}
+
+// Fine-tunes the branch-at-k candidate to convergence (no early stop) and
+// fills in latency / drop.
+MtlBaselineResult EvaluateCandidate(const AbsGraph& graph, const BaselineContext& ctx,
+                                    const MultiTaskDataset& train, const MultiTaskDataset& test,
+                                    const MtlBaselineOptions& options, int shared_blocks,
+                                    Rng& rng) {
+  MtlBaselineResult result;
+  result.feasible = true;
+  result.shared_blocks = shared_blocks;
+  result.original_latency_ms = ctx.original_latency_ms;
+
+  MultiTaskModel model(graph, rng);
+  result.latency_ms = MeasureLatencyMs(model, options.latency);
+  FinetuneOptions ft = options.finetune;
+  ft.early_stop_on_target = false;  // baselines train to convergence (§6.3)
+  ft.predictive_termination = false;
+  FinetuneResult fr = DistillFinetune(model, ctx.teacher_train_logits, train, test,
+                                      ctx.teacher_scores, ft);
+  result.accuracy_drop = fr.max_drop;
+  result.task_scores = fr.task_scores;
+  result.graph = model.ExportTrainedGraph();
+  result.speedup = result.latency_ms > 0.0 ? ctx.original_latency_ms / result.latency_ms : 1.0;
+  result.original_flops = ctx.original_flops;
+  result.flops = graph.TotalFlops();
+  result.flops_speedup = result.flops > 0
+                             ? static_cast<double>(ctx.original_flops) /
+                                   static_cast<double>(result.flops)
+                             : 1.0;
+  return result;
+}
+
+}  // namespace
+
+int CommonPrefixLength(const std::vector<const TaskModel*>& teachers) {
+  GMORPH_CHECK(!teachers.empty());
+  size_t limit = teachers[0]->spec().blocks.size();
+  for (const TaskModel* m : teachers) {
+    limit = std::min(limit, m->spec().blocks.size());
+  }
+  int k = 0;
+  for (size_t i = 0; i < limit; ++i) {
+    const BlockSpec& ref = teachers[0]->spec().blocks[i];
+    if (ref.type == BlockType::kHead) {
+      break;  // heads are always task-specific
+    }
+    bool all_equal = true;
+    for (const TaskModel* m : teachers) {
+      if (!SpecEquals(m->spec().blocks[i], ref)) {
+        all_equal = false;
+        break;
+      }
+    }
+    if (!all_equal) {
+      break;
+    }
+    ++k;
+  }
+  return k;
+}
+
+AbsGraph BuildSharedPrefixGraph(const std::vector<const TaskModel*>& teachers, int k) {
+  GMORPH_CHECK(!teachers.empty());
+  const Shape input = teachers[0]->spec().input_shape;
+  AbsGraph g = AbsGraph::WithRoot(input, static_cast<int>(teachers.size()));
+  // Shared trunk: blocks [0, k) with teacher 0's weights.
+  int trunk = g.root();
+  for (int i = 0; i < k; ++i) {
+    trunk = g.AddNode(trunk, /*task_id=*/0, i, teachers[0]->spec().blocks[static_cast<size_t>(i)],
+                      teachers[0]->block(static_cast<size_t>(i)).ExportParameters());
+  }
+  // Task-specific branches.
+  for (size_t t = 0; t < teachers.size(); ++t) {
+    int parent = trunk;
+    const auto& blocks = teachers[t]->spec().blocks;
+    for (size_t i = static_cast<size_t>(k); i < blocks.size(); ++i) {
+      parent = g.AddNode(parent, static_cast<int>(t), static_cast<int>(i), blocks[i],
+                         teachers[t]->block(i).ExportParameters());
+    }
+  }
+  g.Validate();
+  return g;
+}
+
+MtlBaselineResult RunAllShared(const std::vector<TaskModel*>& teachers,
+                               const MultiTaskDataset& train, const MultiTaskDataset& test,
+                               const MtlBaselineOptions& options) {
+  Rng rng(options.seed);
+  const int k = CommonPrefixLength(AsConst(teachers));
+  if (k == 0) {
+    return {};  // no identical layers: MTL is not applicable (B5-B7)
+  }
+  BaselineContext ctx = MakeContext(teachers, train, test, options, rng);
+  AbsGraph graph = BuildSharedPrefixGraph(AsConst(teachers), k);
+  return EvaluateCandidate(graph, ctx, train, test, options, k, rng);
+}
+
+MtlBaselineResult RunTreeMtl(const std::vector<TaskModel*>& teachers,
+                             const MultiTaskDataset& train, const MultiTaskDataset& test,
+                             const MtlBaselineOptions& options) {
+  Rng rng(options.seed);
+  const int max_k = CommonPrefixLength(AsConst(teachers));
+  if (max_k == 0) {
+    return {};
+  }
+  BaselineContext ctx = MakeContext(teachers, train, test, options, rng);
+
+  // Enumerate branch points from most to least shared; probe-train each and
+  // recommend the most-shared candidate whose *probe* drop clears the target
+  // (an optimistic estimate — the recommendation can still miss after full
+  // training, reproducing the over-sharing failure mode).
+  int recommended = 1;
+  for (int k = max_k; k >= 1; --k) {
+    AbsGraph graph = BuildSharedPrefixGraph(AsConst(teachers), k);
+    MultiTaskModel probe(graph, rng);
+    FinetuneOptions ft = options.finetune;
+    ft.max_epochs = options.probe_epochs;
+    ft.eval_interval = options.probe_epochs;
+    ft.early_stop_on_target = true;
+    FinetuneResult fr =
+        DistillFinetune(probe, ctx.teacher_train_logits, train, test, ctx.teacher_scores, ft);
+    // Optimistic extrapolation: probe drop within 2x of target counts as
+    // promising, favoring sharing as TreeMTL's affinity estimates do.
+    if (fr.max_drop <= 2.0 * options.target_drop + 1e-9) {
+      recommended = k;
+      break;
+    }
+  }
+  AbsGraph graph = BuildSharedPrefixGraph(AsConst(teachers), recommended);
+  return EvaluateCandidate(graph, ctx, train, test, options, recommended, rng);
+}
+
+}  // namespace gmorph

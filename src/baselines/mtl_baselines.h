@@ -1,0 +1,68 @@
+// Multi-task learning baselines (paper §6.3, Table 4).
+//
+// Both baselines share only layers that are *identical* across the input
+// architectures — the fundamental MTL limitation the paper contrasts with
+// GMorph's rescale-enabled sharing:
+//   - All-shared: shares the entire common prefix (the classic hard-sharing
+//     multi-task architecture).
+//   - TreeMTL (stand-in for [77]): enumerates tree-structured branch points
+//     over the common prefix, probe-trains each candidate briefly, and
+//     recommends by a probe-accuracy/FLOPs trade-off; the recommendation is
+//     then trained to convergence. Like the real system, the recommendation
+//     can over-share and exceed the drop target.
+// Since the paper's benchmarks lack joint task labels, both baselines are
+// trained with GMorph's distillation objective (as the paper does).
+#ifndef GMORPH_SRC_BASELINES_MTL_BASELINES_H_
+#define GMORPH_SRC_BASELINES_MTL_BASELINES_H_
+
+#include <vector>
+
+#include "src/core/abs_graph.h"
+#include "src/core/finetune.h"
+#include "src/core/latency.h"
+#include "src/data/dataset.h"
+#include "src/models/task_model.h"
+
+namespace gmorph {
+
+struct MtlBaselineResult {
+  bool feasible = false;  // false when the architectures share no prefix
+  AbsGraph graph;
+  double latency_ms = 0.0;
+  double original_latency_ms = 0.0;
+  double speedup = 1.0;        // wall-clock latency ratio
+  int64_t original_flops = 0;
+  int64_t flops = 0;
+  double flops_speedup = 1.0;  // compute ratio (deterministic)
+  double accuracy_drop = 0.0;  // worst task, fraction
+  std::vector<double> task_scores;
+  int shared_blocks = 0;
+};
+
+// Number of leading blocks identical across all specs (never includes heads).
+int CommonPrefixLength(const std::vector<const TaskModel*>& teachers);
+
+// Builds the branch-at-k tree: blocks [0, k) shared (weights from teacher 0),
+// every task keeps its remaining blocks.
+AbsGraph BuildSharedPrefixGraph(const std::vector<const TaskModel*>& teachers, int k);
+
+struct MtlBaselineOptions {
+  FinetuneOptions finetune;
+  LatencyOptions latency;
+  // TreeMTL: epochs for the probe training of each enumerated candidate.
+  int probe_epochs = 2;
+  double target_drop = 0.01;
+  uint64_t seed = 42;
+};
+
+MtlBaselineResult RunAllShared(const std::vector<TaskModel*>& teachers,
+                               const MultiTaskDataset& train, const MultiTaskDataset& test,
+                               const MtlBaselineOptions& options);
+
+MtlBaselineResult RunTreeMtl(const std::vector<TaskModel*>& teachers,
+                             const MultiTaskDataset& train, const MultiTaskDataset& test,
+                             const MtlBaselineOptions& options);
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_BASELINES_MTL_BASELINES_H_

@@ -1,0 +1,61 @@
+// Lightweight precondition / invariant checking used across all GMorph libraries.
+//
+// GMORPH_CHECK is always on (release included): the search mutates graphs
+// programmatically and silent shape corruption is far more expensive than the
+// branch. GMORPH_DCHECK compiles out under NDEBUG for hot inner loops.
+#ifndef GMORPH_SRC_COMMON_CHECK_H_
+#define GMORPH_SRC_COMMON_CHECK_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gmorph {
+
+// Thrown on any failed runtime check. Carries the failing expression and location.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace internal {
+
+[[noreturn]] inline void CheckFail(const char* expr, const char* file, int line,
+                                   const std::string& msg) {
+  std::ostringstream os;
+  os << "GMORPH_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw CheckError(os.str());
+}
+
+}  // namespace internal
+}  // namespace gmorph
+
+#define GMORPH_CHECK(cond)                                               \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::gmorph::internal::CheckFail(#cond, __FILE__, __LINE__, "");      \
+    }                                                                    \
+  } while (0)
+
+#define GMORPH_CHECK_MSG(cond, msg)                                      \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::ostringstream gmorph_check_os_;                               \
+      gmorph_check_os_ << msg;                                           \
+      ::gmorph::internal::CheckFail(#cond, __FILE__, __LINE__,           \
+                                    gmorph_check_os_.str());             \
+    }                                                                    \
+  } while (0)
+
+#ifdef NDEBUG
+#define GMORPH_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#else
+#define GMORPH_DCHECK(cond) GMORPH_CHECK(cond)
+#endif
+
+#endif  // GMORPH_SRC_COMMON_CHECK_H_

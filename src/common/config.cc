@@ -1,0 +1,118 @@
+#include "src/common/config.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace gmorph {
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin])) != 0) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1])) != 0) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+}  // namespace
+
+Config Config::FromString(const std::string& text) {
+  Config config;
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const size_t comment = line.find('#');
+    if (comment != std::string::npos) {
+      line = line.substr(0, comment);
+    }
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty()) {
+      continue;
+    }
+    const size_t eq = trimmed.find('=');
+    GMORPH_CHECK_MSG(eq != std::string::npos,
+                     "config line " << line_number << " is not 'key = value': " << trimmed);
+    const std::string key = Trim(trimmed.substr(0, eq));
+    const std::string value = Trim(trimmed.substr(eq + 1));
+    GMORPH_CHECK_MSG(!key.empty(), "config line " << line_number << " has an empty key");
+    config.entries_[key] = value;
+  }
+  return config;
+}
+
+Config Config::FromFile(const std::string& path) {
+  std::ifstream in(path);
+  GMORPH_CHECK_MSG(static_cast<bool>(in), "cannot open config file " << path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return FromString(buffer.str());
+}
+
+bool Config::Has(const std::string& key) const { return entries_.count(key) > 0; }
+
+std::string Config::GetString(const std::string& key, const std::string& default_value) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? default_value : it->second;
+}
+
+int64_t Config::GetInt(const std::string& key, int64_t default_value) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return default_value;
+  }
+  try {
+    size_t pos = 0;
+    const int64_t value = std::stoll(it->second, &pos);
+    GMORPH_CHECK_MSG(pos == it->second.size(), "trailing characters in int '" << key << "'");
+    return value;
+  } catch (const std::logic_error&) {
+    GMORPH_CHECK_MSG(false, "config key '" << key << "' is not an integer: " << it->second);
+  }
+  return default_value;
+}
+
+double Config::GetDouble(const std::string& key, double default_value) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return default_value;
+  }
+  try {
+    size_t pos = 0;
+    const double value = std::stod(it->second, &pos);
+    GMORPH_CHECK_MSG(pos == it->second.size(), "trailing characters in double '" << key << "'");
+    return value;
+  } catch (const std::logic_error&) {
+    GMORPH_CHECK_MSG(false, "config key '" << key << "' is not a number: " << it->second);
+  }
+  return default_value;
+}
+
+bool Config::GetBool(const std::string& key, bool default_value) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return default_value;
+  }
+  std::string v = it->second;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (v == "true" || v == "1" || v == "yes" || v == "on") {
+    return true;
+  }
+  if (v == "false" || v == "0" || v == "no" || v == "off") {
+    return false;
+  }
+  GMORPH_CHECK_MSG(false, "config key '" << key << "' is not a boolean: " << it->second);
+  return default_value;
+}
+
+}  // namespace gmorph

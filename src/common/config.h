@@ -1,0 +1,41 @@
+// Key-value configuration files — the paper's §3 "configuration file for the
+// graph mutation optimization" (metric, accuracy threshold, fine-tuning
+// hyper-parameters, search budget).
+//
+// Format: `key = value` lines; `#` starts a comment; whitespace is trimmed.
+// Typed getters fall back to a default when the key is absent and throw
+// CheckError when a present value does not parse.
+#ifndef GMORPH_SRC_COMMON_CONFIG_H_
+#define GMORPH_SRC_COMMON_CONFIG_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace gmorph {
+
+class Config {
+ public:
+  Config() = default;
+
+  // Parses `text`; throws CheckError on malformed lines.
+  static Config FromString(const std::string& text);
+  // Reads and parses a file; throws CheckError if unreadable.
+  static Config FromFile(const std::string& path);
+
+  bool Has(const std::string& key) const;
+
+  std::string GetString(const std::string& key, const std::string& default_value) const;
+  int64_t GetInt(const std::string& key, int64_t default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+  bool GetBool(const std::string& key, bool default_value) const;
+
+  const std::map<std::string, std::string>& entries() const { return entries_; }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_COMMON_CONFIG_H_

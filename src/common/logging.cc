@@ -1,0 +1,16 @@
+#include "src/common/logging.h"
+
+#include <atomic>
+
+namespace gmorph {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+}  // namespace gmorph

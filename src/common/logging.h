@@ -1,0 +1,49 @@
+// Minimal leveled logging to stderr. The search driver logs one line per
+// iteration; everything else stays quiet unless the level is raised.
+#ifndef GMORPH_SRC_COMMON_LOGGING_H_
+#define GMORPH_SRC_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+
+namespace gmorph {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Process-wide minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* tag) : level_(level) { os_ << "[" << tag << "] "; }
+
+  ~LogMessage() {
+    if (level_ >= GetLogLevel()) {
+      os_ << "\n";
+      std::cerr << os_.str();
+    }
+  }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace internal
+}  // namespace gmorph
+
+#define GMORPH_LOG_DEBUG ::gmorph::internal::LogMessage(::gmorph::LogLevel::kDebug, "debug")
+#define GMORPH_LOG_INFO ::gmorph::internal::LogMessage(::gmorph::LogLevel::kInfo, "info")
+#define GMORPH_LOG_WARN ::gmorph::internal::LogMessage(::gmorph::LogLevel::kWarn, "warn")
+#define GMORPH_LOG_ERROR ::gmorph::internal::LogMessage(::gmorph::LogLevel::kError, "error")
+
+#endif  // GMORPH_SRC_COMMON_LOGGING_H_

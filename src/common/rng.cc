@@ -1,0 +1,77 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace gmorph {
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) {
+    s = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+float Rng::NextFloat() { return static_cast<float>(NextU64() >> 40) * 0x1.0p-24f; }
+
+int Rng::NextInt(int n) {
+  GMORPH_CHECK(n > 0);
+  return static_cast<int>(NextDouble() * n);
+}
+
+int Rng::NextIntRange(int lo, int hi) {
+  GMORPH_CHECK(lo <= hi);
+  return lo + NextInt(hi - lo + 1);
+}
+
+float Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller on two uniforms; guard against log(0).
+  double u1 = NextDouble();
+  while (u1 <= 1e-12) {
+    u1 = NextDouble();
+  }
+  const double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.14159265358979323846 * u2;
+  cached_gaussian_ = static_cast<float>(r * std::sin(theta));
+  has_cached_gaussian_ = true;
+  return static_cast<float>(r * std::cos(theta));
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+}  // namespace gmorph

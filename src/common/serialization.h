@@ -1,0 +1,24 @@
+// Minimal binary serialization for tensor collections — used to checkpoint
+// pre-trained teacher weights (the paper's .pt checkpoints stand-in) and to
+// cache bench results across binaries.
+#ifndef GMORPH_SRC_COMMON_SERIALIZATION_H_
+#define GMORPH_SRC_COMMON_SERIALIZATION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace gmorph {
+
+// Writes nested tensor lists (e.g. TaskModel::ExportWeights()) to `path`.
+// Returns false on I/O failure.
+bool SaveWeights(const std::string& path, const std::vector<std::vector<Tensor>>& weights);
+
+// Reads a file written by SaveWeights. Returns false on I/O failure or format
+// mismatch (leaving `weights` empty).
+bool LoadWeights(const std::string& path, std::vector<std::vector<Tensor>>& weights);
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_COMMON_SERIALIZATION_H_

@@ -1,0 +1,48 @@
+// Fixed-size thread pool used by the parallel search mode (paper §7 suggests
+// sampling multiple multi-task models in parallel to cut search time).
+#ifndef GMORPH_SRC_COMMON_THREAD_POOL_H_
+#define GMORPH_SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gmorph {
+
+class ThreadPool {
+ public:
+  // `num_threads` >= 1. Threads start immediately and idle on the queue.
+  explicit ThreadPool(int num_threads);
+  // Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Tasks must not throw (exceptions would cross thread
+  // boundaries); wrap fallible work and capture errors in the closure.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished.
+  void WaitAll();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  int in_flight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_COMMON_THREAD_POOL_H_

@@ -1,0 +1,30 @@
+// Monotonic wall-clock timer used by the latency estimator and search-time
+// accounting.
+#ifndef GMORPH_SRC_COMMON_TIMER_H_
+#define GMORPH_SRC_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace gmorph {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction / last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_COMMON_TIMER_H_

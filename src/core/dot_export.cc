@@ -1,0 +1,73 @@
+#include "src/core/dot_export.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace gmorph {
+namespace {
+
+// Pastel fill colors cycled per task id.
+const char* TaskColor(int task_id) {
+  static const char* kColors[] = {"#aec6e8", "#ffd8a8", "#c3e6cb", "#e8c6e6",
+                                  "#ffe9a8", "#c6e2e8"};
+  if (task_id < 0) {
+    return "#eeeeee";
+  }
+  return kColors[static_cast<size_t>(task_id) % (sizeof(kColors) / sizeof(kColors[0]))];
+}
+
+std::string EscapeLabel(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToDot(const AbsGraph& graph, const std::string& title) {
+  std::ostringstream os;
+  os << "digraph \"" << EscapeLabel(title) << "\" {\n";
+  os << "  rankdir=TB;\n  node [shape=box, style=filled, fontsize=10];\n";
+  for (const AbsNode& n : graph.nodes()) {
+    if (n.IsRoot()) {
+      os << "  n0 [label=\"input " << EscapeLabel(n.output_shape.ToString())
+         << "\", shape=ellipse, fillcolor=\"#f5f5f5\"];\n";
+      continue;
+    }
+    const std::set<int> served = graph.TasksServed(n.id);
+    std::ostringstream label;
+    label << n.spec.ToString() << "\\n" << n.output_shape.ToString();
+    os << "  n" << n.id << " [label=\"" << EscapeLabel(label.str()) << "\", fillcolor=\""
+       << TaskColor(n.task_id) << "\"";
+    if (served.size() > 1) {
+      os << ", penwidth=2.5";  // shared node: emphasized border
+    }
+    if (n.spec.type == BlockType::kRescale) {
+      os << ", shape=parallelogram";
+    }
+    os << "];\n";
+  }
+  for (const AbsNode& n : graph.nodes()) {
+    for (int c : n.children) {
+      os << "  n" << n.id << " -> n" << c << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+bool WriteDotFile(const std::string& path, const AbsGraph& graph, const std::string& title) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << ToDot(graph, title);
+  return static_cast<bool>(out);
+}
+
+}  // namespace gmorph

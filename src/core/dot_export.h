@@ -1,0 +1,22 @@
+// Graphviz export of abstract graphs — the counterpart of the paper's Fig. 9
+// multi-task-model visualizations. Nodes are colored per originating task;
+// shared nodes (serving several tasks) are highlighted.
+#ifndef GMORPH_SRC_CORE_DOT_EXPORT_H_
+#define GMORPH_SRC_CORE_DOT_EXPORT_H_
+
+#include <string>
+
+#include "src/core/abs_graph.h"
+
+namespace gmorph {
+
+// Returns a `digraph` document; render with `dot -Tpng`.
+std::string ToDot(const AbsGraph& graph, const std::string& title = "gmorph");
+
+// Convenience: writes ToDot() to `path`. Returns false on I/O failure.
+bool WriteDotFile(const std::string& path, const AbsGraph& graph,
+                  const std::string& title = "gmorph");
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_CORE_DOT_EXPORT_H_

@@ -1,0 +1,48 @@
+#include "src/core/filtering.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gmorph {
+
+double EstimateConvergenceRate(double f0, double f1, double f2, double f3) {
+  const double d1 = std::fabs(f1 - f0);
+  const double d2 = std::fabs(f2 - f1);
+  const double d3 = std::fabs(f3 - f2);
+  constexpr double kTiny = 1e-12;
+  if (d1 < kTiny || d2 < kTiny || d3 < kTiny) {
+    return 1.0;
+  }
+  const double denom = std::log(d2) - std::log(d1);
+  if (std::fabs(denom) < kTiny) {
+    return 1.0;
+  }
+  return (std::log(d3) - std::log(d2)) / denom;
+}
+
+double ExtrapolateFinal(const std::vector<double>& measurements, int remaining_steps) {
+  if (measurements.empty()) {
+    return 0.0;
+  }
+  if (measurements.size() < 2 || remaining_steps <= 0) {
+    return measurements.back();
+  }
+  const size_t n = measurements.size();
+  const double last_inc = measurements[n - 1] - measurements[n - 2];
+  double q = 0.5;
+  if (n >= 3) {
+    const double prev_inc = measurements[n - 2] - measurements[n - 3];
+    if (std::fabs(prev_inc) > 1e-12) {
+      q = std::clamp(std::fabs(last_inc / prev_inc), 0.0, 0.95);
+    }
+  }
+  double value = measurements.back();
+  double inc = last_inc;
+  for (int i = 0; i < remaining_steps; ++i) {
+    inc *= q;
+    value += inc;
+  }
+  return value;
+}
+
+}  // namespace gmorph

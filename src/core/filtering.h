@@ -1,0 +1,30 @@
+// Predictive filtering (paper §5.1).
+//
+// Rule-based filtering lives in HistoryDatabase::FilteredByRule (capacity
+// signatures). This header provides the learning-curve side: estimating the
+// convergence rate from four equally spaced test-accuracy measurements and
+// extrapolating the final accuracy to decide early termination.
+#ifndef GMORPH_SRC_CORE_FILTERING_H_
+#define GMORPH_SRC_CORE_FILTERING_H_
+
+#include <vector>
+
+namespace gmorph {
+
+// The paper's convergence-rate estimator over four consecutive measurements
+// f(x), f(x+d), f(x+2d), f(x+3d):
+//   alpha = [log|f2-f3| - log|f1-f2|] / [log|f1-f2| - log|f0-f1|].
+// Returns 1.0 (linear convergence) when increments vanish or the ratio is
+// degenerate.
+double EstimateConvergenceRate(double f0, double f1, double f2, double f3);
+
+// Projects the measurement sequence `remaining_steps` intervals ahead by
+// geometric extrapolation of the increments (the practical instantiation of
+// iterating the convergence model): q = |Δ_last| / |Δ_prev| clamped to
+// [0, 0.95], future increments shrink by q each step. Requires >= 2
+// measurements; with fewer it returns the last value.
+double ExtrapolateFinal(const std::vector<double>& measurements, int remaining_steps);
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_CORE_FILTERING_H_

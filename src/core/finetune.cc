@@ -1,0 +1,146 @@
+#include "src/core/finetune.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/common/timer.h"
+#include "src/core/filtering.h"
+#include "src/data/eval.h"
+#include "src/nn/loss.h"
+#include "src/nn/optimizer.h"
+#include "src/tensor/tensor_ops.h"
+
+namespace gmorph {
+namespace {
+
+// Copies rows [start, start+count) out of a (N, K) tensor.
+Tensor SliceRows(const Tensor& t, int64_t start, int64_t count) {
+  const int64_t k = t.shape()[1];
+  Tensor out(Shape{count, k});
+  std::memcpy(out.data(), t.data() + start * k, static_cast<size_t>(count * k) * sizeof(float));
+  return out;
+}
+
+// Worst per-task drop relative to the teachers.
+double MaxDrop(const std::vector<double>& scores, const std::vector<double>& teacher_scores) {
+  double max_drop = -1.0;
+  for (size_t t = 0; t < scores.size(); ++t) {
+    max_drop = std::max(max_drop, teacher_scores[t] - scores[t]);
+  }
+  return max_drop;
+}
+
+}  // namespace
+
+std::vector<Tensor> PredictAllTasks(MultiTaskModel& model, const MultiTaskDataset& data,
+                                    int64_t batch_size) {
+  const int64_t n = data.size();
+  std::vector<Tensor> all(static_cast<size_t>(model.num_tasks()));
+  std::vector<int64_t> written(static_cast<size_t>(model.num_tasks()), 0);
+  for (int64_t start = 0; start < n; start += batch_size) {
+    const int64_t count = std::min(batch_size, n - start);
+    std::vector<Tensor> outs = model.Forward(data.InputBatch(start, count), /*training=*/false);
+    for (size_t t = 0; t < outs.size(); ++t) {
+      const int64_t k = outs[t].shape()[1];
+      if (all[t].empty()) {
+        all[t] = Tensor(Shape{n, k});
+      }
+      std::memcpy(all[t].data() + written[t] * k, outs[t].data(),
+                  static_cast<size_t>(outs[t].size()) * sizeof(float));
+      written[t] += count;
+    }
+  }
+  return all;
+}
+
+std::vector<double> EvaluateMultiTask(MultiTaskModel& model, const MultiTaskDataset& test,
+                                      int64_t batch_size) {
+  std::vector<Tensor> logits = PredictAllTasks(model, test, batch_size);
+  std::vector<double> scores(logits.size());
+  for (size_t t = 0; t < logits.size(); ++t) {
+    scores[t] = ComputeMetric(logits[t], test.tasks[t]);
+  }
+  return scores;
+}
+
+FinetuneResult DistillFinetune(MultiTaskModel& student,
+                               const std::vector<Tensor>& teacher_train_logits,
+                               const MultiTaskDataset& train, const MultiTaskDataset& test,
+                               const std::vector<double>& teacher_test_scores,
+                               const FinetuneOptions& options) {
+  const size_t num_tasks = static_cast<size_t>(student.num_tasks());
+  GMORPH_CHECK(teacher_train_logits.size() == num_tasks);
+  GMORPH_CHECK(teacher_test_scores.size() == num_tasks);
+  std::vector<float> weights = options.task_loss_weights;
+  if (weights.empty()) {
+    weights.assign(num_tasks, 1.0f);
+  }
+
+  Timer timer;
+  FinetuneResult result;
+  Adam optimizer(student.Parameters(), options.lr);
+  const int64_t n = train.size();
+
+  // Measurement sequence for predictive termination: worst-task margin
+  // (teacher score + allowed drop - student score flipped into a "score" that
+  // should rise toward >= 0 as training converges).
+  std::vector<double> margin_curve;
+  const int total_evals =
+      options.eval_interval > 0 ? options.max_epochs / options.eval_interval : 0;
+
+  for (int epoch = 1; epoch <= options.max_epochs; ++epoch) {
+    for (int64_t start = 0; start < n; start += options.batch_size) {
+      const int64_t count = std::min(options.batch_size, n - start);
+      std::vector<Tensor> outs =
+          student.Forward(train.InputBatch(start, count), /*training=*/true);
+      std::vector<Tensor> grads(num_tasks);
+      for (size_t t = 0; t < num_tasks; ++t) {
+        Tensor g;
+        L1Loss(outs[t], SliceRows(teacher_train_logits[t], start, count), g);
+        if (weights[t] != 1.0f) {
+          ScaleInPlace(g, weights[t]);
+        }
+        grads[t] = std::move(g);
+      }
+      student.Backward(grads);
+      optimizer.Step();
+    }
+    result.epochs_run = epoch;
+
+    const bool evaluate_now = options.eval_interval > 0 &&
+                              (epoch % options.eval_interval == 0 ||
+                               epoch == options.max_epochs);
+    if (!evaluate_now) {
+      continue;
+    }
+    result.task_scores = EvaluateMultiTask(student, test);
+    result.max_drop = MaxDrop(result.task_scores, teacher_test_scores);
+    constexpr double kEps = 1e-9;
+    if (result.max_drop <= options.target_drop + kEps) {
+      result.met_target = true;
+      if (options.early_stop_on_target) {
+        break;
+      }
+    }
+    margin_curve.push_back(options.target_drop - result.max_drop);
+    if (options.predictive_termination && !result.met_target && margin_curve.size() >= 4) {
+      const int evals_done = static_cast<int>(margin_curve.size());
+      const double predicted =
+          ExtrapolateFinal(margin_curve, std::max(0, total_evals - evals_done));
+      if (predicted < 0.0) {
+        result.terminated_early = true;
+        break;
+      }
+    }
+  }
+  if (result.task_scores.empty()) {
+    result.task_scores = EvaluateMultiTask(student, test);
+    result.max_drop = MaxDrop(result.task_scores, teacher_test_scores);
+    result.met_target = result.max_drop <= options.target_drop + 1e-9;
+  }
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace gmorph

@@ -1,0 +1,63 @@
+// Accuracy estimator: distillation-based fine-tuning (paper §5.2) with
+// early stopping and predictive early termination (paper §5.1).
+//
+// The student multi-task model is trained to reproduce the *teachers'* output
+// features under a weighted L1 objective — task labels are never consumed by
+// training, matching the paper's label-free setup. Labels are used only to
+// measure the test score every `eval_interval` epochs; fine-tuning stops as
+// soon as every task's drop is within the target, or — when predictive
+// termination is enabled — as soon as the extrapolated learning curve says
+// the target is unreachable.
+#ifndef GMORPH_SRC_CORE_FINETUNE_H_
+#define GMORPH_SRC_CORE_FINETUNE_H_
+
+#include <vector>
+
+#include "src/core/multitask_model.h"
+#include "src/data/dataset.h"
+
+namespace gmorph {
+
+struct FinetuneOptions {
+  int max_epochs = 8;
+  int64_t batch_size = 32;
+  float lr = 1e-3f;
+  int eval_interval = 2;  // the paper's delta: epochs between test evaluations
+  bool early_stop_on_target = true;
+  bool predictive_termination = false;
+  // Allowed per-task drop below the teacher score, as a fraction (0.01 = 1%).
+  double target_drop = 0.0;
+  // Per-task weights for the distillation loss; empty = uniform.
+  std::vector<float> task_loss_weights;
+};
+
+struct FinetuneResult {
+  bool met_target = false;
+  bool terminated_early = false;  // by predictive termination
+  double max_drop = 0.0;          // worst task drop at the end (fraction)
+  std::vector<double> task_scores;
+  int epochs_run = 0;
+  double seconds = 0.0;
+};
+
+// Per-task logits of the student over a whole split.
+std::vector<Tensor> PredictAllTasks(MultiTaskModel& model, const MultiTaskDataset& data,
+                                    int64_t batch_size = 64);
+
+// Per-task scores of the student on `test` under each task's metric.
+std::vector<double> EvaluateMultiTask(MultiTaskModel& model, const MultiTaskDataset& test,
+                                      int64_t batch_size = 64);
+
+// Fine-tunes `student` in place.
+//   teacher_train_logits[t]: teacher outputs on the representative inputs
+//                            (the distillation targets), shape (N, classes_t).
+//   teacher_test_scores[t]:  teacher score on the test split (drop baseline).
+FinetuneResult DistillFinetune(MultiTaskModel& student,
+                               const std::vector<Tensor>& teacher_train_logits,
+                               const MultiTaskDataset& train, const MultiTaskDataset& test,
+                               const std::vector<double>& teacher_test_scores,
+                               const FinetuneOptions& options);
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_CORE_FINETUNE_H_

@@ -1,0 +1,191 @@
+#include "src/core/gmorph.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+#include "src/common/thread_pool.h"
+#include "src/common/timer.h"
+#include "src/core/model_parser.h"
+#include "src/core/mutation.h"
+#include "src/data/teacher.h"
+
+namespace gmorph {
+
+std::unique_ptr<SamplingPolicy> MakePolicy(PolicyKind kind, const AnnealingOptions& annealing) {
+  switch (kind) {
+    case PolicyKind::kSimulatedAnnealing:
+      return std::make_unique<SimulatedAnnealingPolicy>(annealing);
+    case PolicyKind::kRandom:
+      return std::make_unique<RandomPolicy>();
+  }
+  GMORPH_CHECK_MSG(false, "unknown policy");
+  return nullptr;
+}
+
+GMorph::GMorph(std::vector<TaskModel*> teachers, const MultiTaskDataset* train,
+               const MultiTaskDataset* test, const GMorphOptions& options)
+    : teachers_(std::move(teachers)), train_(train), test_(test), options_(options) {
+  GMORPH_CHECK(!teachers_.empty() && train_ != nullptr && test_ != nullptr);
+  GMORPH_CHECK(train_->tasks.size() == teachers_.size());
+  original_graph_ = ParseTaskModels(
+      std::vector<const TaskModel*>(teachers_.begin(), teachers_.end()));
+}
+
+GMorphResult GMorph::Run() {
+  Rng rng(options_.seed);
+  Timer search_timer;
+  GMorphResult result;
+
+  // Distillation targets and teacher baselines are fixed for the whole search.
+  std::vector<Tensor> teacher_train_logits;
+  teacher_train_logits.reserve(teachers_.size());
+  for (TaskModel* teacher : teachers_) {
+    teacher_train_logits.push_back(PredictAll(*teacher, *train_));
+    result.teacher_scores.push_back(
+        EvaluateTeacher(*teacher, *test_,
+                        result.teacher_scores.size()));
+  }
+
+  // Baseline: the original multi-DNNs rewritten as one input-sharing graph.
+  MultiTaskModel original_model(original_graph_, rng);
+  result.original_latency_ms = MeasureLatencyMs(original_model, options_.latency);
+  result.original_flops = original_graph_.TotalFlops();
+  result.best_graph = original_graph_;
+  result.best_latency_ms = result.original_latency_ms;
+  result.best_flops = result.original_flops;
+  result.best_task_scores = result.teacher_scores;
+
+  auto candidate_cost = [&](double latency_ms, int64_t flops) {
+    return options_.metric == OptimizeMetric::kLatency ? latency_ms
+                                                       : static_cast<double>(flops);
+  };
+  double best_cost = candidate_cost(result.best_latency_ms, result.best_flops);
+
+  HistoryDatabase history(options_.annealing.max_elites);
+  history.MarkEvaluated(original_graph_);
+  std::unique_ptr<SamplingPolicy> policy = MakePolicy(options_.policy, options_.annealing);
+
+  FinetuneOptions finetune = options_.finetune;
+  finetune.target_drop = options_.accuracy_drop_threshold;
+  finetune.predictive_termination = options_.predictive_termination;
+
+  // One entry per search iteration; filtered/duplicate slots carry no model.
+  struct Candidate {
+    IterationRecord record;
+    std::optional<AbsGraph> graph;
+    std::unique_ptr<MultiTaskModel> model;
+    FinetuneResult finetune;
+  };
+  const int round_width = std::max(1, options_.parallel_candidates);
+  std::unique_ptr<ThreadPool> pool;
+  if (options_.num_threads > 1 && round_width > 1) {
+    pool = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+
+  int iter = 0;
+  while (iter < options_.iterations) {
+    const int round = std::min(round_width, options_.iterations - iter);
+    std::vector<Candidate> candidates(static_cast<size_t>(round));
+
+    // Phase 1 (serial): sample and generate this round's candidates. With
+    // round_width == 1 this degenerates to the paper's Algorithm 1.
+    for (Candidate& c : candidates) {
+      c.record.iteration = ++iter;
+      c.record.best_latency_ms = result.best_latency_ms;
+      const AbsGraph& base = policy->SampleBase(original_graph_, history, rng);
+      const int num_mutations = rng.NextIntRange(1, options_.max_mutations_per_pass);
+      std::optional<AbsGraph> mutated =
+          SampleMutatePass(base, num_mutations, ShapeSimilarity::kSimilar, rng);
+      policy->AdvanceIteration();
+      if (!mutated.has_value() || history.AlreadyEvaluated(*mutated)) {
+        c.record.duplicate = true;
+        continue;
+      }
+      history.MarkEvaluated(*mutated);
+      c.record.candidate_flops = mutated->TotalFlops();
+      // Rule-based filter: skip fine-tuning candidates more aggressive than a
+      // known non-promising one.
+      if (options_.rule_based_filtering && history.FilteredByRule(mutated->Signature())) {
+        c.record.filtered_by_rule = true;
+        ++result.candidates_filtered;
+        continue;
+      }
+      // Generate the trainable model; weight inheritance from the base graph
+      // happens through the node weights the mutated graph carries.
+      c.graph = std::move(mutated);
+      c.model = std::make_unique<MultiTaskModel>(*c.graph, rng);
+      c.record.candidate_latency_ms = MeasureLatencyMs(*c.model, options_.latency);
+    }
+
+    // Phase 2: fine-tune candidates (concurrently when a pool exists). Each
+    // task touches only its own candidate plus read-only shared state.
+    auto finetune_one = [&](Candidate& c) {
+      c.finetune = DistillFinetune(*c.model, teacher_train_logits, *train_, *test_,
+                                   result.teacher_scores, finetune);
+    };
+    for (Candidate& c : candidates) {
+      if (c.model == nullptr) {
+        continue;
+      }
+      if (pool != nullptr) {
+        pool->Submit([&finetune_one, &c] { finetune_one(c); });
+      } else {
+        finetune_one(c);
+      }
+    }
+    if (pool != nullptr) {
+      pool->WaitAll();
+    }
+
+    // Phase 3 (serial): integrate results in iteration order.
+    for (Candidate& c : candidates) {
+      IterationRecord& record = c.record;
+      if (c.model != nullptr) {
+        const FinetuneResult& ft = c.finetune;
+        ++result.candidates_finetuned;
+        record.accuracy_drop = ft.max_drop;
+        record.met_target = ft.met_target;
+        record.terminated_early = ft.terminated_early;
+        record.finetune_seconds = ft.seconds;
+        policy->Observe(std::max(0.0, ft.max_drop));
+
+        if (ft.met_target) {
+          AbsGraph trained = c.model->ExportTrainedGraph();
+          history.AddElite(trained, record.candidate_latency_ms, ft.max_drop);
+          const double cost =
+              candidate_cost(record.candidate_latency_ms, record.candidate_flops);
+          if (cost < best_cost) {
+            best_cost = cost;
+            result.best_graph = std::move(trained);
+            result.best_latency_ms = record.candidate_latency_ms;
+            result.best_flops = record.candidate_flops;
+            result.best_task_scores = ft.task_scores;
+            result.found_improvement = true;
+          }
+        } else {
+          history.AddNonPromising(c.graph->Signature());
+        }
+        if (options_.verbose) {
+          GMORPH_LOG_INFO << "iter " << record.iteration
+                          << " lat=" << record.candidate_latency_ms
+                          << "ms drop=" << record.accuracy_drop
+                          << (ft.met_target ? " [elite]" : "")
+                          << " best=" << result.best_latency_ms << "ms";
+        }
+      }
+      record.best_latency_ms = result.best_latency_ms;
+      record.best_flops = result.best_flops;
+      record.elapsed_seconds = search_timer.Seconds();
+      result.trace.push_back(record);
+    }
+  }
+
+  result.search_seconds = search_timer.Seconds();
+  result.speedup = result.best_latency_ms > 0.0
+                       ? result.original_latency_ms / result.best_latency_ms
+                       : 1.0;
+  return result;
+}
+
+}  // namespace gmorph

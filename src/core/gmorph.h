@@ -1,0 +1,108 @@
+// The GMorph driver: Algorithm 1 (graph mutation optimization).
+//
+// Inputs: pre-trained task models sharing one input stream, representative
+// (train) inputs, a labeled test split, and an optimization config. Output:
+// the fastest trained multi-task graph meeting the accuracy-drop target,
+// plus a per-iteration trace used by the evaluation benches.
+#ifndef GMORPH_SRC_CORE_GMORPH_H_
+#define GMORPH_SRC_CORE_GMORPH_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/abs_graph.h"
+#include "src/core/finetune.h"
+#include "src/core/history.h"
+#include "src/core/latency.h"
+#include "src/core/sampling_policy.h"
+#include "src/data/dataset.h"
+#include "src/models/task_model.h"
+
+namespace gmorph {
+
+enum class PolicyKind { kSimulatedAnnealing, kRandom };
+enum class OptimizeMetric { kLatency, kFlops };
+
+struct GMorphOptions {
+  // Accuracy-drop threshold as a fraction (0.01 = the paper's "< 1%").
+  double accuracy_drop_threshold = 0.0;
+  int iterations = 30;
+  // Mutations applied per graph mutation pass (uniform in [1, max]).
+  int max_mutations_per_pass = 2;
+  PolicyKind policy = PolicyKind::kSimulatedAnnealing;
+  AnnealingOptions annealing;
+  // Predictive filtering toggles (paper's "w P" and "w P+R" variants).
+  bool predictive_termination = false;
+  bool rule_based_filtering = false;
+  OptimizeMetric metric = OptimizeMetric::kLatency;
+  FinetuneOptions finetune;
+  LatencyOptions latency;
+  // Parallel search (paper §7): sample `parallel_candidates` mutations per
+  // round and fine-tune them concurrently on `num_threads` workers. The
+  // defaults reproduce the paper's sequential prototype. In parallel rounds
+  // the sampling policy sees observations only at round boundaries (standard
+  // synchronous parallel simulated annealing).
+  int parallel_candidates = 1;
+  int num_threads = 1;
+  uint64_t seed = 42;
+  bool verbose = false;
+};
+
+struct IterationRecord {
+  int iteration = 0;
+  double candidate_latency_ms = 0.0;
+  int64_t candidate_flops = 0;
+  double accuracy_drop = 0.0;
+  bool met_target = false;
+  bool filtered_by_rule = false;
+  bool terminated_early = false;
+  bool duplicate = false;
+  double finetune_seconds = 0.0;
+  double elapsed_seconds = 0.0;      // cumulative search time at iteration end
+  double best_latency_ms = 0.0;      // best satisfying latency so far
+  int64_t best_flops = 0;            // FLOPs of the best satisfying model so far
+};
+
+struct GMorphResult {
+  AbsGraph best_graph;  // trained weights on nodes; original graph if no win
+  bool found_improvement = false;
+  double original_latency_ms = 0.0;
+  double best_latency_ms = 0.0;
+  int64_t original_flops = 0;
+  int64_t best_flops = 0;
+  double speedup = 1.0;
+  std::vector<double> teacher_scores;
+  std::vector<double> best_task_scores;
+  std::vector<IterationRecord> trace;
+  double search_seconds = 0.0;
+  int candidates_finetuned = 0;
+  int candidates_filtered = 0;
+};
+
+class GMorph {
+ public:
+  // `teachers` must outlive the GMorph object. `train` provides the
+  // representative inputs for distillation; `test` the labeled split for
+  // scoring.
+  GMorph(std::vector<TaskModel*> teachers, const MultiTaskDataset* train,
+         const MultiTaskDataset* test, const GMorphOptions& options);
+
+  GMorphResult Run();
+
+  // The parsed original abstract graph (before any mutation).
+  const AbsGraph& original_graph() const { return original_graph_; }
+
+ private:
+  std::vector<TaskModel*> teachers_;
+  const MultiTaskDataset* train_;
+  const MultiTaskDataset* test_;
+  GMorphOptions options_;
+  AbsGraph original_graph_;
+};
+
+// Convenience: builds the policy named by `kind`.
+std::unique_ptr<SamplingPolicy> MakePolicy(PolicyKind kind, const AnnealingOptions& annealing);
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_CORE_GMORPH_H_

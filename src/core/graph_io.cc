@@ -1,0 +1,186 @@
+#include "src/core/graph_io.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+
+namespace gmorph {
+namespace {
+
+constexpr uint64_t kMagic = 0x474d4f5250484731ull;  // "GMORPHG1"
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+void WriteShape(std::ofstream& out, const Shape& shape) {
+  WritePod(out, static_cast<int64_t>(shape.Rank()));
+  for (int64_t d : shape.dims()) {
+    WritePod(out, d);
+  }
+}
+
+bool ReadShape(std::ifstream& in, Shape& shape) {
+  int64_t rank = 0;
+  if (!ReadPod(in, rank) || rank < 0 || rank > 8) {
+    return false;
+  }
+  std::vector<int64_t> dims(static_cast<size_t>(rank));
+  int64_t elements = 1;
+  for (auto& d : dims) {
+    // Bound dimensions so corrupted files cannot trigger huge allocations.
+    if (!ReadPod(in, d) || d < 0 || d > (1 << 24)) {
+      return false;
+    }
+    elements *= std::max<int64_t>(d, 1);
+    if (elements > (int64_t{1} << 28)) {
+      return false;
+    }
+  }
+  shape = Shape(std::move(dims));
+  return true;
+}
+
+void WriteSpec(std::ofstream& out, const BlockSpec& spec) {
+  WritePod(out, static_cast<int64_t>(spec.type));
+  for (int64_t v : {spec.in_channels, spec.out_channels, spec.kernel, spec.stride, spec.padding,
+                    spec.pool_kernel, spec.pool_stride, spec.in_features, spec.out_features,
+                    spec.dim, spec.heads, spec.mlp_ratio, spec.vocab, spec.seq_len,
+                    spec.image_size, spec.patch}) {
+    WritePod(out, v);
+  }
+  WriteShape(out, spec.rescale_in);
+  WriteShape(out, spec.rescale_out);
+}
+
+bool ReadSpec(std::ifstream& in, BlockSpec& spec) {
+  int64_t type = 0;
+  if (!ReadPod(in, type)) {
+    return false;
+  }
+  spec.type = static_cast<BlockType>(type);
+  for (int64_t* field : {&spec.in_channels, &spec.out_channels, &spec.kernel, &spec.stride,
+                         &spec.padding, &spec.pool_kernel, &spec.pool_stride, &spec.in_features,
+                         &spec.out_features, &spec.dim, &spec.heads, &spec.mlp_ratio,
+                         &spec.vocab, &spec.seq_len, &spec.image_size, &spec.patch}) {
+    if (!ReadPod(in, *field)) {
+      return false;
+    }
+  }
+  return ReadShape(in, spec.rescale_in) && ReadShape(in, spec.rescale_out);
+}
+
+}  // namespace
+
+bool SaveGraph(const std::string& path, const AbsGraph& graph) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  WritePod(out, kMagic);
+  WritePod(out, static_cast<int64_t>(graph.num_tasks()));
+  WritePod(out, static_cast<int64_t>(graph.size()));
+  for (const AbsNode& n : graph.nodes()) {
+    WritePod(out, static_cast<int64_t>(n.id));
+    WritePod(out, static_cast<int64_t>(n.task_id));
+    WritePod(out, static_cast<int64_t>(n.op_id));
+    WritePod(out, static_cast<int64_t>(n.parent));
+    WritePod(out, n.capacity);
+    WriteSpec(out, n.spec);
+    WriteShape(out, n.input_shape);
+    WriteShape(out, n.output_shape);
+    WritePod(out, static_cast<int64_t>(n.children.size()));
+    for (int c : n.children) {
+      WritePod(out, static_cast<int64_t>(c));
+    }
+    WritePod(out, static_cast<int64_t>(n.weights.size()));
+    for (const Tensor& t : n.weights) {
+      WriteShape(out, t.shape());
+      out.write(reinterpret_cast<const char*>(t.data()),
+                static_cast<std::streamsize>(t.size() * sizeof(float)));
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+bool LoadGraph(const std::string& path, AbsGraph& graph) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  uint64_t magic = 0;
+  int64_t num_tasks = 0;
+  int64_t count = 0;
+  if (!ReadPod(in, magic) || magic != kMagic || !ReadPod(in, num_tasks) ||
+      !ReadPod(in, count) || count <= 0) {
+    return false;
+  }
+  if (count > (1 << 20)) {
+    return false;
+  }
+  std::vector<AbsNode> nodes(static_cast<size_t>(count));
+  int64_t position = 0;
+  for (AbsNode& n : nodes) {
+    int64_t id = 0;
+    int64_t task_id = 0;
+    int64_t op_id = 0;
+    int64_t parent = 0;
+    if (!ReadPod(in, id) || !ReadPod(in, task_id) || !ReadPod(in, op_id) ||
+        !ReadPod(in, parent) || !ReadPod(in, n.capacity)) {
+      return false;
+    }
+    // Ids/parents must index into the node array or validation below would
+    // dereference out of bounds on corrupted input.
+    if (id != position || parent < -1 || parent >= count) {
+      return false;
+    }
+    ++position;
+    n.id = static_cast<int>(id);
+    n.task_id = static_cast<int>(task_id);
+    n.op_id = static_cast<int>(op_id);
+    n.parent = static_cast<int>(parent);
+    if (!ReadSpec(in, n.spec) || !ReadShape(in, n.input_shape) ||
+        !ReadShape(in, n.output_shape)) {
+      return false;
+    }
+    int64_t num_children = 0;
+    if (!ReadPod(in, num_children) || num_children < 0 || num_children > count) {
+      return false;
+    }
+    for (int64_t i = 0; i < num_children; ++i) {
+      int64_t c = 0;
+      if (!ReadPod(in, c) || c < 0 || c >= count) {
+        return false;
+      }
+      n.children.push_back(static_cast<int>(c));
+    }
+    int64_t num_weights = 0;
+    if (!ReadPod(in, num_weights) || num_weights < 0) {
+      return false;
+    }
+    for (int64_t i = 0; i < num_weights; ++i) {
+      Shape shape;
+      if (!ReadShape(in, shape)) {
+        return false;
+      }
+      Tensor t{shape};
+      in.read(reinterpret_cast<char*>(t.data()),
+              static_cast<std::streamsize>(t.size() * sizeof(float)));
+      if (!in) {
+        return false;
+      }
+      n.weights.push_back(std::move(t));
+    }
+  }
+  graph = AbsGraph::FromNodes(std::move(nodes), static_cast<int>(num_tasks));
+  return true;
+}
+
+}  // namespace gmorph

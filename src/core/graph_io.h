@@ -1,0 +1,19 @@
+// AbsGraph persistence: saves/loads a fused multi-task model (structure +
+// trained weights) so search results can be deployed or reloaded later —
+// the counterpart of the paper's PyTorch checkpoint output.
+#ifndef GMORPH_SRC_CORE_GRAPH_IO_H_
+#define GMORPH_SRC_CORE_GRAPH_IO_H_
+
+#include <string>
+
+#include "src/core/abs_graph.h"
+
+namespace gmorph {
+
+// Binary round-trip; returns false on I/O failure / format mismatch.
+bool SaveGraph(const std::string& path, const AbsGraph& graph);
+bool LoadGraph(const std::string& path, AbsGraph& graph);
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_CORE_GRAPH_IO_H_

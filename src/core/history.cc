@@ -1,0 +1,37 @@
+#include "src/core/history.h"
+
+#include <algorithm>
+
+namespace gmorph {
+
+bool HistoryDatabase::AlreadyEvaluated(const AbsGraph& g) const {
+  return fingerprints_.count(g.Fingerprint()) > 0;
+}
+
+void HistoryDatabase::MarkEvaluated(const AbsGraph& g) {
+  fingerprints_.insert(g.Fingerprint());
+}
+
+void HistoryDatabase::AddElite(AbsGraph graph, double latency_ms, double accuracy_drop) {
+  elites_.push_back({std::move(graph), latency_ms, accuracy_drop});
+  std::sort(elites_.begin(), elites_.end(),
+            [](const EliteEntry& a, const EliteEntry& b) { return a.latency_ms < b.latency_ms; });
+  if (elites_.size() > max_elites_) {
+    elites_.resize(max_elites_);
+  }
+}
+
+void HistoryDatabase::AddNonPromising(const CapacitySignature& signature) {
+  non_promising_.push_back(signature);
+}
+
+bool HistoryDatabase::FilteredByRule(const CapacitySignature& signature) const {
+  for (const CapacitySignature& bad : non_promising_) {
+    if (signature.MoreAggressiveThan(bad)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace gmorph

@@ -1,0 +1,53 @@
+// History database (paper §4.3): stores evaluated candidates, the elite list
+// (candidates meeting the accuracy target, ranked by latency), and the
+// capacity signatures of non-promising candidates for rule-based filtering.
+#ifndef GMORPH_SRC_CORE_HISTORY_H_
+#define GMORPH_SRC_CORE_HISTORY_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/abs_graph.h"
+
+namespace gmorph {
+
+struct EliteEntry {
+  AbsGraph graph;  // carries trained weights
+  double latency_ms = 0.0;
+  double accuracy_drop = 0.0;
+};
+
+class HistoryDatabase {
+ public:
+  explicit HistoryDatabase(size_t max_elites = 16) : max_elites_(max_elites) {}
+
+  // Deduplication of structurally identical candidates.
+  bool AlreadyEvaluated(const AbsGraph& g) const;
+  void MarkEvaluated(const AbsGraph& g);
+
+  // Elite candidates (meet the accuracy target). Keeps the `max_elites_`
+  // lowest-latency entries.
+  void AddElite(AbsGraph graph, double latency_ms, double accuracy_drop);
+  const std::vector<EliteEntry>& elites() const { return elites_; }
+
+  // Rule-based filtering support: signatures of candidates that failed the
+  // accuracy target.
+  void AddNonPromising(const CapacitySignature& signature);
+  // True if `signature` is more aggressive in sharing than some known
+  // non-promising candidate (and therefore can be skipped before training).
+  bool FilteredByRule(const CapacitySignature& signature) const;
+
+  size_t num_evaluated() const { return fingerprints_.size(); }
+  size_t num_non_promising() const { return non_promising_.size(); }
+
+ private:
+  size_t max_elites_;
+  std::set<std::string> fingerprints_;
+  std::vector<EliteEntry> elites_;
+  std::vector<CapacitySignature> non_promising_;
+};
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_CORE_HISTORY_H_

@@ -1,0 +1,28 @@
+#include "src/core/latency.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/timer.h"
+
+namespace gmorph {
+
+double MeasureLatencyMs(MultiTaskModel& model, const LatencyOptions& options) {
+  const Shape input_shape =
+      model.graph().node(model.graph().root()).output_shape.WithBatch(options.batch_size);
+  Tensor input = Tensor::Zeros(input_shape);
+  for (int i = 0; i < options.warmup_runs; ++i) {
+    model.Forward(input, /*training=*/false);
+  }
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(options.measured_runs));
+  for (int i = 0; i < options.measured_runs; ++i) {
+    Timer timer;
+    model.Forward(input, /*training=*/false);
+    samples.push_back(timer.Millis());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace gmorph

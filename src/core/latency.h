@@ -1,0 +1,24 @@
+// Latency estimator (paper §3): measures real wall-clock inference time of a
+// multi-task model on the target engine. FLOPs estimation is
+// AbsGraph::TotalFlops().
+#ifndef GMORPH_SRC_CORE_LATENCY_H_
+#define GMORPH_SRC_CORE_LATENCY_H_
+
+#include "src/core/multitask_model.h"
+
+namespace gmorph {
+
+struct LatencyOptions {
+  int warmup_runs = 1;
+  int measured_runs = 5;
+  int64_t batch_size = 1;
+};
+
+// Median forward latency in milliseconds over `measured_runs` (after warmup)
+// for a zero-filled input batch. Weights do not affect dense-kernel latency,
+// so untrained candidates measure identically to trained ones.
+double MeasureLatencyMs(MultiTaskModel& model, const LatencyOptions& options = {});
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_CORE_LATENCY_H_

@@ -1,0 +1,57 @@
+#include "src/core/model_parser.h"
+
+#include "src/common/check.h"
+
+namespace gmorph {
+namespace {
+
+AbsGraph BuildChains(const std::vector<const ModelSpec*>& specs,
+                     const std::vector<const TaskModel*>* models) {
+  GMORPH_CHECK(!specs.empty());
+  const Shape input = specs[0]->input_shape;
+  for (const ModelSpec* s : specs) {
+    GMORPH_CHECK_MSG(s->input_shape == input,
+                     "all task models must consume the same input; " << s->name << " expects "
+                                                                     << s->input_shape.ToString()
+                                                                     << " vs "
+                                                                     << input.ToString());
+  }
+  AbsGraph g = AbsGraph::WithRoot(input, static_cast<int>(specs.size()));
+  for (size_t t = 0; t < specs.size(); ++t) {
+    int parent = g.root();
+    for (size_t i = 0; i < specs[t]->blocks.size(); ++i) {
+      std::vector<Tensor> weights;
+      if (models != nullptr) {
+        weights = (*models)[t]->block(i).ExportParameters();
+      }
+      parent = g.AddNode(parent, static_cast<int>(t), static_cast<int>(i),
+                         specs[t]->blocks[i], std::move(weights));
+    }
+    GMORPH_CHECK_MSG(g.node(parent).IsHead(),
+                     "model " << specs[t]->name << " must end in a Head block");
+  }
+  g.Validate();
+  return g;
+}
+
+}  // namespace
+
+AbsGraph ParseTaskModels(const std::vector<const TaskModel*>& models) {
+  std::vector<const ModelSpec*> specs;
+  specs.reserve(models.size());
+  for (const TaskModel* m : models) {
+    specs.push_back(&m->spec());
+  }
+  return BuildChains(specs, &models);
+}
+
+AbsGraph ParseModelSpecs(const std::vector<ModelSpec>& specs) {
+  std::vector<const ModelSpec*> ptrs;
+  ptrs.reserve(specs.size());
+  for (const ModelSpec& s : specs) {
+    ptrs.push_back(&s);
+  }
+  return BuildChains(ptrs, nullptr);
+}
+
+}  // namespace gmorph

@@ -1,0 +1,27 @@
+// Model Parser (paper §4.2): converts user-provided task-specific models into
+// the abstract-graph IR, carrying per-block trained weights on the nodes.
+//
+// The reverse direction — a trained multi-task model back to a graph — is
+// MultiTaskModel::ExportTrainedGraph(), since the executable model retains its
+// graph.
+#ifndef GMORPH_SRC_CORE_MODEL_PARSER_H_
+#define GMORPH_SRC_CORE_MODEL_PARSER_H_
+
+#include <vector>
+
+#include "src/core/abs_graph.h"
+#include "src/models/task_model.h"
+
+namespace gmorph {
+
+// Parses pre-trained task models (all consuming the same input shape) into one
+// abstract graph: a root placeholder plus one chain of blocks per task.
+AbsGraph ParseTaskModels(const std::vector<const TaskModel*>& models);
+
+// Spec-only variant: builds the graph without weights (used for search-space
+// analysis and tests).
+AbsGraph ParseModelSpecs(const std::vector<ModelSpec>& specs);
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_CORE_MODEL_PARSER_H_

@@ -1,0 +1,123 @@
+#include "src/core/multitask_model.h"
+
+#include "src/common/check.h"
+#include "src/tensor/tensor_ops.h"
+
+namespace gmorph {
+
+MultiTaskModel::MultiTaskModel(const AbsGraph& graph, Rng& rng) : graph_(graph) {
+  graph_.Validate();
+  modules_.resize(static_cast<size_t>(graph_.size()));
+  for (const AbsNode& n : graph_.nodes()) {
+    if (n.IsRoot()) {
+      continue;
+    }
+    auto module = MakeModule(n.spec, rng);
+    if (!n.weights.empty()) {
+      module->ImportParameters(n.weights);
+    }
+    modules_[static_cast<size_t>(n.id)] = std::move(module);
+  }
+  topo_order_ = graph_.TopologicalOrder();
+  head_of_task_.resize(static_cast<size_t>(graph_.num_tasks()));
+  for (int t = 0; t < graph_.num_tasks(); ++t) {
+    head_of_task_[static_cast<size_t>(t)] = graph_.HeadOfTask(t);
+    GMORPH_CHECK(head_of_task_[static_cast<size_t>(t)] >= 0);
+  }
+}
+
+std::vector<Tensor> MultiTaskModel::Forward(const Tensor& input, bool training) {
+  std::vector<Tensor> activations(static_cast<size_t>(graph_.size()));
+  activations[0] = input;
+  for (int id : topo_order_) {
+    if (id == graph_.root()) {
+      continue;
+    }
+    const AbsNode& n = graph_.node(id);
+    activations[static_cast<size_t>(id)] =
+        modules_[static_cast<size_t>(id)]->Forward(activations[static_cast<size_t>(n.parent)],
+                                                   training);
+  }
+  std::vector<Tensor> outputs(head_of_task_.size());
+  for (size_t t = 0; t < head_of_task_.size(); ++t) {
+    outputs[t] = activations[static_cast<size_t>(head_of_task_[t])];
+  }
+  return outputs;
+}
+
+Tensor MultiTaskModel::Backward(const std::vector<Tensor>& grad_per_task) {
+  GMORPH_CHECK(grad_per_task.size() == head_of_task_.size());
+  std::vector<Tensor> grads(static_cast<size_t>(graph_.size()));
+  for (size_t t = 0; t < head_of_task_.size(); ++t) {
+    if (!grad_per_task[t].empty()) {
+      grads[static_cast<size_t>(head_of_task_[t])] = grad_per_task[t].Clone();
+    }
+  }
+  // Reverse topological order: children deliver their input-gradients to the
+  // parent, summing at shared nodes.
+  for (auto it = topo_order_.rbegin(); it != topo_order_.rend(); ++it) {
+    const int id = *it;
+    if (id == graph_.root()) {
+      continue;
+    }
+    Tensor& g = grads[static_cast<size_t>(id)];
+    if (g.empty()) {
+      continue;  // no task downstream of this node contributed gradient
+    }
+    Tensor g_parent = modules_[static_cast<size_t>(id)]->Backward(g);
+    const int parent = graph_.node(id).parent;
+    Tensor& slot = grads[static_cast<size_t>(parent)];
+    if (slot.empty()) {
+      slot = std::move(g_parent);
+    } else {
+      AddInPlace(slot, g_parent);
+    }
+  }
+  Tensor root_grad = std::move(grads[0]);
+  if (root_grad.empty()) {
+    return root_grad;
+  }
+  return root_grad;
+}
+
+std::vector<Parameter*> MultiTaskModel::Parameters() {
+  std::vector<Parameter*> out;
+  for (auto& m : modules_) {
+    if (m) {
+      for (Parameter* p : m->Parameters()) {
+        out.push_back(p);
+      }
+    }
+  }
+  return out;
+}
+
+void MultiTaskModel::ZeroGrad() {
+  for (auto& m : modules_) {
+    if (m) {
+      m->ZeroGrad();
+    }
+  }
+}
+
+int64_t MultiTaskModel::TotalCapacity() const {
+  int64_t n = 0;
+  for (const auto& m : modules_) {
+    if (m) {
+      n += m->ParamCount();
+    }
+  }
+  return n;
+}
+
+AbsGraph MultiTaskModel::ExportTrainedGraph() const {
+  AbsGraph g = graph_;
+  for (const AbsNode& n : graph_.nodes()) {
+    if (!n.IsRoot()) {
+      g.mutable_node(n.id).weights = modules_[static_cast<size_t>(n.id)]->ExportParameters();
+    }
+  }
+  return g;
+}
+
+}  // namespace gmorph

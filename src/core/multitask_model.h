@@ -1,0 +1,56 @@
+// MultiTaskModel: a trainable/executable materialization of an AbsGraph
+// (the paper's Model Generator output).
+//
+// Construction instantiates one module per graph node, initializing it from
+// the node's stored weights when present (weight inheritance from the base
+// candidate) and freshly otherwise (e.g. inserted rescale adapters). Forward
+// walks the tree once — shared prefixes execute once — and returns one logits
+// tensor per task; Backward accumulates gradients from all task heads.
+#ifndef GMORPH_SRC_CORE_MULTITASK_MODEL_H_
+#define GMORPH_SRC_CORE_MULTITASK_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/abs_graph.h"
+#include "src/nn/module.h"
+
+namespace gmorph {
+
+class MultiTaskModel {
+ public:
+  MultiTaskModel(const AbsGraph& graph, Rng& rng);
+
+  // Returns per-task logits, indexed by task id.
+  std::vector<Tensor> Forward(const Tensor& input, bool training);
+
+  // grad_per_task[t] is dL/d(logits of task t); tensors may be empty to skip
+  // a task. Returns dL/d(input).
+  Tensor Backward(const std::vector<Tensor>& grad_per_task);
+
+  std::vector<Parameter*> Parameters();
+  void ZeroGrad();
+
+  const AbsGraph& graph() const { return graph_; }
+  // The module materialized for graph node `id` (null for the root). Used by
+  // the fused runtime engine to read live parameters (e.g. BN running stats).
+  Module* module(int id) { return modules_[static_cast<size_t>(id)].get(); }
+  int num_tasks() const { return graph_.num_tasks(); }
+  int64_t TotalCapacity() const;
+
+  // Copy of the graph with each node's weights replaced by the current
+  // (trained) module parameters — the parser's job for trained models.
+  AbsGraph ExportTrainedGraph() const;
+
+ private:
+  AbsGraph graph_;
+  // modules_[i] corresponds to graph_.node(i); null for the root.
+  std::vector<std::unique_ptr<Module>> modules_;
+  std::vector<int> topo_order_;
+  std::vector<int> head_of_task_;
+};
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_CORE_MULTITASK_MODEL_H_

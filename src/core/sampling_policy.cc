@@ -1,0 +1,47 @@
+#include "src/core/sampling_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gmorph {
+
+SimulatedAnnealingPolicy::SimulatedAnnealingPolicy(const AnnealingOptions& options)
+    : options_(options) {}
+
+double SimulatedAnnealingPolicy::EliteProbability(size_t num_elites) const {
+  if (num_elites == 0) {
+    return 0.0;
+  }
+  const double current_temp =
+      options_.initial_temp * std::pow(options_.alpha, static_cast<double>(iteration_));
+  const double exponent =
+      (1.0 - last_drop_) / std::max(current_temp * options_.initial_temp, 1e-9);
+  const double elite_frac = std::min(
+      1.0, static_cast<double>(num_elites) / static_cast<double>(options_.max_elites));
+  return (1.0 - std::exp(-exponent)) * std::sqrt(elite_frac);
+}
+
+const AbsGraph& SimulatedAnnealingPolicy::SampleBase(const AbsGraph& original,
+                                                     const HistoryDatabase& history, Rng& rng) {
+  const auto& elites = history.elites();
+  const double p = EliteProbability(elites.size());
+  if (!elites.empty() && rng.NextBool(p)) {
+    return elites[static_cast<size_t>(rng.NextInt(static_cast<int>(elites.size())))].graph;
+  }
+  return original;
+}
+
+void SimulatedAnnealingPolicy::Observe(double accuracy_drop) {
+  last_drop_ = std::clamp(accuracy_drop, 0.0, 1.0);
+}
+
+void SimulatedAnnealingPolicy::AdvanceIteration() { ++iteration_; }
+
+const AbsGraph& RandomPolicy::SampleBase(const AbsGraph& original,
+                                         const HistoryDatabase& /*history*/, Rng& /*rng*/) {
+  return original;
+}
+
+void RandomPolicy::Observe(double /*accuracy_drop*/) {}
+
+}  // namespace gmorph

@@ -1,0 +1,68 @@
+#include "src/core/shareable.h"
+
+namespace gmorph {
+
+bool ShapesSimilar(const Shape& a, const Shape& b) {
+  if (a.Rank() != b.Rank()) {
+    return false;
+  }
+  for (int i = 0; i < a.Rank(); ++i) {
+    if (a[i] == b[i]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool RescaleFeasible(const Shape& from, const Shape& to) {
+  if (from == to) {
+    return true;
+  }
+  return from.Rank() == to.Rank() && (from.Rank() == 2 || from.Rank() == 3);
+}
+
+bool PairValid(const AbsGraph& g, const SharePair& pair, ShapeSimilarity mode) {
+  if (pair.host <= 0 || pair.guest <= 0 || pair.host >= g.size() || pair.guest >= g.size() ||
+      pair.host == pair.guest) {
+    return false;
+  }
+  const AbsNode& host = g.node(pair.host);
+  const AbsNode& guest = g.node(pair.guest);
+  const int p = host.parent;
+  // Re-parenting the guest under p must not create a cycle.
+  if (g.IsAncestor(pair.guest, p)) {
+    return false;
+  }
+  // No-op: the guest already consumes exactly these features.
+  if (guest.parent == p && guest.input_shape == host.input_shape) {
+    return false;
+  }
+  if (!RescaleFeasible(host.input_shape, guest.input_shape)) {
+    return false;
+  }
+  switch (mode) {
+    case ShapeSimilarity::kSimilar:
+      return ShapesSimilar(host.input_shape, guest.input_shape);
+    case ShapeSimilarity::kDissimilar:
+      return host.input_shape.Rank() == guest.input_shape.Rank() &&
+             !ShapesSimilar(host.input_shape, guest.input_shape);
+    case ShapeSimilarity::kAny:
+      return true;
+  }
+  return false;
+}
+
+std::vector<SharePair> FindShareablePairs(const AbsGraph& g, ShapeSimilarity mode) {
+  std::vector<SharePair> pairs;
+  for (int host = 1; host < g.size(); ++host) {
+    for (int guest = 1; guest < g.size(); ++guest) {
+      const SharePair pair{host, guest};
+      if (PairValid(g, pair, mode)) {
+        pairs.push_back(pair);
+      }
+    }
+  }
+  return pairs;
+}
+
+}  // namespace gmorph

@@ -1,0 +1,46 @@
+// Input-shareable node pairs (paper Definition 2).
+//
+// A pair (host, guest) means the guest node reuses the host node's *input*
+// features: the guest is re-parented under the host's parent (with a rescale
+// adapter when shapes differ), and the guest's now-dead former ancestors are
+// garbage-collected — that is the computation saving.
+#ifndef GMORPH_SRC_CORE_SHAREABLE_H_
+#define GMORPH_SRC_CORE_SHAREABLE_H_
+
+#include <vector>
+
+#include "src/core/abs_graph.h"
+
+namespace gmorph {
+
+struct SharePair {
+  int host = -1;   // node n: its input features get reused
+  int guest = -1;  // node m: re-reads the host's input
+};
+
+// The paper's similarity restriction (§2.2.1): GMorph proper only shares
+// between similar input shapes; the Figure-1 study also samples dissimilar
+// pairs to show why the restriction exists.
+enum class ShapeSimilarity {
+  kSimilar,     // same rank, at least one dimension equal
+  kDissimilar,  // same rank, no dimension equal
+  kAny,
+};
+
+// True under the kSimilar predicate.
+bool ShapesSimilar(const Shape& a, const Shape& b);
+
+// True if a rescale adapter can map features of shape `from` to `to`
+// (identical shapes always qualify; otherwise same rank 2 or 3).
+bool RescaleFeasible(const Shape& from, const Shape& to);
+
+// True if applying `pair` to `g` is structurally legal (acyclic, rescalable,
+// not a no-op).
+bool PairValid(const AbsGraph& g, const SharePair& pair, ShapeSimilarity mode);
+
+// All valid pairs in `g` under `mode`.
+std::vector<SharePair> FindShareablePairs(const AbsGraph& g, ShapeSimilarity mode);
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_CORE_SHAREABLE_H_

@@ -1,0 +1,21 @@
+#include "src/data/eval.h"
+
+#include "src/common/check.h"
+#include "src/nn/loss.h"
+
+namespace gmorph {
+
+double ComputeMetric(const Tensor& logits, const TaskLabels& labels) {
+  switch (labels.metric) {
+    case MetricKind::kAccuracy:
+      return Accuracy(logits, labels.class_labels);
+    case MetricKind::kMeanAveragePrecision:
+      return MeanAveragePrecision(logits, labels.multi_hot);
+    case MetricKind::kMatthews:
+      return MatthewsCorrelation(logits, labels.class_labels);
+  }
+  GMORPH_CHECK_MSG(false, "unknown metric");
+  return 0.0;
+}
+
+}  // namespace gmorph

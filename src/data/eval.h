@@ -1,0 +1,18 @@
+// Scoring utilities shared by teacher pre-training and the accuracy
+// estimator: map a full-dataset logits tensor + task labels to the task's
+// score under its metric.
+#ifndef GMORPH_SRC_DATA_EVAL_H_
+#define GMORPH_SRC_DATA_EVAL_H_
+
+#include "src/data/dataset.h"
+#include "src/tensor/tensor.h"
+
+namespace gmorph {
+
+// `logits` is (N, classes) for the whole dataset split that `labels` covers.
+// Returns accuracy / mAP / MCC according to labels.metric.
+double ComputeMetric(const Tensor& logits, const TaskLabels& labels);
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_DATA_EVAL_H_

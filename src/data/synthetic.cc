@@ -1,0 +1,186 @@
+#include "src/data/synthetic.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace gmorph {
+namespace {
+
+constexpr float kTwoPi = 6.28318530717958647692f;
+
+// A smooth random pattern: a small mixture of low-frequency plane waves per
+// channel. Smoothness matters — convolutional stems can then share low-level
+// edge-like features across tasks.
+Tensor MakePattern(int64_t image_size, float amplitude, Rng& rng) {
+  Tensor p(Shape{3, image_size, image_size});
+  float* data = p.data();
+  for (int64_t c = 0; c < 3; ++c) {
+    for (int wave = 0; wave < 3; ++wave) {
+      const float fy = static_cast<float>(rng.NextIntRange(1, 4));
+      const float fx = static_cast<float>(rng.NextIntRange(1, 4));
+      const float phase = rng.NextFloat() * kTwoPi;
+      const float a = amplitude * (0.5f + rng.NextFloat());
+      for (int64_t y = 0; y < image_size; ++y) {
+        for (int64_t x = 0; x < image_size; ++x) {
+          data[(c * image_size + y) * image_size + x] +=
+              a * std::sin(kTwoPi * (fy * static_cast<float>(y) + fx * static_cast<float>(x)) /
+                               static_cast<float>(image_size) +
+                           phase);
+        }
+      }
+    }
+  }
+  return p;
+}
+
+void AddScaled(Tensor& dst, const Tensor& src, float scale, int64_t offset) {
+  float* d = dst.data() + offset;
+  const float* s = src.data();
+  for (int64_t i = 0; i < src.size(); ++i) {
+    d[i] += scale * s[i];
+  }
+}
+
+MultiTaskDataset GenerateVisionSplit(int64_t n, const std::vector<VisionTaskSpec>& tasks,
+                                     const std::vector<std::vector<Tensor>>& patterns,
+                                     const VisionDataOptions& options, Rng& rng) {
+  const int64_t image = options.image_size;
+  const int64_t pixels = 3 * image * image;
+  MultiTaskDataset ds;
+  ds.inputs = Tensor(Shape{n, 3, image, image});
+  ds.tasks.resize(tasks.size());
+
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    ds.tasks[t].metric = tasks[t].metric;
+    ds.tasks[t].num_classes = tasks[t].num_classes;
+    if (tasks[t].metric == MetricKind::kMeanAveragePrecision) {
+      ds.tasks[t].multi_hot = Tensor(Shape{n, tasks[t].num_classes});
+    } else {
+      ds.tasks[t].class_labels.resize(static_cast<size_t>(n));
+    }
+  }
+
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t offset = i * pixels;
+    for (size_t t = 0; t < tasks.size(); ++t) {
+      const VisionTaskSpec& task = tasks[t];
+      if (task.metric == MetricKind::kMeanAveragePrecision) {
+        // Multi-label: include each class independently; ensure >= 1 class.
+        int included = 0;
+        float* row = ds.tasks[t].multi_hot.data() + i * task.num_classes;
+        for (int c = 0; c < task.num_classes; ++c) {
+          if (rng.NextBool(task.label_prob)) {
+            row[c] = 1.0f;
+            ++included;
+          }
+        }
+        if (included == 0) {
+          row[rng.NextInt(task.num_classes)] = 1.0f;
+          included = 1;
+        }
+        const float scale = 1.0f / static_cast<float>(included);
+        for (int c = 0; c < task.num_classes; ++c) {
+          if (row[c] > 0.5f) {
+            AddScaled(ds.inputs, patterns[t][static_cast<size_t>(c)], scale, offset);
+          }
+        }
+      } else {
+        const int label = rng.NextInt(task.num_classes);
+        ds.tasks[t].class_labels[static_cast<size_t>(i)] = label;
+        AddScaled(ds.inputs, patterns[t][static_cast<size_t>(label)], 1.0f, offset);
+      }
+    }
+    // Additive observation noise.
+    float* img = ds.inputs.data() + offset;
+    for (int64_t j = 0; j < pixels; ++j) {
+      img[j] += options.noise_stddev * rng.NextGaussian();
+    }
+  }
+  return ds;
+}
+
+}  // namespace
+
+VisionDatasetPair GenerateVisionData(int64_t train_size, int64_t test_size,
+                                     const std::vector<VisionTaskSpec>& tasks,
+                                     const VisionDataOptions& options, Rng& rng) {
+  GMORPH_CHECK(!tasks.empty());
+  // One pattern bank shared by both splits.
+  std::vector<std::vector<Tensor>> patterns(tasks.size());
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    for (int c = 0; c < tasks[t].num_classes; ++c) {
+      patterns[t].push_back(MakePattern(options.image_size, options.signal, rng));
+    }
+  }
+  VisionDatasetPair pair;
+  pair.train = GenerateVisionSplit(train_size, tasks, patterns, options, rng);
+  pair.test = GenerateVisionSplit(test_size, tasks, patterns, options, rng);
+  return pair;
+}
+
+namespace {
+
+MultiTaskDataset GenerateTextSplit(int64_t n, const std::vector<TextTaskSpec>& tasks,
+                                   const std::vector<std::vector<float>>& token_scores,
+                                   const TextDataOptions& options, Rng& rng) {
+  MultiTaskDataset ds;
+  ds.inputs = Tensor(Shape{n, options.seq_len});
+  ds.tasks.resize(tasks.size());
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    ds.tasks[t].metric = tasks[t].metric;
+    ds.tasks[t].num_classes = 2;
+    ds.tasks[t].class_labels.resize(static_cast<size_t>(n));
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    float* row = ds.inputs.data() + i * options.seq_len;
+    // Re-draw rows whose score sum ties for any task: ties carry no signal and
+    // would skew the label balance.
+    bool tied = true;
+    while (tied) {
+      for (int64_t j = 0; j < options.seq_len; ++j) {
+        row[j] = static_cast<float>(rng.NextInt(static_cast<int>(options.vocab)));
+      }
+      tied = false;
+      for (size_t t = 0; t < tasks.size(); ++t) {
+        float sum = 0.0f;
+        for (int64_t j = 0; j < options.seq_len; ++j) {
+          sum += token_scores[t][static_cast<size_t>(std::lround(row[j]))];
+        }
+        if (sum == 0.0f) {
+          tied = true;
+          break;
+        }
+        ds.tasks[t].class_labels[static_cast<size_t>(i)] = sum > 0.0f ? 1 : 0;
+      }
+    }
+  }
+  return ds;
+}
+
+}  // namespace
+
+TextDatasetPair GenerateTextData(int64_t train_size, int64_t test_size,
+                                 const std::vector<TextTaskSpec>& tasks,
+                                 const TextDataOptions& options, Rng& rng) {
+  GMORPH_CHECK(!tasks.empty());
+  // Exactly half the vocabulary scores +1 per task (Fisher-Yates shuffle of a
+  // balanced assignment); a skewed score table would skew the label balance.
+  std::vector<std::vector<float>> token_scores(tasks.size());
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    token_scores[t].resize(static_cast<size_t>(options.vocab));
+    for (size_t v = 0; v < token_scores[t].size(); ++v) {
+      token_scores[t][v] = v < token_scores[t].size() / 2 ? 1.0f : -1.0f;
+    }
+    for (size_t v = token_scores[t].size() - 1; v > 0; --v) {
+      std::swap(token_scores[t][v],
+                token_scores[t][static_cast<size_t>(rng.NextInt(static_cast<int>(v + 1)))]);
+    }
+  }
+  TextDatasetPair pair;
+  pair.train = GenerateTextSplit(train_size, tasks, token_scores, options, rng);
+  pair.test = GenerateTextSplit(test_size, tasks, token_scores, options, rng);
+  return pair;
+}
+
+}  // namespace gmorph

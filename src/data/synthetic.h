@@ -1,0 +1,68 @@
+// Procedural synthetic datasets standing in for the paper's UTKFace, FER2013,
+// Adience, VOC2007, SOS, CoLA and SST-2 (see DESIGN.md §1 for the
+// substitution argument).
+//
+// Vision: every (task, class) pair owns a fixed smooth random pattern; an
+// image is the superposition of the patterns selected by each task's label
+// plus Gaussian noise. All tasks therefore share low-level structure in one
+// input — the property cross-DNN feature sharing exploits — while remaining
+// individually learnable and measurable.
+//
+// Text: token streams over a small vocabulary; each task's binary label is a
+// deterministic bag-of-words function of the tokens via a task-specific
+// token-score table, so two NLP tasks share one input stream.
+#ifndef GMORPH_SRC_DATA_SYNTHETIC_H_
+#define GMORPH_SRC_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/data/dataset.h"
+
+namespace gmorph {
+
+struct VisionTaskSpec {
+  int num_classes = 4;
+  MetricKind metric = MetricKind::kAccuracy;
+  // For multi-label (mAP) tasks: per-class inclusion probability.
+  float label_prob = 0.35f;
+};
+
+struct VisionDataOptions {
+  int64_t image_size = 32;
+  float noise_stddev = 0.6f;
+  // Pattern amplitude; larger = easier tasks.
+  float signal = 1.0f;
+};
+
+// Generates train+test splits drawn from the same pattern bank so accuracy on
+// the test split is meaningful.
+struct VisionDatasetPair {
+  MultiTaskDataset train;
+  MultiTaskDataset test;
+};
+VisionDatasetPair GenerateVisionData(int64_t train_size, int64_t test_size,
+                                     const std::vector<VisionTaskSpec>& tasks,
+                                     const VisionDataOptions& options, Rng& rng);
+
+struct TextTaskSpec {
+  MetricKind metric = MetricKind::kAccuracy;  // kMatthews for the CoLA stand-in
+};
+
+struct TextDataOptions {
+  int64_t vocab = 32;
+  int64_t seq_len = 16;
+};
+
+struct TextDatasetPair {
+  MultiTaskDataset train;
+  MultiTaskDataset test;
+};
+TextDatasetPair GenerateTextData(int64_t train_size, int64_t test_size,
+                                 const std::vector<TextTaskSpec>& tasks,
+                                 const TextDataOptions& options, Rng& rng);
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_DATA_SYNTHETIC_H_

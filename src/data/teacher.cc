@@ -1,0 +1,61 @@
+#include "src/data/teacher.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/data/eval.h"
+#include "src/nn/loss.h"
+#include "src/nn/optimizer.h"
+
+namespace gmorph {
+
+Tensor PredictAll(TaskModel& model, const MultiTaskDataset& data, int64_t batch_size) {
+  const int64_t n = data.size();
+  Tensor all;
+  int64_t written = 0;
+  for (int64_t start = 0; start < n; start += batch_size) {
+    const int64_t count = std::min(batch_size, n - start);
+    Tensor logits = model.Forward(data.InputBatch(start, count), /*training=*/false);
+    if (all.empty()) {
+      all = Tensor(Shape{n, logits.shape()[1]});
+    }
+    std::memcpy(all.data() + written * logits.shape()[1], logits.data(),
+                static_cast<size_t>(logits.size()) * sizeof(float));
+    written += count;
+  }
+  return all;
+}
+
+double EvaluateTeacher(TaskModel& model, const MultiTaskDataset& test, size_t task_index,
+                       int64_t batch_size) {
+  GMORPH_CHECK(task_index < test.tasks.size());
+  Tensor logits = PredictAll(model, test, batch_size);
+  return ComputeMetric(logits, test.tasks[task_index]);
+}
+
+double TrainTeacher(TaskModel& model, const MultiTaskDataset& train,
+                    const MultiTaskDataset& test, size_t task_index,
+                    const TeacherTrainOptions& options) {
+  GMORPH_CHECK(task_index < train.tasks.size());
+  const TaskLabels& labels = train.tasks[task_index];
+  Adam optimizer(model.Parameters(), options.lr);
+  const int64_t n = train.size();
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    for (int64_t start = 0; start < n; start += options.batch_size) {
+      const int64_t count = std::min(options.batch_size, n - start);
+      Tensor logits = model.Forward(train.InputBatch(start, count), /*training=*/true);
+      Tensor grad;
+      if (labels.metric == MetricKind::kMeanAveragePrecision) {
+        BinaryCrossEntropyLoss(logits, train.MultiHotBatch(task_index, start, count), grad);
+      } else {
+        CrossEntropyLoss(logits, train.LabelBatch(task_index, start, count), grad);
+      }
+      model.Backward(grad);
+      optimizer.Step();
+    }
+  }
+  return EvaluateTeacher(model, test, task_index);
+}
+
+}  // namespace gmorph

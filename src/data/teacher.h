@@ -1,0 +1,35 @@
+// Teacher pre-training: trains one task-specific DNN on its own labels,
+// mirroring the independently pre-trained models GMorph takes as input.
+#ifndef GMORPH_SRC_DATA_TEACHER_H_
+#define GMORPH_SRC_DATA_TEACHER_H_
+
+#include <cstdint>
+
+#include "src/data/dataset.h"
+#include "src/models/task_model.h"
+
+namespace gmorph {
+
+struct TeacherTrainOptions {
+  int epochs = 8;
+  int64_t batch_size = 32;
+  float lr = 1e-3f;
+};
+
+// Trains `model` in place on task `task_index` of `train`; returns the final
+// score on `test` under the task's metric.
+double TrainTeacher(TaskModel& model, const MultiTaskDataset& train,
+                    const MultiTaskDataset& test, size_t task_index,
+                    const TeacherTrainOptions& options);
+
+// Runs the model over the whole split (inference mode) and returns the task
+// score. Also usable for already-trained teachers.
+double EvaluateTeacher(TaskModel& model, const MultiTaskDataset& test, size_t task_index,
+                       int64_t batch_size = 64);
+
+// Runs the model over the whole split and returns the concatenated logits.
+Tensor PredictAll(TaskModel& model, const MultiTaskDataset& data, int64_t batch_size = 64);
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_DATA_TEACHER_H_

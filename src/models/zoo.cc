@@ -1,0 +1,138 @@
+#include "src/models/zoo.h"
+
+#include <array>
+
+#include "src/common/check.h"
+
+namespace gmorph {
+namespace {
+
+// Builds a VGG-style spec from per-stage conv repetition counts.
+ModelSpec MakeVgg(const std::string& name, const std::array<int, 5>& reps,
+                  const VisionModelOptions& opts) {
+  const int64_t w = opts.base_width;
+  const std::array<int64_t, 5> widths = {w, 2 * w, 4 * w, 8 * w, 8 * w};
+  ModelSpec spec;
+  spec.name = name;
+  spec.input_shape = Shape{3, opts.image_size, opts.image_size};
+  int64_t in_c = 3;
+  int64_t hw = opts.image_size;
+  for (size_t stage = 0; stage < widths.size(); ++stage) {
+    for (int r = 0; r < reps[stage]; ++r) {
+      spec.blocks.push_back(ConvReLUSpec(in_c, widths[stage]));
+      in_c = widths[stage];
+    }
+    spec.blocks.push_back(MaxPoolSpec());
+    hw /= 2;
+  }
+  GMORPH_CHECK_MSG(hw >= 1, "image too small for 5 pooling stages");
+  const int64_t feat = in_c * hw * hw;
+  spec.blocks.push_back(FlattenSpec());
+  spec.blocks.push_back(LinearReLUSpec(feat, in_c));
+  spec.blocks.push_back(HeadSpec(in_c, opts.classes));
+  return spec;
+}
+
+// Builds a ResNet-style spec from per-stage residual block counts.
+ModelSpec MakeResNet(const std::string& name, const std::array<int, 4>& reps,
+                     const VisionModelOptions& opts) {
+  const int64_t w = opts.base_width;
+  const std::array<int64_t, 4> widths = {w, 2 * w, 4 * w, 8 * w};
+  ModelSpec spec;
+  spec.name = name;
+  spec.input_shape = Shape{3, opts.image_size, opts.image_size};
+  spec.blocks.push_back(ConvBNReLUSpec(3, w));
+  int64_t in_c = w;
+  for (size_t stage = 0; stage < widths.size(); ++stage) {
+    for (int r = 0; r < reps[stage]; ++r) {
+      const int64_t stride = (r == 0 && stage > 0) ? 2 : 1;
+      spec.blocks.push_back(ResidualSpec(in_c, widths[stage], stride));
+      in_c = widths[stage];
+    }
+  }
+  spec.blocks.push_back(GlobalAvgPoolSpec());
+  spec.blocks.push_back(HeadSpec(in_c, opts.classes));
+  return spec;
+}
+
+}  // namespace
+
+ModelSpec MakeVgg11(const VisionModelOptions& opts) {
+  return MakeVgg("VGG-11s", {1, 1, 2, 2, 2}, opts);
+}
+
+ModelSpec MakeVgg13(const VisionModelOptions& opts) {
+  return MakeVgg("VGG-13s", {2, 2, 2, 2, 2}, opts);
+}
+
+ModelSpec MakeVgg16(const VisionModelOptions& opts) {
+  return MakeVgg("VGG-16s", {2, 2, 3, 3, 3}, opts);
+}
+
+ModelSpec MakeResNet18(const VisionModelOptions& opts) {
+  return MakeResNet("ResNet-18s", {2, 2, 2, 2}, opts);
+}
+
+ModelSpec MakeResNet34(const VisionModelOptions& opts) {
+  return MakeResNet("ResNet-34s", {3, 4, 6, 3}, opts);
+}
+
+TransformerModelOptions ViTBaseOptions() {
+  TransformerModelOptions o;
+  o.dim = 32;
+  o.heads = 4;
+  o.layers = 4;
+  return o;
+}
+
+TransformerModelOptions ViTLargeOptions() {
+  TransformerModelOptions o;
+  o.dim = 48;
+  o.heads = 6;
+  o.layers = 6;
+  return o;
+}
+
+TransformerModelOptions BertBaseOptions() {
+  TransformerModelOptions o;
+  o.dim = 32;
+  o.heads = 4;
+  o.layers = 4;
+  return o;
+}
+
+TransformerModelOptions BertLargeOptions() {
+  TransformerModelOptions o;
+  o.dim = 48;
+  o.heads = 6;
+  o.layers = 6;
+  return o;
+}
+
+ModelSpec MakeViT(const std::string& name, const TransformerModelOptions& opts) {
+  ModelSpec spec;
+  spec.name = name;
+  spec.input_shape = Shape{3, opts.image_size, opts.image_size};
+  spec.blocks.push_back(PatchEmbedSpec(3, opts.image_size, opts.patch, opts.dim));
+  for (int64_t i = 0; i < opts.layers; ++i) {
+    spec.blocks.push_back(TransformerSpec(opts.dim, opts.heads, opts.mlp_ratio));
+  }
+  spec.blocks.push_back(MeanPoolTokensSpec());
+  spec.blocks.push_back(HeadSpec(opts.dim, opts.classes));
+  return spec;
+}
+
+ModelSpec MakeBert(const std::string& name, const TransformerModelOptions& opts) {
+  ModelSpec spec;
+  spec.name = name;
+  spec.input_shape = Shape{opts.seq_len};
+  spec.blocks.push_back(TokenEmbedSpec(opts.vocab, opts.seq_len, opts.dim));
+  for (int64_t i = 0; i < opts.layers; ++i) {
+    spec.blocks.push_back(TransformerSpec(opts.dim, opts.heads, opts.mlp_ratio));
+  }
+  spec.blocks.push_back(MeanPoolTokensSpec());
+  spec.blocks.push_back(HeadSpec(opts.dim, opts.classes));
+  return spec;
+}
+
+}  // namespace gmorph

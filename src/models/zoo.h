@@ -1,0 +1,59 @@
+// Model zoo: scaled-down VGG-11/13/16, ResNet-18/34, ViT-Base/Large and
+// BERT-Base/Large specs.
+//
+// The architectures keep the paper models' *block structure* — stage layout,
+// relative depths and widths, block types — while shrinking widths and input
+// resolution so they train on one CPU core (see DESIGN.md §1). Graph mutation
+// only sees block types and shapes, so the search behaviour is preserved.
+#ifndef GMORPH_SRC_MODELS_ZOO_H_
+#define GMORPH_SRC_MODELS_ZOO_H_
+
+#include <cstdint>
+
+#include "src/models/model_spec.h"
+
+namespace gmorph {
+
+struct VisionModelOptions {
+  int64_t base_width = 8;   // paper: 64
+  int64_t image_size = 32;  // paper: 224
+  int64_t classes = 4;
+};
+
+// VGG-<depth>s: stages of (ConvReLU x reps, MaxPool) with doubling widths,
+// then Flatten -> LinearReLU -> Head (the paper's two-FC classifier, scaled).
+ModelSpec MakeVgg11(const VisionModelOptions& opts);
+ModelSpec MakeVgg13(const VisionModelOptions& opts);
+ModelSpec MakeVgg16(const VisionModelOptions& opts);
+
+// ResNet-<depth>s: ConvBNReLU stem, four residual stages, global average
+// pooling, linear head.
+ModelSpec MakeResNet18(const VisionModelOptions& opts);
+ModelSpec MakeResNet34(const VisionModelOptions& opts);
+
+struct TransformerModelOptions {
+  int64_t dim = 32;
+  int64_t heads = 4;
+  int64_t layers = 4;
+  int64_t mlp_ratio = 2;  // paper: 4; reduced for CPU budget
+  int64_t classes = 4;
+  // ViT only.
+  int64_t image_size = 32;
+  int64_t patch = 8;
+  // BERT only.
+  int64_t vocab = 32;
+  int64_t seq_len = 16;
+};
+
+// "Base" and "Large" presets mirroring the paper's relative sizes.
+TransformerModelOptions ViTBaseOptions();
+TransformerModelOptions ViTLargeOptions();
+TransformerModelOptions BertBaseOptions();
+TransformerModelOptions BertLargeOptions();
+
+ModelSpec MakeViT(const std::string& name, const TransformerModelOptions& opts);
+ModelSpec MakeBert(const std::string& name, const TransformerModelOptions& opts);
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_MODELS_ZOO_H_

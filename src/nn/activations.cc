@@ -1,0 +1,119 @@
+#include "src/nn/activations.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace gmorph {
+
+void ReluInPlace(Tensor& x) {
+  float* p = x.data();
+  for (int64_t i = 0; i < x.size(); ++i) {
+    if (p[i] < 0.0f) {
+      p[i] = 0.0f;
+    }
+  }
+}
+
+Tensor ReLU::Forward(const Tensor& x, bool /*training*/) {
+  cached_input_ = x;
+  Tensor out = x.Clone();
+  ReluInPlace(out);
+  return out;
+}
+
+Tensor ReLU::Backward(const Tensor& grad_out) {
+  GMORPH_CHECK(!cached_input_.empty());
+  Tensor grad_x(grad_out.shape());
+  const float* px = cached_input_.data();
+  const float* pg = grad_out.data();
+  float* po = grad_x.data();
+  for (int64_t i = 0; i < grad_out.size(); ++i) {
+    po[i] = px[i] > 0.0f ? pg[i] : 0.0f;
+  }
+  return grad_x;
+}
+
+Tensor Sigmoid::Forward(const Tensor& x, bool /*training*/) {
+  Tensor out(x.shape());
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < x.size(); ++i) {
+    po[i] = 1.0f / (1.0f + std::exp(-px[i]));
+  }
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Sigmoid::Backward(const Tensor& grad_out) {
+  GMORPH_CHECK(!cached_output_.empty());
+  Tensor grad_x(grad_out.shape());
+  const float* py = cached_output_.data();
+  const float* pg = grad_out.data();
+  float* po = grad_x.data();
+  for (int64_t i = 0; i < grad_out.size(); ++i) {
+    po[i] = pg[i] * py[i] * (1.0f - py[i]);
+  }
+  return grad_x;
+}
+
+Tensor Tanh::Forward(const Tensor& x, bool /*training*/) {
+  Tensor out(x.shape());
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < x.size(); ++i) {
+    po[i] = std::tanh(px[i]);
+  }
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Tanh::Backward(const Tensor& grad_out) {
+  GMORPH_CHECK(!cached_output_.empty());
+  Tensor grad_x(grad_out.shape());
+  const float* py = cached_output_.data();
+  const float* pg = grad_out.data();
+  float* po = grad_x.data();
+  for (int64_t i = 0; i < grad_out.size(); ++i) {
+    po[i] = pg[i] * (1.0f - py[i] * py[i]);
+  }
+  return grad_x;
+}
+
+namespace {
+
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+constexpr float kGeluA = 0.044715f;
+
+}  // namespace
+
+Tensor GELU::Forward(const Tensor& x, bool /*training*/) {
+  cached_input_ = x;
+  Tensor out(x.shape());
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < x.size(); ++i) {
+    const float v = px[i];
+    po[i] = 0.5f * v * (1.0f + std::tanh(kGeluC * (v + kGeluA * v * v * v)));
+  }
+  return out;
+}
+
+Tensor GELU::Backward(const Tensor& grad_out) {
+  GMORPH_CHECK(!cached_input_.empty());
+  Tensor grad_x(grad_out.shape());
+  const float* px = cached_input_.data();
+  const float* pg = grad_out.data();
+  float* po = grad_x.data();
+  for (int64_t i = 0; i < grad_out.size(); ++i) {
+    const float v = px[i];
+    const float u = kGeluC * (v + kGeluA * v * v * v);
+    const float th = std::tanh(u);
+    const float sech2 = 1.0f - th * th;
+    const float du = kGeluC * (1.0f + 3.0f * kGeluA * v * v);
+    po[i] = pg[i] * (0.5f * (1.0f + th) + 0.5f * v * sech2 * du);
+  }
+  return grad_x;
+}
+
+}  // namespace gmorph

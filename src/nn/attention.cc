@@ -1,0 +1,181 @@
+#include "src/nn/attention.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/common/check.h"
+#include "src/tensor/tensor_ops.h"
+
+namespace gmorph {
+namespace {
+
+// Copies one head's panel out of / into a (N, T, 3D) or (N, T, D) tensor.
+void GatherPanel(const float* src, int64_t t, int64_t row_stride, int64_t offset, int64_t width,
+                 float* dst) {
+  for (int64_t i = 0; i < t; ++i) {
+    const float* s = src + i * row_stride + offset;
+    float* d = dst + i * width;
+    for (int64_t j = 0; j < width; ++j) {
+      d[j] = s[j];
+    }
+  }
+}
+
+void ScatterPanel(const float* src, int64_t t, int64_t row_stride, int64_t offset, int64_t width,
+                  float* dst) {
+  for (int64_t i = 0; i < t; ++i) {
+    const float* s = src + i * width;
+    float* d = dst + i * row_stride + offset;
+    for (int64_t j = 0; j < width; ++j) {
+      d[j] = s[j];
+    }
+  }
+}
+
+}  // namespace
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(int64_t dim, int64_t num_heads, Rng& rng)
+    : dim_(dim), num_heads_(num_heads), head_dim_(dim / num_heads) {
+  GMORPH_CHECK_MSG(dim % num_heads == 0, "dim " << dim << " not divisible by heads " << num_heads);
+  qkv_ = std::make_unique<Linear>(dim, 3 * dim, rng);
+  proj_ = std::make_unique<Linear>(dim, dim, rng);
+}
+
+Tensor MultiHeadSelfAttention::Forward(const Tensor& x, bool training) {
+  GMORPH_CHECK(x.shape().Rank() == 3 && x.shape()[2] == dim_);
+  cached_input_shape_ = x.shape();
+  const int64_t n = x.shape()[0];
+  const int64_t t = x.shape()[1];
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  cached_qkv_ = qkv_->Forward(x, training);  // (N, T, 3D)
+  cached_attn_ = Tensor(Shape{n, num_heads_, t, t});
+  Tensor merged(Shape{n, t, dim_});
+
+  std::vector<float> q(static_cast<size_t>(t * head_dim_));
+  std::vector<float> k(static_cast<size_t>(t * head_dim_));
+  std::vector<float> v(static_cast<size_t>(t * head_dim_));
+  std::vector<float> scores(static_cast<size_t>(t * t));
+  std::vector<float> ctx(static_cast<size_t>(t * head_dim_));
+
+  for (int64_t i = 0; i < n; ++i) {
+    const float* qkv_n = cached_qkv_.data() + i * t * 3 * dim_;
+    for (int64_t h = 0; h < num_heads_; ++h) {
+      const int64_t off = h * head_dim_;
+      GatherPanel(qkv_n, t, 3 * dim_, off, head_dim_, q.data());
+      GatherPanel(qkv_n, t, 3 * dim_, dim_ + off, head_dim_, k.data());
+      GatherPanel(qkv_n, t, 3 * dim_, 2 * dim_ + off, head_dim_, v.data());
+
+      MatmulNT(q.data(), k.data(), scores.data(), t, head_dim_, t);
+      for (float& s : scores) {
+        s *= scale;
+      }
+      // Row-wise softmax straight into the attention cache.
+      float* attn = cached_attn_.data() + ((i * num_heads_ + h) * t) * t;
+      for (int64_t r = 0; r < t; ++r) {
+        const float* sr = scores.data() + r * t;
+        float* ar = attn + r * t;
+        float mx = sr[0];
+        for (int64_t j = 1; j < t; ++j) {
+          mx = std::max(mx, sr[j]);
+        }
+        float sum = 0.0f;
+        for (int64_t j = 0; j < t; ++j) {
+          ar[j] = std::exp(sr[j] - mx);
+          sum += ar[j];
+        }
+        const float inv = 1.0f / sum;
+        for (int64_t j = 0; j < t; ++j) {
+          ar[j] *= inv;
+        }
+      }
+      MatmulNN(attn, v.data(), ctx.data(), t, t, head_dim_);
+      ScatterPanel(ctx.data(), t, dim_, off, head_dim_, merged.data() + i * t * dim_);
+    }
+  }
+  return proj_->Forward(merged, training);
+}
+
+Tensor MultiHeadSelfAttention::Backward(const Tensor& grad_out) {
+  GMORPH_CHECK(!cached_qkv_.empty());
+  const int64_t n = cached_input_shape_[0];
+  const int64_t t = cached_input_shape_[1];
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  Tensor grad_merged = proj_->Backward(grad_out);  // (N, T, D)
+  Tensor grad_qkv(Shape{n, t, 3 * dim_});
+
+  std::vector<float> q(static_cast<size_t>(t * head_dim_));
+  std::vector<float> k(static_cast<size_t>(t * head_dim_));
+  std::vector<float> v(static_cast<size_t>(t * head_dim_));
+  std::vector<float> dctx(static_cast<size_t>(t * head_dim_));
+  std::vector<float> dattn(static_cast<size_t>(t * t));
+  std::vector<float> dscores(static_cast<size_t>(t * t));
+  std::vector<float> dq(static_cast<size_t>(t * head_dim_));
+  std::vector<float> dk(static_cast<size_t>(t * head_dim_));
+  std::vector<float> dv(static_cast<size_t>(t * head_dim_));
+
+  for (int64_t i = 0; i < n; ++i) {
+    const float* qkv_n = cached_qkv_.data() + i * t * 3 * dim_;
+    float* dqkv_n = grad_qkv.data() + i * t * 3 * dim_;
+    for (int64_t h = 0; h < num_heads_; ++h) {
+      const int64_t off = h * head_dim_;
+      GatherPanel(qkv_n, t, 3 * dim_, off, head_dim_, q.data());
+      GatherPanel(qkv_n, t, 3 * dim_, dim_ + off, head_dim_, k.data());
+      GatherPanel(qkv_n, t, 3 * dim_, 2 * dim_ + off, head_dim_, v.data());
+      GatherPanel(grad_merged.data() + i * t * dim_, t, dim_, off, head_dim_, dctx.data());
+
+      const float* attn = cached_attn_.data() + ((i * num_heads_ + h) * t) * t;
+      // dA = dCtx * V^T ; dV = A^T * dCtx
+      MatmulNT(dctx.data(), v.data(), dattn.data(), t, head_dim_, t);
+      MatmulTN(attn, dctx.data(), dv.data(), t, t, head_dim_);
+      // Softmax backward per row, folding in the score scale.
+      for (int64_t r = 0; r < t; ++r) {
+        const float* ar = attn + r * t;
+        const float* gr = dattn.data() + r * t;
+        float* sr = dscores.data() + r * t;
+        float dot = 0.0f;
+        for (int64_t j = 0; j < t; ++j) {
+          dot += ar[j] * gr[j];
+        }
+        for (int64_t j = 0; j < t; ++j) {
+          sr[j] = scale * ar[j] * (gr[j] - dot);
+        }
+      }
+      // dQ = dS * K ; dK = dS^T * Q
+      MatmulNN(dscores.data(), k.data(), dq.data(), t, t, head_dim_);
+      MatmulTN(dscores.data(), q.data(), dk.data(), t, t, head_dim_);
+
+      ScatterPanel(dq.data(), t, 3 * dim_, off, head_dim_, dqkv_n);
+      ScatterPanel(dk.data(), t, 3 * dim_, dim_ + off, head_dim_, dqkv_n);
+      ScatterPanel(dv.data(), t, 3 * dim_, 2 * dim_ + off, head_dim_, dqkv_n);
+    }
+  }
+  return qkv_->Backward(grad_qkv);
+}
+
+std::vector<Parameter*> MultiHeadSelfAttention::Parameters() {
+  std::vector<Parameter*> out = qkv_->Parameters();
+  for (Parameter* p : proj_->Parameters()) {
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::string MultiHeadSelfAttention::Name() const {
+  std::ostringstream os;
+  os << "MHSA(d=" << dim_ << ",h=" << num_heads_ << ")";
+  return os.str();
+}
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(int64_t dim, int64_t num_heads)
+    : dim_(dim), num_heads_(num_heads), head_dim_(dim / num_heads) {}
+
+std::unique_ptr<Module> MultiHeadSelfAttention::CloneImpl() const {
+  std::unique_ptr<MultiHeadSelfAttention> m(new MultiHeadSelfAttention(dim_, num_heads_));
+  m->qkv_.reset(static_cast<Linear*>(qkv_->Clone().release()));
+  m->proj_.reset(static_cast<Linear*>(proj_->Clone().release()));
+  return m;
+}
+
+}  // namespace gmorph

@@ -1,0 +1,50 @@
+// Multi-head self-attention over (N, T, D) sequences.
+//
+// Layout strategy: the fused QKV projection produces (N, T, 3D); per-head
+// Q/K/V are materialized into contiguous (T, head_dim) panels so that the
+// score / context products run through the contiguous GEMM cores. The copies
+// are linear in the activation size and negligible next to the matmuls.
+#ifndef GMORPH_SRC_NN_ATTENTION_H_
+#define GMORPH_SRC_NN_ATTENTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/nn/linear.h"
+#include "src/nn/module.h"
+
+namespace gmorph {
+
+class MultiHeadSelfAttention : public Module {
+ public:
+  MultiHeadSelfAttention(int64_t dim, int64_t num_heads, Rng& rng);
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> Parameters() override;
+  std::string Name() const override;
+
+ protected:
+  std::unique_ptr<Module> CloneImpl() const override;
+
+ private:
+  // Leaves sub-layers unset; used by CloneImpl.
+  MultiHeadSelfAttention(int64_t dim, int64_t num_heads);
+
+  int64_t dim_;
+  int64_t num_heads_;
+  int64_t head_dim_;
+  std::unique_ptr<Linear> qkv_;   // D -> 3D
+  std::unique_ptr<Linear> proj_;  // D -> D
+
+  // Caches for backward.
+  Tensor cached_qkv_;    // (N, T, 3D)
+  Tensor cached_attn_;   // (N, H, T, T) softmax weights
+  Shape cached_input_shape_;
+};
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_NN_ATTENTION_H_

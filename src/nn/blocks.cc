@@ -1,0 +1,139 @@
+#include "src/nn/blocks.h"
+
+#include <sstream>
+
+#include "src/common/check.h"
+#include "src/tensor/tensor_ops.h"
+
+namespace gmorph {
+
+ConvBlock::ConvBlock(int64_t in_channels, int64_t out_channels, int64_t kernel, int64_t stride,
+                     int64_t padding, bool batch_norm, Rng& rng) {
+  // With BN the conv bias is redundant (BN's beta subsumes it).
+  conv_ = std::make_unique<Conv2d>(in_channels, out_channels, kernel, stride, padding, rng,
+                                   /*bias=*/!batch_norm);
+  if (batch_norm) {
+    bn_ = std::make_unique<BatchNorm2d>(out_channels);
+  }
+}
+
+Tensor ConvBlock::Forward(const Tensor& x, bool training) {
+  Tensor h = conv_->Forward(x, training);
+  if (bn_) {
+    h = bn_->Forward(h, training);
+  }
+  return relu_.Forward(h, training);
+}
+
+Tensor ConvBlock::Backward(const Tensor& grad_out) {
+  Tensor g = relu_.Backward(grad_out);
+  if (bn_) {
+    g = bn_->Backward(g);
+  }
+  return conv_->Backward(g);
+}
+
+std::vector<Parameter*> ConvBlock::Parameters() {
+  std::vector<Parameter*> out = conv_->Parameters();
+  if (bn_) {
+    for (Parameter* p : bn_->Parameters()) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::vector<Tensor*> ConvBlock::Buffers() {
+  return bn_ ? bn_->Buffers() : std::vector<Tensor*>{};
+}
+
+std::string ConvBlock::Name() const {
+  std::ostringstream os;
+  os << (bn_ ? "ConvBNReLU(" : "ConvReLU(") << conv_->in_channels() << "->"
+     << conv_->out_channels() << ")";
+  return os.str();
+}
+
+std::unique_ptr<Module> ConvBlock::CloneImpl() const {
+  std::unique_ptr<ConvBlock> m(new ConvBlock());
+  m->conv_.reset(static_cast<Conv2d*>(conv_->Clone().release()));
+  if (bn_) {
+    m->bn_.reset(static_cast<BatchNorm2d*>(bn_->Clone().release()));
+  }
+  return m;
+}
+
+ResidualBlock::ResidualBlock(int64_t in_channels, int64_t out_channels, int64_t stride,
+                             Rng& rng) {
+  conv1_ = std::make_unique<Conv2d>(in_channels, out_channels, 3, stride, 1, rng, /*bias=*/false);
+  bn1_ = std::make_unique<BatchNorm2d>(out_channels);
+  conv2_ = std::make_unique<Conv2d>(out_channels, out_channels, 3, 1, 1, rng, /*bias=*/false);
+  bn2_ = std::make_unique<BatchNorm2d>(out_channels);
+  if (stride != 1 || in_channels != out_channels) {
+    proj_ = std::make_unique<Conv2d>(in_channels, out_channels, 1, stride, 0, rng,
+                                     /*bias=*/false);
+    proj_bn_ = std::make_unique<BatchNorm2d>(out_channels);
+  }
+}
+
+Tensor ResidualBlock::Forward(const Tensor& x, bool training) {
+  Tensor h = relu1_.Forward(bn1_->Forward(conv1_->Forward(x, training), training), training);
+  Tensor h2 = bn2_->Forward(conv2_->Forward(h, training), training);
+  Tensor skip = proj_ ? proj_bn_->Forward(proj_->Forward(x, training), training) : x;
+  Tensor sum = Add(h2, skip);
+  return relu_out_.Forward(sum, training);
+}
+
+Tensor ResidualBlock::Backward(const Tensor& grad_out) {
+  Tensor g = relu_out_.Backward(grad_out);
+  Tensor g_main = conv1_->Backward(bn1_->Backward(relu1_.Backward(conv2_->Backward(
+      bn2_->Backward(g)))));
+  Tensor g_skip = proj_ ? proj_->Backward(proj_bn_->Backward(g)) : g;
+  return Add(g_main, g_skip);
+}
+
+std::vector<Parameter*> ResidualBlock::Parameters() {
+  std::vector<Parameter*> out;
+  for (Module* m : std::initializer_list<Module*>{conv1_.get(), bn1_.get(), conv2_.get(),
+                                                  bn2_.get(), proj_.get(), proj_bn_.get()}) {
+    if (m != nullptr) {
+      for (Parameter* p : m->Parameters()) {
+        out.push_back(p);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Tensor*> ResidualBlock::Buffers() {
+  std::vector<Tensor*> out;
+  for (BatchNorm2d* bn : {bn1_.get(), bn2_.get(), proj_bn_.get()}) {
+    if (bn != nullptr) {
+      for (Tensor* b : bn->Buffers()) {
+        out.push_back(b);
+      }
+    }
+  }
+  return out;
+}
+
+std::string ResidualBlock::Name() const {
+  std::ostringstream os;
+  os << "ResidualBlock(" << conv1_->in_channels() << "->" << conv1_->out_channels() << ")";
+  return os.str();
+}
+
+std::unique_ptr<Module> ResidualBlock::CloneImpl() const {
+  std::unique_ptr<ResidualBlock> m(new ResidualBlock());
+  m->conv1_.reset(static_cast<Conv2d*>(conv1_->Clone().release()));
+  m->bn1_.reset(static_cast<BatchNorm2d*>(bn1_->Clone().release()));
+  m->conv2_.reset(static_cast<Conv2d*>(conv2_->Clone().release()));
+  m->bn2_.reset(static_cast<BatchNorm2d*>(bn2_->Clone().release()));
+  if (proj_) {
+    m->proj_.reset(static_cast<Conv2d*>(proj_->Clone().release()));
+    m->proj_bn_.reset(static_cast<BatchNorm2d*>(proj_bn_->Clone().release()));
+  }
+  return m;
+}
+
+}  // namespace gmorph

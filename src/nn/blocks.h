@@ -1,0 +1,76 @@
+// Composite CNN computation blocks. These are the units the abstract graph
+// manipulates for convolutional models: a VGG layer (Conv[+BN]+ReLU) and a
+// ResNet basic residual block.
+#ifndef GMORPH_SRC_NN_BLOCKS_H_
+#define GMORPH_SRC_NN_BLOCKS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/nn/activations.h"
+#include "src/nn/conv2d.h"
+#include "src/nn/module.h"
+#include "src/nn/norm.h"
+
+namespace gmorph {
+
+// Conv2d -> optional BatchNorm2d -> ReLU.
+class ConvBlock : public Module {
+ public:
+  ConvBlock(int64_t in_channels, int64_t out_channels, int64_t kernel, int64_t stride,
+            int64_t padding, bool batch_norm, Rng& rng);
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> Parameters() override;
+  std::vector<Tensor*> Buffers() override;
+  std::string Name() const override;
+
+  const Conv2d& conv() const { return *conv_; }
+  const BatchNorm2d* bn() const { return bn_.get(); }
+  bool has_bn() const { return bn_ != nullptr; }
+
+ protected:
+  std::unique_ptr<Module> CloneImpl() const override;
+
+ private:
+  ConvBlock() = default;
+
+  std::unique_ptr<Conv2d> conv_;
+  std::unique_ptr<BatchNorm2d> bn_;
+  ReLU relu_;
+};
+
+// ResNet basic block: two 3x3 Conv+BN with a skip connection; the projection
+// shortcut (1x1 Conv+BN) is used when stride != 1 or channels change.
+class ResidualBlock : public Module {
+ public:
+  ResidualBlock(int64_t in_channels, int64_t out_channels, int64_t stride, Rng& rng);
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> Parameters() override;
+  std::vector<Tensor*> Buffers() override;
+  std::string Name() const override;
+
+ protected:
+  std::unique_ptr<Module> CloneImpl() const override;
+
+ private:
+  ResidualBlock() = default;
+
+  std::unique_ptr<Conv2d> conv1_;
+  std::unique_ptr<BatchNorm2d> bn1_;
+  ReLU relu1_;
+  std::unique_ptr<Conv2d> conv2_;
+  std::unique_ptr<BatchNorm2d> bn2_;
+  std::unique_ptr<Conv2d> proj_;      // nullptr when the shortcut is identity
+  std::unique_ptr<BatchNorm2d> proj_bn_;
+  ReLU relu_out_;
+};
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_NN_BLOCKS_H_

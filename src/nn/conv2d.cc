@@ -1,0 +1,47 @@
+#include "src/nn/conv2d.h"
+
+#include <sstream>
+
+#include "src/common/check.h"
+#include "src/nn/init.h"
+
+namespace gmorph {
+
+Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel, int64_t stride,
+               int64_t padding, Rng& rng, bool bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      args_{stride, padding},
+      has_bias_(bias),
+      weight_("weight", HeInit(Shape{out_channels, in_channels, kernel, kernel},
+                               in_channels * kernel * kernel, rng)),
+      bias_("bias", bias ? Tensor::Zeros(Shape{out_channels}) : Tensor()) {}
+
+Tensor Conv2d::Forward(const Tensor& x, bool /*training*/) {
+  cached_input_ = x;
+  return Conv2dForward(x, weight_.value, has_bias_ ? bias_.value : Tensor(), args_);
+}
+
+Tensor Conv2d::Backward(const Tensor& grad_out) {
+  GMORPH_CHECK(!cached_input_.empty());
+  return Conv2dBackward(cached_input_, weight_.value, grad_out, args_, weight_.grad, bias_.grad);
+}
+
+std::vector<Parameter*> Conv2d::Parameters() {
+  if (has_bias_) {
+    return {&weight_, &bias_};
+  }
+  return {&weight_};
+}
+
+std::string Conv2d::Name() const {
+  std::ostringstream os;
+  os << "Conv2d(" << in_channels_ << "->" << out_channels_ << ",k=" << kernel_
+     << ",s=" << args_.stride << ",p=" << args_.padding << ")";
+  return os.str();
+}
+
+std::unique_ptr<Module> Conv2d::CloneImpl() const { return std::make_unique<Conv2d>(*this); }
+
+}  // namespace gmorph

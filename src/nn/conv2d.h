@@ -1,0 +1,50 @@
+// Conv2d module wrapping the im2col kernels in tensor/conv_ops.
+#ifndef GMORPH_SRC_NN_CONV2D_H_
+#define GMORPH_SRC_NN_CONV2D_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/nn/module.h"
+#include "src/tensor/conv_ops.h"
+
+namespace gmorph {
+
+class Conv2d : public Module {
+ public:
+  Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel, int64_t stride,
+         int64_t padding, Rng& rng, bool bias = true);
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> Parameters() override;
+  std::string Name() const override;
+
+  int64_t in_channels() const { return in_channels_; }
+  int64_t out_channels() const { return out_channels_; }
+  const Parameter& weight() const { return weight_; }
+  const Parameter& bias() const { return bias_; }
+  Parameter& mutable_weight() { return weight_; }
+  Parameter& mutable_bias() { return bias_; }
+  const Conv2dArgs& args() const { return args_; }
+  int64_t kernel() const { return kernel_; }
+
+ protected:
+  std::unique_ptr<Module> CloneImpl() const override;
+
+ private:
+  int64_t in_channels_;
+  int64_t out_channels_;
+  int64_t kernel_;
+  Conv2dArgs args_;
+  bool has_bias_;
+  Parameter weight_;  // (O, C, K, K)
+  Parameter bias_;    // (O)
+  Tensor cached_input_;
+};
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_NN_CONV2D_H_

@@ -1,0 +1,43 @@
+// Fully-connected layer. Accepts (N, in) or (N, T, in): leading dimensions are
+// flattened into rows, so the same layer serves classifier heads and
+// per-token transformer projections.
+#ifndef GMORPH_SRC_NN_LINEAR_H_
+#define GMORPH_SRC_NN_LINEAR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/nn/module.h"
+
+namespace gmorph {
+
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng& rng, bool bias = true);
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> Parameters() override;
+  std::string Name() const override;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+  Parameter& mutable_weight() { return weight_; }
+
+ protected:
+  std::unique_ptr<Module> CloneImpl() const override;
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  bool has_bias_;
+  Parameter weight_;  // (in, out) — row-major so forward is a plain NN GEMM
+  Parameter bias_;    // (out)
+  Tensor cached_input_;
+};
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_NN_LINEAR_H_

@@ -1,0 +1,145 @@
+#include "src/nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/check.h"
+#include "src/tensor/tensor_ops.h"
+
+namespace gmorph {
+
+float L1Loss(const Tensor& pred, const Tensor& target, Tensor& grad) {
+  GMORPH_CHECK(pred.shape() == target.shape());
+  grad = Tensor(pred.shape());
+  const float* pp = pred.data();
+  const float* pt = target.data();
+  float* pg = grad.data();
+  const int64_t n = pred.size();
+  const float inv = 1.0f / static_cast<float>(n);
+  double loss = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float d = pp[i] - pt[i];
+    loss += std::fabs(d);
+    pg[i] = (d > 0.0f ? 1.0f : (d < 0.0f ? -1.0f : 0.0f)) * inv;
+  }
+  return static_cast<float>(loss * inv);
+}
+
+float CrossEntropyLoss(const Tensor& logits, const std::vector<int>& labels, Tensor& grad) {
+  GMORPH_CHECK(logits.shape().Rank() == 2);
+  const int64_t rows = logits.shape()[0];
+  const int64_t cols = logits.shape()[1];
+  GMORPH_CHECK(static_cast<int64_t>(labels.size()) == rows);
+
+  Tensor probs = SoftmaxLastDim(logits);
+  grad = probs.Clone();
+  float* pg = grad.data();
+  const float* pp = probs.data();
+  const float inv = 1.0f / static_cast<float>(rows);
+  double loss = 0.0;
+  for (int64_t r = 0; r < rows; ++r) {
+    const int y = labels[static_cast<size_t>(r)];
+    GMORPH_CHECK(y >= 0 && y < cols);
+    loss -= std::log(std::max(pp[r * cols + y], 1e-12f));
+    pg[r * cols + y] -= 1.0f;
+  }
+  ScaleInPlace(grad, inv);
+  return static_cast<float>(loss * inv);
+}
+
+float BinaryCrossEntropyLoss(const Tensor& logits, const Tensor& targets, Tensor& grad) {
+  GMORPH_CHECK(logits.shape() == targets.shape());
+  grad = Tensor(logits.shape());
+  const float* pl = logits.data();
+  const float* pt = targets.data();
+  float* pg = grad.data();
+  const int64_t n = logits.size();
+  const float inv = 1.0f / static_cast<float>(n);
+  double loss = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float z = pl[i];
+    const float y = pt[i];
+    // Numerically stable log(1 + e^-|z|) formulation.
+    const float sig = 1.0f / (1.0f + std::exp(-z));
+    loss += std::max(z, 0.0f) - z * y + std::log1p(std::exp(-std::fabs(z)));
+    pg[i] = (sig - y) * inv;
+  }
+  return static_cast<float>(loss * inv);
+}
+
+double Accuracy(const Tensor& logits, const std::vector<int>& labels) {
+  const std::vector<int> pred = ArgmaxRows(logits);
+  GMORPH_CHECK(pred.size() == labels.size());
+  int64_t correct = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == labels[i]) {
+      ++correct;
+    }
+  }
+  return pred.empty() ? 0.0 : static_cast<double>(correct) / static_cast<double>(pred.size());
+}
+
+double MeanAveragePrecision(const Tensor& logits, const Tensor& targets) {
+  GMORPH_CHECK(logits.shape() == targets.shape() && logits.shape().Rank() == 2);
+  const int64_t rows = logits.shape()[0];
+  const int64_t cols = logits.shape()[1];
+  double sum_ap = 0.0;
+  int64_t counted = 0;
+  std::vector<int64_t> order(static_cast<size_t>(rows));
+  for (int64_t c = 0; c < cols; ++c) {
+    std::iota(order.begin(), order.end(), 0);
+    const float* pl = logits.data();
+    const float* pt = targets.data();
+    std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+      return pl[a * cols + c] > pl[b * cols + c];
+    });
+    int64_t positives = 0;
+    for (int64_t r = 0; r < rows; ++r) {
+      if (pt[r * cols + c] > 0.5f) {
+        ++positives;
+      }
+    }
+    if (positives == 0) {
+      continue;  // class absent from this split; skip, as VOC mAP does
+    }
+    double ap = 0.0;
+    int64_t hits = 0;
+    for (int64_t rank = 0; rank < rows; ++rank) {
+      if (pt[order[static_cast<size_t>(rank)] * cols + c] > 0.5f) {
+        ++hits;
+        ap += static_cast<double>(hits) / static_cast<double>(rank + 1);
+      }
+    }
+    sum_ap += ap / static_cast<double>(positives);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum_ap / static_cast<double>(counted);
+}
+
+double MatthewsCorrelation(const Tensor& logits, const std::vector<int>& labels) {
+  const std::vector<int> pred = ArgmaxRows(logits);
+  GMORPH_CHECK(pred.size() == labels.size());
+  double tp = 0;
+  double tn = 0;
+  double fp = 0;
+  double fn = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == 1 && labels[i] == 1) {
+      ++tp;
+    } else if (pred[i] == 0 && labels[i] == 0) {
+      ++tn;
+    } else if (pred[i] == 1 && labels[i] == 0) {
+      ++fp;
+    } else {
+      ++fn;
+    }
+  }
+  const double denom = std::sqrt((tp + fp) * (tp + fn) * (tn + fp) * (tn + fn));
+  if (denom == 0.0) {
+    return 0.0;
+  }
+  return (tp * tn - fp * fn) / denom;
+}
+
+}  // namespace gmorph

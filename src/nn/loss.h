@@ -1,0 +1,43 @@
+// Losses and task metrics.
+//
+// Losses return the scalar loss and write dL/d(logits) into `grad` (mean
+// reduction over the batch). Metrics implement the three scores the paper
+// reports: classification accuracy (B1-B3, SST-2), mean average precision for
+// multi-label prediction (B4-B6 ObjectNet), and the Matthews correlation
+// coefficient (B7 CoLA).
+#ifndef GMORPH_SRC_NN_LOSS_H_
+#define GMORPH_SRC_NN_LOSS_H_
+
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace gmorph {
+
+// Mean L1 distance; the distillation objective (paper §5.2).
+float L1Loss(const Tensor& pred, const Tensor& target, Tensor& grad);
+
+// Softmax cross-entropy over logits (rows, classes); labels are class indices.
+float CrossEntropyLoss(const Tensor& logits, const std::vector<int>& labels, Tensor& grad);
+
+// Sigmoid binary cross-entropy for multi-label logits (rows, classes);
+// targets is a 0/1 tensor of the same shape.
+float BinaryCrossEntropyLoss(const Tensor& logits, const Tensor& targets, Tensor& grad);
+
+// ---- Metrics ----
+
+// Fraction of rows whose argmax equals the label.
+double Accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+// Mean average precision over classes for multi-label logits vs 0/1 targets.
+double MeanAveragePrecision(const Tensor& logits, const Tensor& targets);
+
+// Matthews correlation coefficient for binary classification from 2-class
+// logits (argmax decision) vs labels in {0, 1}. Returns a value in [-1, 1];
+// mapped to [0, 1] by callers that need a uniform "score" scale is NOT done
+// here — this returns the raw MCC.
+double MatthewsCorrelation(const Tensor& logits, const std::vector<int>& labels);
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_NN_LOSS_H_

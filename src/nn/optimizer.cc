@@ -1,0 +1,42 @@
+#include "src/nn/optimizer.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace gmorph {
+
+Adam::Adam(std::vector<Parameter*> params, float lr, float beta1, float beta2, float eps)
+    : params_(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Parameter* p : params_) {
+    m_.push_back(Tensor::Zeros(p->value.shape()));
+    v_.push_back(Tensor::Zeros(p->value.shape()));
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    GMORPH_CHECK(p->grad.shape() == p->value.shape());
+    float* w = p->value.data();
+    float* g = p->grad.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const int64_t n = p->value.size();
+    for (int64_t j = 0; j < n; ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      w[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+      g[j] = 0.0f;
+    }
+  }
+}
+
+}  // namespace gmorph

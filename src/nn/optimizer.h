@@ -1,0 +1,37 @@
+// Adam optimizer (Kingma & Ba), the optimizer the paper uses for all
+// fine-tuning. Operates on a fixed list of Parameters; moment buffers are
+// keyed by position, so the parameter list must not change between steps.
+#ifndef GMORPH_SRC_NN_OPTIMIZER_H_
+#define GMORPH_SRC_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "src/nn/module.h"
+
+namespace gmorph {
+
+class Adam {
+ public:
+  explicit Adam(std::vector<Parameter*> params, float lr = 1e-3f, float beta1 = 0.9f,
+                float beta2 = 0.999f, float eps = 1e-8f);
+
+  // Applies one update from the accumulated gradients, then zeroes them.
+  void Step();
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  std::vector<Parameter*> params_;
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_NN_OPTIMIZER_H_

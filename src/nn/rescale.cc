@@ -1,0 +1,143 @@
+#include "src/nn/rescale.h"
+
+#include <sstream>
+
+#include "src/common/check.h"
+#include "src/tensor/conv_ops.h"
+
+namespace gmorph {
+namespace {
+
+// Identity-like initialization for adapter weights: output channel o copies
+// input channel (o mod in) plus small noise. A freshly inserted adapter then
+// approximately passes features through, so the guest's pre-trained
+// downstream blocks keep receiving a familiar signal and distillation only
+// has to repair the residual mismatch — random init would force the whole
+// guest branch to retrain from scratch.
+void InitIdentityLike(Tensor& weight, int64_t in, int64_t out, bool out_major, Rng& rng) {
+  float* w = weight.data();
+  for (int64_t i = 0; i < weight.size(); ++i) {
+    w[i] = 0.01f * rng.NextGaussian();
+  }
+  for (int64_t o = 0; o < out; ++o) {
+    const int64_t src = o % in;
+    // out_major: weight is (out, in, ...); otherwise (in, out).
+    if (out_major) {
+      const int64_t per_out = weight.size() / out;
+      w[o * per_out + src * (per_out / in)] += 1.0f;
+    } else {
+      w[src * out + o] += 1.0f;
+    }
+  }
+}
+
+}  // namespace
+
+Rescale::Rescale(const Shape& in_shape, const Shape& out_shape, Rng& rng)
+    : in_shape_(in_shape), out_shape_(out_shape) {
+  GMORPH_CHECK_MSG(in_shape.Rank() == out_shape.Rank(),
+                   "rescale rank mismatch " << in_shape.ToString() << " -> "
+                                            << out_shape.ToString());
+  if (in_shape.Rank() == 3) {
+    // (C, H, W)
+    needs_spatial_ = in_shape[1] != out_shape[1] || in_shape[2] != out_shape[2];
+    if (in_shape[0] != out_shape[0]) {
+      channel_adapter_ =
+          std::make_unique<Conv2d>(in_shape[0], out_shape[0], 1, 1, 0, rng, /*bias=*/true);
+      InitIdentityLike(channel_adapter_->mutable_weight().value, in_shape[0], out_shape[0],
+                       /*out_major=*/true, rng);
+    }
+  } else if (in_shape.Rank() == 2) {
+    // (T, D)
+    needs_spatial_ = in_shape[0] != out_shape[0];
+    if (in_shape[1] != out_shape[1]) {
+      dim_adapter_ = std::make_unique<Linear>(in_shape[1], out_shape[1], rng);
+      InitIdentityLike(dim_adapter_->mutable_weight().value, in_shape[1], out_shape[1],
+                       /*out_major=*/false, rng);
+    }
+  } else {
+    GMORPH_CHECK_MSG(false, "unsupported rescale rank " << in_shape.Rank());
+  }
+}
+
+bool Rescale::IsIdentity() const {
+  return !needs_spatial_ && channel_adapter_ == nullptr && dim_adapter_ == nullptr;
+}
+
+Tensor Rescale::Forward(const Tensor& x, bool training) {
+  GMORPH_CHECK_MSG(x.shape().WithoutBatch() == in_shape_,
+                   "Rescale expected " << in_shape_.ToString() << " got "
+                                       << x.shape().ToString());
+  cached_input_shape_ = x.shape();
+  Tensor h = x;
+  if (in_shape_.Rank() == 3) {
+    if (needs_spatial_) {
+      h = BilinearResizeForward(h, out_shape_[1], out_shape_[2]);
+    }
+    cached_resized_shape_ = h.shape();
+    if (channel_adapter_) {
+      h = channel_adapter_->Forward(h, training);
+    }
+  } else {
+    if (needs_spatial_) {
+      h = LinearResizeTokensForward(h, out_shape_[0]);
+    }
+    cached_resized_shape_ = h.shape();
+    if (dim_adapter_) {
+      h = dim_adapter_->Forward(h, training);
+    }
+  }
+  return h;
+}
+
+Tensor Rescale::Backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  if (in_shape_.Rank() == 3) {
+    if (channel_adapter_) {
+      g = channel_adapter_->Backward(g);
+    }
+    if (needs_spatial_) {
+      g = BilinearResizeBackward(cached_input_shape_, g);
+    }
+  } else {
+    if (dim_adapter_) {
+      g = dim_adapter_->Backward(g);
+    }
+    if (needs_spatial_) {
+      g = LinearResizeTokensBackward(cached_input_shape_, g);
+    }
+  }
+  return g;
+}
+
+std::vector<Parameter*> Rescale::Parameters() {
+  if (channel_adapter_) {
+    return channel_adapter_->Parameters();
+  }
+  if (dim_adapter_) {
+    return dim_adapter_->Parameters();
+  }
+  return {};
+}
+
+std::string Rescale::Name() const {
+  std::ostringstream os;
+  os << "Rescale" << in_shape_.ToString() << "->" << out_shape_.ToString();
+  return os.str();
+}
+
+std::unique_ptr<Module> Rescale::CloneImpl() const {
+  std::unique_ptr<Rescale> m(new Rescale());
+  m->in_shape_ = in_shape_;
+  m->out_shape_ = out_shape_;
+  m->needs_spatial_ = needs_spatial_;
+  if (channel_adapter_) {
+    m->channel_adapter_.reset(static_cast<Conv2d*>(channel_adapter_->Clone().release()));
+  }
+  if (dim_adapter_) {
+    m->dim_adapter_.reset(static_cast<Linear*>(dim_adapter_->Clone().release()));
+  }
+  return m;
+}
+
+}  // namespace gmorph

@@ -1,0 +1,54 @@
+// Rescale adapter inserted by graph mutation when an input-shareable node pair
+// has compatible-but-unequal shapes (paper §4.1).
+//
+// CNN features (C,H,W): bilinear resize of the spatial dims plus a 1x1 conv to
+// adjust channels. Transformer features (T,D): linear interpolation along the
+// token axis plus a Linear layer to adjust the hidden size. Either part is
+// skipped when that dimension already matches.
+#ifndef GMORPH_SRC_NN_RESCALE_H_
+#define GMORPH_SRC_NN_RESCALE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/nn/conv2d.h"
+#include "src/nn/linear.h"
+#include "src/nn/module.h"
+
+namespace gmorph {
+
+class Rescale : public Module {
+ public:
+  // `in_shape` / `out_shape` are per-sample shapes: {C,H,W} or {T,D}.
+  Rescale(const Shape& in_shape, const Shape& out_shape, Rng& rng);
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> Parameters() override;
+  std::string Name() const override;
+
+  const Shape& in_shape() const { return in_shape_; }
+  const Shape& out_shape() const { return out_shape_; }
+  // True when this adapter is a pure identity (shapes already equal).
+  bool IsIdentity() const;
+
+ protected:
+  std::unique_ptr<Module> CloneImpl() const override;
+
+ private:
+  Rescale() = default;
+
+  Shape in_shape_;
+  Shape out_shape_;
+  std::unique_ptr<Conv2d> channel_adapter_;  // 1x1 conv, CNN case
+  std::unique_ptr<Linear> dim_adapter_;      // hidden-size map, transformer case
+  Shape cached_resized_shape_;
+  Shape cached_input_shape_;
+  bool needs_spatial_ = false;
+};
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_NN_RESCALE_H_

@@ -1,0 +1,57 @@
+#include "src/nn/sequential.h"
+
+#include <sstream>
+
+namespace gmorph {
+
+Tensor Sequential::Forward(const Tensor& x, bool training) {
+  Tensor h = x;
+  for (auto& m : modules_) {
+    h = m->Forward(h, training);
+  }
+  return h;
+}
+
+Tensor Sequential::Backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = modules_.rbegin(); it != modules_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+  return g;
+}
+
+std::vector<Parameter*> Sequential::Parameters() {
+  std::vector<Parameter*> out;
+  for (auto& m : modules_) {
+    for (Parameter* p : m->Parameters()) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::vector<Tensor*> Sequential::Buffers() {
+  std::vector<Tensor*> out;
+  for (auto& m : modules_) {
+    for (Tensor* b : m->Buffers()) {
+      out.push_back(b);
+    }
+  }
+  return out;
+}
+
+std::string Sequential::Name() const {
+  std::ostringstream os;
+  os << "Sequential[" << modules_.size() << "]";
+  return os.str();
+}
+
+std::unique_ptr<Module> Sequential::CloneImpl() const {
+  auto seq = std::make_unique<Sequential>();
+  for (const auto& m : modules_) {
+    seq->Append(m->Clone());
+  }
+  return seq;
+}
+
+}  // namespace gmorph

@@ -1,0 +1,42 @@
+// Sequential container: owns an ordered list of modules and chains their
+// forward/backward passes. Used both for whole single-task models (teachers)
+// and for composite blocks (Conv+BN+ReLU, residual branches, MLPs).
+#ifndef GMORPH_SRC_NN_SEQUENTIAL_H_
+#define GMORPH_SRC_NN_SEQUENTIAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/nn/module.h"
+
+namespace gmorph {
+
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+  explicit Sequential(std::vector<std::unique_ptr<Module>> modules)
+      : modules_(std::move(modules)) {}
+
+  void Append(std::unique_ptr<Module> m) { modules_.push_back(std::move(m)); }
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> Parameters() override;
+  std::vector<Tensor*> Buffers() override;
+  std::string Name() const override;
+
+  size_t size() const { return modules_.size(); }
+  Module& at(size_t i) { return *modules_[i]; }
+  const Module& at(size_t i) const { return *modules_[i]; }
+
+ protected:
+  std::unique_ptr<Module> CloneImpl() const override;
+
+ private:
+  std::vector<std::unique_ptr<Module>> modules_;
+};
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_NN_SEQUENTIAL_H_

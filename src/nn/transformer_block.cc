@@ -1,0 +1,67 @@
+#include "src/nn/transformer_block.h"
+
+#include <sstream>
+
+#include "src/tensor/tensor_ops.h"
+
+namespace gmorph {
+
+TransformerBlock::TransformerBlock(int64_t dim, int64_t num_heads, int64_t mlp_ratio, Rng& rng)
+    : dim_(dim), num_heads_(num_heads), mlp_ratio_(mlp_ratio) {
+  ln1_ = std::make_unique<LayerNorm>(dim);
+  attn_ = std::make_unique<MultiHeadSelfAttention>(dim, num_heads, rng);
+  ln2_ = std::make_unique<LayerNorm>(dim);
+  fc1_ = std::make_unique<Linear>(dim, dim * mlp_ratio, rng);
+  fc2_ = std::make_unique<Linear>(dim * mlp_ratio, dim, rng);
+}
+
+Tensor TransformerBlock::Forward(const Tensor& x, bool training) {
+  Tensor a = attn_->Forward(ln1_->Forward(x, training), training);
+  Tensor x1 = Add(x, a);
+  Tensor m = fc2_->Forward(gelu_.Forward(fc1_->Forward(ln2_->Forward(x1, training), training),
+                                         training),
+                           training);
+  return Add(x1, m);
+}
+
+Tensor TransformerBlock::Backward(const Tensor& grad_out) {
+  // Second residual: grad flows to x1 directly and through the MLP.
+  Tensor g_mlp = ln2_->Backward(
+      fc1_->Backward(gelu_.Backward(fc2_->Backward(grad_out))));
+  Tensor g_x1 = Add(grad_out, g_mlp);
+  // First residual: grad flows to x directly and through attention.
+  Tensor g_attn = ln1_->Backward(attn_->Backward(g_x1));
+  return Add(g_x1, g_attn);
+}
+
+std::vector<Parameter*> TransformerBlock::Parameters() {
+  std::vector<Parameter*> out;
+  for (Module* m : std::initializer_list<Module*>{ln1_.get(), attn_.get(), ln2_.get(), fc1_.get(),
+                                                  fc2_.get()}) {
+    for (Parameter* p : m->Parameters()) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::string TransformerBlock::Name() const {
+  std::ostringstream os;
+  os << "TransformerBlock(d=" << dim_ << ",h=" << num_heads_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Module> TransformerBlock::CloneImpl() const {
+  std::unique_ptr<TransformerBlock> m(new TransformerBlock());
+  m->dim_ = dim_;
+  m->num_heads_ = num_heads_;
+  m->mlp_ratio_ = mlp_ratio_;
+  m->ln1_.reset(static_cast<LayerNorm*>(ln1_->Clone().release()));
+  m->attn_.reset(static_cast<MultiHeadSelfAttention*>(attn_->Clone().release()));
+  m->ln2_.reset(static_cast<LayerNorm*>(ln2_->Clone().release()));
+  m->fc1_.reset(static_cast<Linear*>(fc1_->Clone().release()));
+  m->fc2_.reset(static_cast<Linear*>(fc2_->Clone().release()));
+  return m;
+}
+
+}  // namespace gmorph

@@ -1,0 +1,40 @@
+#include "src/runtime/engine.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/timer.h"
+#include "src/runtime/fused_engine.h"
+
+namespace gmorph {
+
+std::unique_ptr<InferenceEngine> MakeEngine(EngineKind kind, MultiTaskModel* model) {
+  GMORPH_CHECK(model != nullptr);
+  switch (kind) {
+    case EngineKind::kEager:
+      return std::make_unique<EagerEngine>(model);
+    case EngineKind::kFused:
+      return std::make_unique<FusedEngine>(model);
+  }
+  GMORPH_CHECK_MSG(false, "unknown engine kind");
+  return nullptr;
+}
+
+double MeasureEngineLatencyMs(InferenceEngine& engine, const Shape& per_sample_input,
+                              int64_t batch, int warmup, int repeats) {
+  Tensor input = Tensor::Zeros(per_sample_input.WithBatch(batch));
+  for (int i = 0; i < warmup; ++i) {
+    engine.Run(input);
+  }
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(repeats));
+  for (int i = 0; i < repeats; ++i) {
+    Timer timer;
+    engine.Run(input);
+    samples.push_back(timer.Millis());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace gmorph

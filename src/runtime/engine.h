@@ -1,0 +1,57 @@
+// Inference engines.
+//
+// The paper evaluates GMorph's fused models on two engines: PyTorch eager
+// execution and TensorRT (a graph-optimizing compiler). Here:
+//   - EagerEngine executes the multi-task tree module-by-module — the
+//     "PyTorch" stand-in.
+//   - FusedEngine (fused_engine.h) applies compiler-style graph passes
+//     (BN folding, conv+ReLU fusion, identity elimination) before executing —
+//     the "TensorRT" stand-in.
+// Both consume the same MultiTaskModel, demonstrating that model fusion is
+// complementary to engine-level graph optimization (paper Table 3).
+#ifndef GMORPH_SRC_RUNTIME_ENGINE_H_
+#define GMORPH_SRC_RUNTIME_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/multitask_model.h"
+
+namespace gmorph {
+
+class InferenceEngine {
+ public:
+  virtual ~InferenceEngine() = default;
+
+  // Runs inference; returns per-task logits.
+  virtual std::vector<Tensor> Run(const Tensor& input) = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+class EagerEngine : public InferenceEngine {
+ public:
+  // `model` must outlive the engine.
+  explicit EagerEngine(MultiTaskModel* model) : model_(model) {}
+
+  std::vector<Tensor> Run(const Tensor& input) override {
+    return model_->Forward(input, /*training=*/false);
+  }
+  std::string Name() const override { return "eager"; }
+
+ private:
+  MultiTaskModel* model_;
+};
+
+enum class EngineKind { kEager, kFused };
+
+std::unique_ptr<InferenceEngine> MakeEngine(EngineKind kind, MultiTaskModel* model);
+
+// Median wall-clock latency (ms) of `engine` on a zero batch of `batch` rows.
+double MeasureEngineLatencyMs(InferenceEngine& engine, const Shape& per_sample_input,
+                              int64_t batch = 1, int warmup = 1, int repeats = 5);
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_RUNTIME_ENGINE_H_

@@ -1,0 +1,94 @@
+#include "src/runtime/fused_engine.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/nn/activations.h"
+#include "src/nn/blocks.h"
+#include "src/nn/rescale.h"
+
+namespace gmorph {
+
+FusedEngine::FusedEngine(MultiTaskModel* model) : model_(model) {
+  const AbsGraph& graph = model_->graph();
+  num_nodes_ = graph.size();
+  for (int id : graph.TopologicalOrder()) {
+    if (id == graph.root()) {
+      continue;
+    }
+    const AbsNode& node = graph.node(id);
+    Module* module = model_->module(id);
+    Step step;
+    step.node = id;
+    step.parent = node.parent;
+
+    if (node.spec.type == BlockType::kConvReLU || node.spec.type == BlockType::kConvBNReLU) {
+      auto* block = dynamic_cast<ConvBlock*>(module);
+      GMORPH_CHECK(block != nullptr);
+      const Conv2d& conv = block->conv();
+      step.kind = StepKind::kFusedConvReLU;
+      step.conv_args = conv.args();
+      step.weight = conv.weight().value.Clone();
+      const int64_t out_c = conv.out_channels();
+      step.bias = Tensor::Zeros(Shape{out_c});
+      if (block->has_bn()) {
+        const BatchNorm2d* bn = block->bn();
+        const int64_t per_filter = step.weight.size() / out_c;
+        for (int64_t o = 0; o < out_c; ++o) {
+          const float inv_std = 1.0f / std::sqrt(bn->running_var().at(o) + bn->eps());
+          const float scale = bn->gamma().value.at(o) * inv_std;
+          float* w = step.weight.data() + o * per_filter;
+          for (int64_t i = 0; i < per_filter; ++i) {
+            w[i] *= scale;
+          }
+          step.bias.at(o) = bn->beta().value.at(o) - bn->running_mean().at(o) * scale;
+        }
+      } else if (!conv.bias().value.empty()) {
+        step.bias = conv.bias().value.Clone();
+      }
+      ++num_fused_convs_;
+    } else if (node.spec.type == BlockType::kRescale &&
+               dynamic_cast<Rescale*>(module) != nullptr &&
+               dynamic_cast<Rescale*>(module)->IsIdentity()) {
+      step.kind = StepKind::kIdentity;
+      ++num_eliminated_;
+    } else {
+      step.kind = StepKind::kModule;
+      step.module = module;
+    }
+    plan_.push_back(std::move(step));
+  }
+  for (int t = 0; t < graph.num_tasks(); ++t) {
+    head_nodes_.push_back(graph.HeadOfTask(t));
+  }
+}
+
+std::vector<Tensor> FusedEngine::Run(const Tensor& input) {
+  std::vector<Tensor> activations(static_cast<size_t>(num_nodes_));
+  activations[0] = input;
+  for (Step& step : plan_) {
+    const Tensor& in = activations[static_cast<size_t>(step.parent)];
+    Tensor& out = activations[static_cast<size_t>(step.node)];
+    switch (step.kind) {
+      case StepKind::kFusedConvReLU: {
+        out = Conv2dForward(in, step.weight, step.bias, step.conv_args);
+        ReluInPlace(out);
+        break;
+      }
+      case StepKind::kIdentity:
+        out = in;  // shares storage; downstream ops never write in place
+        break;
+      case StepKind::kModule:
+        out = step.module->Forward(in, /*training=*/false);
+        break;
+    }
+  }
+  std::vector<Tensor> outputs;
+  outputs.reserve(head_nodes_.size());
+  for (int head : head_nodes_) {
+    outputs.push_back(activations[static_cast<size_t>(head)]);
+  }
+  return outputs;
+}
+
+}  // namespace gmorph

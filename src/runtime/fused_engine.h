@@ -1,0 +1,62 @@
+// FusedEngine: compiler-style optimized executor (the "TensorRT" stand-in).
+//
+// At construction it lowers the multi-task tree through three passes:
+//   1. BN folding    — Conv+BN(+ReLU) blocks become a single convolution with
+//                      folded weights/bias (uses the live running statistics).
+//   2. Op fusion     — the ReLU is applied in-place inside the conv kernel
+//                      epilogue instead of as a separate pass over memory.
+//   3. Identity elimination — rescale adapters that are identities (inserted
+//                      between equal shapes) are dropped from the plan.
+// Blocks it cannot lower (residual, transformer, pooling, heads) fall back to
+// the module's inference forward — a realistic partial lowering.
+#ifndef GMORPH_SRC_RUNTIME_FUSED_ENGINE_H_
+#define GMORPH_SRC_RUNTIME_FUSED_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/runtime/engine.h"
+#include "src/tensor/conv_ops.h"
+
+namespace gmorph {
+
+class FusedEngine : public InferenceEngine {
+ public:
+  // `model` must outlive the engine; the plan holds folded copies of conv
+  // parameters and raw pointers to fallback modules.
+  explicit FusedEngine(MultiTaskModel* model);
+
+  std::vector<Tensor> Run(const Tensor& input) override;
+  std::string Name() const override { return "fused"; }
+
+  // Introspection for tests / reporting.
+  int num_fused_convs() const { return num_fused_convs_; }
+  int num_eliminated() const { return num_eliminated_; }
+
+ private:
+  enum class StepKind { kFusedConvReLU, kIdentity, kModule };
+
+  struct Step {
+    StepKind kind = StepKind::kModule;
+    int node = -1;
+    int parent = -1;
+    // kFusedConvReLU:
+    Tensor weight;  // folded (O, C, K, K)
+    Tensor bias;    // folded (O)
+    Conv2dArgs conv_args;
+    // kModule:
+    Module* module = nullptr;
+  };
+
+  MultiTaskModel* model_;
+  std::vector<Step> plan_;
+  std::vector<int> head_nodes_;  // per task
+  int num_nodes_ = 0;
+  int num_fused_convs_ = 0;
+  int num_eliminated_ = 0;
+};
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_RUNTIME_FUSED_ENGINE_H_

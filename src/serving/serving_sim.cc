@@ -1,0 +1,93 @@
+#include "src/serving/serving_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace gmorph {
+
+ServingStats SimulateServingWithServiceTimes(const std::vector<double>& service_time_ms,
+                                             const ServingOptions& options) {
+  GMORPH_CHECK(!service_time_ms.empty());
+  GMORPH_CHECK(options.arrival_qps > 0.0 && options.num_requests > 0);
+  const int max_batch = std::min<int>(options.max_batch,
+                                      static_cast<int>(service_time_ms.size()));
+  GMORPH_CHECK(max_batch >= 1);
+
+  // Poisson arrivals: exponential inter-arrival gaps (ms).
+  Rng rng(options.seed);
+  std::vector<double> arrival(static_cast<size_t>(options.num_requests));
+  double t = 0.0;
+  const double mean_gap_ms = 1000.0 / options.arrival_qps;
+  for (auto& a : arrival) {
+    double u = rng.NextDouble();
+    while (u <= 1e-12) {
+      u = rng.NextDouble();
+    }
+    t += -std::log(u) * mean_gap_ms;
+    a = t;
+  }
+
+  ServingStats stats;
+  stats.service_time_ms = service_time_ms;
+  std::vector<double> latencies;
+  latencies.reserve(arrival.size());
+  double server_free_at = 0.0;
+  size_t next = 0;
+  int64_t served_total = 0;
+  double last_completion = 0.0;
+  while (next < arrival.size()) {
+    const double start = std::max(server_free_at, arrival[next]);
+    // Adaptive batching: everything queued by `start`, capped at max_batch.
+    size_t batch_end = next;
+    while (batch_end < arrival.size() && arrival[batch_end] <= start &&
+           static_cast<int>(batch_end - next) < max_batch) {
+      ++batch_end;
+    }
+    const int batch = static_cast<int>(batch_end - next);
+    const double completion = start + service_time_ms[static_cast<size_t>(batch - 1)];
+    for (size_t i = next; i < batch_end; ++i) {
+      latencies.push_back(completion - arrival[i]);
+    }
+    served_total += batch;
+    ++stats.num_batches;
+    server_free_at = completion;
+    last_completion = completion;
+    next = batch_end;
+  }
+
+  std::sort(latencies.begin(), latencies.end());
+  auto percentile = [&](double p) {
+    const size_t idx = static_cast<size_t>(p * static_cast<double>(latencies.size() - 1));
+    return latencies[idx];
+  };
+  double sum = 0.0;
+  for (double l : latencies) {
+    sum += l;
+  }
+  stats.mean_latency_ms = sum / static_cast<double>(latencies.size());
+  stats.p50_latency_ms = percentile(0.50);
+  stats.p95_latency_ms = percentile(0.95);
+  stats.p99_latency_ms = percentile(0.99);
+  stats.mean_batch_size =
+      static_cast<double>(served_total) / static_cast<double>(stats.num_batches);
+  const double makespan_ms = last_completion - arrival.front();
+  stats.throughput_qps = makespan_ms > 0.0
+                             ? static_cast<double>(served_total) / (makespan_ms / 1000.0)
+                             : 0.0;
+  return stats;
+}
+
+ServingStats SimulateServing(InferenceEngine& engine, const Shape& per_sample_input,
+                             const ServingOptions& options) {
+  std::vector<double> service(static_cast<size_t>(options.max_batch));
+  for (int b = 1; b <= options.max_batch; ++b) {
+    service[static_cast<size_t>(b - 1)] = MeasureEngineLatencyMs(
+        engine, per_sample_input, b, /*warmup=*/1, options.calibration_runs);
+  }
+  return SimulateServingWithServiceTimes(service, options);
+}
+
+}  // namespace gmorph

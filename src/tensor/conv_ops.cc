@@ -1,0 +1,456 @@
+#include "src/tensor/conv_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+#include "src/tensor/tensor_ops.h"
+
+namespace gmorph {
+namespace {
+
+// Expands one sample (C,H,W) into a (C*KH*KW, OH*OW) column matrix.
+void Im2Col(const float* x, int64_t c, int64_t h, int64_t w, int64_t kernel, int64_t stride,
+            int64_t padding, int64_t oh, int64_t ow, float* col) {
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int64_t kh = 0; kh < kernel; ++kh) {
+      for (int64_t kw = 0; kw < kernel; ++kw) {
+        float* col_row = col + ((ch * kernel + kh) * kernel + kw) * (oh * ow);
+        for (int64_t oy = 0; oy < oh; ++oy) {
+          const int64_t iy = oy * stride + kh - padding;
+          float* dst = col_row + oy * ow;
+          if (iy < 0 || iy >= h) {
+            std::fill(dst, dst + ow, 0.0f);
+            continue;
+          }
+          const float* src_row = x + (ch * h + iy) * w;
+          for (int64_t ox = 0; ox < ow; ++ox) {
+            const int64_t ix = ox * stride + kw - padding;
+            dst[ox] = (ix >= 0 && ix < w) ? src_row[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Scatter-adds a column matrix back into a (C,H,W) gradient image.
+void Col2Im(const float* col, int64_t c, int64_t h, int64_t w, int64_t kernel, int64_t stride,
+            int64_t padding, int64_t oh, int64_t ow, float* x_grad) {
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int64_t kh = 0; kh < kernel; ++kh) {
+      for (int64_t kw = 0; kw < kernel; ++kw) {
+        const float* col_row = col + ((ch * kernel + kh) * kernel + kw) * (oh * ow);
+        for (int64_t oy = 0; oy < oh; ++oy) {
+          const int64_t iy = oy * stride + kh - padding;
+          if (iy < 0 || iy >= h) {
+            continue;
+          }
+          float* dst_row = x_grad + (ch * h + iy) * w;
+          const float* src = col_row + oy * ow;
+          for (int64_t ox = 0; ox < ow; ++ox) {
+            const int64_t ix = ox * stride + kw - padding;
+            if (ix >= 0 && ix < w) {
+              dst_row[ix] += src[ox];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int64_t ConvOutDim(int64_t in, int64_t kernel, int64_t stride, int64_t padding) {
+  const int64_t out = (in + 2 * padding - kernel) / stride + 1;
+  GMORPH_CHECK_MSG(out > 0, "conv output dim <= 0 (in=" << in << " k=" << kernel << " s="
+                                                        << stride << " p=" << padding << ")");
+  return out;
+}
+
+Tensor Conv2dForward(const Tensor& x, const Tensor& w, const Tensor& b, const Conv2dArgs& args) {
+  GMORPH_CHECK(x.shape().Rank() == 4 && w.shape().Rank() == 4);
+  const int64_t n = x.shape()[0];
+  const int64_t c = x.shape()[1];
+  const int64_t h = x.shape()[2];
+  const int64_t wd = x.shape()[3];
+  const int64_t o = w.shape()[0];
+  const int64_t kernel = w.shape()[2];
+  GMORPH_CHECK_MSG(w.shape()[1] == c, "conv channels: x " << x.shape().ToString() << " w "
+                                                          << w.shape().ToString());
+  GMORPH_CHECK(w.shape()[3] == kernel);
+  const int64_t oh = ConvOutDim(h, kernel, args.stride, args.padding);
+  const int64_t ow = ConvOutDim(wd, kernel, args.stride, args.padding);
+
+  Tensor out(Shape{n, o, oh, ow});
+  const int64_t ckk = c * kernel * kernel;
+  std::vector<float> col(static_cast<size_t>(ckk * oh * ow));
+  for (int64_t i = 0; i < n; ++i) {
+    Im2Col(x.data() + i * c * h * wd, c, h, wd, kernel, args.stride, args.padding, oh, ow,
+           col.data());
+    float* y = out.data() + i * o * oh * ow;
+    MatmulNN(w.data(), col.data(), y, o, ckk, oh * ow);
+    if (!b.empty()) {
+      for (int64_t oc = 0; oc < o; ++oc) {
+        const float bias = b.at(oc);
+        float* yo = y + oc * oh * ow;
+        for (int64_t s = 0; s < oh * ow; ++s) {
+          yo[s] += bias;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2dBackward(const Tensor& x, const Tensor& w, const Tensor& grad_out,
+                      const Conv2dArgs& args, Tensor& grad_w, Tensor& grad_b) {
+  const int64_t n = x.shape()[0];
+  const int64_t c = x.shape()[1];
+  const int64_t h = x.shape()[2];
+  const int64_t wd = x.shape()[3];
+  const int64_t o = w.shape()[0];
+  const int64_t kernel = w.shape()[2];
+  const int64_t oh = grad_out.shape()[2];
+  const int64_t ow = grad_out.shape()[3];
+  GMORPH_CHECK(grad_out.shape()[0] == n && grad_out.shape()[1] == o);
+  GMORPH_CHECK(grad_w.shape() == w.shape());
+
+  const int64_t ckk = c * kernel * kernel;
+  Tensor grad_x(x.shape());
+  std::vector<float> col(static_cast<size_t>(ckk * oh * ow));
+  std::vector<float> dcol(static_cast<size_t>(ckk * oh * ow));
+  for (int64_t i = 0; i < n; ++i) {
+    const float* xi = x.data() + i * c * h * wd;
+    const float* dy = grad_out.data() + i * o * oh * ow;
+
+    Im2Col(xi, c, h, wd, kernel, args.stride, args.padding, oh, ow, col.data());
+    // dW[o, ckk] += dY[o, ohow] * col[ckk, ohow]^T
+    MatmulNT(dy, col.data(), grad_w.data(), o, oh * ow, ckk, /*accumulate=*/true);
+    // dcol[ckk, ohow] = W[o, ckk]^T * dY[o, ohow]
+    MatmulTN(w.data(), dy, dcol.data(), o, ckk, oh * ow);
+    Col2Im(dcol.data(), c, h, wd, kernel, args.stride, args.padding, oh, ow,
+           grad_x.data() + i * c * h * wd);
+
+    if (!grad_b.empty()) {
+      for (int64_t oc = 0; oc < o; ++oc) {
+        const float* dyo = dy + oc * oh * ow;
+        float acc = 0.0f;
+        for (int64_t s = 0; s < oh * ow; ++s) {
+          acc += dyo[s];
+        }
+        grad_b.at(oc) += acc;
+      }
+    }
+  }
+  return grad_x;
+}
+
+Tensor MaxPool2dForward(const Tensor& x, int64_t kernel, int64_t stride,
+                        std::vector<int64_t>& argmax) {
+  GMORPH_CHECK(x.shape().Rank() == 4);
+  const int64_t n = x.shape()[0];
+  const int64_t c = x.shape()[1];
+  const int64_t h = x.shape()[2];
+  const int64_t w = x.shape()[3];
+  const int64_t oh = ConvOutDim(h, kernel, stride, 0);
+  const int64_t ow = ConvOutDim(w, kernel, stride, 0);
+
+  Tensor out(Shape{n, c, oh, ow});
+  argmax.assign(static_cast<size_t>(out.size()), 0);
+  const float* px = x.data();
+  float* po = out.data();
+  int64_t oi = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = px + (i * c + ch) * h * w;
+      const int64_t plane_base = (i * c + ch) * h * w;
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          int64_t best_idx = 0;
+          for (int64_t ky = 0; ky < kernel; ++ky) {
+            const int64_t iy = oy * stride + ky;
+            for (int64_t kx = 0; kx < kernel; ++kx) {
+              const int64_t ix = ox * stride + kx;
+              const float v = plane[iy * w + ix];
+              if (v > best) {
+                best = v;
+                best_idx = plane_base + iy * w + ix;
+              }
+            }
+          }
+          po[oi] = best;
+          argmax[static_cast<size_t>(oi)] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2dBackward(const Shape& input_shape, const Tensor& grad_out,
+                         const std::vector<int64_t>& argmax) {
+  GMORPH_CHECK(static_cast<int64_t>(argmax.size()) == grad_out.size());
+  Tensor grad_x(input_shape);
+  float* gx = grad_x.data();
+  const float* go = grad_out.data();
+  for (int64_t i = 0; i < grad_out.size(); ++i) {
+    gx[argmax[static_cast<size_t>(i)]] += go[i];
+  }
+  return grad_x;
+}
+
+Tensor AvgPool2dForward(const Tensor& x, int64_t kernel, int64_t stride) {
+  GMORPH_CHECK(x.shape().Rank() == 4);
+  const int64_t n = x.shape()[0];
+  const int64_t c = x.shape()[1];
+  const int64_t h = x.shape()[2];
+  const int64_t w = x.shape()[3];
+  const int64_t oh = ConvOutDim(h, kernel, stride, 0);
+  const int64_t ow = ConvOutDim(w, kernel, stride, 0);
+  Tensor out(Shape{n, c, oh, ow});
+  const float* px = x.data();
+  float* po = out.data();
+  const float inv = 1.0f / static_cast<float>(kernel * kernel);
+  for (int64_t plane = 0; plane < n * c; ++plane) {
+    const float* src = px + plane * h * w;
+    float* dst = po + plane * oh * ow;
+    for (int64_t oy = 0; oy < oh; ++oy) {
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        float acc = 0.0f;
+        for (int64_t ky = 0; ky < kernel; ++ky) {
+          for (int64_t kx = 0; kx < kernel; ++kx) {
+            acc += src[(oy * stride + ky) * w + ox * stride + kx];
+          }
+        }
+        dst[oy * ow + ox] = acc * inv;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor AvgPool2dBackward(const Shape& input_shape, const Tensor& grad_out, int64_t kernel,
+                         int64_t stride) {
+  GMORPH_CHECK(input_shape.Rank() == 4 && grad_out.shape().Rank() == 4);
+  const int64_t n = input_shape[0];
+  const int64_t c = input_shape[1];
+  const int64_t h = input_shape[2];
+  const int64_t w = input_shape[3];
+  const int64_t oh = grad_out.shape()[2];
+  const int64_t ow = grad_out.shape()[3];
+  Tensor grad_x(input_shape);
+  float* gx = grad_x.data();
+  const float* go = grad_out.data();
+  const float inv = 1.0f / static_cast<float>(kernel * kernel);
+  for (int64_t plane = 0; plane < n * c; ++plane) {
+    float* dst = gx + plane * h * w;
+    const float* src = go + plane * oh * ow;
+    for (int64_t oy = 0; oy < oh; ++oy) {
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        const float g = src[oy * ow + ox] * inv;
+        for (int64_t ky = 0; ky < kernel; ++ky) {
+          for (int64_t kx = 0; kx < kernel; ++kx) {
+            dst[(oy * stride + ky) * w + ox * stride + kx] += g;
+          }
+        }
+      }
+    }
+  }
+  return grad_x;
+}
+
+Tensor GlobalAvgPoolForward(const Tensor& x) {
+  GMORPH_CHECK(x.shape().Rank() == 4);
+  const int64_t n = x.shape()[0];
+  const int64_t c = x.shape()[1];
+  const int64_t spatial = x.shape()[2] * x.shape()[3];
+  Tensor out(Shape{n, c});
+  const float* px = x.data();
+  float* po = out.data();
+  const float inv = 1.0f / static_cast<float>(spatial);
+  for (int64_t i = 0; i < n * c; ++i) {
+    const float* plane = px + i * spatial;
+    float acc = 0.0f;
+    for (int64_t s = 0; s < spatial; ++s) {
+      acc += plane[s];
+    }
+    po[i] = acc * inv;
+  }
+  return out;
+}
+
+Tensor GlobalAvgPoolBackward(const Shape& input_shape, const Tensor& grad_out) {
+  GMORPH_CHECK(input_shape.Rank() == 4 && grad_out.shape().Rank() == 2);
+  const int64_t n = input_shape[0];
+  const int64_t c = input_shape[1];
+  const int64_t spatial = input_shape[2] * input_shape[3];
+  Tensor grad_x(input_shape);
+  float* gx = grad_x.data();
+  const float* go = grad_out.data();
+  const float inv = 1.0f / static_cast<float>(spatial);
+  for (int64_t i = 0; i < n * c; ++i) {
+    const float g = go[i] * inv;
+    float* plane = gx + i * spatial;
+    for (int64_t s = 0; s < spatial; ++s) {
+      plane[s] = g;
+    }
+  }
+  return grad_x;
+}
+
+namespace {
+
+// Precomputed 1-D interpolation: out index -> (lo index, hi index, hi weight).
+struct InterpAxis {
+  std::vector<int64_t> lo;
+  std::vector<int64_t> hi;
+  std::vector<float> t;
+};
+
+InterpAxis MakeAxis(int64_t in, int64_t out) {
+  InterpAxis axis;
+  axis.lo.resize(static_cast<size_t>(out));
+  axis.hi.resize(static_cast<size_t>(out));
+  axis.t.resize(static_cast<size_t>(out));
+  // align_corners=false mapping, matching common framework semantics.
+  const float scale = static_cast<float>(in) / static_cast<float>(out);
+  for (int64_t i = 0; i < out; ++i) {
+    float src = (static_cast<float>(i) + 0.5f) * scale - 0.5f;
+    src = std::max(0.0f, std::min(src, static_cast<float>(in - 1)));
+    const int64_t lo = static_cast<int64_t>(src);
+    const int64_t hi = std::min(lo + 1, in - 1);
+    axis.lo[static_cast<size_t>(i)] = lo;
+    axis.hi[static_cast<size_t>(i)] = hi;
+    axis.t[static_cast<size_t>(i)] = src - static_cast<float>(lo);
+  }
+  return axis;
+}
+
+}  // namespace
+
+Tensor BilinearResizeForward(const Tensor& x, int64_t out_h, int64_t out_w) {
+  GMORPH_CHECK(x.shape().Rank() == 4);
+  const int64_t n = x.shape()[0];
+  const int64_t c = x.shape()[1];
+  const int64_t h = x.shape()[2];
+  const int64_t w = x.shape()[3];
+  const InterpAxis ay = MakeAxis(h, out_h);
+  const InterpAxis ax = MakeAxis(w, out_w);
+  Tensor out(Shape{n, c, out_h, out_w});
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t plane = 0; plane < n * c; ++plane) {
+    const float* src = px + plane * h * w;
+    float* dst = po + plane * out_h * out_w;
+    for (int64_t oy = 0; oy < out_h; ++oy) {
+      const int64_t y0 = ay.lo[static_cast<size_t>(oy)];
+      const int64_t y1 = ay.hi[static_cast<size_t>(oy)];
+      const float ty = ay.t[static_cast<size_t>(oy)];
+      for (int64_t ox = 0; ox < out_w; ++ox) {
+        const int64_t x0 = ax.lo[static_cast<size_t>(ox)];
+        const int64_t x1 = ax.hi[static_cast<size_t>(ox)];
+        const float tx = ax.t[static_cast<size_t>(ox)];
+        const float v00 = src[y0 * w + x0];
+        const float v01 = src[y0 * w + x1];
+        const float v10 = src[y1 * w + x0];
+        const float v11 = src[y1 * w + x1];
+        dst[oy * out_w + ox] = (1 - ty) * ((1 - tx) * v00 + tx * v01) +
+                               ty * ((1 - tx) * v10 + tx * v11);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BilinearResizeBackward(const Shape& input_shape, const Tensor& grad_out) {
+  GMORPH_CHECK(input_shape.Rank() == 4 && grad_out.shape().Rank() == 4);
+  const int64_t n = input_shape[0];
+  const int64_t c = input_shape[1];
+  const int64_t h = input_shape[2];
+  const int64_t w = input_shape[3];
+  const int64_t out_h = grad_out.shape()[2];
+  const int64_t out_w = grad_out.shape()[3];
+  const InterpAxis ay = MakeAxis(h, out_h);
+  const InterpAxis ax = MakeAxis(w, out_w);
+  Tensor grad_x(input_shape);
+  float* gx = grad_x.data();
+  const float* go = grad_out.data();
+  for (int64_t plane = 0; plane < n * c; ++plane) {
+    float* dst = gx + plane * h * w;
+    const float* src = go + plane * out_h * out_w;
+    for (int64_t oy = 0; oy < out_h; ++oy) {
+      const int64_t y0 = ay.lo[static_cast<size_t>(oy)];
+      const int64_t y1 = ay.hi[static_cast<size_t>(oy)];
+      const float ty = ay.t[static_cast<size_t>(oy)];
+      for (int64_t ox = 0; ox < out_w; ++ox) {
+        const int64_t x0 = ax.lo[static_cast<size_t>(ox)];
+        const int64_t x1 = ax.hi[static_cast<size_t>(ox)];
+        const float tx = ax.t[static_cast<size_t>(ox)];
+        const float g = src[oy * out_w + ox];
+        dst[y0 * w + x0] += (1 - ty) * (1 - tx) * g;
+        dst[y0 * w + x1] += (1 - ty) * tx * g;
+        dst[y1 * w + x0] += ty * (1 - tx) * g;
+        dst[y1 * w + x1] += ty * tx * g;
+      }
+    }
+  }
+  return grad_x;
+}
+
+Tensor LinearResizeTokensForward(const Tensor& x, int64_t out_t) {
+  GMORPH_CHECK(x.shape().Rank() == 3);
+  const int64_t n = x.shape()[0];
+  const int64_t t = x.shape()[1];
+  const int64_t d = x.shape()[2];
+  const InterpAxis axis = MakeAxis(t, out_t);
+  Tensor out(Shape{n, out_t, d});
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const float* src = px + i * t * d;
+    float* dst = po + i * out_t * d;
+    for (int64_t ot = 0; ot < out_t; ++ot) {
+      const float* lo = src + axis.lo[static_cast<size_t>(ot)] * d;
+      const float* hi = src + axis.hi[static_cast<size_t>(ot)] * d;
+      const float tt = axis.t[static_cast<size_t>(ot)];
+      float* row = dst + ot * d;
+      for (int64_t j = 0; j < d; ++j) {
+        row[j] = (1 - tt) * lo[j] + tt * hi[j];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor LinearResizeTokensBackward(const Shape& input_shape, const Tensor& grad_out) {
+  GMORPH_CHECK(input_shape.Rank() == 3 && grad_out.shape().Rank() == 3);
+  const int64_t n = input_shape[0];
+  const int64_t t = input_shape[1];
+  const int64_t d = input_shape[2];
+  const int64_t out_t = grad_out.shape()[1];
+  const InterpAxis axis = MakeAxis(t, out_t);
+  Tensor grad_x(input_shape);
+  float* gx = grad_x.data();
+  const float* go = grad_out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    float* dst = gx + i * t * d;
+    const float* src = go + i * out_t * d;
+    for (int64_t ot = 0; ot < out_t; ++ot) {
+      float* lo = dst + axis.lo[static_cast<size_t>(ot)] * d;
+      float* hi = dst + axis.hi[static_cast<size_t>(ot)] * d;
+      const float tt = axis.t[static_cast<size_t>(ot)];
+      const float* row = src + ot * d;
+      for (int64_t j = 0; j < d; ++j) {
+        lo[j] += (1 - tt) * row[j];
+        hi[j] += tt * row[j];
+      }
+    }
+  }
+  return grad_x;
+}
+
+}  // namespace gmorph

@@ -1,0 +1,59 @@
+// Convolution and pooling kernels for NCHW tensors.
+//
+// Conv2d is implemented as im2col + GEMM, the standard CPU lowering: it turns
+// the spatial gather into a dense matmul that the GEMM cores in tensor_ops can
+// stream through. All functions take / return contiguous tensors.
+#ifndef GMORPH_SRC_TENSOR_CONV_OPS_H_
+#define GMORPH_SRC_TENSOR_CONV_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace gmorph {
+
+struct Conv2dArgs {
+  int64_t stride = 1;
+  int64_t padding = 0;
+};
+
+// Output spatial size for one dimension.
+int64_t ConvOutDim(int64_t in, int64_t kernel, int64_t stride, int64_t padding);
+
+// x: (N,C,H,W), w: (O,C,KH,KW), b: (O) or empty -> (N,O,OH,OW).
+Tensor Conv2dForward(const Tensor& x, const Tensor& w, const Tensor& b, const Conv2dArgs& args);
+
+// Gradients of the same convolution. `grad_w`/`grad_b` are accumulated into
+// (caller zeroes them at the start of a step); returns grad_x.
+Tensor Conv2dBackward(const Tensor& x, const Tensor& w, const Tensor& grad_out,
+                      const Conv2dArgs& args, Tensor& grad_w, Tensor& grad_b);
+
+// Max pooling. `argmax` receives the flat input index of each selected element
+// so the backward pass can scatter gradients exactly.
+Tensor MaxPool2dForward(const Tensor& x, int64_t kernel, int64_t stride,
+                        std::vector<int64_t>& argmax);
+Tensor MaxPool2dBackward(const Shape& input_shape, const Tensor& grad_out,
+                         const std::vector<int64_t>& argmax);
+
+// Average pooling over non-overlapping-or-strided windows.
+Tensor AvgPool2dForward(const Tensor& x, int64_t kernel, int64_t stride);
+Tensor AvgPool2dBackward(const Shape& input_shape, const Tensor& grad_out, int64_t kernel,
+                         int64_t stride);
+
+// Global average pooling: (N,C,H,W) -> (N,C).
+Tensor GlobalAvgPoolForward(const Tensor& x);
+Tensor GlobalAvgPoolBackward(const Shape& input_shape, const Tensor& grad_out);
+
+// Bilinear resize of spatial dims: (N,C,H,W) -> (N,C,out_h,out_w).
+Tensor BilinearResizeForward(const Tensor& x, int64_t out_h, int64_t out_w);
+Tensor BilinearResizeBackward(const Shape& input_shape, const Tensor& grad_out);
+
+// Linear interpolation along dim 1 of (N,T,D) -> (N,out_t,D); used by the
+// rescale adapter to match transformer token counts.
+Tensor LinearResizeTokensForward(const Tensor& x, int64_t out_t);
+Tensor LinearResizeTokensBackward(const Shape& input_shape, const Tensor& grad_out);
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_TENSOR_CONV_OPS_H_

@@ -1,0 +1,52 @@
+#include "src/tensor/shape.h"
+
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace gmorph {
+
+int64_t Shape::NumElements() const {
+  int64_t n = 1;
+  for (int64_t d : dims_) {
+    n *= d;
+  }
+  return n;
+}
+
+int64_t Shape::Dim(int i) const {
+  const int rank = Rank();
+  if (i < 0) {
+    i += rank;
+  }
+  GMORPH_CHECK_MSG(i >= 0 && i < rank, "dim " << i << " out of range for " << ToString());
+  return dims_[static_cast<size_t>(i)];
+}
+
+Shape Shape::WithBatch(int64_t n) const {
+  std::vector<int64_t> d;
+  d.reserve(dims_.size() + 1);
+  d.push_back(n);
+  d.insert(d.end(), dims_.begin(), dims_.end());
+  return Shape(std::move(d));
+}
+
+Shape Shape::WithoutBatch() const {
+  GMORPH_CHECK(Rank() >= 1);
+  return Shape(std::vector<int64_t>(dims_.begin() + 1, dims_.end()));
+}
+
+std::string Shape::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) {
+      os << ",";
+    }
+    os << dims_[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace gmorph

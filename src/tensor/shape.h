@@ -1,0 +1,51 @@
+// Tensor shape: a small, value-semantic vector of dimensions.
+//
+// Convention used throughout GMorph:
+//   - Runtime activations carry a leading batch dimension N.
+//   - Graph-level bookkeeping (abstract graph nodes, shape dictionary) uses
+//     *per-sample* shapes without the batch dimension, e.g. {C, H, W} for CNN
+//     features and {T, D} for transformer features.
+#ifndef GMORPH_SRC_TENSOR_SHAPE_H_
+#define GMORPH_SRC_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace gmorph {
+
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {}
+
+  int Rank() const { return static_cast<int>(dims_.size()); }
+  int64_t NumElements() const;
+
+  // Dimension accessor with negative indexing (-1 = last).
+  int64_t Dim(int i) const;
+  int64_t operator[](int i) const { return Dim(i); }
+
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  // Returns a copy with `n` prepended as the batch dimension.
+  Shape WithBatch(int64_t n) const;
+  // Returns a copy with the leading dimension removed.
+  Shape WithoutBatch() const;
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+  // Lexicographic order so Shape can key ordered maps (the shape dictionary D).
+  bool operator<(const Shape& other) const { return dims_ < other.dims_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_TENSOR_SHAPE_H_

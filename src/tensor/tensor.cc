@@ -1,0 +1,66 @@
+#include "src/tensor/tensor.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace gmorph {
+
+Tensor::Tensor(const Shape& shape)
+    : shape_(shape),
+      data_(std::make_shared<std::vector<float>>(static_cast<size_t>(shape.NumElements()),
+                                                 0.0f)) {
+  GMORPH_CHECK_MSG(shape.NumElements() >= 0, "invalid shape " << shape.ToString());
+}
+
+Tensor Tensor::Full(const Shape& shape, float value) {
+  Tensor t(shape);
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values) {
+  GMORPH_CHECK_MSG(static_cast<int64_t>(values.size()) == shape.NumElements(),
+                   "vector size " << values.size() << " != shape " << shape.ToString());
+  Tensor t;
+  t.shape_ = shape;
+  t.data_ = std::make_shared<std::vector<float>>(std::move(values));
+  return t;
+}
+
+Tensor Tensor::RandomGaussian(const Shape& shape, Rng& rng, float stddev) {
+  Tensor t(shape);
+  float* p = t.data();
+  for (int64_t i = 0; i < t.size(); ++i) {
+    p[i] = rng.NextGaussian() * stddev;
+  }
+  return t;
+}
+
+Tensor Tensor::RandomUniform(const Shape& shape, Rng& rng, float lo, float hi) {
+  Tensor t(shape);
+  float* p = t.data();
+  for (int64_t i = 0; i < t.size(); ++i) {
+    p[i] = lo + (hi - lo) * rng.NextFloat();
+  }
+  return t;
+}
+
+Tensor Tensor::Reshape(const Shape& new_shape) const {
+  GMORPH_CHECK_MSG(new_shape.NumElements() == size(),
+                   "reshape " << shape_.ToString() << " -> " << new_shape.ToString());
+  Tensor t = *this;
+  t.shape_ = new_shape;
+  return t;
+}
+
+Tensor Tensor::Clone() const {
+  Tensor t;
+  t.shape_ = shape_;
+  t.data_ = std::make_shared<std::vector<float>>(*data_);
+  return t;
+}
+
+void Tensor::Fill(float value) { std::fill(data_->begin(), data_->end(), value); }
+
+}  // namespace gmorph

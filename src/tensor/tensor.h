@@ -1,0 +1,63 @@
+// Dense float32 tensor with shared, contiguous, row-major storage.
+//
+// Tensor is a cheap-to-copy handle (shape + shared_ptr to storage); Clone()
+// makes a deep copy. All kernels in tensor_ops / conv_ops operate on
+// contiguous data, which keeps them simple and fast on one core.
+#ifndef GMORPH_SRC_TENSOR_TENSOR_H_
+#define GMORPH_SRC_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/tensor/shape.h"
+
+namespace gmorph {
+
+class Tensor {
+ public:
+  // Default: empty tensor (rank 0, one element would be wrong — zero storage).
+  Tensor() : shape_({0}), data_(std::make_shared<std::vector<float>>()) {}
+
+  // Allocates zero-initialized storage for `shape`.
+  explicit Tensor(const Shape& shape);
+
+  static Tensor Zeros(const Shape& shape) { return Tensor(shape); }
+  static Tensor Full(const Shape& shape, float value);
+  static Tensor FromVector(const Shape& shape, std::vector<float> values);
+  // I.i.d. N(0, stddev^2) entries.
+  static Tensor RandomGaussian(const Shape& shape, Rng& rng, float stddev = 1.0f);
+  // I.i.d. U(lo, hi) entries.
+  static Tensor RandomUniform(const Shape& shape, Rng& rng, float lo, float hi);
+
+  const Shape& shape() const { return shape_; }
+  int64_t size() const { return shape_.NumElements(); }
+  bool empty() const { return size() == 0; }
+
+  float* data() { return data_->data(); }
+  const float* data() const { return data_->data(); }
+
+  float& at(int64_t i) { return (*data_)[static_cast<size_t>(i)]; }
+  float at(int64_t i) const { return (*data_)[static_cast<size_t>(i)]; }
+
+  // View with a different shape over the same storage. Element count must match.
+  Tensor Reshape(const Shape& new_shape) const;
+
+  // Deep copy.
+  Tensor Clone() const;
+
+  void Fill(float value);
+  void Zero() { Fill(0.0f); }
+
+  // True if the two handles share storage.
+  bool SharesStorageWith(const Tensor& other) const { return data_ == other.data_; }
+
+ private:
+  Shape shape_;
+  std::shared_ptr<std::vector<float>> data_;
+};
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_TENSOR_TENSOR_H_

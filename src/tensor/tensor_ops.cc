@@ -1,0 +1,251 @@
+#include "src/tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace gmorph {
+namespace {
+
+void CheckSameShape(const Tensor& a, const Tensor& b) {
+  GMORPH_CHECK_MSG(a.shape() == b.shape(), "shape mismatch " << a.shape().ToString() << " vs "
+                                                             << b.shape().ToString());
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < a.size(); ++i) {
+    po[i] = pa[i] + pb[i];
+  }
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < a.size(); ++i) {
+    po[i] = pa[i] - pb[i];
+  }
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < a.size(); ++i) {
+    po[i] = pa[i] * pb[i];
+  }
+  return out;
+}
+
+void AddInPlace(Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.size(); ++i) {
+    pa[i] += pb[i];
+  }
+}
+
+void ScaleInPlace(Tensor& a, float s) {
+  float* pa = a.data();
+  for (int64_t i = 0; i < a.size(); ++i) {
+    pa[i] *= s;
+  }
+}
+
+void AxpyInPlace(Tensor& y, float alpha, const Tensor& x) {
+  CheckSameShape(y, x);
+  float* py = y.data();
+  const float* px = x.data();
+  for (int64_t i = 0; i < y.size(); ++i) {
+    py[i] += alpha * px[i];
+  }
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  Tensor out = a.Clone();
+  ScaleInPlace(out, s);
+  return out;
+}
+
+void MatmulNN(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n,
+              bool accumulate) {
+  if (!accumulate) {
+    std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
+  }
+  // i-k-j order: the inner loop streams over contiguous rows of B and C.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* ai = a + i * k;
+    float* ci = c + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = ai[p];
+      if (av == 0.0f) {
+        continue;
+      }
+      const float* bp = b + p * n;
+      for (int64_t j = 0; j < n; ++j) {
+        ci[j] += av * bp[j];
+      }
+    }
+  }
+}
+
+void MatmulNT(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
+              bool accumulate) {
+  // C[i,p] = sum_j A[i,j] * B[p,j]; the dot product runs over contiguous rows.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* ai = a + i * n;
+    float* ci = c + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      const float* bp = b + p * n;
+      float acc = 0.0f;
+      for (int64_t j = 0; j < n; ++j) {
+        acc += ai[j] * bp[j];
+      }
+      ci[p] = accumulate ? ci[p] + acc : acc;
+    }
+  }
+}
+
+void MatmulTN(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n,
+              bool accumulate) {
+  if (!accumulate) {
+    std::memset(c, 0, static_cast<size_t>(k * n) * sizeof(float));
+  }
+  // C[p,j] += A[i,p] * B[i,j]; rank-1 updates keep the inner loop contiguous.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* ai = a + i * k;
+    const float* bi = b + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = ai[p];
+      if (av == 0.0f) {
+        continue;
+      }
+      float* cp = c + p * n;
+      for (int64_t j = 0; j < n; ++j) {
+        cp[j] += av * bi[j];
+      }
+    }
+  }
+}
+
+Tensor Matmul(const Tensor& a, const Tensor& b) {
+  GMORPH_CHECK(a.shape().Rank() == 2 && b.shape().Rank() == 2);
+  const int64_t m = a.shape()[0];
+  const int64_t k = a.shape()[1];
+  GMORPH_CHECK_MSG(b.shape()[0] == k, "matmul inner dims " << a.shape().ToString() << " x "
+                                                           << b.shape().ToString());
+  const int64_t n = b.shape()[1];
+  Tensor c(Shape{m, n});
+  MatmulNN(a.data(), b.data(), c.data(), m, k, n);
+  return c;
+}
+
+Tensor SoftmaxLastDim(const Tensor& x) {
+  GMORPH_CHECK(x.shape().Rank() >= 1);
+  const int64_t cols = x.shape()[-1];
+  const int64_t rows = x.size() / cols;
+  Tensor out(x.shape());
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = px + r * cols;
+    float* orow = po + r * cols;
+    float mx = xr[0];
+    for (int64_t j = 1; j < cols; ++j) {
+      mx = std::max(mx, xr[j]);
+    }
+    float sum = 0.0f;
+    for (int64_t j = 0; j < cols; ++j) {
+      orow[j] = std::exp(xr[j] - mx);
+      sum += orow[j];
+    }
+    const float inv = 1.0f / sum;
+    for (int64_t j = 0; j < cols; ++j) {
+      orow[j] *= inv;
+    }
+  }
+  return out;
+}
+
+Tensor SoftmaxBackwardLastDim(const Tensor& y, const Tensor& grad_y) {
+  CheckSameShape(y, grad_y);
+  const int64_t cols = y.shape()[-1];
+  const int64_t rows = y.size() / cols;
+  Tensor out(y.shape());
+  const float* py = y.data();
+  const float* pg = grad_y.data();
+  float* po = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* yr = py + r * cols;
+    const float* gr = pg + r * cols;
+    float* orow = po + r * cols;
+    float dot = 0.0f;
+    for (int64_t j = 0; j < cols; ++j) {
+      dot += yr[j] * gr[j];
+    }
+    for (int64_t j = 0; j < cols; ++j) {
+      orow[j] = yr[j] * (gr[j] - dot);
+    }
+  }
+  return out;
+}
+
+float SumAll(const Tensor& a) {
+  double s = 0.0;
+  const float* p = a.data();
+  for (int64_t i = 0; i < a.size(); ++i) {
+    s += p[i];
+  }
+  return static_cast<float>(s);
+}
+
+float MeanAll(const Tensor& a) {
+  GMORPH_CHECK(a.size() > 0);
+  return SumAll(a) / static_cast<float>(a.size());
+}
+
+float MaxAbs(const Tensor& a) {
+  float m = 0.0f;
+  const float* p = a.data();
+  for (int64_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(p[i]));
+  }
+  return m;
+}
+
+std::vector<int> ArgmaxRows(const Tensor& a) {
+  GMORPH_CHECK(a.shape().Rank() == 2);
+  const int64_t rows = a.shape()[0];
+  const int64_t cols = a.shape()[1];
+  std::vector<int> out(static_cast<size_t>(rows));
+  const float* p = a.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = p + r * cols;
+    int best = 0;
+    for (int64_t j = 1; j < cols; ++j) {
+      if (row[j] > row[best]) {
+        best = static_cast<int>(j);
+      }
+    }
+    out[static_cast<size_t>(r)] = best;
+  }
+  return out;
+}
+
+}  // namespace gmorph

@@ -1,0 +1,54 @@
+// Dense kernels: elementwise arithmetic, GEMM variants, softmax, reductions.
+//
+// The three GEMM variants (NN / NT / TN) cover forward passes and both
+// backward products without ever materializing a transposed matrix:
+//   forward:   Y = X * W            -> MatmulNN
+//   grad in:   dX = dY * W^T        -> MatmulNT
+//   grad w:    dW = X^T * dY        -> MatmulTN
+#ifndef GMORPH_SRC_TENSOR_TENSOR_OPS_H_
+#define GMORPH_SRC_TENSOR_TENSOR_OPS_H_
+
+#include <cstdint>
+
+#include "src/tensor/tensor.h"
+
+namespace gmorph {
+
+// ---- Elementwise (shapes must match exactly) ----
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+void AddInPlace(Tensor& a, const Tensor& b);    // a += b
+void ScaleInPlace(Tensor& a, float s);          // a *= s
+void AxpyInPlace(Tensor& y, float alpha, const Tensor& x);  // y += alpha * x
+Tensor Scale(const Tensor& a, float s);
+
+// ---- Raw GEMM cores (contiguous row-major) ----
+// C[m,n] = A[m,k] * B[k,n]          (+= if accumulate)
+void MatmulNN(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n,
+              bool accumulate = false);
+// C[m,k] = A[m,n] * B[k,n]^T
+void MatmulNT(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
+              bool accumulate = false);
+// C[k,n] = A[m,k]^T * B[m,n]
+void MatmulTN(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n,
+              bool accumulate = false);
+
+// ---- Tensor-level matmul: a is (m,k), b is (k,n) ----
+Tensor Matmul(const Tensor& a, const Tensor& b);
+
+// ---- Softmax over the last dimension ----
+Tensor SoftmaxLastDim(const Tensor& x);
+// Given y = softmax(x) and dL/dy, returns dL/dx.
+Tensor SoftmaxBackwardLastDim(const Tensor& y, const Tensor& grad_y);
+
+// ---- Reductions / misc ----
+float SumAll(const Tensor& a);
+float MeanAll(const Tensor& a);
+float MaxAbs(const Tensor& a);
+// Row-wise argmax for a (rows, cols) tensor.
+std::vector<int> ArgmaxRows(const Tensor& a);
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_TENSOR_TENSOR_OPS_H_

@@ -1,0 +1,208 @@
+#include "src/core/abs_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/check.h"
+#include "src/core/model_parser.h"
+#include "src/models/zoo.h"
+
+namespace gmorph {
+namespace {
+
+// Two tiny chains sharing the root, for structural tests.
+AbsGraph TwoChainGraph() {
+  VisionModelOptions opts;
+  opts.base_width = 4;
+  opts.classes = 3;
+  ModelSpec a = MakeVgg11(opts);
+  opts.classes = 2;
+  ModelSpec b = MakeVgg11(opts);
+  return ParseModelSpecs({a, b});
+}
+
+TEST(AbsGraphTest, RootOnlyGraph) {
+  AbsGraph g = AbsGraph::WithRoot(Shape{3, 8, 8}, 2);
+  EXPECT_EQ(g.size(), 1);
+  EXPECT_TRUE(g.node(0).IsRoot());
+  EXPECT_EQ(g.HeadOfTask(0), -1);
+  EXPECT_EQ(g.TotalCapacity(), 0);
+}
+
+TEST(AbsGraphTest, ParserBuildsOneChainPerTask) {
+  AbsGraph g = TwoChainGraph();
+  g.Validate();
+  EXPECT_EQ(g.num_tasks(), 2);
+  // Root has one child per task.
+  EXPECT_EQ(g.node(g.root()).children.size(), 2u);
+  // Walk each chain: op_ids strictly increase.
+  for (int t = 0; t < 2; ++t) {
+    int cur = g.HeadOfTask(t);
+    ASSERT_GE(cur, 0);
+    int prev_op = g.node(cur).op_id;
+    cur = g.node(cur).parent;
+    while (cur != g.root()) {
+      EXPECT_LT(g.node(cur).op_id, prev_op);
+      prev_op = g.node(cur).op_id;
+      EXPECT_EQ(g.node(cur).task_id, t);
+      cur = g.node(cur).parent;
+    }
+  }
+}
+
+TEST(AbsGraphTest, ParserChecksInputShapes) {
+  VisionModelOptions a;
+  a.image_size = 32;
+  VisionModelOptions b;
+  b.image_size = 64;
+  EXPECT_THROW(ParseModelSpecs({MakeVgg11(a), MakeVgg11(b)}), CheckError);
+}
+
+TEST(AbsGraphTest, AddNodeComputesShapes) {
+  AbsGraph g = AbsGraph::WithRoot(Shape{3, 8, 8}, 1);
+  const int id = g.AddNode(g.root(), 0, 0, ConvReLUSpec(3, 4));
+  EXPECT_EQ(g.node(id).input_shape, (Shape{3, 8, 8}));
+  EXPECT_EQ(g.node(id).output_shape, (Shape{4, 8, 8}));
+  EXPECT_EQ(g.node(id).capacity, BlockCapacity(ConvReLUSpec(3, 4)));
+  EXPECT_THROW(g.AddNode(id, 0, 1, ConvReLUSpec(8, 4)), CheckError);  // channel mismatch
+}
+
+TEST(AbsGraphTest, TopologicalOrderParentsFirst) {
+  AbsGraph g = TwoChainGraph();
+  const std::vector<int> order = g.TopologicalOrder();
+  EXPECT_EQ(order.size(), static_cast<size_t>(g.size()));
+  std::vector<int> position(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    position[static_cast<size_t>(order[i])] = static_cast<int>(i);
+  }
+  for (const AbsNode& n : g.nodes()) {
+    if (!n.IsRoot()) {
+      EXPECT_LT(position[static_cast<size_t>(n.parent)], position[static_cast<size_t>(n.id)]);
+    }
+  }
+}
+
+TEST(AbsGraphTest, IsAncestorAndTasksServed) {
+  AbsGraph g = TwoChainGraph();
+  const int head0 = g.HeadOfTask(0);
+  EXPECT_TRUE(g.IsAncestor(g.root(), head0));
+  EXPECT_TRUE(g.IsAncestor(head0, head0));
+  EXPECT_FALSE(g.IsAncestor(head0, g.root()));
+  EXPECT_EQ(g.TasksServed(g.root()), (std::set<int>{0, 1}));
+  EXPECT_EQ(g.TasksServed(head0), (std::set<int>{0}));
+  const int first0 = g.node(g.root()).children[0];
+  EXPECT_EQ(g.TasksServed(first0).size(), 1u);
+}
+
+TEST(AbsGraphTest, ReparentAndGarbageCollect) {
+  AbsGraph g = TwoChainGraph();
+  // Re-parent task 1's head under task 0's head's parent: task 1's whole old
+  // chain becomes dead.
+  const int head1 = g.HeadOfTask(1);
+  const int head0 = g.HeadOfTask(0);
+  const int size_before = g.size();
+  g.Reparent(head1, g.node(head0).parent);
+  const int removed = g.GarbageCollect();
+  EXPECT_GT(removed, 0);
+  EXPECT_EQ(g.size(), size_before - removed);
+  g.Validate();
+  // Both heads still exist.
+  EXPECT_GE(g.HeadOfTask(0), 0);
+  EXPECT_GE(g.HeadOfTask(1), 0);
+}
+
+TEST(AbsGraphTest, ReparentCycleRejected) {
+  AbsGraph g = TwoChainGraph();
+  const int head0 = g.HeadOfTask(0);
+  const int mid = g.node(head0).parent;
+  EXPECT_THROW(g.Reparent(mid, head0), CheckError);
+}
+
+TEST(AbsGraphTest, ShapeDictionaryGroupsByInputShape) {
+  AbsGraph g = TwoChainGraph();
+  const auto dict = g.ShapeDictionary();
+  int total = 0;
+  for (const auto& [shape, ids] : dict) {
+    total += static_cast<int>(ids.size());
+    for (int id : ids) {
+      EXPECT_EQ(g.node(id).input_shape, shape);
+    }
+  }
+  EXPECT_EQ(total, g.size() - 1);  // every non-root node appears exactly once
+  // Identical architectures: the raw-input shape is consumed by both stems.
+  EXPECT_EQ(dict.at(Shape{3, 32, 32}).size(), 2u);
+}
+
+TEST(AbsGraphTest, SignatureAccounting) {
+  AbsGraph g = TwoChainGraph();
+  CapacitySignature sig = g.Signature();
+  // No sharing yet: all capacity is task-specific, none shared.
+  EXPECT_EQ(sig.shared_total, 0);
+  EXPECT_EQ(sig.total, sig.per_task_specific[0] + sig.per_task_specific[1]);
+  EXPECT_EQ(sig.per_task_total[0], sig.per_task_specific[0]);
+
+  // After sharing everything up to the heads, shared capacity appears.
+  const int head1 = g.HeadOfTask(1);
+  g.Reparent(head1, g.node(g.HeadOfTask(0)).parent);
+  g.GarbageCollect();
+  CapacitySignature shared = g.Signature();
+  EXPECT_GT(shared.shared_total, 0);
+  EXPECT_LT(shared.total, sig.total);
+  EXPECT_TRUE(shared.MoreAggressiveThan(sig));
+  EXPECT_FALSE(sig.MoreAggressiveThan(shared));
+}
+
+TEST(CapacitySignatureTest, PartialOrderProperties) {
+  CapacitySignature a;
+  a.total = 100;
+  a.per_task_total = {60, 70};
+  a.per_task_specific = {30, 40};
+  a.shared_total = 30;
+  // Reflexive (non-strict order).
+  EXPECT_TRUE(a.MoreAggressiveThan(a));
+  CapacitySignature b = a;
+  b.total = 90;
+  b.per_task_specific = {20, 40};
+  b.shared_total = 40;
+  EXPECT_TRUE(b.MoreAggressiveThan(a));
+  EXPECT_FALSE(a.MoreAggressiveThan(b));
+  // Mixed: lower total but lower shared -> incomparable.
+  CapacitySignature c = a;
+  c.total = 80;
+  c.shared_total = 10;
+  EXPECT_FALSE(c.MoreAggressiveThan(a));
+  // Different task counts never compare.
+  CapacitySignature d;
+  d.per_task_total = {1};
+  d.per_task_specific = {1};
+  EXPECT_FALSE(d.MoreAggressiveThan(a));
+}
+
+TEST(AbsGraphTest, FingerprintDetectsStructuralChange) {
+  AbsGraph g = TwoChainGraph();
+  const std::string fp = g.Fingerprint();
+  AbsGraph copy = g;
+  EXPECT_EQ(copy.Fingerprint(), fp);
+  copy.Reparent(copy.HeadOfTask(1), copy.node(copy.HeadOfTask(0)).parent);
+  copy.GarbageCollect();
+  EXPECT_NE(copy.Fingerprint(), fp);
+}
+
+TEST(AbsGraphTest, ToStringContainsAllNodes) {
+  AbsGraph g = TwoChainGraph();
+  const std::string s = g.ToString();
+  EXPECT_NE(s.find("input"), std::string::npos);
+  EXPECT_NE(s.find("Head"), std::string::npos);
+  EXPECT_NE(s.find("ConvReLU"), std::string::npos);
+}
+
+TEST(AbsGraphTest, FlopsMatchesSpecSum) {
+  VisionModelOptions opts;
+  opts.base_width = 4;
+  ModelSpec spec = MakeVgg11(opts);
+  AbsGraph g = ParseModelSpecs({spec});
+  EXPECT_EQ(g.TotalFlops(), spec.TotalFlops());
+  EXPECT_EQ(g.TotalCapacity(), spec.TotalCapacity());
+}
+
+}  // namespace
+}  // namespace gmorph

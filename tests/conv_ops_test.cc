@@ -1,0 +1,199 @@
+#include "src/tensor/conv_ops.h"
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/tensor/tensor_ops.h"
+#include "tests/test_util.h"
+
+namespace gmorph {
+namespace {
+
+using testing::MaxDiff;
+
+// Direct (quadruple-loop) reference convolution.
+Tensor NaiveConv2d(const Tensor& x, const Tensor& w, const Tensor& b, int64_t stride,
+                   int64_t padding) {
+  const int64_t n = x.shape()[0];
+  const int64_t c = x.shape()[1];
+  const int64_t h = x.shape()[2];
+  const int64_t wd = x.shape()[3];
+  const int64_t o = w.shape()[0];
+  const int64_t k = w.shape()[2];
+  const int64_t oh = ConvOutDim(h, k, stride, padding);
+  const int64_t ow = ConvOutDim(wd, k, stride, padding);
+  Tensor out(Shape{n, o, oh, ow});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t oc = 0; oc < o; ++oc) {
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox) {
+          double acc = b.empty() ? 0.0 : b.at(oc);
+          for (int64_t ic = 0; ic < c; ++ic) {
+            for (int64_t ky = 0; ky < k; ++ky) {
+              for (int64_t kx = 0; kx < k; ++kx) {
+                const int64_t iy = oy * stride + ky - padding;
+                const int64_t ix = ox * stride + kx - padding;
+                if (iy < 0 || iy >= h || ix < 0 || ix >= wd) {
+                  continue;
+                }
+                acc += static_cast<double>(x.at(((i * c + ic) * h + iy) * wd + ix)) *
+                       w.at(((oc * c + ic) * k + ky) * k + kx);
+              }
+            }
+          }
+          out.at(((i * o + oc) * oh + oy) * ow + ox) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// (kernel, stride, padding, channels, out_channels, spatial)
+class ConvParamTest : public ::testing::TestWithParam<
+                          std::tuple<int64_t, int64_t, int64_t, int64_t, int64_t, int64_t>> {};
+
+TEST_P(ConvParamTest, ForwardMatchesNaive) {
+  const auto [k, s, p, c, o, hw] = GetParam();
+  Rng rng(static_cast<uint64_t>(k * 31 + s * 7 + p * 3 + c + o + hw));
+  Tensor x = Tensor::RandomGaussian(Shape{2, c, hw, hw}, rng);
+  Tensor w = Tensor::RandomGaussian(Shape{o, c, k, k}, rng);
+  Tensor b = Tensor::RandomGaussian(Shape{o}, rng);
+  Tensor got = Conv2dForward(x, w, b, {s, p});
+  Tensor want = NaiveConv2d(x, w, b, s, p);
+  EXPECT_LT(MaxDiff(got, want), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ConvParamTest,
+    ::testing::Values(std::make_tuple(1, 1, 0, 3, 4, 5), std::make_tuple(3, 1, 1, 2, 3, 6),
+                      std::make_tuple(3, 2, 1, 3, 5, 7), std::make_tuple(5, 1, 2, 1, 2, 8),
+                      std::make_tuple(2, 2, 0, 4, 4, 8), std::make_tuple(3, 1, 0, 2, 2, 5)));
+
+TEST(ConvBackwardTest, GradientsMatchNumeric) {
+  Rng rng(42);
+  Tensor x = Tensor::RandomGaussian(Shape{2, 2, 5, 5}, rng);
+  Tensor w = Tensor::RandomGaussian(Shape{3, 2, 3, 3}, rng);
+  Tensor b = Tensor::RandomGaussian(Shape{3}, rng);
+  const Conv2dArgs args{1, 1};
+  Tensor y = Conv2dForward(x, w, b, args);
+  Tensor probe = Tensor::RandomGaussian(y.shape(), rng);
+
+  Tensor grad_w = Tensor::Zeros(w.shape());
+  Tensor grad_b = Tensor::Zeros(b.shape());
+  Tensor grad_x = Conv2dBackward(x, w, probe, args, grad_w, grad_b);
+
+  auto loss = [&](const Tensor& xx, const Tensor& ww, const Tensor& bb) {
+    return SumAll(Mul(Conv2dForward(xx, ww, bb, args), probe));
+  };
+  const float eps = 1e-2f;
+  for (int trial = 0; trial < 6; ++trial) {
+    {
+      const int64_t i = rng.NextInt(static_cast<int>(x.size()));
+      Tensor xp = x.Clone();
+      xp.at(i) += eps;
+      Tensor xm = x.Clone();
+      xm.at(i) -= eps;
+      EXPECT_NEAR(grad_x.at(i), (loss(xp, w, b) - loss(xm, w, b)) / (2 * eps), 5e-2f);
+    }
+    {
+      const int64_t i = rng.NextInt(static_cast<int>(w.size()));
+      Tensor wp = w.Clone();
+      wp.at(i) += eps;
+      Tensor wm = w.Clone();
+      wm.at(i) -= eps;
+      EXPECT_NEAR(grad_w.at(i), (loss(x, wp, b) - loss(x, wm, b)) / (2 * eps), 5e-2f);
+    }
+  }
+  {
+    Tensor bp = b.Clone();
+    bp.at(0) += eps;
+    Tensor bm = b.Clone();
+    bm.at(0) -= eps;
+    EXPECT_NEAR(grad_b.at(0), (loss(x, w, bp) - loss(x, w, bm)) / (2 * eps), 5e-2f);
+  }
+}
+
+TEST(MaxPoolTest, SelectsWindowMaxima) {
+  Tensor x = Tensor::FromVector(Shape{1, 1, 4, 4},
+                                {1, 2, 5, 4,   //
+                                 3, 0, 1, 1,   //
+                                 9, 8, 0, 0,   //
+                                 7, 6, 0, 2});
+  std::vector<int64_t> argmax;
+  Tensor y = MaxPool2dForward(x, 2, 2, argmax);
+  EXPECT_EQ(y.shape().dims(), (std::vector<int64_t>{1, 1, 2, 2}));
+  EXPECT_EQ(y.at(0), 3.0f);
+  EXPECT_EQ(y.at(1), 5.0f);
+  EXPECT_EQ(y.at(2), 9.0f);
+  EXPECT_EQ(y.at(3), 2.0f);
+}
+
+TEST(MaxPoolTest, BackwardRoutesToArgmax) {
+  Rng rng(5);
+  Tensor x = Tensor::RandomGaussian(Shape{1, 2, 4, 4}, rng);
+  std::vector<int64_t> argmax;
+  Tensor y = MaxPool2dForward(x, 2, 2, argmax);
+  Tensor g = Tensor::Full(y.shape(), 1.0f);
+  Tensor gx = MaxPool2dBackward(x.shape(), g, argmax);
+  EXPECT_FLOAT_EQ(SumAll(gx), static_cast<float>(y.size()));
+  // Gradient lands only at argmax positions.
+  for (int64_t i = 0; i < gx.size(); ++i) {
+    EXPECT_TRUE(gx.at(i) == 0.0f || gx.at(i) == 1.0f);
+  }
+}
+
+TEST(GlobalAvgPoolTest, ForwardBackward) {
+  Tensor x = Tensor::FromVector(Shape{1, 2, 2, 2}, {1, 2, 3, 4, 10, 10, 10, 10});
+  Tensor y = GlobalAvgPoolForward(x);
+  EXPECT_FLOAT_EQ(y.at(0), 2.5f);
+  EXPECT_FLOAT_EQ(y.at(1), 10.0f);
+  Tensor g = Tensor::FromVector(Shape{1, 2}, {4.0f, 8.0f});
+  Tensor gx = GlobalAvgPoolBackward(x.shape(), g);
+  EXPECT_FLOAT_EQ(gx.at(0), 1.0f);
+  EXPECT_FLOAT_EQ(gx.at(4), 2.0f);
+}
+
+TEST(BilinearResizeTest, IdentityWhenSameSize) {
+  Rng rng(6);
+  Tensor x = Tensor::RandomGaussian(Shape{1, 2, 5, 5}, rng);
+  EXPECT_LT(MaxDiff(BilinearResizeForward(x, 5, 5), x), 1e-6f);
+}
+
+TEST(BilinearResizeTest, PreservesConstantFields) {
+  Tensor x = Tensor::Full(Shape{1, 1, 4, 4}, 3.0f);
+  Tensor y = BilinearResizeForward(x, 7, 3);
+  for (int64_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(y.at(i), 3.0f, 1e-6f);
+  }
+}
+
+TEST(BilinearResizeTest, BackwardConservesMass) {
+  Rng rng(7);
+  Tensor grad_out = Tensor::RandomGaussian(Shape{1, 1, 6, 6}, rng);
+  Tensor gx = BilinearResizeBackward(Shape{1, 1, 3, 3}, grad_out);
+  // Interpolation weights per output pixel sum to 1, so total mass matches.
+  EXPECT_NEAR(SumAll(gx), SumAll(grad_out), 1e-4f);
+}
+
+TEST(TokenResizeTest, IdentityAndMass) {
+  Rng rng(8);
+  Tensor x = Tensor::RandomGaussian(Shape{2, 4, 3}, rng);
+  EXPECT_LT(MaxDiff(LinearResizeTokensForward(x, 4), x), 1e-6f);
+  Tensor g = Tensor::RandomGaussian(Shape{2, 8, 3}, rng);
+  Tensor gx = LinearResizeTokensBackward(Shape{2, 4, 3}, g);
+  EXPECT_NEAR(SumAll(gx), SumAll(g), 1e-4f);
+}
+
+TEST(ConvOutDimTest, FormulaAndGuard) {
+  EXPECT_EQ(ConvOutDim(32, 3, 1, 1), 32);
+  EXPECT_EQ(ConvOutDim(32, 2, 2, 0), 16);
+  EXPECT_EQ(ConvOutDim(5, 3, 2, 0), 2);
+  EXPECT_THROW(ConvOutDim(2, 5, 1, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace gmorph

@@ -1,0 +1,164 @@
+#include "src/data/benchmarks.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/check.h"
+#include "src/data/eval.h"
+#include "src/data/synthetic.h"
+#include "src/data/teacher.h"
+#include "src/models/zoo.h"
+
+namespace gmorph {
+namespace {
+
+BenchmarkScale TinyScale() {
+  BenchmarkScale s;
+  s.train_size = 48;
+  s.test_size = 32;
+  s.cnn_width = 4;
+  return s;
+}
+
+TEST(SyntheticVisionTest, ShapesAndLabels) {
+  Rng rng(1);
+  std::vector<VisionTaskSpec> tasks(2);
+  tasks[0].num_classes = 3;
+  tasks[1].num_classes = 4;
+  tasks[1].metric = MetricKind::kMeanAveragePrecision;
+  VisionDataOptions opts;
+  opts.image_size = 16;
+  VisionDatasetPair pair = GenerateVisionData(20, 10, tasks, opts, rng);
+
+  EXPECT_EQ(pair.train.inputs.shape().dims(), (std::vector<int64_t>{20, 3, 16, 16}));
+  EXPECT_EQ(pair.test.size(), 10);
+  ASSERT_EQ(pair.train.tasks.size(), 2u);
+  for (int label : pair.train.tasks[0].class_labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 3);
+  }
+  // Multi-label rows have at least one positive.
+  const Tensor& mh = pair.train.tasks[1].multi_hot;
+  ASSERT_EQ(mh.shape().dims(), (std::vector<int64_t>{20, 4}));
+  for (int64_t r = 0; r < 20; ++r) {
+    float row_sum = 0.0f;
+    for (int64_t c = 0; c < 4; ++c) {
+      row_sum += mh.at(r * 4 + c);
+    }
+    EXPECT_GE(row_sum, 1.0f);
+  }
+}
+
+TEST(SyntheticVisionTest, DeterministicGivenSeed) {
+  std::vector<VisionTaskSpec> tasks(1);
+  VisionDataOptions opts;
+  opts.image_size = 8;
+  Rng rng_a(7);
+  Rng rng_b(7);
+  VisionDatasetPair a = GenerateVisionData(5, 3, tasks, opts, rng_a);
+  VisionDatasetPair b = GenerateVisionData(5, 3, tasks, opts, rng_b);
+  for (int64_t i = 0; i < a.train.inputs.size(); ++i) {
+    EXPECT_EQ(a.train.inputs.at(i), b.train.inputs.at(i));
+  }
+  EXPECT_EQ(a.train.tasks[0].class_labels, b.train.tasks[0].class_labels);
+}
+
+TEST(SyntheticTextTest, TokensInVocabAndBalancedLabels) {
+  Rng rng(3);
+  std::vector<TextTaskSpec> tasks(2);
+  tasks[0].metric = MetricKind::kMatthews;
+  TextDataOptions opts;
+  TextDatasetPair pair = GenerateTextData(200, 50, tasks, opts, rng);
+  for (int64_t i = 0; i < pair.train.inputs.size(); ++i) {
+    EXPECT_GE(pair.train.inputs.at(i), 0.0f);
+    EXPECT_LT(pair.train.inputs.at(i), static_cast<float>(opts.vocab));
+  }
+  int positives = 0;
+  for (int label : pair.train.tasks[1].class_labels) {
+    positives += label;
+  }
+  // Majority-sign labels should be roughly balanced.
+  EXPECT_GT(positives, 40);
+  EXPECT_LT(positives, 160);
+}
+
+TEST(DatasetTest, BatchSlicing) {
+  Rng rng(4);
+  std::vector<VisionTaskSpec> tasks(1);
+  VisionDataOptions opts;
+  opts.image_size = 8;
+  VisionDatasetPair pair = GenerateVisionData(10, 4, tasks, opts, rng);
+  Tensor batch = pair.train.InputBatch(3, 4);
+  EXPECT_EQ(batch.shape().dims(), (std::vector<int64_t>{4, 3, 8, 8}));
+  // Row 0 of the batch equals row 3 of the dataset.
+  const int64_t row = 3 * 8 * 8;
+  for (int64_t i = 0; i < row; ++i) {
+    EXPECT_EQ(batch.at(i), pair.train.inputs.at(3 * row + i));
+  }
+  const std::vector<int> labels = pair.train.LabelBatch(0, 3, 4);
+  EXPECT_EQ(labels.size(), 4u);
+  EXPECT_EQ(labels[0], pair.train.tasks[0].class_labels[3]);
+}
+
+class BenchmarkParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BenchmarkParamTest, WellFormed) {
+  const int index = GetParam();
+  BenchmarkDef def = MakeBenchmark(index, TinyScale(), 123);
+  EXPECT_EQ(def.id, "B" + std::to_string(index));
+  EXPECT_GE(def.tasks.size(), 2u);
+  EXPECT_EQ(def.train.tasks.size(), def.tasks.size());
+  EXPECT_EQ(def.train.size(), TinyScale().train_size);
+  // Each task's model consumes the dataset input shape and emits its classes.
+  for (const BenchmarkTask& task : def.tasks) {
+    EXPECT_EQ(task.model.input_shape, def.train.inputs.shape().WithoutBatch());
+    EXPECT_EQ(task.model.OutputShape()[0], task.num_classes);
+  }
+  // All models in one benchmark share the input.
+  for (size_t t = 1; t < def.tasks.size(); ++t) {
+    EXPECT_EQ(def.tasks[t].model.input_shape, def.tasks[0].model.input_shape);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkParamTest, ::testing::Range(1, 8));
+
+TEST(BenchmarkTest, OutOfRangeThrows) {
+  EXPECT_THROW(MakeBenchmark(0, TinyScale(), 1), CheckError);
+  EXPECT_THROW(MakeBenchmark(8, TinyScale(), 1), CheckError);
+}
+
+TEST(TeacherTest, LearnsAboveChance) {
+  Rng rng(9);
+  std::vector<VisionTaskSpec> tasks(1);
+  tasks[0].num_classes = 4;
+  VisionDataOptions opts;
+  VisionDatasetPair data = GenerateVisionData(96, 64, tasks, opts, rng);
+  VisionModelOptions model_opts;
+  model_opts.base_width = 4;
+  model_opts.classes = 4;
+  TaskModel model(MakeVgg11(model_opts), rng);
+  TeacherTrainOptions train_opts;
+  train_opts.epochs = 4;
+  const double score = TrainTeacher(model, data.train, data.test, 0, train_opts);
+  EXPECT_GT(score, 0.5);  // chance = 0.25
+}
+
+TEST(EvalTest, ComputeMetricDispatch) {
+  TaskLabels acc;
+  acc.metric = MetricKind::kAccuracy;
+  acc.class_labels = {0, 1};
+  Tensor logits = Tensor::FromVector(Shape{2, 2}, {1, 0, 0, 1});
+  EXPECT_DOUBLE_EQ(ComputeMetric(logits, acc), 1.0);
+
+  TaskLabels mcc;
+  mcc.metric = MetricKind::kMatthews;
+  mcc.class_labels = {0, 1};
+  EXPECT_DOUBLE_EQ(ComputeMetric(logits, mcc), 1.0);
+
+  TaskLabels map_labels;
+  map_labels.metric = MetricKind::kMeanAveragePrecision;
+  map_labels.multi_hot = Tensor::FromVector(Shape{2, 2}, {1, 0, 0, 1});
+  EXPECT_NEAR(ComputeMetric(logits, map_labels), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace gmorph

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "src/nn/activations.h"
+#include "src/nn/pooling.h"
+#include "src/tensor/conv_ops.h"
+#include "src/tensor/tensor_ops.h"
+#include "tests/test_util.h"
+
+namespace gmorph {
+namespace {
+
+TEST(AvgPoolTest, ForwardAveragesWindows) {
+  Tensor x = Tensor::FromVector(Shape{1, 1, 4, 4},
+                                {1, 2, 3, 4,   //
+                                 5, 6, 7, 8,   //
+                                 9, 10, 11, 12,  //
+                                 13, 14, 15, 16});
+  Tensor y = AvgPool2dForward(x, 2, 2);
+  EXPECT_EQ(y.shape().dims(), (std::vector<int64_t>{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y.at(0), 3.5f);
+  EXPECT_FLOAT_EQ(y.at(1), 5.5f);
+  EXPECT_FLOAT_EQ(y.at(2), 11.5f);
+  EXPECT_FLOAT_EQ(y.at(3), 13.5f);
+}
+
+TEST(AvgPoolTest, BackwardConservesMass) {
+  Rng rng(1);
+  Tensor g = Tensor::RandomGaussian(Shape{2, 3, 2, 2}, rng);
+  Tensor gx = AvgPool2dBackward(Shape{2, 3, 4, 4}, g, 2, 2);
+  EXPECT_NEAR(SumAll(gx), SumAll(g), 1e-4f);
+}
+
+TEST(AvgPoolTest, ModuleGradCheck) {
+  Rng rng(2);
+  AvgPool2d pool(2, 2);
+  Tensor x = Tensor::RandomGaussian(Shape{2, 2, 4, 4}, rng);
+  testing::GradCheckModule(pool, x, 5e-2f, rng);
+}
+
+TEST(SigmoidTest, ForwardRangeAndSymmetry) {
+  Rng rng(3);
+  Sigmoid sigmoid;
+  Tensor x = Tensor::RandomGaussian(Shape{4, 5}, rng, 3.0f);
+  Tensor y = sigmoid.Forward(x, false);
+  for (int64_t i = 0; i < y.size(); ++i) {
+    EXPECT_GT(y.at(i), 0.0f);
+    EXPECT_LT(y.at(i), 1.0f);
+  }
+  Tensor zero = Tensor::Zeros(Shape{1});
+  EXPECT_FLOAT_EQ(sigmoid.Forward(zero, false).at(0), 0.5f);
+}
+
+TEST(SigmoidTest, GradCheck) {
+  Rng rng(4);
+  Sigmoid sigmoid;
+  Tensor x = Tensor::RandomGaussian(Shape{3, 4}, rng);
+  testing::GradCheckModule(sigmoid, x, 5e-2f, rng);
+}
+
+TEST(TanhTest, ForwardAndGradCheck) {
+  Rng rng(5);
+  Tanh tanh_mod;
+  Tensor zero = Tensor::Zeros(Shape{1});
+  EXPECT_FLOAT_EQ(tanh_mod.Forward(zero, false).at(0), 0.0f);
+  Tensor x = Tensor::RandomGaussian(Shape{3, 4}, rng);
+  Tensor y = tanh_mod.Forward(x, false);
+  for (int64_t i = 0; i < y.size(); ++i) {
+    EXPECT_LT(std::fabs(y.at(i)), 1.0f);
+  }
+  testing::GradCheckModule(tanh_mod, x, 5e-2f, rng);
+}
+
+}  // namespace
+}  // namespace gmorph

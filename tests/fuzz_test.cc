@@ -1,0 +1,135 @@
+// Randomized stress tests: long mutation chains over every benchmark's graph
+// topology, executable-model construction on deeply mutated graphs, and
+// serialization fuzzing. These are the failure-injection counterpart of the
+// targeted unit tests.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "src/common/check.h"
+#include "src/core/graph_io.h"
+#include "src/core/model_parser.h"
+#include "src/core/multitask_model.h"
+#include "src/core/mutation.h"
+#include "src/data/benchmarks.h"
+
+namespace gmorph {
+namespace {
+
+AbsGraph GraphForBenchmark(int index) {
+  BenchmarkScale scale;
+  scale.train_size = 4;  // datasets irrelevant here; keep generation cheap
+  scale.test_size = 4;
+  scale.cnn_width = 4;
+  BenchmarkDef def = MakeBenchmark(index, scale, 77);
+  std::vector<ModelSpec> specs;
+  for (const BenchmarkTask& task : def.tasks) {
+    specs.push_back(task.model);
+  }
+  return ParseModelSpecs(specs);
+}
+
+class MutationFuzzTest : public ::testing::TestWithParam<int> {};
+
+// Long random mutation chains on every benchmark topology (CNNs, cross-family,
+// transformers) keep all invariants; non-adapter capacity never grows.
+TEST_P(MutationFuzzTest, LongChainsKeepInvariants) {
+  const int bench = GetParam();
+  AbsGraph g = GraphForBenchmark(bench);
+  Rng rng(static_cast<uint64_t>(bench) * 13 + 1);
+  auto non_rescale_capacity = [](const AbsGraph& graph) {
+    int64_t total = 0;
+    for (const AbsNode& n : graph.nodes()) {
+      if (n.spec.type != BlockType::kRescale) {
+        total += n.capacity;
+      }
+    }
+    return total;
+  };
+  int64_t last = non_rescale_capacity(g);
+  for (int step = 0; step < 20; ++step) {
+    const auto pairs = FindShareablePairs(g, ShapeSimilarity::kSimilar);
+    if (pairs.empty()) {
+      break;
+    }
+    const SharePair pick =
+        pairs[static_cast<size_t>(rng.NextInt(static_cast<int>(pairs.size())))];
+    ASSERT_TRUE(ApplyMutation(g, pick));
+    g.Validate();
+    const int64_t now = non_rescale_capacity(g);
+    EXPECT_LE(now, last) << "non-adapter capacity grew at step " << step;
+    last = now;
+    for (int t = 0; t < g.num_tasks(); ++t) {
+      ASSERT_GE(g.HeadOfTask(t), 0);
+    }
+  }
+}
+
+// Deeply mutated graphs always materialize into executable models that emit
+// one correctly shaped output per task.
+TEST_P(MutationFuzzTest, MutatedGraphsExecute) {
+  const int bench = GetParam();
+  AbsGraph g = GraphForBenchmark(bench);
+  Rng rng(static_cast<uint64_t>(bench) * 17 + 3);
+  std::optional<AbsGraph> mutated = SampleMutatePass(g, 5, ShapeSimilarity::kSimilar, rng);
+  const AbsGraph& final_graph = mutated.has_value() ? *mutated : g;
+  MultiTaskModel model(final_graph, rng);
+  const Shape input = final_graph.node(final_graph.root()).output_shape;
+  const bool token_input = input.Rank() == 1;
+  Tensor x = token_input ? Tensor::Zeros(input.WithBatch(2))
+                         : Tensor::RandomGaussian(input.WithBatch(2), rng);
+  std::vector<Tensor> outs = model.Forward(x, /*training=*/false);
+  ASSERT_EQ(outs.size(), static_cast<size_t>(final_graph.num_tasks()));
+  for (int t = 0; t < final_graph.num_tasks(); ++t) {
+    EXPECT_EQ(outs[static_cast<size_t>(t)].shape().WithoutBatch(),
+              final_graph.node(final_graph.HeadOfTask(t)).output_shape);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, MutationFuzzTest, ::testing::Range(1, 8));
+
+// Random byte-level corruption of serialized graphs must never crash the
+// loader or yield an invalid graph — either the load fails cleanly or the
+// corruption missed the parsed region.
+TEST(SerializationFuzzTest, CorruptGraphsRejectedOrHarmless) {
+  AbsGraph g = GraphForBenchmark(1);
+  const auto dir = std::filesystem::temp_directory_path() / "gmorph_fuzz";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "g.bin").string();
+  ASSERT_TRUE(SaveGraph(path, g));
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+
+  Rng rng(29);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string corrupted = bytes;
+    // Flip a few random bytes / truncate.
+    if (trial % 3 == 0) {
+      corrupted.resize(static_cast<size_t>(rng.NextInt(static_cast<int>(bytes.size()))));
+    } else {
+      for (int flips = 0; flips < 4; ++flips) {
+        const size_t pos = static_cast<size_t>(rng.NextInt(static_cast<int>(corrupted.size())));
+        corrupted[pos] = static_cast<char>(rng.NextInt(256));
+      }
+    }
+    const std::string cpath = (dir / "c.bin").string();
+    std::ofstream out(cpath, std::ios::binary | std::ios::trunc);
+    out.write(corrupted.data(), static_cast<std::streamsize>(corrupted.size()));
+    out.close();
+    AbsGraph loaded;
+    try {
+      if (LoadGraph(cpath, loaded)) {
+        loaded.Validate();  // accepted data must still be a valid graph
+      }
+    } catch (const CheckError&) {
+      // Structured corruption detected during FromNodes validation: fine.
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace gmorph

@@ -1,0 +1,132 @@
+// End-to-end integration tests for the GMorph driver (Algorithm 1).
+#include "src/core/gmorph.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/benchmarks.h"
+#include "src/data/teacher.h"
+
+namespace gmorph {
+namespace {
+
+struct Prepared {
+  BenchmarkDef def;
+  std::vector<std::unique_ptr<TaskModel>> teachers;
+  std::vector<TaskModel*> ptrs;
+};
+
+Prepared Prepare(int bench_index, uint64_t seed) {
+  BenchmarkScale scale;
+  scale.train_size = 48;
+  scale.test_size = 32;
+  scale.cnn_width = 4;
+  Prepared p;
+  p.def = MakeBenchmark(bench_index, scale, seed);
+  Rng rng(seed);
+  for (size_t t = 0; t < p.def.tasks.size(); ++t) {
+    p.teachers.push_back(std::make_unique<TaskModel>(p.def.tasks[t].model, rng));
+    TeacherTrainOptions topts;
+    topts.epochs = 2;
+    TrainTeacher(*p.teachers.back(), p.def.train, p.def.test, t, topts);
+    p.ptrs.push_back(p.teachers.back().get());
+  }
+  return p;
+}
+
+GMorphOptions FastOptions() {
+  GMorphOptions o;
+  o.iterations = 4;
+  o.accuracy_drop_threshold = 0.10;
+  o.finetune.max_epochs = 2;
+  o.finetune.eval_interval = 1;
+  o.latency.measured_runs = 3;
+  o.seed = 3;
+  return o;
+}
+
+TEST(GMorphIntegrationTest, NeverReturnsSlowerThanOriginal) {
+  Prepared p = Prepare(1, 21);
+  GMorph gmorph(p.ptrs, &p.def.train, &p.def.test, FastOptions());
+  GMorphResult r = gmorph.Run();
+  EXPECT_LE(r.best_latency_ms, r.original_latency_ms + 1e-9);
+  EXPECT_GE(r.speedup, 1.0);
+  EXPECT_EQ(r.teacher_scores.size(), p.ptrs.size());
+  r.best_graph.Validate();
+}
+
+TEST(GMorphIntegrationTest, BestModelMeetsAccuracyTarget) {
+  Prepared p = Prepare(1, 23);
+  GMorphOptions opts = FastOptions();
+  opts.iterations = 6;
+  GMorph gmorph(p.ptrs, &p.def.train, &p.def.test, opts);
+  GMorphResult r = gmorph.Run();
+  if (r.found_improvement) {
+    for (size_t t = 0; t < r.best_task_scores.size(); ++t) {
+      EXPECT_GE(r.best_task_scores[t],
+                r.teacher_scores[t] - opts.accuracy_drop_threshold - 1e-9);
+    }
+  }
+}
+
+TEST(GMorphIntegrationTest, TraceIsConsistent) {
+  Prepared p = Prepare(1, 25);
+  GMorphOptions opts = FastOptions();
+  GMorph gmorph(p.ptrs, &p.def.train, &p.def.test, opts);
+  GMorphResult r = gmorph.Run();
+  EXPECT_EQ(r.trace.size(), static_cast<size_t>(opts.iterations));
+  double prev_elapsed = 0.0;
+  double prev_best = r.original_latency_ms;
+  for (const IterationRecord& rec : r.trace) {
+    EXPECT_GE(rec.elapsed_seconds, prev_elapsed);
+    prev_elapsed = rec.elapsed_seconds;
+    EXPECT_LE(rec.best_latency_ms, prev_best + 1e-9);
+    prev_best = rec.best_latency_ms;
+  }
+  EXPECT_GT(r.search_seconds, 0.0);
+}
+
+TEST(GMorphIntegrationTest, RuleFilteringSkipsCandidates) {
+  Prepared p = Prepare(1, 27);
+  GMorphOptions opts = FastOptions();
+  opts.iterations = 8;
+  // Impossible target: every candidate is non-promising, so later aggressive
+  // candidates must be rule-filtered without fine-tuning.
+  opts.accuracy_drop_threshold = -1.0;
+  opts.rule_based_filtering = true;
+  GMorph gmorph(p.ptrs, &p.def.train, &p.def.test, opts);
+  GMorphResult r = gmorph.Run();
+  EXPECT_FALSE(r.found_improvement);
+  EXPECT_GT(r.candidates_filtered + r.candidates_finetuned, 0);
+}
+
+TEST(GMorphIntegrationTest, RandomPolicyRuns) {
+  Prepared p = Prepare(1, 29);
+  GMorphOptions opts = FastOptions();
+  opts.policy = PolicyKind::kRandom;
+  GMorph gmorph(p.ptrs, &p.def.train, &p.def.test, opts);
+  GMorphResult r = gmorph.Run();
+  EXPECT_GE(r.speedup, 1.0);
+}
+
+TEST(GMorphIntegrationTest, FlopsMetricSelectsByFlops) {
+  Prepared p = Prepare(1, 31);
+  GMorphOptions opts = FastOptions();
+  opts.metric = OptimizeMetric::kFlops;
+  opts.iterations = 6;
+  GMorph gmorph(p.ptrs, &p.def.train, &p.def.test, opts);
+  GMorphResult r = gmorph.Run();
+  EXPECT_LE(r.best_flops, r.original_flops);
+}
+
+TEST(GMorphIntegrationTest, TransformerBenchmarkRuns) {
+  Prepared p = Prepare(7, 33);
+  GMorphOptions opts = FastOptions();
+  opts.iterations = 3;
+  GMorph gmorph(p.ptrs, &p.def.train, &p.def.test, opts);
+  GMorphResult r = gmorph.Run();
+  EXPECT_GE(r.speedup, 1.0);
+  r.best_graph.Validate();
+}
+
+}  // namespace
+}  // namespace gmorph

@@ -1,0 +1,164 @@
+// Finite-difference gradient checks for every differentiable layer. Each case
+// builds a small module + input and verifies a sample of input and parameter
+// gradients against central differences.
+#include <functional>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/nn/activations.h"
+#include "src/nn/attention.h"
+#include "src/nn/blocks.h"
+#include "src/nn/conv2d.h"
+#include "src/nn/embedding.h"
+#include "src/nn/linear.h"
+#include "src/nn/norm.h"
+#include "src/nn/pooling.h"
+#include "src/nn/rescale.h"
+#include "src/nn/sequential.h"
+#include "src/nn/transformer_block.h"
+#include "tests/test_util.h"
+
+namespace gmorph {
+namespace {
+
+struct GradCase {
+  std::string name;
+  std::function<std::unique_ptr<Module>(Rng&)> make;
+  Shape input_shape;  // includes batch
+  float tolerance = 5e-2f;
+};
+
+class GradCheckTest : public ::testing::TestWithParam<GradCase> {};
+
+TEST_P(GradCheckTest, MatchesNumericGradient) {
+  const GradCase& c = GetParam();
+  Rng rng(99);
+  std::unique_ptr<Module> module = c.make(rng);
+  Tensor x = Tensor::RandomGaussian(c.input_shape, rng);
+  testing::GradCheckModule(*module, x, c.tolerance, rng);
+}
+
+std::vector<GradCase> MakeCases() {
+  std::vector<GradCase> cases;
+  cases.push_back({"Linear",
+                   [](Rng& rng) { return std::make_unique<Linear>(6, 4, rng); },
+                   Shape{3, 6}});
+  cases.push_back({"LinearNoBias",
+                   [](Rng& rng) { return std::make_unique<Linear>(5, 3, rng, false); },
+                   Shape{2, 5}});
+  cases.push_back({"Linear3d",
+                   [](Rng& rng) { return std::make_unique<Linear>(4, 4, rng); },
+                   Shape{2, 3, 4}});
+  cases.push_back({"ReLU", [](Rng&) { return std::make_unique<ReLU>(); }, Shape{4, 7}});
+  cases.push_back({"GELU", [](Rng&) { return std::make_unique<GELU>(); }, Shape{4, 7}});
+  cases.push_back({"Conv2d",
+                   [](Rng& rng) { return std::make_unique<Conv2d>(2, 3, 3, 1, 1, rng); },
+                   Shape{2, 2, 5, 5}});
+  cases.push_back({"Conv2dStride2",
+                   [](Rng& rng) { return std::make_unique<Conv2d>(2, 2, 3, 2, 1, rng); },
+                   Shape{2, 2, 6, 6}});
+  cases.push_back({"BatchNorm2d",
+                   [](Rng&) { return std::make_unique<BatchNorm2d>(3); },
+                   Shape{4, 3, 3, 3},
+                   8e-2f});
+  cases.push_back({"LayerNorm", [](Rng&) { return std::make_unique<LayerNorm>(6); },
+                   Shape{3, 2, 6}, 8e-2f});
+  cases.push_back({"MaxPool2d", [](Rng&) { return std::make_unique<MaxPool2d>(2, 2); },
+                   Shape{2, 2, 4, 4}});
+  cases.push_back({"GlobalAvgPool", [](Rng&) { return std::make_unique<GlobalAvgPool2d>(); },
+                   Shape{2, 3, 4, 4}});
+  cases.push_back({"MeanPoolTokens", [](Rng&) { return std::make_unique<MeanPoolTokens>(); },
+                   Shape{2, 5, 3}});
+  cases.push_back({"MHSA",
+                   [](Rng& rng) { return std::make_unique<MultiHeadSelfAttention>(8, 2, rng); },
+                   Shape{2, 4, 8},
+                   8e-2f});
+  cases.push_back({"TransformerBlock",
+                   [](Rng& rng) { return std::make_unique<TransformerBlock>(8, 2, 2, rng); },
+                   Shape{2, 4, 8},
+                   1e-1f});
+  cases.push_back({"ConvBlockNoBN",
+                   [](Rng& rng) {
+                     return std::make_unique<ConvBlock>(2, 3, 3, 1, 1, false, rng);
+                   },
+                   Shape{2, 2, 4, 4}});
+  cases.push_back({"ConvBlockBN",
+                   [](Rng& rng) {
+                     return std::make_unique<ConvBlock>(2, 3, 3, 1, 1, true, rng);
+                   },
+                   Shape{3, 2, 4, 4},
+                   1e-1f});
+  cases.push_back({"ResidualBlockIdentity",
+                   [](Rng& rng) { return std::make_unique<ResidualBlock>(3, 3, 1, rng); },
+                   Shape{2, 3, 4, 4},
+                   1.5e-1f});
+  cases.push_back({"ResidualBlockProjection",
+                   [](Rng& rng) { return std::make_unique<ResidualBlock>(2, 4, 2, rng); },
+                   Shape{2, 2, 6, 6},
+                   1.5e-1f});
+  cases.push_back({"RescaleSpatialChannel",
+                   [](Rng& rng) {
+                     return std::make_unique<Rescale>(Shape{2, 4, 4}, Shape{3, 6, 6}, rng);
+                   },
+                   Shape{2, 2, 4, 4}});
+  cases.push_back({"RescaleTokens",
+                   [](Rng& rng) {
+                     return std::make_unique<Rescale>(Shape{4, 3}, Shape{6, 5}, rng);
+                   },
+                   Shape{2, 4, 3}});
+  cases.push_back({"PatchEmbed",
+                   [](Rng& rng) { return std::make_unique<PatchEmbed>(2, 8, 4, 6, rng); },
+                   Shape{2, 2, 8, 8}});
+  cases.push_back({"Sequential",
+                   [](Rng& rng) {
+                     auto seq = std::make_unique<Sequential>();
+                     seq->Append(std::make_unique<Linear>(5, 8, rng));
+                     seq->Append(std::make_unique<ReLU>());
+                     seq->Append(std::make_unique<Linear>(8, 3, rng));
+                     return seq;
+                   },
+                   Shape{3, 5}});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLayers, GradCheckTest, ::testing::ValuesIn(MakeCases()),
+                         [](const ::testing::TestParamInfo<GradCase>& info) {
+                           return info.param.name;
+                         });
+
+// TokenEmbedding has discrete inputs; check parameter gradients only.
+TEST(TokenEmbeddingGrad, TableAndPositionGradients) {
+  Rng rng(3);
+  TokenEmbedding embed(6, 4, 5, rng);
+  Tensor ids = Tensor::FromVector(Shape{2, 4}, {0, 1, 2, 3, 5, 5, 1, 0});
+  Tensor y = embed.Forward(ids, true);
+  Tensor probe = Tensor::RandomGaussian(y.shape(), rng);
+  embed.ZeroGrad();
+  embed.Backward(probe);
+  auto params = embed.Parameters();
+  const float eps = 1e-2f;
+  for (Parameter* p : params) {
+    Tensor analytic = p->grad.Clone();
+    for (int trial = 0; trial < 5; ++trial) {
+      const int64_t i = rng.NextInt(static_cast<int>(p->value.size()));
+      const float saved = p->value.at(i);
+      p->value.at(i) = saved + eps;
+      Tensor yp = embed.Forward(ids, true);
+      p->value.at(i) = saved - eps;
+      Tensor ym = embed.Forward(ids, true);
+      p->value.at(i) = saved;
+      float up = 0.0f;
+      float dn = 0.0f;
+      for (int64_t j = 0; j < yp.size(); ++j) {
+        up += yp.at(j) * probe.at(j);
+        dn += ym.at(j) * probe.at(j);
+      }
+      EXPECT_NEAR(analytic.at(i), (up - dn) / (2 * eps), 5e-2f) << p->name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gmorph

@@ -1,0 +1,157 @@
+// Tests for thread pool, config parsing, DOT export, and the parallel search
+// mode.
+#include <atomic>
+
+#include <gtest/gtest.h>
+
+#include "src/common/check.h"
+#include "src/common/config.h"
+#include "src/common/thread_pool.h"
+#include "src/core/dot_export.h"
+#include "src/core/gmorph.h"
+#include "src/core/model_parser.h"
+#include "src/core/mutation.h"
+#include "src/data/benchmarks.h"
+#include "src/data/teacher.h"
+#include "src/models/zoo.h"
+
+namespace gmorph {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitAll();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitAllOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.WaitAll();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ReusableAcrossRounds) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.WaitAll();
+    EXPECT_EQ(counter.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ConfigTest, ParsesTypesAndComments) {
+  Config c = Config::FromString(
+      "# a comment\n"
+      "name = my experiment  # trailing comment\n"
+      "iterations = 42\n"
+      "threshold = 0.015\n"
+      "  enabled =  true \n"
+      "\n");
+  EXPECT_EQ(c.GetString("name", ""), "my experiment");
+  EXPECT_EQ(c.GetInt("iterations", 0), 42);
+  EXPECT_DOUBLE_EQ(c.GetDouble("threshold", 0.0), 0.015);
+  EXPECT_TRUE(c.GetBool("enabled", false));
+  EXPECT_FALSE(c.Has("missing"));
+  EXPECT_EQ(c.GetInt("missing", 7), 7);
+}
+
+TEST(ConfigTest, BoolSpellings) {
+  Config c = Config::FromString("a = YES\nb = 0\nc = On\nd = false\n");
+  EXPECT_TRUE(c.GetBool("a", false));
+  EXPECT_FALSE(c.GetBool("b", true));
+  EXPECT_TRUE(c.GetBool("c", false));
+  EXPECT_FALSE(c.GetBool("d", true));
+}
+
+TEST(ConfigTest, MalformedInputsThrow) {
+  EXPECT_THROW(Config::FromString("no equals sign here\n"), CheckError);
+  EXPECT_THROW(Config::FromString("= value\n"), CheckError);
+  Config c = Config::FromString("x = abc\ny = 1.5\n");
+  EXPECT_THROW(c.GetInt("x", 0), CheckError);
+  EXPECT_THROW(c.GetBool("x", false), CheckError);
+  EXPECT_THROW(c.GetInt("y", 0), CheckError);  // trailing chars after int
+  EXPECT_THROW(Config::FromFile("/nonexistent/path.cfg"), CheckError);
+}
+
+TEST(DotExportTest, ContainsNodesEdgesAndSharingMarkers) {
+  Rng rng(3);
+  VisionModelOptions opts;
+  opts.base_width = 4;
+  opts.classes = 2;
+  AbsGraph g = ParseModelSpecs({MakeVgg11(opts), MakeVgg11(opts)});
+  // Create one shared prefix so a shared node exists.
+  const int second0 = g.node(g.node(g.root()).children[0]).children[0];
+  const int second1 = g.node(g.node(g.root()).children[1]).children[0];
+  ASSERT_TRUE(ApplyMutation(g, {second0, second1}));
+
+  const std::string dot = ToDot(g, "test \"graph\"");
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\\\"graph\\\""), std::string::npos);  // escaped title
+  EXPECT_NE(dot.find("input"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("penwidth=2.5"), std::string::npos);  // shared-node marker
+  // One node statement per graph node.
+  size_t node_count = 0;
+  for (size_t pos = dot.find("[label="); pos != std::string::npos;
+       pos = dot.find("[label=", pos + 1)) {
+    ++node_count;
+  }
+  EXPECT_EQ(node_count, static_cast<size_t>(g.size()));
+}
+
+TEST(ParallelGMorphTest, ParallelRoundsMatchBudgetAndStayValid) {
+  BenchmarkScale scale;
+  scale.train_size = 48;
+  scale.test_size = 32;
+  scale.cnn_width = 4;
+  BenchmarkDef def = MakeBenchmark(1, scale, 51);
+  Rng rng(51);
+  std::vector<std::unique_ptr<TaskModel>> teachers;
+  std::vector<TaskModel*> ptrs;
+  for (size_t t = 0; t < def.tasks.size(); ++t) {
+    teachers.push_back(std::make_unique<TaskModel>(def.tasks[t].model, rng));
+    TeacherTrainOptions topts;
+    topts.epochs = 1;
+    TrainTeacher(*teachers.back(), def.train, def.test, t, topts);
+    ptrs.push_back(teachers.back().get());
+  }
+  GMorphOptions options;
+  options.iterations = 6;
+  options.accuracy_drop_threshold = 0.2;
+  options.finetune.max_epochs = 1;
+  options.finetune.eval_interval = 1;
+  options.latency.measured_runs = 2;
+  options.parallel_candidates = 3;
+  options.num_threads = 2;
+  options.seed = 5;
+  GMorph gmorph(ptrs, &def.train, &def.test, options);
+  GMorphResult r = gmorph.Run();
+  EXPECT_EQ(r.trace.size(), 6u);
+  EXPECT_GE(r.speedup, 1.0);
+  r.best_graph.Validate();
+  // Iterations numbered 1..N in order despite parallel evaluation.
+  for (size_t i = 0; i < r.trace.size(); ++i) {
+    EXPECT_EQ(r.trace[i].iteration, static_cast<int>(i) + 1);
+  }
+}
+
+}  // namespace
+}  // namespace gmorph

@@ -1,0 +1,185 @@
+#include "src/models/model_spec.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/models/task_model.h"
+#include "src/models/zoo.h"
+#include "tests/test_util.h"
+
+namespace gmorph {
+namespace {
+
+// All block specs used across the zoo, for parameterized consistency checks.
+std::vector<BlockSpec> RepresentativeSpecs() {
+  return {
+      ConvReLUSpec(3, 8),
+      ConvBNReLUSpec(3, 8),
+      ResidualSpec(8, 8, 1),
+      ResidualSpec(8, 16, 2),
+      MaxPoolSpec(),
+      GlobalAvgPoolSpec(),
+      FlattenSpec(),
+      LinearReLUSpec(32, 16),
+      HeadSpec(16, 4),
+      PatchEmbedSpec(3, 16, 8, 12),
+      TokenEmbedSpec(32, 8, 12),
+      TransformerSpec(12, 3, 2),
+      MeanPoolTokensSpec(),
+      RescaleSpec(Shape{8, 4, 4}, Shape{16, 8, 8}),
+      RescaleSpec(Shape{8, 4, 4}, Shape{8, 4, 4}),
+      RescaleSpec(Shape{8, 12}, Shape{4, 16}),
+  };
+}
+
+// Per-sample input shape each representative spec accepts.
+Shape InputFor(const BlockSpec& spec) {
+  switch (spec.type) {
+    case BlockType::kConvReLU:
+    case BlockType::kConvBNReLU:
+    case BlockType::kResidual:
+      return Shape{spec.in_channels, 8, 8};
+    case BlockType::kMaxPool:
+    case BlockType::kGlobalAvgPool:
+    case BlockType::kFlatten:
+      return Shape{4, 8, 8};
+    case BlockType::kLinearReLU:
+    case BlockType::kHead:
+      return Shape{spec.in_features};
+    case BlockType::kPatchEmbed:
+      return Shape{spec.in_channels, spec.image_size, spec.image_size};
+    case BlockType::kTokenEmbed:
+      return Shape{spec.seq_len};
+    case BlockType::kTransformer:
+      return Shape{6, spec.dim};
+    case BlockType::kMeanPoolTokens:
+      return Shape{6, 12};
+    case BlockType::kRescale:
+      return spec.rescale_in;
+  }
+  return {};
+}
+
+class BlockSpecParamTest : public ::testing::TestWithParam<BlockSpec> {};
+
+TEST_P(BlockSpecParamTest, CapacityMatchesInstantiatedModule) {
+  const BlockSpec spec = GetParam();
+  Rng rng(1);
+  std::unique_ptr<Module> module = MakeModule(spec, rng);
+  EXPECT_EQ(BlockCapacity(spec), module->ParamCount()) << spec.ToString();
+}
+
+TEST_P(BlockSpecParamTest, OutShapeMatchesActualForward) {
+  const BlockSpec spec = GetParam();
+  Rng rng(2);
+  std::unique_ptr<Module> module = MakeModule(spec, rng);
+  const Shape in = InputFor(spec);
+  Tensor x = spec.type == BlockType::kTokenEmbed
+                 ? Tensor::Zeros(in.WithBatch(2))
+                 : Tensor::RandomGaussian(in.WithBatch(2), rng);
+  Tensor y = module->Forward(x, /*training=*/true);
+  EXPECT_EQ(y.shape().WithoutBatch(), BlockOutShape(spec, in)) << spec.ToString();
+}
+
+TEST_P(BlockSpecParamTest, FlopsNonNegative) {
+  const BlockSpec spec = GetParam();
+  EXPECT_GE(BlockFlops(spec, InputFor(spec)), 0) << spec.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBlocks, BlockSpecParamTest,
+                         ::testing::ValuesIn(RepresentativeSpecs()));
+
+TEST(BlockSpecTest, SpecEqualsDiscriminates) {
+  EXPECT_TRUE(SpecEquals(ConvReLUSpec(3, 8), ConvReLUSpec(3, 8)));
+  EXPECT_FALSE(SpecEquals(ConvReLUSpec(3, 8), ConvReLUSpec(3, 16)));
+  EXPECT_FALSE(SpecEquals(ConvReLUSpec(3, 8), ConvBNReLUSpec(3, 8)));
+  EXPECT_FALSE(SpecEquals(HeadSpec(8, 4), HeadSpec(8, 5)));
+}
+
+TEST(BlockSpecTest, ShapeMismatchThrows) {
+  EXPECT_THROW(BlockOutShape(ConvReLUSpec(4, 8), Shape{3, 8, 8}), CheckError);
+  EXPECT_THROW(BlockOutShape(TransformerSpec(16, 4), Shape{6, 12}), CheckError);
+  EXPECT_THROW(BlockOutShape(RescaleSpec(Shape{2, 4, 4}, Shape{2, 8, 8}), Shape{3, 4, 4}),
+               CheckError);
+}
+
+struct ZooCase {
+  std::string name;
+  ModelSpec spec;
+  int64_t expected_out;
+};
+
+std::vector<ZooCase> ZooCases() {
+  VisionModelOptions v;
+  v.classes = 5;
+  TransformerModelOptions vit = ViTBaseOptions();
+  vit.classes = 7;
+  TransformerModelOptions bert = BertBaseOptions();
+  bert.classes = 2;
+  return {
+      {"vgg11", MakeVgg11(v), 5},     {"vgg13", MakeVgg13(v), 5},
+      {"vgg16", MakeVgg16(v), 5},     {"resnet18", MakeResNet18(v), 5},
+      {"resnet34", MakeResNet34(v), 5}, {"vit", MakeViT("vit", vit), 7},
+      {"bert", MakeBert("bert", bert), 2},
+  };
+}
+
+class ZooParamTest : public ::testing::TestWithParam<ZooCase> {};
+
+TEST_P(ZooParamTest, SpecOutputShapeIsClassCount) {
+  const ZooCase& c = GetParam();
+  EXPECT_EQ(c.spec.OutputShape().dims(), (std::vector<int64_t>{c.expected_out}));
+}
+
+TEST_P(ZooParamTest, InstantiatedModelRunsAndMatchesSpec) {
+  const ZooCase& c = GetParam();
+  Rng rng(5);
+  TaskModel model(c.spec, rng);
+  EXPECT_EQ(model.num_blocks(), c.spec.blocks.size());
+  const bool token_input = c.spec.input_shape.Rank() == 1;
+  Tensor x = token_input ? Tensor::Zeros(c.spec.input_shape.WithBatch(2))
+                         : Tensor::RandomGaussian(c.spec.input_shape.WithBatch(2), rng);
+  Tensor y = model.Forward(x, /*training=*/false);
+  EXPECT_EQ(y.shape().dims(), (std::vector<int64_t>{2, c.expected_out}));
+  // Capacity accounting agrees with the live parameters.
+  int64_t live = 0;
+  for (Parameter* p : model.Parameters()) {
+    live += p->value.size();
+  }
+  EXPECT_EQ(live, c.spec.TotalCapacity());
+  EXPECT_GT(c.spec.TotalFlops(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, ZooParamTest, ::testing::ValuesIn(ZooCases()),
+                         [](const ::testing::TestParamInfo<ZooCase>& info) {
+                           return info.param.name;
+                         });
+
+TEST(ZooTest, DepthOrdering) {
+  VisionModelOptions v;
+  EXPECT_LT(MakeVgg11(v).blocks.size(), MakeVgg13(v).blocks.size());
+  EXPECT_LT(MakeVgg13(v).blocks.size(), MakeVgg16(v).blocks.size());
+  EXPECT_LT(MakeResNet18(v).blocks.size(), MakeResNet34(v).blocks.size());
+  EXPECT_LT(MakeResNet18(v).TotalFlops(), MakeResNet34(v).TotalFlops());
+  EXPECT_LT(MakeViT("b", ViTBaseOptions()).TotalFlops(),
+            MakeViT("l", ViTLargeOptions()).TotalFlops());
+  EXPECT_LT(MakeBert("b", BertBaseOptions()).TotalCapacity(),
+            MakeBert("l", BertLargeOptions()).TotalCapacity());
+}
+
+TEST(TaskModelTest, WeightExportImportRoundTrip) {
+  Rng rng(6);
+  VisionModelOptions v;
+  v.classes = 3;
+  TaskModel a(MakeVgg11(v), rng);
+  TaskModel b(MakeVgg11(v), rng);
+  b.ImportWeights(a.ExportWeights());
+  Tensor x = Tensor::RandomGaussian(Shape{1, 3, 32, 32}, rng);
+  Tensor ya = a.Forward(x, false);
+  Tensor yb = b.Forward(x, false);
+  EXPECT_LT(testing::MaxDiff(ya, yb), 1e-5f);
+}
+
+}  // namespace
+}  // namespace gmorph

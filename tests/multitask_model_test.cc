@@ -1,0 +1,150 @@
+#include "src/core/multitask_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/model_parser.h"
+#include "src/core/mutation.h"
+#include "src/models/zoo.h"
+#include "src/nn/loss.h"
+#include "src/nn/optimizer.h"
+#include "src/tensor/tensor_ops.h"
+#include "tests/test_util.h"
+
+namespace gmorph {
+namespace {
+
+using testing::MaxDiff;
+
+struct TwoTeachers {
+  std::unique_ptr<TaskModel> a;
+  std::unique_ptr<TaskModel> b;
+};
+
+TwoTeachers MakeTeachers(Rng& rng) {
+  VisionModelOptions opts;
+  opts.base_width = 4;
+  TwoTeachers t;
+  opts.classes = 3;
+  t.a = std::make_unique<TaskModel>(MakeVgg11(opts), rng);
+  opts.classes = 2;
+  t.b = std::make_unique<TaskModel>(MakeVgg11(opts), rng);
+  return t;
+}
+
+TEST(MultiTaskModelTest, OriginalGraphReproducesTeacherOutputs) {
+  Rng rng(1);
+  TwoTeachers teachers = MakeTeachers(rng);
+  AbsGraph g = ParseTaskModels({teachers.a.get(), teachers.b.get()});
+  MultiTaskModel model(g, rng);
+
+  Tensor x = Tensor::RandomGaussian(Shape{2, 3, 32, 32}, rng);
+  std::vector<Tensor> outs = model.Forward(x, /*training=*/false);
+  ASSERT_EQ(outs.size(), 2u);
+  EXPECT_LT(MaxDiff(outs[0], teachers.a->Forward(x, false)), 1e-4f);
+  EXPECT_LT(MaxDiff(outs[1], teachers.b->Forward(x, false)), 1e-4f);
+}
+
+TEST(MultiTaskModelTest, FreshWeightsWhenNodeHasNone) {
+  Rng rng(2);
+  VisionModelOptions opts;
+  opts.base_width = 4;
+  opts.classes = 2;
+  AbsGraph g = ParseModelSpecs({MakeVgg11(opts)});  // spec-only: no weights
+  MultiTaskModel model(g, rng);
+  Tensor x = Tensor::RandomGaussian(Shape{1, 3, 32, 32}, rng);
+  EXPECT_EQ(model.Forward(x, false)[0].shape().dims(), (std::vector<int64_t>{1, 2}));
+}
+
+TEST(MultiTaskModelTest, SharedNodeGradAccumulatesOverTasks) {
+  Rng rng(3);
+  TwoTeachers teachers = MakeTeachers(rng);
+  AbsGraph g = ParseTaskModels({teachers.a.get(), teachers.b.get()});
+  // Pair the *second* blocks: task 1's block reuses task 0's second-block
+  // input, which makes the first conv shared (paper Fig. 5, panel 2).
+  const int second0 = g.node(g.node(g.root()).children[0]).children[0];
+  const int second1 = g.node(g.node(g.root()).children[1]).children[0];
+  ASSERT_TRUE(ApplyMutation(g, {second0, second1}));
+
+  MultiTaskModel model(g, rng);
+  Tensor x = Tensor::RandomGaussian(Shape{2, 3, 32, 32}, rng);
+
+  auto shared_grad_norm = [&](bool include_b) {
+    std::vector<Tensor> outs = model.Forward(x, /*training=*/true);
+    std::vector<Tensor> grads(2);
+    grads[0] = Tensor::Full(outs[0].shape(), 1.0f);
+    if (include_b) {
+      grads[1] = Tensor::Full(outs[1].shape(), 1.0f);
+    }
+    model.ZeroGrad();
+    model.Backward(grads);
+    // First parameter of the shared stem conv.
+    float sum = 0.0f;
+    for (Parameter* p : model.Parameters()) {
+      sum += MaxAbs(p->grad);
+      break;
+    }
+    return sum;
+  };
+  const float one_task = shared_grad_norm(false);
+  const float two_tasks = shared_grad_norm(true);
+  EXPECT_GT(one_task, 0.0f);
+  EXPECT_NE(one_task, two_tasks);  // second head contributes extra gradient
+}
+
+TEST(MultiTaskModelTest, BackwardReturnsInputGradient) {
+  Rng rng(4);
+  TwoTeachers teachers = MakeTeachers(rng);
+  AbsGraph g = ParseTaskModels({teachers.a.get(), teachers.b.get()});
+  MultiTaskModel model(g, rng);
+  Tensor x = Tensor::RandomGaussian(Shape{1, 3, 32, 32}, rng);
+  std::vector<Tensor> outs = model.Forward(x, true);
+  std::vector<Tensor> grads = {Tensor::Full(outs[0].shape(), 1.0f),
+                               Tensor::Full(outs[1].shape(), 1.0f)};
+  Tensor gx = model.Backward(grads);
+  EXPECT_EQ(gx.shape(), x.shape());
+  EXPECT_GT(MaxAbs(gx), 0.0f);
+}
+
+TEST(MultiTaskModelTest, ExportTrainedGraphRoundTrips) {
+  Rng rng(5);
+  TwoTeachers teachers = MakeTeachers(rng);
+  AbsGraph g = ParseTaskModels({teachers.a.get(), teachers.b.get()});
+  MultiTaskModel model(g, rng);
+  // Perturb weights with one training step so export differs from the input.
+  Tensor x = Tensor::RandomGaussian(Shape{2, 3, 32, 32}, rng);
+  Adam opt(model.Parameters(), 1e-2f);
+  std::vector<Tensor> outs = model.Forward(x, true);
+  model.Backward({Tensor::Full(outs[0].shape(), 1.0f), Tensor::Full(outs[1].shape(), 1.0f)});
+  opt.Step();
+
+  AbsGraph trained = model.ExportTrainedGraph();
+  MultiTaskModel reloaded(trained, rng);
+  std::vector<Tensor> want = model.Forward(x, false);
+  std::vector<Tensor> got = reloaded.Forward(x, false);
+  EXPECT_LT(MaxDiff(got[0], want[0]), 1e-5f);
+  EXPECT_LT(MaxDiff(got[1], want[1]), 1e-5f);
+}
+
+TEST(MultiTaskModelTest, CapacityMatchesGraph) {
+  Rng rng(6);
+  TwoTeachers teachers = MakeTeachers(rng);
+  AbsGraph g = ParseTaskModels({teachers.a.get(), teachers.b.get()});
+  MultiTaskModel model(g, rng);
+  EXPECT_EQ(model.TotalCapacity(), g.TotalCapacity());
+}
+
+TEST(MultiTaskModelTest, MutatedModelStillProducesAllHeads) {
+  Rng rng(7);
+  TwoTeachers teachers = MakeTeachers(rng);
+  AbsGraph g = ParseTaskModels({teachers.a.get(), teachers.b.get()});
+  std::optional<AbsGraph> mutated = SampleMutatePass(g, 3, ShapeSimilarity::kSimilar, rng);
+  ASSERT_TRUE(mutated.has_value());
+  MultiTaskModel model(*mutated, rng);
+  Tensor x = Tensor::RandomGaussian(Shape{2, 3, 32, 32}, rng);
+  std::vector<Tensor> outs = model.Forward(x, false);
+  EXPECT_EQ(outs[0].shape().dims(), (std::vector<int64_t>{2, 3}));
+  EXPECT_EQ(outs[1].shape().dims(), (std::vector<int64_t>{2, 2}));
+}
+
+}  // namespace
+}  // namespace gmorph

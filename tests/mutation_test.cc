@@ -1,0 +1,230 @@
+// Property tests for shareable-pair discovery and graph mutation: whatever
+// random mutation sequence is applied, the graph must stay a valid multi-task
+// tree, keep every head, and never gain non-rescale capacity.
+#include "src/core/mutation.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/model_parser.h"
+#include "src/core/shareable.h"
+#include "src/models/zoo.h"
+
+namespace gmorph {
+namespace {
+
+AbsGraph B1LikeGraph() {
+  VisionModelOptions opts;
+  opts.base_width = 4;
+  std::vector<ModelSpec> specs;
+  for (int classes : {5, 2, 4}) {
+    opts.classes = classes;
+    specs.push_back(MakeVgg13(opts));
+  }
+  return ParseModelSpecs(specs);
+}
+
+AbsGraph HeterogeneousGraph() {
+  VisionModelOptions opts;
+  opts.base_width = 4;
+  opts.classes = 8;
+  ModelSpec a = MakeResNet34(opts);
+  opts.classes = 5;
+  ModelSpec b = MakeVgg16(opts);
+  return ParseModelSpecs({a, b});
+}
+
+TEST(ShapesSimilarTest, Definition) {
+  EXPECT_TRUE(ShapesSimilar(Shape{8, 16, 16}, Shape{8, 4, 4}));    // channel match
+  EXPECT_TRUE(ShapesSimilar(Shape{8, 16, 16}, Shape{4, 16, 8}));   // height match
+  EXPECT_TRUE(ShapesSimilar(Shape{8, 16, 16}, Shape{8, 16, 16}));  // identical
+  EXPECT_FALSE(ShapesSimilar(Shape{8, 16, 16}, Shape{4, 8, 32}));  // nothing matches
+  EXPECT_FALSE(ShapesSimilar(Shape{8, 16}, Shape{8, 16, 16}));     // rank differs
+}
+
+TEST(RescaleFeasibleTest, RankRules) {
+  EXPECT_TRUE(RescaleFeasible(Shape{4, 8, 8}, Shape{2, 4, 4}));
+  EXPECT_TRUE(RescaleFeasible(Shape{4, 16}, Shape{8, 32}));
+  EXPECT_TRUE(RescaleFeasible(Shape{64}, Shape{64}));    // identical rank-1 ok
+  EXPECT_FALSE(RescaleFeasible(Shape{64}, Shape{128}));  // rank-1 mismatch
+  EXPECT_FALSE(RescaleFeasible(Shape{4, 8, 8}, Shape{4, 8}));
+}
+
+TEST(ShareableTest, PairsAreValidAndDirected) {
+  AbsGraph g = B1LikeGraph();
+  const auto pairs = FindShareablePairs(g, ShapeSimilarity::kSimilar);
+  EXPECT_FALSE(pairs.empty());
+  for (const SharePair& pair : pairs) {
+    EXPECT_TRUE(PairValid(g, pair, ShapeSimilarity::kSimilar));
+    EXPECT_NE(pair.host, pair.guest);
+    EXPECT_TRUE(ShapesSimilar(g.node(pair.host).input_shape, g.node(pair.guest).input_shape));
+  }
+}
+
+TEST(ShareableTest, DissimilarModeExcludesSimilar) {
+  AbsGraph g = B1LikeGraph();
+  for (const SharePair& pair : FindShareablePairs(g, ShapeSimilarity::kDissimilar)) {
+    EXPECT_FALSE(ShapesSimilar(g.node(pair.host).input_shape, g.node(pair.guest).input_shape));
+  }
+}
+
+TEST(ShareableTest, InvalidPairsRejected) {
+  AbsGraph g = B1LikeGraph();
+  EXPECT_FALSE(PairValid(g, {0, 1}, ShapeSimilarity::kAny));    // root as host
+  EXPECT_FALSE(PairValid(g, {1, 0}, ShapeSimilarity::kAny));    // root as guest
+  EXPECT_FALSE(PairValid(g, {2, 2}, ShapeSimilarity::kAny));    // self
+  EXPECT_FALSE(PairValid(g, {99999, 1}, ShapeSimilarity::kAny));
+  // Guest that is an ancestor of the host's parent (cycle).
+  const int head0 = g.HeadOfTask(0);
+  const int mid = g.node(head0).parent;
+  EXPECT_FALSE(PairValid(g, {head0, mid}, ShapeSimilarity::kAny));
+}
+
+TEST(MutationTest, StemPairIsNoOpAndRejected) {
+  AbsGraph g = B1LikeGraph();
+  // Both stems already read the root input; "guest reuses host's input" would
+  // change nothing, so the pair must be rejected as a no-op.
+  const int stem0 = g.node(g.root()).children[0];
+  const int stem1 = g.node(g.root()).children[1];
+  EXPECT_FALSE(PairValid(g, {stem0, stem1}, ShapeSimilarity::kAny));
+}
+
+TEST(MutationTest, CrossBranchSharesPrefix) {
+  AbsGraph g = B1LikeGraph();
+  // Pair the second blocks of two tasks: the guest's old stem dies and the
+  // host's stem becomes shared (paper Fig. 5, panel 2).
+  const int second0 = g.node(g.node(g.root()).children[0]).children[0];
+  const int second1 = g.node(g.node(g.root()).children[1]).children[0];
+  const int64_t cap_before = g.TotalCapacity();
+  const int size_before = g.size();
+  ASSERT_EQ(ClassifyMutation(g, {second0, second1}), MutationKind::kCrossBranch);
+  ASSERT_TRUE(ApplyMutation(g, {second0, second1}));
+  EXPECT_LT(g.TotalCapacity(), cap_before);  // guest stem removed
+  EXPECT_LT(g.size(), size_before);
+  g.Validate();
+  // The host stem now serves two tasks.
+  const int host_stem = g.node(g.root()).children[0];
+  EXPECT_GE(g.TasksServed(host_stem).size(), 2u);
+}
+
+TEST(MutationTest, InBranchRemovesMiddleNodes) {
+  AbsGraph g = B1LikeGraph();
+  // Find an in-branch pair: host ancestor of guest with similar shapes.
+  const auto pairs = FindShareablePairs(g, ShapeSimilarity::kSimilar);
+  const SharePair* in_branch = nullptr;
+  for (const SharePair& pair : pairs) {
+    if (ClassifyMutation(g, pair) == MutationKind::kInBranch &&
+        g.node(pair.host).input_shape == g.node(pair.guest).input_shape) {
+      in_branch = &pair;
+      break;
+    }
+  }
+  ASSERT_NE(in_branch, nullptr);
+  const int size_before = g.size();
+  ASSERT_TRUE(ApplyMutation(g, *in_branch));
+  EXPECT_LT(g.size(), size_before);  // middle nodes garbage-collected
+  g.Validate();
+}
+
+TEST(MutationTest, RescaleInsertedForShapeMismatch) {
+  AbsGraph g = HeterogeneousGraph();
+  const auto pairs = FindShareablePairs(g, ShapeSimilarity::kSimilar);
+  const SharePair* mismatched = nullptr;
+  for (const SharePair& pair : pairs) {
+    if (!(g.node(pair.host).input_shape == g.node(pair.guest).input_shape)) {
+      mismatched = &pair;
+      break;
+    }
+  }
+  ASSERT_NE(mismatched, nullptr);
+  const Shape guest_in = g.node(mismatched->guest).input_shape;
+  ASSERT_TRUE(ApplyMutation(g, *mismatched));
+  // A rescale node now exists producing the guest's input shape.
+  bool found_rescale = false;
+  for (const AbsNode& n : g.nodes()) {
+    if (n.spec.type == BlockType::kRescale && n.output_shape == guest_in) {
+      found_rescale = true;
+    }
+  }
+  EXPECT_TRUE(found_rescale);
+}
+
+TEST(MutationTest, InvalidPairReturnsFalseAndLeavesGraphIntact) {
+  AbsGraph g = B1LikeGraph();
+  const std::string fp = g.Fingerprint();
+  EXPECT_FALSE(ApplyMutation(g, {0, 0}));
+  EXPECT_EQ(g.Fingerprint(), fp);
+}
+
+TEST(MutationTest, MutatePassAppliesSequence) {
+  AbsGraph g = B1LikeGraph();
+  const auto pairs = FindShareablePairs(g, ShapeSimilarity::kSimilar);
+  ASSERT_GE(pairs.size(), 1u);
+  std::optional<AbsGraph> mutated = MutatePass(g, {pairs[0]});
+  ASSERT_TRUE(mutated.has_value());
+  mutated->Validate();
+  EXPECT_NE(mutated->Fingerprint(), g.Fingerprint());
+  // Base untouched.
+  g.Validate();
+}
+
+TEST(MutationTest, MutatePassAllInvalidReturnsNullopt) {
+  AbsGraph g = B1LikeGraph();
+  EXPECT_FALSE(MutatePass(g, {{0, 0}, {1, 1}}).has_value());
+}
+
+// Property sweep: long random mutation chains on different topologies keep
+// every invariant.
+class MutationPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MutationPropertyTest, RandomMutationChainsPreserveInvariants) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  AbsGraph g = GetParam() % 2 == 0 ? B1LikeGraph() : HeterogeneousGraph();
+  const int num_tasks = g.num_tasks();
+  for (int step = 0; step < 12; ++step) {
+    const auto pairs = FindShareablePairs(g, ShapeSimilarity::kSimilar);
+    if (pairs.empty()) {
+      break;
+    }
+    const SharePair pick = pairs[static_cast<size_t>(rng.NextInt(static_cast<int>(pairs.size())))];
+    ASSERT_TRUE(ApplyMutation(g, pick));
+    // Invariants: valid tree, one head per task, non-rescale capacity never
+    // grows (rescale adapters are the only additions).
+    g.Validate();
+    EXPECT_EQ(g.num_tasks(), num_tasks);
+    for (int t = 0; t < num_tasks; ++t) {
+      EXPECT_GE(g.HeadOfTask(t), 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationPropertyTest, ::testing::Range(0, 10));
+
+TEST(MutationTest, SampleMutatePassProducesValidGraph) {
+  Rng rng(77);
+  AbsGraph g = B1LikeGraph();
+  std::optional<AbsGraph> mutated = SampleMutatePass(g, 3, ShapeSimilarity::kSimilar, rng);
+  ASSERT_TRUE(mutated.has_value());
+  mutated->Validate();
+}
+
+TEST(MutationTest, HeadOutputsNeverChange) {
+  Rng rng(31);
+  AbsGraph g = B1LikeGraph();
+  std::vector<Shape> head_shapes;
+  for (int t = 0; t < g.num_tasks(); ++t) {
+    head_shapes.push_back(g.node(g.HeadOfTask(t)).output_shape);
+  }
+  for (int step = 0; step < 8; ++step) {
+    std::optional<AbsGraph> mutated = SampleMutatePass(g, 1, ShapeSimilarity::kSimilar, rng);
+    if (!mutated) {
+      break;
+    }
+    g = *mutated;
+    for (int t = 0; t < g.num_tasks(); ++t) {
+      EXPECT_EQ(g.node(g.HeadOfTask(t)).output_shape, head_shapes[static_cast<size_t>(t)]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gmorph

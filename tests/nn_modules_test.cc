@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include "src/common/check.h"
+#include "src/nn/activations.h"
+#include "src/nn/blocks.h"
+#include "src/nn/conv2d.h"
+#include "src/nn/linear.h"
+#include "src/nn/loss.h"
+#include "src/nn/norm.h"
+#include "src/nn/optimizer.h"
+#include "src/nn/rescale.h"
+#include "src/nn/sequential.h"
+#include "src/tensor/tensor_ops.h"
+#include "tests/test_util.h"
+
+namespace gmorph {
+namespace {
+
+using testing::MaxDiff;
+
+TEST(ModuleTest, CloneIsDeep) {
+  Rng rng(1);
+  Linear layer(4, 3, rng);
+  std::unique_ptr<Module> clone = layer.Clone();
+  // Mutating the original must not affect the clone.
+  layer.Parameters()[0]->value.Fill(0.0f);
+  float max_abs = 0.0f;
+  for (Parameter* p : clone->Parameters()) {
+    for (int64_t i = 0; i < p->value.size(); ++i) {
+      max_abs = std::max(max_abs, std::fabs(p->value.at(i)));
+    }
+  }
+  EXPECT_GT(max_abs, 0.0f);
+}
+
+TEST(ModuleTest, ExportImportRoundTrip) {
+  Rng rng(2);
+  Conv2d a(2, 3, 3, 1, 1, rng);
+  Conv2d b(2, 3, 3, 1, 1, rng);
+  b.ImportParameters(a.ExportParameters());
+  Tensor x = Tensor::RandomGaussian(Shape{1, 2, 4, 4}, rng);
+  EXPECT_LT(MaxDiff(a.Forward(x, false), b.Forward(x, false)), 1e-6f);
+}
+
+TEST(ModuleTest, ImportRejectsWrongShapes) {
+  Rng rng(3);
+  Linear a(4, 3, rng);
+  Linear b(4, 5, rng);
+  EXPECT_THROW(b.ImportParameters(a.ExportParameters()), CheckError);
+}
+
+TEST(ModuleTest, ZeroGradClearsAccumulation) {
+  Rng rng(4);
+  Linear layer(3, 2, rng);
+  Tensor x = Tensor::RandomGaussian(Shape{2, 3}, rng);
+  Tensor y = layer.Forward(x, true);
+  layer.Backward(Tensor::Full(y.shape(), 1.0f));
+  layer.ZeroGrad();
+  for (Parameter* p : layer.Parameters()) {
+    EXPECT_FLOAT_EQ(MaxAbs(p->grad), 0.0f);
+  }
+}
+
+TEST(BatchNormTest, TrainingNormalizesBatch) {
+  Rng rng(5);
+  BatchNorm2d bn(4);
+  Tensor x = Tensor::RandomGaussian(Shape{8, 4, 3, 3}, rng, 3.0f);
+  Tensor y = bn.Forward(x, /*training=*/true);
+  // Per channel: approx zero mean, unit variance.
+  const int64_t spatial = 9;
+  const int64_t n = 8;
+  for (int64_t c = 0; c < 4; ++c) {
+    double sum = 0.0;
+    double sq = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t s = 0; s < spatial; ++s) {
+        const float v = y.at(((i * 4 + c) * spatial) + s);
+        sum += v;
+        sq += static_cast<double>(v) * v;
+      }
+    }
+    const double mean = sum / (n * spatial);
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(sq / (n * spatial) - mean * mean, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNormTest, EvalUsesRunningStats) {
+  Rng rng(6);
+  BatchNorm2d bn(2);
+  Tensor x = Tensor::RandomGaussian(Shape{16, 2, 4, 4}, rng, 2.0f);
+  for (int i = 0; i < 50; ++i) {
+    bn.Forward(x, true);  // converge running stats to the batch stats
+  }
+  Tensor train_out = bn.Forward(x, true);
+  Tensor eval_out = bn.Forward(x, false);
+  EXPECT_LT(MaxDiff(train_out, eval_out), 5e-2f);
+}
+
+TEST(BatchNormTest, BackwardRequiresTrainingForward) {
+  BatchNorm2d bn(2);
+  Tensor x = Tensor::Zeros(Shape{1, 2, 2, 2});
+  bn.Forward(x, /*training=*/false);
+  EXPECT_THROW(bn.Backward(x), CheckError);
+}
+
+TEST(RescaleTest, IdentityDetection) {
+  Rng rng(7);
+  Rescale same(Shape{4, 8, 8}, Shape{4, 8, 8}, rng);
+  EXPECT_TRUE(same.IsIdentity());
+  EXPECT_EQ(same.ParamCount(), 0);
+  Rescale spatial(Shape{4, 8, 8}, Shape{4, 4, 4}, rng);
+  EXPECT_FALSE(spatial.IsIdentity());
+  EXPECT_EQ(spatial.ParamCount(), 0);  // no channel change -> no parameters
+  Rescale channel(Shape{4, 8, 8}, Shape{6, 8, 8}, rng);
+  EXPECT_FALSE(channel.IsIdentity());
+  EXPECT_GT(channel.ParamCount(), 0);
+}
+
+TEST(RescaleTest, OutputShapes) {
+  Rng rng(8);
+  Rescale r(Shape{2, 6, 6}, Shape{5, 3, 9}, rng);
+  Tensor x = Tensor::RandomGaussian(Shape{2, 2, 6, 6}, rng);
+  Tensor y = r.Forward(x, false);
+  EXPECT_EQ(y.shape().dims(), (std::vector<int64_t>{2, 5, 3, 9}));
+  Rescale tokens(Shape{4, 3}, Shape{7, 6}, rng);
+  Tensor tx = Tensor::RandomGaussian(Shape{3, 4, 3}, rng);
+  EXPECT_EQ(tokens.Forward(tx, false).shape().dims(), (std::vector<int64_t>{3, 7, 6}));
+}
+
+TEST(RescaleTest, RankMismatchRejected) {
+  Rng rng(9);
+  EXPECT_THROW(Rescale(Shape{4, 8, 8}, Shape{4, 8}, rng), CheckError);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimize ||Wx - t||^2-ish via L1 on a fixed mapping.
+  Rng rng(10);
+  Linear layer(4, 4, rng);
+  Adam opt(layer.Parameters(), 5e-2f);
+  Tensor x = Tensor::RandomGaussian(Shape{16, 4}, rng);
+  Linear target_layer(4, 4, rng);
+  Tensor target = target_layer.Forward(x, false);
+  float first_loss = 0.0f;
+  float last_loss = 0.0f;
+  for (int step = 0; step < 300; ++step) {
+    Tensor y = layer.Forward(x, true);
+    Tensor grad;
+    const float loss = L1Loss(y, target, grad);
+    if (step == 0) {
+      first_loss = loss;
+    }
+    last_loss = loss;
+    layer.Backward(grad);
+    opt.Step();
+  }
+  EXPECT_LT(last_loss, first_loss * 0.2f);
+}
+
+TEST(AdamTest, StepZeroesGradients) {
+  Rng rng(11);
+  Linear layer(3, 3, rng);
+  Adam opt(layer.Parameters(), 1e-3f);
+  Tensor x = Tensor::RandomGaussian(Shape{2, 3}, rng);
+  Tensor y = layer.Forward(x, true);
+  layer.Backward(Tensor::Full(y.shape(), 1.0f));
+  opt.Step();
+  for (Parameter* p : layer.Parameters()) {
+    EXPECT_FLOAT_EQ(MaxAbs(p->grad), 0.0f);
+  }
+}
+
+TEST(LossTest, L1LossValueAndGrad) {
+  Tensor pred = Tensor::FromVector(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor target = Tensor::FromVector(Shape{2, 2}, {2, 2, 1, 4});
+  Tensor grad;
+  const float loss = L1Loss(pred, target, grad);
+  EXPECT_NEAR(loss, (1 + 0 + 2 + 0) / 4.0f, 1e-6f);
+  EXPECT_FLOAT_EQ(grad.at(0), -0.25f);
+  EXPECT_FLOAT_EQ(grad.at(1), 0.0f);
+  EXPECT_FLOAT_EQ(grad.at(2), 0.25f);
+}
+
+TEST(LossTest, CrossEntropyGradMatchesNumeric) {
+  Rng rng(12);
+  Tensor logits = Tensor::RandomGaussian(Shape{3, 4}, rng);
+  const std::vector<int> labels = {1, 0, 3};
+  Tensor grad;
+  CrossEntropyLoss(logits, labels, grad);
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < logits.size(); ++i) {
+    Tensor lp = logits.Clone();
+    lp.at(i) += eps;
+    Tensor lm = logits.Clone();
+    lm.at(i) -= eps;
+    Tensor dummy;
+    const float up = CrossEntropyLoss(lp, labels, dummy);
+    const float dn = CrossEntropyLoss(lm, labels, dummy);
+    EXPECT_NEAR(grad.at(i), (up - dn) / (2 * eps), 1e-3f);
+  }
+}
+
+TEST(LossTest, BceGradMatchesNumeric) {
+  Rng rng(13);
+  Tensor logits = Tensor::RandomGaussian(Shape{2, 3}, rng);
+  Tensor targets = Tensor::FromVector(Shape{2, 3}, {1, 0, 1, 0, 0, 1});
+  Tensor grad;
+  BinaryCrossEntropyLoss(logits, targets, grad);
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < logits.size(); ++i) {
+    Tensor lp = logits.Clone();
+    lp.at(i) += eps;
+    Tensor lm = logits.Clone();
+    lm.at(i) -= eps;
+    Tensor dummy;
+    const float up = BinaryCrossEntropyLoss(lp, targets, dummy);
+    const float dn = BinaryCrossEntropyLoss(lm, targets, dummy);
+    EXPECT_NEAR(grad.at(i), (up - dn) / (2 * eps), 1e-3f);
+  }
+}
+
+TEST(MetricTest, Accuracy) {
+  Tensor logits = Tensor::FromVector(Shape{3, 2}, {0.9f, 0.1f, 0.2f, 0.8f, 0.6f, 0.4f});
+  EXPECT_DOUBLE_EQ(Accuracy(logits, {0, 1, 1}), 2.0 / 3.0);
+}
+
+TEST(MetricTest, PerfectMapIsOne) {
+  Tensor logits = Tensor::FromVector(Shape{3, 2}, {5, -5, 4, -4, -3, 3});
+  Tensor targets = Tensor::FromVector(Shape{3, 2}, {1, 0, 1, 0, 0, 1});
+  EXPECT_NEAR(MeanAveragePrecision(logits, targets), 1.0, 1e-9);
+}
+
+TEST(MetricTest, RandomMapBelowPerfect) {
+  Tensor logits = Tensor::FromVector(Shape{4, 1}, {0.1f, 0.9f, 0.2f, 0.8f});
+  Tensor targets = Tensor::FromVector(Shape{4, 1}, {1, 0, 1, 0});
+  const double ap = MeanAveragePrecision(logits, targets);
+  EXPECT_LT(ap, 1.0);
+  EXPECT_GT(ap, 0.0);
+}
+
+TEST(MetricTest, MatthewsPerfectAndInverted) {
+  Tensor logits = Tensor::FromVector(Shape{4, 2}, {5, -5, -5, 5, 5, -5, -5, 5});
+  EXPECT_NEAR(MatthewsCorrelation(logits, {0, 1, 0, 1}), 1.0, 1e-9);
+  EXPECT_NEAR(MatthewsCorrelation(logits, {1, 0, 1, 0}), -1.0, 1e-9);
+}
+
+TEST(MetricTest, MatthewsDegenerateIsZero) {
+  Tensor logits = Tensor::FromVector(Shape{2, 2}, {5, -5, 5, -5});
+  EXPECT_DOUBLE_EQ(MatthewsCorrelation(logits, {0, 0}), 0.0);
+}
+
+TEST(SequentialTest, ChainsForwardAndParams) {
+  Rng rng(14);
+  Sequential seq;
+  seq.Append(std::make_unique<Linear>(4, 8, rng));
+  seq.Append(std::make_unique<ReLU>());
+  seq.Append(std::make_unique<Linear>(8, 2, rng));
+  EXPECT_EQ(seq.size(), 3u);
+  EXPECT_EQ(seq.Parameters().size(), 4u);
+  EXPECT_EQ(seq.ParamCount(), 4 * 8 + 8 + 8 * 2 + 2);
+  Tensor x = Tensor::RandomGaussian(Shape{3, 4}, rng);
+  EXPECT_EQ(seq.Forward(x, false).shape().dims(), (std::vector<int64_t>{3, 2}));
+}
+
+}  // namespace
+}  // namespace gmorph

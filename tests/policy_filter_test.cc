@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "src/core/filtering.h"
+#include "src/core/history.h"
+#include "src/core/model_parser.h"
+#include "src/core/sampling_policy.h"
+#include "src/models/zoo.h"
+
+namespace gmorph {
+namespace {
+
+AbsGraph TinyGraph(int classes) {
+  VisionModelOptions opts;
+  opts.base_width = 4;
+  opts.classes = classes;
+  return ParseModelSpecs({MakeVgg11(opts), MakeVgg11(opts)});
+}
+
+TEST(AnnealingPolicyTest, ProbabilityBounds) {
+  SimulatedAnnealingPolicy policy;
+  for (size_t elites : {0u, 1u, 8u, 16u}) {
+    const double p = policy.EliteProbability(elites);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(policy.EliteProbability(0), 0.0);
+}
+
+TEST(AnnealingPolicyTest, ExploitationGrowsWithIterations) {
+  AnnealingOptions opts;
+  opts.alpha = 0.9;
+  opts.initial_temp = 2.0;
+  SimulatedAnnealingPolicy policy(opts);
+  policy.Observe(0.0);
+  const double early = policy.EliteProbability(8);
+  for (int i = 0; i < 50; ++i) {
+    policy.AdvanceIteration();
+  }
+  const double late = policy.EliteProbability(8);
+  EXPECT_GT(late, early);
+}
+
+TEST(AnnealingPolicyTest, MoreElitesMoreExploitation) {
+  SimulatedAnnealingPolicy policy;
+  for (int i = 0; i < 30; ++i) {
+    policy.AdvanceIteration();
+  }
+  EXPECT_GT(policy.EliteProbability(16), policy.EliteProbability(1));
+}
+
+TEST(AnnealingPolicyTest, HighDropReducesExploitation) {
+  AnnealingOptions opts;
+  opts.alpha = 0.9;
+  SimulatedAnnealingPolicy low_drop(opts);
+  SimulatedAnnealingPolicy high_drop(opts);
+  for (int i = 0; i < 20; ++i) {
+    low_drop.AdvanceIteration();
+    high_drop.AdvanceIteration();
+  }
+  low_drop.Observe(0.0);
+  high_drop.Observe(0.9);
+  EXPECT_GE(low_drop.EliteProbability(8), high_drop.EliteProbability(8));
+}
+
+TEST(AnnealingPolicyTest, SamplesElitesEventually) {
+  AnnealingOptions opts;
+  opts.alpha = 0.5;  // fast decay -> strong exploitation
+  SimulatedAnnealingPolicy policy(opts);
+  for (int i = 0; i < 60; ++i) {
+    policy.AdvanceIteration();
+  }
+  HistoryDatabase history;
+  AbsGraph original = TinyGraph(2);
+  AbsGraph elite = TinyGraph(3);
+  history.AddElite(elite, 1.0, 0.0);
+  Rng rng(5);
+  int elite_hits = 0;
+  for (int i = 0; i < 100; ++i) {
+    const AbsGraph& base = policy.SampleBase(original, history, rng);
+    elite_hits += (base.Fingerprint() == elite.Fingerprint());
+  }
+  EXPECT_GT(elite_hits, 0);
+}
+
+TEST(RandomPolicyTest, AlwaysReturnsOriginal) {
+  RandomPolicy policy;
+  HistoryDatabase history;
+  AbsGraph original = TinyGraph(2);
+  history.AddElite(TinyGraph(3), 1.0, 0.0);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(&policy.SampleBase(original, history, rng), &original);
+  }
+}
+
+TEST(HistoryTest, EvaluatedDeduplication) {
+  HistoryDatabase history;
+  AbsGraph g = TinyGraph(2);
+  EXPECT_FALSE(history.AlreadyEvaluated(g));
+  history.MarkEvaluated(g);
+  EXPECT_TRUE(history.AlreadyEvaluated(g));
+  EXPECT_EQ(history.num_evaluated(), 1u);
+}
+
+TEST(HistoryTest, ElitesSortedAndBounded) {
+  HistoryDatabase history(/*max_elites=*/3);
+  for (double lat : {5.0, 1.0, 3.0, 2.0, 4.0}) {
+    history.AddElite(TinyGraph(2), lat, 0.0);
+  }
+  ASSERT_EQ(history.elites().size(), 3u);
+  EXPECT_DOUBLE_EQ(history.elites()[0].latency_ms, 1.0);
+  EXPECT_DOUBLE_EQ(history.elites()[1].latency_ms, 2.0);
+  EXPECT_DOUBLE_EQ(history.elites()[2].latency_ms, 3.0);
+}
+
+TEST(HistoryTest, RuleFilterMatchesMoreAggressive) {
+  HistoryDatabase history;
+  CapacitySignature bad;
+  bad.total = 100;
+  bad.per_task_total = {50, 70};
+  bad.per_task_specific = {30, 50};
+  bad.shared_total = 20;
+  history.AddNonPromising(bad);
+
+  CapacitySignature aggressive = bad;
+  aggressive.total = 90;
+  aggressive.per_task_specific = {20, 50};
+  aggressive.shared_total = 30;
+  EXPECT_TRUE(history.FilteredByRule(aggressive));
+
+  CapacitySignature conservative = bad;
+  conservative.total = 120;
+  EXPECT_FALSE(history.FilteredByRule(conservative));
+}
+
+TEST(ConvergenceRateTest, GeometricSequenceRateOne) {
+  // f_k = 1 - 0.5^k: increments shrink by a constant factor -> alpha = 1.
+  EXPECT_NEAR(EstimateConvergenceRate(0.0, 0.5, 0.75, 0.875), 1.0, 1e-9);
+}
+
+TEST(ConvergenceRateTest, DegenerateReturnsOne) {
+  EXPECT_DOUBLE_EQ(EstimateConvergenceRate(0.5, 0.5, 0.5, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(EstimateConvergenceRate(0.1, 0.2, 0.2, 0.3), 1.0);
+}
+
+TEST(ExtrapolateTest, ConvergesToGeometricLimit) {
+  // 1 - 0.5^k measured at k = 1..4; limit is 1.0.
+  std::vector<double> curve = {0.5, 0.75, 0.875, 0.9375};
+  const double predicted = ExtrapolateFinal(curve, 50);
+  EXPECT_NEAR(predicted, 1.0, 1e-3);
+}
+
+TEST(ExtrapolateTest, FewMeasurementsReturnLast) {
+  EXPECT_DOUBLE_EQ(ExtrapolateFinal({0.4}, 10), 0.4);
+  EXPECT_DOUBLE_EQ(ExtrapolateFinal({}, 10), 0.0);
+  EXPECT_DOUBLE_EQ(ExtrapolateFinal({0.1, 0.2, 0.3}, 0), 0.3);
+}
+
+TEST(ExtrapolateTest, StalledCurveStaysPut) {
+  std::vector<double> curve = {-0.5, -0.5, -0.5, -0.5};
+  EXPECT_NEAR(ExtrapolateFinal(curve, 100), -0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace gmorph

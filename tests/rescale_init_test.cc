@@ -1,0 +1,76 @@
+// Properties of the identity-like rescale initialization (the design choice
+// documented in src/nn/rescale.cc and DESIGN.md §3b): a freshly inserted
+// adapter approximately passes features through instead of destroying them.
+#include <gtest/gtest.h>
+
+#include "src/nn/rescale.h"
+#include "tests/test_util.h"
+
+namespace gmorph {
+namespace {
+
+TEST(RescaleInitTest, ChannelExpansionReplicatesChannels) {
+  Rng rng(1);
+  Rescale rescale(Shape{4, 6, 6}, Shape{8, 6, 6}, rng);
+  Tensor x = Tensor::RandomGaussian(Shape{2, 4, 6, 6}, rng);
+  Tensor y = rescale.Forward(x, /*training=*/false);
+  // Output channel o tracks input channel o % 4 up to the 1% init noise.
+  const int64_t spatial = 36;
+  for (int64_t n = 0; n < 2; ++n) {
+    for (int64_t o = 0; o < 8; ++o) {
+      const int64_t src = o % 4;
+      float max_err = 0.0f;
+      for (int64_t s = 0; s < spatial; ++s) {
+        max_err = std::max(max_err, std::fabs(y.at((n * 8 + o) * spatial + s) -
+                                              x.at((n * 4 + src) * spatial + s)));
+      }
+      EXPECT_LT(max_err, 0.35f) << "channel " << o;  // noise has fan-in 4
+    }
+  }
+}
+
+TEST(RescaleInitTest, ChannelReductionKeepsLeadingChannels) {
+  Rng rng(2);
+  Rescale rescale(Shape{8, 4, 4}, Shape{4, 4, 4}, rng);
+  Tensor x = Tensor::RandomGaussian(Shape{1, 8, 4, 4}, rng);
+  Tensor y = rescale.Forward(x, false);
+  const int64_t spatial = 16;
+  for (int64_t o = 0; o < 4; ++o) {
+    float max_err = 0.0f;
+    for (int64_t s = 0; s < spatial; ++s) {
+      max_err = std::max(max_err, std::fabs(y.at(o * spatial + s) - x.at(o * spatial + s)));
+    }
+    EXPECT_LT(max_err, 0.5f) << "channel " << o;  // noise has fan-in 8
+  }
+}
+
+TEST(RescaleInitTest, TokenDimAdapterNearIdentity) {
+  Rng rng(3);
+  Rescale rescale(Shape{4, 6}, Shape{4, 6}, rng);  // identity shapes: no adapter
+  EXPECT_TRUE(rescale.IsIdentity());
+
+  Rescale expand(Shape{4, 6}, Shape{4, 12}, rng);
+  Tensor x = Tensor::RandomGaussian(Shape{1, 4, 6}, rng);
+  Tensor y = expand.Forward(x, false);
+  for (int64_t t = 0; t < 4; ++t) {
+    for (int64_t d = 0; d < 12; ++d) {
+      // Bias starts at zero; weight is near delta(d % 6).
+      EXPECT_NEAR(y.at(t * 12 + d), x.at(t * 6 + d % 6), 0.3f);
+    }
+  }
+}
+
+TEST(RescaleInitTest, PureSpatialRescaleIsParameterFree) {
+  Rng rng(4);
+  Rescale rescale(Shape{4, 8, 8}, Shape{4, 16, 16}, rng);
+  EXPECT_EQ(rescale.ParamCount(), 0);
+  // A constant field stays constant through bilinear interpolation.
+  Tensor x = Tensor::Full(Shape{1, 4, 8, 8}, 2.0f);
+  Tensor y = rescale.Forward(x, false);
+  for (int64_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(y.at(i), 2.0f, 1e-6f);
+  }
+}
+
+}  // namespace
+}  // namespace gmorph

@@ -1,0 +1,92 @@
+#include "src/serving/serving_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/check.h"
+#include "src/core/model_parser.h"
+#include "src/models/zoo.h"
+
+namespace gmorph {
+namespace {
+
+ServingOptions Opts(double qps, int n = 200, int max_batch = 4) {
+  ServingOptions o;
+  o.arrival_qps = qps;
+  o.num_requests = n;
+  o.max_batch = max_batch;
+  o.seed = 9;
+  return o;
+}
+
+TEST(ServingSimTest, DeterministicGivenSeed) {
+  const std::vector<double> service = {1.0, 1.5, 1.8, 2.0};
+  ServingStats a = SimulateServingWithServiceTimes(service, Opts(500));
+  ServingStats b = SimulateServingWithServiceTimes(service, Opts(500));
+  EXPECT_DOUBLE_EQ(a.throughput_qps, b.throughput_qps);
+  EXPECT_DOUBLE_EQ(a.p99_latency_ms, b.p99_latency_ms);
+}
+
+TEST(ServingSimTest, LatencyAtLeastServiceTime) {
+  const std::vector<double> service = {2.0, 3.0, 4.0, 5.0};
+  ServingStats s = SimulateServingWithServiceTimes(service, Opts(50));
+  EXPECT_GE(s.p50_latency_ms, 2.0);
+  EXPECT_LE(s.p50_latency_ms, s.p95_latency_ms);
+  EXPECT_LE(s.p95_latency_ms, s.p99_latency_ms);
+}
+
+TEST(ServingSimTest, LightLoadNoBatching) {
+  // Arrivals far apart relative to service time: every batch has one request
+  // and latency approximately equals the single-request service time.
+  const std::vector<double> service = {1.0, 1.2, 1.4, 1.6};
+  ServingStats s = SimulateServingWithServiceTimes(service, Opts(/*qps=*/10));
+  EXPECT_NEAR(s.mean_batch_size, 1.0, 0.05);
+  EXPECT_NEAR(s.mean_latency_ms, 1.0, 0.2);
+}
+
+TEST(ServingSimTest, OverloadSaturatesAtBatchCapacity) {
+  // Service 1ms regardless of batch size, max_batch 4 => capacity 4000 qps.
+  const std::vector<double> service = {1.0, 1.0, 1.0, 1.0};
+  ServingStats s = SimulateServingWithServiceTimes(service, Opts(/*qps=*/100000, 400));
+  EXPECT_NEAR(s.mean_batch_size, 4.0, 0.1);
+  EXPECT_NEAR(s.throughput_qps, 4000.0, 300.0);
+}
+
+TEST(ServingSimTest, FasterServiceHigherThroughputUnderOverload) {
+  const std::vector<double> slow = {4.0, 4.4, 4.8, 5.2};
+  const std::vector<double> fast = {2.0, 2.2, 2.4, 2.6};
+  ServingStats s_slow = SimulateServingWithServiceTimes(slow, Opts(5000, 300));
+  ServingStats s_fast = SimulateServingWithServiceTimes(fast, Opts(5000, 300));
+  EXPECT_GT(s_fast.throughput_qps, s_slow.throughput_qps * 1.5);
+  EXPECT_LT(s_fast.p95_latency_ms, s_slow.p95_latency_ms);
+}
+
+TEST(ServingSimTest, MaxBatchCapsBatchSize) {
+  const std::vector<double> service = {1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+  ServingOptions o = Opts(100000, 200, /*max_batch=*/3);
+  ServingStats s = SimulateServingWithServiceTimes(service, o);
+  EXPECT_LE(s.mean_batch_size, 3.0 + 1e-9);
+}
+
+TEST(ServingSimTest, RejectsEmptyServiceTimes) {
+  EXPECT_THROW(SimulateServingWithServiceTimes({}, Opts(10)), CheckError);
+}
+
+TEST(ServingSimTest, EndToEndWithRealEngine) {
+  Rng rng(5);
+  VisionModelOptions opts;
+  opts.base_width = 4;
+  opts.classes = 2;
+  AbsGraph g = ParseModelSpecs({MakeVgg11(opts)});
+  MultiTaskModel model(g, rng);
+  EagerEngine engine(&model);
+  ServingOptions so = Opts(200, 60, 4);
+  so.calibration_runs = 1;
+  ServingStats s = SimulateServing(engine, g.node(0).output_shape, so);
+  EXPECT_GT(s.throughput_qps, 0.0);
+  EXPECT_EQ(s.service_time_ms.size(), 4u);
+  // Larger batches take no less wall time than batch 1.
+  EXPECT_GE(s.service_time_ms[3], s.service_time_ms[0] * 0.8);
+}
+
+}  // namespace
+}  // namespace gmorph

@@ -1,0 +1,175 @@
+#include "src/tensor/tensor_ops.h"
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "tests/test_util.h"
+
+namespace gmorph {
+namespace {
+
+using testing::MaxDiff;
+
+Tensor NaiveMatmul(const Tensor& a, const Tensor& b) {
+  const int64_t m = a.shape()[0];
+  const int64_t k = a.shape()[1];
+  const int64_t n = b.shape()[1];
+  Tensor c(Shape{m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a.at(i * k + p)) * b.at(p * n + j);
+      }
+      c.at(i * n + j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+TEST(ElementwiseTest, AddSubMul) {
+  Tensor a = Tensor::FromVector(Shape{4}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector(Shape{4}, {5, 6, 7, 8});
+  EXPECT_EQ(Add(a, b).at(2), 10.0f);
+  EXPECT_EQ(Sub(b, a).at(3), 4.0f);
+  EXPECT_EQ(Mul(a, b).at(1), 12.0f);
+}
+
+TEST(ElementwiseTest, InPlaceVariants) {
+  Tensor a = Tensor::FromVector(Shape{3}, {1, 2, 3});
+  Tensor b = Tensor::FromVector(Shape{3}, {1, 1, 1});
+  AddInPlace(a, b);
+  EXPECT_EQ(a.at(0), 2.0f);
+  ScaleInPlace(a, 2.0f);
+  EXPECT_EQ(a.at(2), 8.0f);
+  AxpyInPlace(a, -1.0f, b);
+  EXPECT_EQ(a.at(1), 5.0f);
+}
+
+TEST(ElementwiseTest, ShapeMismatchThrows) {
+  Tensor a(Shape{2});
+  Tensor b(Shape{3});
+  EXPECT_THROW(Add(a, b), CheckError);
+}
+
+// GEMM correctness sweep across sizes, including degenerate dims.
+class MatmulParamTest
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t, int64_t>> {};
+
+TEST_P(MatmulParamTest, MatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 1000 + k * 100 + n));
+  Tensor a = Tensor::RandomGaussian(Shape{m, k}, rng);
+  Tensor b = Tensor::RandomGaussian(Shape{k, n}, rng);
+  EXPECT_LT(MaxDiff(Matmul(a, b), NaiveMatmul(a, b)), 1e-3f);
+}
+
+TEST_P(MatmulParamTest, TransposedVariantsConsistent) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<uint64_t>(m + k + n));
+  Tensor a = Tensor::RandomGaussian(Shape{m, k}, rng);
+  Tensor b = Tensor::RandomGaussian(Shape{k, n}, rng);
+  Tensor c_ref = Matmul(a, b);
+
+  // NT: C = A * B'^T where B' = B^T.
+  Tensor bt(Shape{n, k});
+  for (int64_t i = 0; i < k; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      bt.at(j * k + i) = b.at(i * n + j);
+    }
+  }
+  Tensor c_nt(Shape{m, n});
+  MatmulNT(a.data(), bt.data(), c_nt.data(), m, k, n);
+  EXPECT_LT(MaxDiff(c_nt, c_ref), 1e-3f);
+
+  // TN: C = A'^T * B where A' = A^T.
+  Tensor at(Shape{k, m});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < k; ++j) {
+      at.at(j * m + i) = a.at(i * k + j);
+    }
+  }
+  Tensor c_tn(Shape{m, n});
+  MatmulTN(at.data(), b.data(), c_tn.data(), k, m, n);
+  EXPECT_LT(MaxDiff(c_tn, c_ref), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MatmulParamTest,
+                         ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 7, 3),
+                                           std::make_tuple(5, 1, 5), std::make_tuple(4, 4, 4),
+                                           std::make_tuple(3, 17, 9),
+                                           std::make_tuple(16, 8, 16),
+                                           std::make_tuple(10, 32, 6)));
+
+TEST(MatmulTest, AccumulateAddsToExisting) {
+  Rng rng(2);
+  Tensor a = Tensor::RandomGaussian(Shape{3, 4}, rng);
+  Tensor b = Tensor::RandomGaussian(Shape{4, 5}, rng);
+  Tensor c = Tensor::Full(Shape{3, 5}, 1.0f);
+  MatmulNN(a.data(), b.data(), c.data(), 3, 4, 5, /*accumulate=*/true);
+  Tensor expect = Add(NaiveMatmul(a, b), Tensor::Full(Shape{3, 5}, 1.0f));
+  EXPECT_LT(MaxDiff(c, expect), 1e-4f);
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Rng rng(4);
+  Tensor x = Tensor::RandomGaussian(Shape{6, 9}, rng, 3.0f);
+  Tensor y = SoftmaxLastDim(x);
+  for (int64_t r = 0; r < 6; ++r) {
+    float sum = 0.0f;
+    for (int64_t j = 0; j < 9; ++j) {
+      const float v = y.at(r * 9 + j);
+      EXPECT_GT(v, 0.0f);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(SoftmaxTest, InvariantToRowShift) {
+  Rng rng(6);
+  Tensor x = Tensor::RandomGaussian(Shape{2, 5}, rng);
+  Tensor shifted = x.Clone();
+  for (int64_t j = 0; j < 5; ++j) {
+    shifted.at(j) += 100.0f;  // shift first row only
+  }
+  EXPECT_LT(MaxDiff(SoftmaxLastDim(x), SoftmaxLastDim(shifted)), 1e-5f);
+}
+
+TEST(SoftmaxTest, BackwardMatchesNumeric) {
+  Rng rng(8);
+  Tensor x = Tensor::RandomGaussian(Shape{2, 4}, rng);
+  Tensor probe = Tensor::RandomGaussian(Shape{2, 4}, rng);
+  Tensor y = SoftmaxLastDim(x);
+  Tensor grad = SoftmaxBackwardLastDim(y, probe);
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < x.size(); ++i) {
+    Tensor xp = x.Clone();
+    xp.at(i) += eps;
+    Tensor xm = x.Clone();
+    xm.at(i) -= eps;
+    const float up = SumAll(Mul(SoftmaxLastDim(xp), probe));
+    const float dn = SumAll(Mul(SoftmaxLastDim(xm), probe));
+    EXPECT_NEAR(grad.at(i), (up - dn) / (2 * eps), 2e-3f);
+  }
+}
+
+TEST(ReductionTest, SumMeanMaxAbs) {
+  Tensor t = Tensor::FromVector(Shape{4}, {1, -5, 2, 2});
+  EXPECT_FLOAT_EQ(SumAll(t), 0.0f);
+  EXPECT_FLOAT_EQ(MeanAll(t), 0.0f);
+  EXPECT_FLOAT_EQ(MaxAbs(t), 5.0f);
+}
+
+TEST(ArgmaxTest, PicksRowMaxima) {
+  Tensor t = Tensor::FromVector(Shape{2, 3}, {0, 2, 1, 5, 4, 3});
+  const std::vector<int> idx = ArgmaxRows(t);
+  EXPECT_EQ(idx, (std::vector<int>{1, 0}));
+}
+
+}  // namespace
+}  // namespace gmorph

@@ -1,0 +1,104 @@
+#include "src/tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/check.h"
+#include "src/tensor/shape.h"
+
+namespace gmorph {
+namespace {
+
+TEST(ShapeTest, BasicAccessors) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.Rank(), 3);
+  EXPECT_EQ(s.NumElements(), 24);
+  EXPECT_EQ(s[0], 2);
+  EXPECT_EQ(s[-1], 4);
+  EXPECT_EQ(s[-3], 2);
+  EXPECT_EQ(s.ToString(), "(2,3,4)");
+}
+
+TEST(ShapeTest, OutOfRangeThrows) {
+  Shape s{2, 3};
+  EXPECT_THROW(s.Dim(2), CheckError);
+  EXPECT_THROW(s.Dim(-3), CheckError);
+}
+
+TEST(ShapeTest, BatchHelpers) {
+  Shape s{3, 8, 8};
+  EXPECT_EQ(s.WithBatch(16).dims(), (std::vector<int64_t>{16, 3, 8, 8}));
+  EXPECT_EQ(s.WithBatch(16).WithoutBatch(), s);
+}
+
+TEST(ShapeTest, Ordering) {
+  EXPECT_LT(Shape({1, 2}), Shape({1, 3}));
+  EXPECT_LT(Shape({1}), Shape({1, 0}));
+  EXPECT_EQ(Shape({4, 4}), Shape({4, 4}));
+  EXPECT_NE(Shape({4, 4}), Shape({4, 5}));
+}
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t(Shape{2, 3});
+  EXPECT_EQ(t.size(), 6);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(t.at(i), 0.0f);
+  }
+}
+
+TEST(TensorTest, FullAndFill) {
+  Tensor t = Tensor::Full(Shape{4}, 2.5f);
+  EXPECT_EQ(t.at(3), 2.5f);
+  t.Fill(-1.0f);
+  EXPECT_EQ(t.at(0), -1.0f);
+}
+
+TEST(TensorTest, FromVectorChecksSize) {
+  EXPECT_NO_THROW(Tensor::FromVector(Shape{2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor::FromVector(Shape{2, 2}, {1, 2, 3}), CheckError);
+}
+
+TEST(TensorTest, CopySharesStorageCloneDoesNot) {
+  Tensor a = Tensor::Full(Shape{3}, 1.0f);
+  Tensor b = a;                // handle copy
+  Tensor c = a.Clone();        // deep copy
+  EXPECT_TRUE(a.SharesStorageWith(b));
+  EXPECT_FALSE(a.SharesStorageWith(c));
+  b.at(0) = 9.0f;
+  EXPECT_EQ(a.at(0), 9.0f);
+  EXPECT_EQ(c.at(0), 1.0f);
+}
+
+TEST(TensorTest, ReshapeSharesStorage) {
+  Tensor a(Shape{2, 6});
+  Tensor b = a.Reshape(Shape{3, 4});
+  EXPECT_TRUE(a.SharesStorageWith(b));
+  EXPECT_THROW(a.Reshape(Shape{5}), CheckError);
+}
+
+TEST(TensorTest, RandomGaussianStddev) {
+  Rng rng(3);
+  Tensor t = Tensor::RandomGaussian(Shape{10000}, rng, 0.5f);
+  double sq = 0.0;
+  for (int64_t i = 0; i < t.size(); ++i) {
+    sq += static_cast<double>(t.at(i)) * t.at(i);
+  }
+  EXPECT_NEAR(sq / static_cast<double>(t.size()), 0.25, 0.02);
+}
+
+TEST(TensorTest, RandomUniformBounds) {
+  Rng rng(5);
+  Tensor t = Tensor::RandomUniform(Shape{1000}, rng, -2.0f, 3.0f);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_GE(t.at(i), -2.0f);
+    EXPECT_LT(t.at(i), 3.0f);
+  }
+}
+
+TEST(TensorTest, DefaultTensorIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0);
+}
+
+}  // namespace
+}  // namespace gmorph

@@ -1,0 +1,158 @@
+// gmorph_cli: run a GMorph fusion from a configuration file — the workflow
+// the paper describes in §3 (well-trained DNNs + a config with the metric,
+// accuracy threshold, fine-tuning hyper-parameters and search budget).
+//
+// Usage:
+//   gmorph_cli <config-file>
+//   gmorph_cli --print-default-config
+//
+// The config selects one of the built-in benchmarks (B1-B7), pre-trains its
+// task-specific teachers on the synthetic datasets, runs the search, and
+// writes the fused model (binary graph) and an optional Graphviz rendering.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/common/check.h"
+#include "src/common/config.h"
+#include "src/common/logging.h"
+#include "src/core/dot_export.h"
+#include "src/core/gmorph.h"
+#include "src/core/graph_io.h"
+#include "src/data/benchmarks.h"
+#include "src/data/teacher.h"
+
+namespace {
+
+constexpr const char* kDefaultConfig = R"(# GMorph search configuration (paper §3)
+benchmark = 1                 # built-in benchmark B1..B7 (Table 2)
+metric = latency              # latency | flops
+accuracy_drop_threshold = 0.01
+iterations = 20               # graph mutation optimization rounds
+max_mutations_per_pass = 2
+policy = sa                   # sa | random
+predictive_termination = true
+rule_based_filtering = true
+
+# Fine-tuning (accuracy estimator)
+finetune_epochs = 6
+eval_interval = 2             # the paper's delta
+batch_size = 32
+learning_rate = 0.001
+
+# Data / model scale
+train_size = 128
+test_size = 64
+cnn_width = 8
+noise_stddev = 1.6
+teacher_epochs = 6
+
+seed = 42
+verbose = true
+output_graph = fused_model.gmorph
+output_dot = fused_model.dot
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gmorph;
+  if (argc == 2 && std::strcmp(argv[1], "--print-default-config") == 0) {
+    std::fputs(kDefaultConfig, stdout);
+    return 0;
+  }
+  if (argc != 2) {
+    std::fprintf(stderr,
+                 "usage: %s <config-file>\n       %s --print-default-config > gmorph.cfg\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+
+  Config config;
+  try {
+    config = Config::FromFile(argv[1]);
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  const int bench_index = static_cast<int>(config.GetInt("benchmark", 1));
+  BenchmarkScale scale;
+  scale.train_size = config.GetInt("train_size", 128);
+  scale.test_size = config.GetInt("test_size", 64);
+  scale.cnn_width = config.GetInt("cnn_width", 8);
+  scale.noise_stddev = static_cast<float>(config.GetDouble("noise_stddev", 1.6));
+  const uint64_t seed = static_cast<uint64_t>(config.GetInt("seed", 42));
+
+  std::printf("building benchmark B%d and pre-training teachers...\n", bench_index);
+  BenchmarkDef def = MakeBenchmark(bench_index, scale, seed);
+  Rng rng(seed);
+  std::vector<std::unique_ptr<TaskModel>> teachers;
+  std::vector<TaskModel*> ptrs;
+  for (size_t t = 0; t < def.tasks.size(); ++t) {
+    teachers.push_back(std::make_unique<TaskModel>(def.tasks[t].model, rng));
+    TeacherTrainOptions topts;
+    topts.epochs = static_cast<int>(config.GetInt("teacher_epochs", 6));
+    const double score = TrainTeacher(*teachers.back(), def.train, def.test, t, topts);
+    std::printf("  %-13s %-13s %s = %.3f\n", def.tasks[t].name.c_str(),
+                def.tasks[t].model.name.c_str(), MetricKindName(def.tasks[t].metric).c_str(),
+                score);
+    ptrs.push_back(teachers.back().get());
+  }
+
+  GMorphOptions options;
+  options.accuracy_drop_threshold = config.GetDouble("accuracy_drop_threshold", 0.01);
+  options.iterations = static_cast<int>(config.GetInt("iterations", 20));
+  options.max_mutations_per_pass =
+      static_cast<int>(config.GetInt("max_mutations_per_pass", 2));
+  options.policy = config.GetString("policy", "sa") == "random" ? PolicyKind::kRandom
+                                                                : PolicyKind::kSimulatedAnnealing;
+  options.predictive_termination = config.GetBool("predictive_termination", true);
+  options.rule_based_filtering = config.GetBool("rule_based_filtering", true);
+  options.metric = config.GetString("metric", "latency") == "flops" ? OptimizeMetric::kFlops
+                                                                    : OptimizeMetric::kLatency;
+  options.finetune.max_epochs = static_cast<int>(config.GetInt("finetune_epochs", 6));
+  options.finetune.eval_interval = static_cast<int>(config.GetInt("eval_interval", 2));
+  options.finetune.batch_size = config.GetInt("batch_size", 32);
+  options.finetune.lr = static_cast<float>(config.GetDouble("learning_rate", 1e-3));
+  options.seed = seed;
+  options.verbose = config.GetBool("verbose", true);
+  if (options.verbose) {
+    SetLogLevel(LogLevel::kInfo);
+  }
+
+  std::printf("searching (%d iterations, drop < %.1f%%)...\n", options.iterations,
+              options.accuracy_drop_threshold * 100);
+  GMorph gmorph(ptrs, &def.train, &def.test, options);
+  GMorphResult result = gmorph.Run();
+
+  std::printf("\nsearch finished in %.1fs: %.2f ms -> %.2f ms (%.2fx), FLOPs %.2fx\n",
+              result.search_seconds, result.original_latency_ms, result.best_latency_ms,
+              result.speedup,
+              static_cast<double>(result.original_flops) /
+                  static_cast<double>(std::max<int64_t>(1, result.best_flops)));
+  for (size_t t = 0; t < def.tasks.size(); ++t) {
+    std::printf("  %-13s teacher %.3f -> fused %.3f\n", def.tasks[t].name.c_str(),
+                result.teacher_scores[t], result.best_task_scores[t]);
+  }
+  std::printf("\n%s", result.best_graph.ToString().c_str());
+
+  const std::string graph_path = config.GetString("output_graph", "");
+  if (!graph_path.empty()) {
+    if (SaveGraph(graph_path, result.best_graph)) {
+      std::printf("fused model written to %s\n", graph_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", graph_path.c_str());
+    }
+  }
+  const std::string dot_path = config.GetString("output_dot", "");
+  if (!dot_path.empty()) {
+    if (WriteDotFile(dot_path, result.best_graph, def.id)) {
+      std::printf("graphviz rendering written to %s (render: dot -Tpng %s)\n",
+                  dot_path.c_str(), dot_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", dot_path.c_str());
+    }
+  }
+  return 0;
+}
