@@ -1,91 +1,165 @@
-// Engineering micro-benchmarks for the kernel layer (google-benchmark).
-// Not a paper table; kept for performance-regression tracking of the
-// substrate the latency estimator depends on.
-#include <benchmark/benchmark.h>
+// Micro-benchmarks for the kernel layer: GEMM variants, conv forward/backward,
+// and attention at scaled-down VGG / ResNet / ViT shapes.
+//
+// For each op it prints one JSON line:
+//   {"op": ..., "shape": ..., "gflops": ..., "ref_gflops": ..., "speedup": ...,
+//    "bytes_per_op": ...}
+// gflops is the blocked/parallel kernel, ref_gflops the retained naive
+// reference at the same shape (GEMM only), bytes_per_op the heap bytes newly
+// allocated per iteration in steady state (tensor storage + scratch-arena
+// growth) — ops whose workspace comes from the reused arena report only their
+// output tensor.
+//
+// GMORPH_NUM_THREADS controls the kernel thread count; run with 1 and N to
+// compare threading scale.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
 
+#include "src/common/parallel_for.h"
 #include "src/common/rng.h"
 #include "src/nn/attention.h"
-#include "src/nn/norm.h"
-#include "src/nn/transformer_block.h"
 #include "src/tensor/conv_ops.h"
+#include "src/tensor/scratch.h"
+#include "src/tensor/tensor.h"
 #include "src/tensor/tensor_ops.h"
 
 namespace gmorph {
 namespace {
 
-void BM_MatmulNN(benchmark::State& state) {
-  const int64_t n = state.range(0);
-  Rng rng(1);
-  Tensor a = Tensor::RandomGaussian(Shape{n, n}, rng);
-  Tensor b = Tensor::RandomGaussian(Shape{n, n}, rng);
-  Tensor c(Shape{n, n});
-  for (auto _ : state) {
-    MatmulNN(a.data(), b.data(), c.data(), n, n, n);
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
-}
-BENCHMARK(BM_MatmulNN)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+int64_t HeapBytesNow() { return Tensor::TotalAllocatedBytes() + ScratchArena::TotalHeapBytes(); }
 
-void BM_Conv2dForward(benchmark::State& state) {
-  const int64_t c = state.range(0);
-  Rng rng(2);
-  Tensor x = Tensor::RandomGaussian(Shape{1, c, 32, 32}, rng);
-  Tensor w = Tensor::RandomGaussian(Shape{c, c, 3, 3}, rng);
-  Tensor b = Tensor::RandomGaussian(Shape{c}, rng);
-  for (auto _ : state) {
-    Tensor y = Conv2dForward(x, w, b, {1, 1});
-    benchmark::DoNotOptimize(y.data());
-  }
-  state.SetItemsProcessed(state.iterations() * 2 * c * c * 9 * 32 * 32);
-}
-BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(16)->Arg(32);
+struct BenchResult {
+  double seconds_per_iter = 0.0;
+  int64_t bytes_per_iter = 0;
+};
 
-void BM_BilinearResize(benchmark::State& state) {
-  Rng rng(3);
-  Tensor x = Tensor::RandomGaussian(Shape{1, 16, 16, 16}, rng);
-  for (auto _ : state) {
-    Tensor y = BilinearResizeForward(x, 32, 32);
-    benchmark::DoNotOptimize(y.data());
+// Times fn in steady state: warmup passes grow the arenas, then enough
+// iterations to cover ~80ms of wall clock.
+BenchResult Run(const std::function<void()>& fn) {
+  fn();
+  fn();
+  const int64_t bytes_before = HeapBytesNow();
+  const auto probe_start = std::chrono::steady_clock::now();
+  fn();
+  const double once =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - probe_start).count();
+  const int64_t bytes_one = HeapBytesNow() - bytes_before;
+  const int iters = std::clamp(static_cast<int>(0.08 / std::max(once, 1e-7)), 3, 20000);
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    fn();
   }
+  const double total =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  BenchResult r;
+  r.seconds_per_iter = total / iters;
+  r.bytes_per_iter = bytes_one;
+  return r;
 }
-BENCHMARK(BM_BilinearResize);
 
-void BM_Attention(benchmark::State& state) {
-  const int64_t t = state.range(0);
-  Rng rng(4);
-  MultiHeadSelfAttention attn(32, 4, rng);
-  Tensor x = Tensor::RandomGaussian(Shape{1, t, 32}, rng);
-  for (auto _ : state) {
-    Tensor y = attn.Forward(x, false);
-    benchmark::DoNotOptimize(y.data());
+void PrintLine(const std::string& op, const std::string& shape, double flops,
+               const BenchResult& main, const BenchResult* ref) {
+  const double gf = flops / main.seconds_per_iter / 1e9;
+  std::printf("{\"op\": \"%s\", \"shape\": \"%s\", \"gflops\": %.2f", op.c_str(), shape.c_str(),
+              gf);
+  if (ref != nullptr) {
+    const double ref_gf = flops / ref->seconds_per_iter / 1e9;
+    std::printf(", \"ref_gflops\": %.2f, \"speedup\": %.2f", ref_gf, gf / ref_gf);
   }
+  std::printf(", \"bytes_per_op\": %lld}\n", static_cast<long long>(main.bytes_per_iter));
+  std::fflush(stdout);
 }
-BENCHMARK(BM_Attention)->Arg(16)->Arg(64);
 
-void BM_TransformerBlock(benchmark::State& state) {
-  Rng rng(5);
-  TransformerBlock block(32, 4, 2, rng);
-  Tensor x = Tensor::RandomGaussian(Shape{1, 16, 32}, rng);
-  for (auto _ : state) {
-    Tensor y = block.Forward(x, false);
-    benchmark::DoNotOptimize(y.data());
-  }
-}
-BENCHMARK(BM_TransformerBlock);
+void BenchGemm(Rng& rng, const char* name, int64_t m, int64_t k, int64_t n) {
+  Tensor a = Tensor::RandomGaussian(Shape{m, k}, rng);
+  Tensor b = Tensor::RandomGaussian(Shape{k, n}, rng);
+  Tensor c(Shape{m, n});
+  const double flops = 2.0 * m * k * n;
+  char shape[96];
+  std::snprintf(shape, sizeof(shape), "%lldx%lldx%lld", static_cast<long long>(m),
+                static_cast<long long>(k), static_cast<long long>(n));
 
-void BM_BatchNormForward(benchmark::State& state) {
-  Rng rng(6);
-  BatchNorm2d bn(32);
-  Tensor x = Tensor::RandomGaussian(Shape{8, 32, 16, 16}, rng);
-  for (auto _ : state) {
-    Tensor y = bn.Forward(x, true);
-    benchmark::DoNotOptimize(y.data());
-  }
+  BenchResult blocked = Run([&] { MatmulNN(a.data(), b.data(), c.data(), m, k, n); });
+  BenchResult naive = Run([&] { RefMatmulNN(a.data(), b.data(), c.data(), m, k, n); });
+  PrintLine(std::string("gemm_nn_") + name, shape, flops, blocked, &naive);
+
+  // The two backward products at the same logical shape.
+  Tensor dc = Tensor::RandomGaussian(Shape{m, n}, rng);
+  BenchResult nt = Run([&] { MatmulNT(dc.data(), b.data(), a.data(), m, n, k); });
+  BenchResult nt_ref = Run([&] { RefMatmulNT(dc.data(), b.data(), a.data(), m, n, k); });
+  PrintLine(std::string("gemm_nt_") + name, shape, flops, nt, &nt_ref);
+  BenchResult tn = Run([&] { MatmulTN(a.data(), dc.data(), b.data(), m, k, n); });
+  BenchResult tn_ref = Run([&] { RefMatmulTN(a.data(), dc.data(), b.data(), m, k, n); });
+  PrintLine(std::string("gemm_tn_") + name, shape, flops, tn, &tn_ref);
 }
-BENCHMARK(BM_BatchNormForward);
+
+void BenchConv(Rng& rng, const char* name, int64_t batch, int64_t c, int64_t hw, int64_t o,
+               int64_t kernel, int64_t stride, int64_t padding) {
+  Conv2dArgs args;
+  args.stride = stride;
+  args.padding = padding;
+  Tensor x = Tensor::RandomGaussian(Shape{batch, c, hw, hw}, rng);
+  Tensor w = Tensor::RandomGaussian(Shape{o, c, kernel, kernel}, rng, 0.1f);
+  Tensor b = Tensor::Zeros(Shape{o});
+  const int64_t oh = ConvOutDim(hw, kernel, stride, padding);
+  const double fwd_flops = 2.0 * batch * o * c * kernel * kernel * oh * oh;
+  char shape[96];
+  std::snprintf(shape, sizeof(shape), "n%lld c%lld %lldx%lld o%lld k%lld",
+                static_cast<long long>(batch), static_cast<long long>(c),
+                static_cast<long long>(hw), static_cast<long long>(hw),
+                static_cast<long long>(o), static_cast<long long>(kernel));
+
+  BenchResult fwd = Run([&] { Conv2dForward(x, w, b, args); });
+  PrintLine(std::string("conv_fwd_") + name, shape, fwd_flops, fwd, nullptr);
+
+  Tensor y = Conv2dForward(x, w, b, args);
+  Tensor grad_w(w.shape());
+  Tensor grad_b(b.shape());
+  BenchResult bwd = Run([&] { Conv2dBackward(x, w, y, args, grad_w, grad_b); });
+  PrintLine(std::string("conv_bwd_") + name, shape, 3.0 * fwd_flops, bwd, nullptr);
+}
+
+void BenchAttention(Rng& rng, int64_t batch, int64_t t, int64_t dim, int64_t heads) {
+  MultiHeadSelfAttention attn(dim, heads, rng);
+  Tensor x = Tensor::RandomGaussian(Shape{batch, t, dim}, rng);
+  // qkv + proj GEMMs plus the per-head score/context products.
+  const double flops = 2.0 * batch * t * dim * 4 * dim + 4.0 * batch * t * t * dim;
+  char shape[96];
+  std::snprintf(shape, sizeof(shape), "n%lld t%lld d%lld h%lld", static_cast<long long>(batch),
+                static_cast<long long>(t), static_cast<long long>(dim),
+                static_cast<long long>(heads));
+  BenchResult fwd = Run([&] { attn.Forward(x, /*training=*/false); });
+  PrintLine("attention_fwd", shape, flops, fwd, nullptr);
+}
+
+void Main() {
+  Rng rng(42);
+  std::printf("{\"config\": \"kernel_threads\", \"value\": %d}\n", KernelThreads());
+
+  // Square GEMM plus the scaled model shapes from the zoo:
+  //   ViT (dim 32, 4 heads, 17 tokens): qkv (17,32,96), mlp (17,32,64)
+  //   VGG (base width 8, 32x32 input): im2col GEMMs o x ckk x oh*ow
+  BenchGemm(rng, "sq256", 256, 256, 256);
+  BenchGemm(rng, "vit_qkv", 17, 32, 96);
+  BenchGemm(rng, "vit_mlp", 17, 32, 64);
+  BenchGemm(rng, "vgg_c1", 8, 27, 1024);
+  BenchGemm(rng, "vgg_c3", 16, 72, 256);
+  BenchGemm(rng, "vgg_c8", 64, 288, 16);
+
+  BenchConv(rng, "vgg_first", 8, 3, 32, 8, 3, 1, 1);
+  BenchConv(rng, "vgg_mid", 8, 16, 16, 32, 3, 1, 1);
+  BenchConv(rng, "resnet_stride", 8, 16, 16, 32, 3, 2, 1);
+
+  BenchAttention(rng, 8, 17, 32, 4);
+}
 
 }  // namespace
 }  // namespace gmorph
 
-BENCHMARK_MAIN();
+int main() {
+  gmorph::Main();
+  return 0;
+}

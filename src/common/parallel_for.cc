@@ -1,0 +1,155 @@
+#include "src/common/parallel_for.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "src/common/check.h"
+#include "src/common/thread_pool.h"
+
+namespace gmorph {
+namespace {
+
+thread_local int t_parallel_depth = 0;
+
+std::mutex g_pool_mutex;
+int g_num_threads = 0;  // 0 = not yet resolved
+std::unique_ptr<ThreadPool> g_pool;
+
+int ResolveDefaultThreads() {
+  if (const char* env = std::getenv("GMORPH_NUM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) {
+      return n;
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+// Both locked by g_pool_mutex.
+int KernelThreadsLocked() {
+  if (g_num_threads == 0) {
+    g_num_threads = ResolveDefaultThreads();
+  }
+  return g_num_threads;
+}
+
+ThreadPool* PoolLocked() {
+  const int threads = KernelThreadsLocked();
+  if (threads <= 1) {
+    return nullptr;
+  }
+  if (g_pool == nullptr) {
+    // The caller participates in every ParallelFor, so the pool only needs
+    // threads - 1 workers to reach the configured parallelism.
+    g_pool = std::make_unique<ThreadPool>(threads - 1);
+  }
+  return g_pool.get();
+}
+
+}  // namespace
+
+int KernelThreads() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  return KernelThreadsLocked();
+}
+
+void SetKernelThreads(int n) {
+  GMORPH_CHECK_MSG(n >= 1, "kernel thread count must be >= 1, got " << n);
+  std::unique_ptr<ThreadPool> old;
+  {
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    g_num_threads = n;
+    old = std::move(g_pool);
+  }
+  // Joins outside the lock; the destructor drains remaining tasks.
+}
+
+bool InParallelRegion() { return t_parallel_depth > 0; }
+
+ParallelRegionGuard::ParallelRegionGuard() { ++t_parallel_depth; }
+ParallelRegionGuard::~ParallelRegionGuard() { --t_parallel_depth; }
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  if (end <= begin) {
+    return;
+  }
+  if (grain < 1) {
+    grain = 1;
+  }
+  const int64_t chunks = (end - begin + grain - 1) / grain;
+
+  ThreadPool* pool = nullptr;
+  if (chunks > 1 && !InParallelRegion()) {
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    pool = PoolLocked();
+  }
+  if (pool == nullptr) {
+    ParallelRegionGuard guard;
+    for (int64_t c = 0; c < chunks; ++c) {
+      const int64_t lo = begin + c * grain;
+      fn(lo, std::min(end, lo + grain));
+    }
+    return;
+  }
+
+  // Shared by the caller and the pool tasks; next_chunk hands out fixed
+  // grain-sized chunks so the partition is identical for every pool size.
+  struct State {
+    std::atomic<int64_t> next_chunk{0};
+    std::atomic<bool> failed{false};
+    std::mutex mutex;
+    std::condition_variable done;
+    std::exception_ptr exception;
+    int pending = 0;
+  };
+  auto state = std::make_shared<State>();
+
+  auto worker = [state, begin, end, grain, chunks, &fn] {
+    ParallelRegionGuard guard;
+    int64_t c;
+    while ((c = state->next_chunk.fetch_add(1, std::memory_order_relaxed)) < chunks) {
+      if (state->failed.load(std::memory_order_relaxed)) {
+        break;
+      }
+      try {
+        const int64_t lo = begin + c * grain;
+        fn(lo, std::min(end, lo + grain));
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        if (state->exception == nullptr) {
+          state->exception = std::current_exception();
+        }
+        state->failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  const int64_t helpers =
+      std::min<int64_t>(pool->num_threads(), chunks - 1);
+  state->pending = static_cast<int>(helpers);
+  for (int64_t i = 0; i < helpers; ++i) {
+    pool->Submit([state, worker] {
+      worker();
+      std::lock_guard<std::mutex> lock(state->mutex);
+      if (--state->pending == 0) {
+        state->done.notify_all();
+      }
+    });
+  }
+  worker();
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done.wait(lock, [&state] { return state->pending == 0; });
+    if (state->exception != nullptr) {
+      std::rethrow_exception(state->exception);
+    }
+  }
+}
+
+}  // namespace gmorph

@@ -1,0 +1,61 @@
+// Intra-op parallelism for the kernel layer.
+//
+// ParallelFor splits [begin, end) into fixed-size chunks of at most `grain`
+// elements and runs them on a process-wide lazily initialized thread pool.
+// Chunk boundaries depend only on `grain` — never on the pool size — so any
+// reduction that combines per-chunk partials in chunk order produces bitwise
+// identical results for every thread count.
+//
+// Threading model:
+//  - The pool is created on first parallel use with KernelThreads() - 1
+//    workers; the calling thread always participates as the extra worker.
+//  - KernelThreads() defaults to GMORPH_NUM_THREADS (env) or the hardware
+//    concurrency. SetKernelThreads() overrides it (tests, CLI config).
+//  - Nested calls run serially: a ParallelFor issued from inside another
+//    ParallelFor task (or from a scope holding a ParallelRegionGuard, e.g.
+//    GMorph's parallel candidate fine-tuning) stays on the calling thread
+//    instead of oversubscribing the machine.
+#ifndef GMORPH_SRC_COMMON_PARALLEL_FOR_H_
+#define GMORPH_SRC_COMMON_PARALLEL_FOR_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace gmorph {
+
+// Number of threads the kernel layer may use (>= 1). First call reads
+// GMORPH_NUM_THREADS; an unset/invalid value falls back to the hardware
+// concurrency.
+int KernelThreads();
+
+// Overrides the kernel thread count (n >= 1). Tears down the current global
+// pool; the next parallel call rebuilds it. Must not race with in-flight
+// kernels.
+void SetKernelThreads(int n);
+
+// True while the current thread executes inside a ParallelFor task or under a
+// ParallelRegionGuard. Kernels use this to degrade to serial execution.
+bool InParallelRegion();
+
+// Marks the current thread as already-parallel for its lifetime. Placed in
+// worker tasks that own their parallelism (e.g. per-candidate fine-tuning in
+// the search) so nested kernels do not oversubscribe.
+class ParallelRegionGuard {
+ public:
+  ParallelRegionGuard();
+  ~ParallelRegionGuard();
+  ParallelRegionGuard(const ParallelRegionGuard&) = delete;
+  ParallelRegionGuard& operator=(const ParallelRegionGuard&) = delete;
+};
+
+// Runs fn(chunk_begin, chunk_end) over [begin, end) in chunks of at most
+// `grain` elements. Chunks may execute concurrently and in any order; the
+// caller participates. Rethrows the first exception thrown by fn after all
+// chunks finish or are abandoned. Serial when nested, when the configured
+// thread count is 1, or when there is a single chunk.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_COMMON_PARALLEL_FOR_H_

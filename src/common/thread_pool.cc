@@ -26,7 +26,10 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    GMORPH_CHECK_MSG(!shutdown_, "Submit after shutdown");
+    // A running task may keep submitting while the destructor drains
+    // (in_flight_ > 0 covers the submitter itself); fresh external submissions
+    // after shutdown are a bug.
+    GMORPH_CHECK_MSG(!shutdown_ || in_flight_ > 0, "Submit after shutdown");
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
@@ -36,6 +39,11 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::WaitAll() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_exception_ != nullptr) {
+    std::exception_ptr e = std::move(first_exception_);
+    first_exception_ = nullptr;
+    std::rethrow_exception(e);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -43,19 +51,35 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      // Exit only when no task is queued *or running*: a running task may
+      // still Submit more work, so an empty queue alone is not a safe exit
+      // condition during shutdown.
+      work_available_.wait(lock,
+                           [this] { return !queue_.empty() || (shutdown_ && in_flight_ == 0); });
       if (queue_.empty()) {
-        return;  // shutdown with a drained queue
+        return;
       }
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    std::exception_ptr raised;
+    try {
+      task();
+    } catch (...) {
+      raised = std::current_exception();
+    }
     {
       std::unique_lock<std::mutex> lock(mutex_);
+      if (raised != nullptr && first_exception_ == nullptr) {
+        first_exception_ = std::move(raised);
+      }
       --in_flight_;
       if (in_flight_ == 0) {
         all_done_.notify_all();
+        // Wake idle workers so they can observe the shutdown exit condition.
+        if (shutdown_) {
+          work_available_.notify_all();
+        }
       }
     }
   }

@@ -1,10 +1,12 @@
 // Fixed-size thread pool used by the parallel search mode (paper §7 suggests
-// sampling multiple multi-task models in parallel to cut search time).
+// sampling multiple multi-task models in parallel to cut search time) and as
+// the backing pool for the kernel layer's ParallelFor.
 #ifndef GMORPH_SRC_COMMON_THREAD_POOL_H_
 #define GMORPH_SRC_COMMON_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -16,17 +18,20 @@ class ThreadPool {
  public:
   // `num_threads` >= 1. Threads start immediately and idle on the queue.
   explicit ThreadPool(int num_threads);
-  // Drains the queue, then joins all workers.
+  // Drains the queue (including tasks submitted by running tasks), then joins
+  // all workers. Exceptions still pending at destruction are dropped.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  // Enqueues a task. Tasks must not throw (exceptions would cross thread
-  // boundaries); wrap fallible work and capture errors in the closure.
+  // Enqueues a task. Tasks may throw: the first exception is captured and
+  // rethrown from the next WaitAll(); later ones are dropped. Running tasks
+  // may Submit more work, even while the destructor is draining.
   void Submit(std::function<void()> task);
 
-  // Blocks until every submitted task has finished.
+  // Blocks until every submitted task has finished, then rethrows the first
+  // exception any of them raised (clearing it, so the pool stays usable).
   void WaitAll();
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
@@ -38,7 +43,8 @@ class ThreadPool {
   std::condition_variable work_available_;
   std::condition_variable all_done_;
   std::deque<std::function<void()>> queue_;
-  int in_flight_ = 0;
+  std::exception_ptr first_exception_;
+  int in_flight_ = 0;  // queued + currently running tasks
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
 };

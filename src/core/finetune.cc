@@ -89,6 +89,19 @@ FinetuneResult DistillFinetune(MultiTaskModel& student,
   const int total_evals =
       options.eval_interval > 0 ? options.max_epochs / options.eval_interval : 0;
 
+  // A candidate that already meets the target (e.g. an unmutated graph still
+  // carrying the teacher weights) needs no fine-tuning at all: check before
+  // spending the first epoch.
+  if (options.eval_interval > 0 && options.early_stop_on_target) {
+    result.task_scores = EvaluateMultiTask(student, test);
+    result.max_drop = MaxDrop(result.task_scores, teacher_test_scores);
+    if (result.max_drop <= options.target_drop + 1e-9) {
+      result.met_target = true;
+      result.seconds = timer.Seconds();
+      return result;
+    }
+  }
+
   for (int epoch = 1; epoch <= options.max_epochs; ++epoch) {
     for (int64_t start = 0; start < n; start += options.batch_size) {
       const int64_t count = std::min(options.batch_size, n - start);

@@ -4,6 +4,7 @@
 
 #include "src/common/check.h"
 #include "src/common/logging.h"
+#include "src/common/parallel_for.h"
 #include "src/common/thread_pool.h"
 #include "src/common/timer.h"
 #include "src/core/model_parser.h"
@@ -129,7 +130,13 @@ GMorphResult GMorph::Run() {
         continue;
       }
       if (pool != nullptr) {
-        pool->Submit([&finetune_one, &c] { finetune_one(c); });
+        // Each worker already owns a candidate: mark the task as a parallel
+        // region so kernel-level ParallelFor calls inside fine-tuning run
+        // serially instead of oversubscribing the machine.
+        pool->Submit([&finetune_one, &c] {
+          ParallelRegionGuard guard;
+          finetune_one(c);
+        });
       } else {
         finetune_one(c);
       }

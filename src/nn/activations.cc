@@ -3,16 +3,25 @@
 #include <cmath>
 
 #include "src/common/check.h"
+#include "src/common/parallel_for.h"
 
 namespace gmorph {
+namespace {
+
+// Elementwise activations only split work above this many elements.
+constexpr int64_t kActGrain = 1 << 15;
+
+}  // namespace
 
 void ReluInPlace(Tensor& x) {
   float* p = x.data();
-  for (int64_t i = 0; i < x.size(); ++i) {
-    if (p[i] < 0.0f) {
-      p[i] = 0.0f;
+  ParallelFor(0, x.size(), kActGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      if (p[i] < 0.0f) {
+        p[i] = 0.0f;
+      }
     }
-  }
+  });
 }
 
 Tensor ReLU::Forward(const Tensor& x, bool /*training*/) {
@@ -28,9 +37,11 @@ Tensor ReLU::Backward(const Tensor& grad_out) {
   const float* px = cached_input_.data();
   const float* pg = grad_out.data();
   float* po = grad_x.data();
-  for (int64_t i = 0; i < grad_out.size(); ++i) {
-    po[i] = px[i] > 0.0f ? pg[i] : 0.0f;
-  }
+  ParallelFor(0, grad_out.size(), kActGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      po[i] = px[i] > 0.0f ? pg[i] : 0.0f;
+    }
+  });
   return grad_x;
 }
 
@@ -38,9 +49,11 @@ Tensor Sigmoid::Forward(const Tensor& x, bool /*training*/) {
   Tensor out(x.shape());
   const float* px = x.data();
   float* po = out.data();
-  for (int64_t i = 0; i < x.size(); ++i) {
-    po[i] = 1.0f / (1.0f + std::exp(-px[i]));
-  }
+  ParallelFor(0, x.size(), kActGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      po[i] = 1.0f / (1.0f + std::exp(-px[i]));
+    }
+  });
   cached_output_ = out;
   return out;
 }
@@ -51,9 +64,11 @@ Tensor Sigmoid::Backward(const Tensor& grad_out) {
   const float* py = cached_output_.data();
   const float* pg = grad_out.data();
   float* po = grad_x.data();
-  for (int64_t i = 0; i < grad_out.size(); ++i) {
-    po[i] = pg[i] * py[i] * (1.0f - py[i]);
-  }
+  ParallelFor(0, grad_out.size(), kActGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      po[i] = pg[i] * py[i] * (1.0f - py[i]);
+    }
+  });
   return grad_x;
 }
 
@@ -61,9 +76,11 @@ Tensor Tanh::Forward(const Tensor& x, bool /*training*/) {
   Tensor out(x.shape());
   const float* px = x.data();
   float* po = out.data();
-  for (int64_t i = 0; i < x.size(); ++i) {
-    po[i] = std::tanh(px[i]);
-  }
+  ParallelFor(0, x.size(), kActGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      po[i] = std::tanh(px[i]);
+    }
+  });
   cached_output_ = out;
   return out;
 }
@@ -74,9 +91,11 @@ Tensor Tanh::Backward(const Tensor& grad_out) {
   const float* py = cached_output_.data();
   const float* pg = grad_out.data();
   float* po = grad_x.data();
-  for (int64_t i = 0; i < grad_out.size(); ++i) {
-    po[i] = pg[i] * (1.0f - py[i] * py[i]);
-  }
+  ParallelFor(0, grad_out.size(), kActGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      po[i] = pg[i] * (1.0f - py[i] * py[i]);
+    }
+  });
   return grad_x;
 }
 
@@ -92,10 +111,12 @@ Tensor GELU::Forward(const Tensor& x, bool /*training*/) {
   Tensor out(x.shape());
   const float* px = x.data();
   float* po = out.data();
-  for (int64_t i = 0; i < x.size(); ++i) {
-    const float v = px[i];
-    po[i] = 0.5f * v * (1.0f + std::tanh(kGeluC * (v + kGeluA * v * v * v)));
-  }
+  ParallelFor(0, x.size(), kActGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float v = px[i];
+      po[i] = 0.5f * v * (1.0f + std::tanh(kGeluC * (v + kGeluA * v * v * v)));
+    }
+  });
   return out;
 }
 
@@ -105,14 +126,16 @@ Tensor GELU::Backward(const Tensor& grad_out) {
   const float* px = cached_input_.data();
   const float* pg = grad_out.data();
   float* po = grad_x.data();
-  for (int64_t i = 0; i < grad_out.size(); ++i) {
-    const float v = px[i];
-    const float u = kGeluC * (v + kGeluA * v * v * v);
-    const float th = std::tanh(u);
-    const float sech2 = 1.0f - th * th;
-    const float du = kGeluC * (1.0f + 3.0f * kGeluA * v * v);
-    po[i] = pg[i] * (0.5f * (1.0f + th) + 0.5f * v * sech2 * du);
-  }
+  ParallelFor(0, grad_out.size(), kActGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float v = px[i];
+      const float u = kGeluC * (v + kGeluA * v * v * v);
+      const float th = std::tanh(u);
+      const float sech2 = 1.0f - th * th;
+      const float du = kGeluC * (1.0f + 3.0f * kGeluA * v * v);
+      po[i] = pg[i] * (0.5f * (1.0f + th) + 0.5f * v * sech2 * du);
+    }
+  });
   return grad_x;
 }
 

@@ -4,10 +4,18 @@
 #include <sstream>
 
 #include "src/common/check.h"
+#include "src/common/parallel_for.h"
+#include "src/tensor/scratch.h"
 #include "src/tensor/tensor_ops.h"
 
 namespace gmorph {
 namespace {
+
+// (sample, head) pairs are independent; chunk them so each chunk carries at
+// least ~32K flops worth of attention work.
+int64_t HeadGrain(int64_t t, int64_t head_dim) {
+  return std::max<int64_t>(1, (1 << 15) / std::max<int64_t>(1, t * t + t * head_dim));
+}
 
 // Copies one head's panel out of / into a (N, T, 3D) or (N, T, D) tensor.
 void GatherPanel(const float* src, int64_t t, int64_t row_stride, int64_t offset, int64_t width,
@@ -52,28 +60,32 @@ Tensor MultiHeadSelfAttention::Forward(const Tensor& x, bool training) {
   cached_attn_ = Tensor(Shape{n, num_heads_, t, t});
   Tensor merged(Shape{n, t, dim_});
 
-  std::vector<float> q(static_cast<size_t>(t * head_dim_));
-  std::vector<float> k(static_cast<size_t>(t * head_dim_));
-  std::vector<float> v(static_cast<size_t>(t * head_dim_));
-  std::vector<float> scores(static_cast<size_t>(t * t));
-  std::vector<float> ctx(static_cast<size_t>(t * head_dim_));
-
-  for (int64_t i = 0; i < n; ++i) {
-    const float* qkv_n = cached_qkv_.data() + i * t * 3 * dim_;
-    for (int64_t h = 0; h < num_heads_; ++h) {
+  // Each (sample, head) pair touches disjoint slices of cached_attn_ and
+  // merged, so the flattened pair index parallelizes cleanly.
+  ParallelFor(0, n * num_heads_, HeadGrain(t, head_dim_), [&](int64_t lo, int64_t hi) {
+    ScratchScope scope;
+    float* q = scope.AllocFloats(static_cast<size_t>(t * head_dim_));
+    float* k = scope.AllocFloats(static_cast<size_t>(t * head_dim_));
+    float* v = scope.AllocFloats(static_cast<size_t>(t * head_dim_));
+    float* scores = scope.AllocFloats(static_cast<size_t>(t * t));
+    float* ctx = scope.AllocFloats(static_cast<size_t>(t * head_dim_));
+    for (int64_t ih = lo; ih < hi; ++ih) {
+      const int64_t i = ih / num_heads_;
+      const int64_t h = ih % num_heads_;
+      const float* qkv_n = cached_qkv_.data() + i * t * 3 * dim_;
       const int64_t off = h * head_dim_;
-      GatherPanel(qkv_n, t, 3 * dim_, off, head_dim_, q.data());
-      GatherPanel(qkv_n, t, 3 * dim_, dim_ + off, head_dim_, k.data());
-      GatherPanel(qkv_n, t, 3 * dim_, 2 * dim_ + off, head_dim_, v.data());
+      GatherPanel(qkv_n, t, 3 * dim_, off, head_dim_, q);
+      GatherPanel(qkv_n, t, 3 * dim_, dim_ + off, head_dim_, k);
+      GatherPanel(qkv_n, t, 3 * dim_, 2 * dim_ + off, head_dim_, v);
 
-      MatmulNT(q.data(), k.data(), scores.data(), t, head_dim_, t);
-      for (float& s : scores) {
-        s *= scale;
+      MatmulNT(q, k, scores, t, head_dim_, t);
+      for (int64_t s = 0; s < t * t; ++s) {
+        scores[s] *= scale;
       }
       // Row-wise softmax straight into the attention cache.
       float* attn = cached_attn_.data() + ((i * num_heads_ + h) * t) * t;
       for (int64_t r = 0; r < t; ++r) {
-        const float* sr = scores.data() + r * t;
+        const float* sr = scores + r * t;
         float* ar = attn + r * t;
         float mx = sr[0];
         for (int64_t j = 1; j < t; ++j) {
@@ -89,10 +101,10 @@ Tensor MultiHeadSelfAttention::Forward(const Tensor& x, bool training) {
           ar[j] *= inv;
         }
       }
-      MatmulNN(attn, v.data(), ctx.data(), t, t, head_dim_);
-      ScatterPanel(ctx.data(), t, dim_, off, head_dim_, merged.data() + i * t * dim_);
+      MatmulNN(attn, v, ctx, t, t, head_dim_);
+      ScatterPanel(ctx, t, dim_, off, head_dim_, merged.data() + i * t * dim_);
     }
-  }
+  });
   return proj_->Forward(merged, training);
 }
 
@@ -105,35 +117,37 @@ Tensor MultiHeadSelfAttention::Backward(const Tensor& grad_out) {
   Tensor grad_merged = proj_->Backward(grad_out);  // (N, T, D)
   Tensor grad_qkv(Shape{n, t, 3 * dim_});
 
-  std::vector<float> q(static_cast<size_t>(t * head_dim_));
-  std::vector<float> k(static_cast<size_t>(t * head_dim_));
-  std::vector<float> v(static_cast<size_t>(t * head_dim_));
-  std::vector<float> dctx(static_cast<size_t>(t * head_dim_));
-  std::vector<float> dattn(static_cast<size_t>(t * t));
-  std::vector<float> dscores(static_cast<size_t>(t * t));
-  std::vector<float> dq(static_cast<size_t>(t * head_dim_));
-  std::vector<float> dk(static_cast<size_t>(t * head_dim_));
-  std::vector<float> dv(static_cast<size_t>(t * head_dim_));
-
-  for (int64_t i = 0; i < n; ++i) {
-    const float* qkv_n = cached_qkv_.data() + i * t * 3 * dim_;
-    float* dqkv_n = grad_qkv.data() + i * t * 3 * dim_;
-    for (int64_t h = 0; h < num_heads_; ++h) {
+  ParallelFor(0, n * num_heads_, HeadGrain(t, head_dim_), [&](int64_t lo, int64_t hi) {
+    ScratchScope scope;
+    float* q = scope.AllocFloats(static_cast<size_t>(t * head_dim_));
+    float* k = scope.AllocFloats(static_cast<size_t>(t * head_dim_));
+    float* v = scope.AllocFloats(static_cast<size_t>(t * head_dim_));
+    float* dctx = scope.AllocFloats(static_cast<size_t>(t * head_dim_));
+    float* dattn = scope.AllocFloats(static_cast<size_t>(t * t));
+    float* dscores = scope.AllocFloats(static_cast<size_t>(t * t));
+    float* dq = scope.AllocFloats(static_cast<size_t>(t * head_dim_));
+    float* dk = scope.AllocFloats(static_cast<size_t>(t * head_dim_));
+    float* dv = scope.AllocFloats(static_cast<size_t>(t * head_dim_));
+    for (int64_t ih = lo; ih < hi; ++ih) {
+      const int64_t i = ih / num_heads_;
+      const int64_t h = ih % num_heads_;
+      const float* qkv_n = cached_qkv_.data() + i * t * 3 * dim_;
+      float* dqkv_n = grad_qkv.data() + i * t * 3 * dim_;
       const int64_t off = h * head_dim_;
-      GatherPanel(qkv_n, t, 3 * dim_, off, head_dim_, q.data());
-      GatherPanel(qkv_n, t, 3 * dim_, dim_ + off, head_dim_, k.data());
-      GatherPanel(qkv_n, t, 3 * dim_, 2 * dim_ + off, head_dim_, v.data());
-      GatherPanel(grad_merged.data() + i * t * dim_, t, dim_, off, head_dim_, dctx.data());
+      GatherPanel(qkv_n, t, 3 * dim_, off, head_dim_, q);
+      GatherPanel(qkv_n, t, 3 * dim_, dim_ + off, head_dim_, k);
+      GatherPanel(qkv_n, t, 3 * dim_, 2 * dim_ + off, head_dim_, v);
+      GatherPanel(grad_merged.data() + i * t * dim_, t, dim_, off, head_dim_, dctx);
 
       const float* attn = cached_attn_.data() + ((i * num_heads_ + h) * t) * t;
       // dA = dCtx * V^T ; dV = A^T * dCtx
-      MatmulNT(dctx.data(), v.data(), dattn.data(), t, head_dim_, t);
-      MatmulTN(attn, dctx.data(), dv.data(), t, t, head_dim_);
+      MatmulNT(dctx, v, dattn, t, head_dim_, t);
+      MatmulTN(attn, dctx, dv, t, t, head_dim_);
       // Softmax backward per row, folding in the score scale.
       for (int64_t r = 0; r < t; ++r) {
         const float* ar = attn + r * t;
-        const float* gr = dattn.data() + r * t;
-        float* sr = dscores.data() + r * t;
+        const float* gr = dattn + r * t;
+        float* sr = dscores + r * t;
         float dot = 0.0f;
         for (int64_t j = 0; j < t; ++j) {
           dot += ar[j] * gr[j];
@@ -143,14 +157,14 @@ Tensor MultiHeadSelfAttention::Backward(const Tensor& grad_out) {
         }
       }
       // dQ = dS * K ; dK = dS^T * Q
-      MatmulNN(dscores.data(), k.data(), dq.data(), t, t, head_dim_);
-      MatmulTN(dscores.data(), q.data(), dk.data(), t, t, head_dim_);
+      MatmulNN(dscores, k, dq, t, t, head_dim_);
+      MatmulTN(dscores, q, dk, t, t, head_dim_);
 
-      ScatterPanel(dq.data(), t, 3 * dim_, off, head_dim_, dqkv_n);
-      ScatterPanel(dk.data(), t, 3 * dim_, dim_ + off, head_dim_, dqkv_n);
-      ScatterPanel(dv.data(), t, 3 * dim_, 2 * dim_ + off, head_dim_, dqkv_n);
+      ScatterPanel(dq, t, 3 * dim_, off, head_dim_, dqkv_n);
+      ScatterPanel(dk, t, 3 * dim_, dim_ + off, head_dim_, dqkv_n);
+      ScatterPanel(dv, t, 3 * dim_, 2 * dim_ + off, head_dim_, dqkv_n);
     }
-  }
+  });
   return qkv_->Backward(grad_qkv);
 }
 

@@ -1,8 +1,10 @@
 #include "src/nn/linear.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "src/common/check.h"
+#include "src/common/parallel_for.h"
 #include "src/nn/init.h"
 #include "src/tensor/tensor_ops.h"
 
@@ -28,12 +30,15 @@ Tensor Linear::Forward(const Tensor& x, bool /*training*/) {
   if (has_bias_) {
     float* po = out.data();
     const float* pb = bias_.value.data();
-    for (int64_t r = 0; r < rows; ++r) {
-      float* row = po + r * out_features_;
-      for (int64_t j = 0; j < out_features_; ++j) {
-        row[j] += pb[j];
+    const int64_t grain = std::max<int64_t>(1, (1 << 15) / std::max<int64_t>(1, out_features_));
+    ParallelFor(0, rows, grain, [&](int64_t lo, int64_t hi) {
+      for (int64_t r = lo; r < hi; ++r) {
+        float* row = po + r * out_features_;
+        for (int64_t j = 0; j < out_features_; ++j) {
+          row[j] += pb[j];
+        }
       }
-    }
+    });
   }
   return out;
 }

@@ -1,11 +1,21 @@
 #include "src/nn/norm.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
 #include "src/common/check.h"
+#include "src/common/parallel_for.h"
 
 namespace gmorph {
+namespace {
+
+// Channel/row loops split so each chunk covers at least this many elements.
+int64_t NormGrain(int64_t per_item) {
+  return std::max<int64_t>(1, (1 << 15) / std::max<int64_t>(1, per_item));
+}
+
+}  // namespace
 
 BatchNorm2d::BatchNorm2d(int64_t channels, float momentum, float eps)
     : channels_(channels),
@@ -31,52 +41,58 @@ Tensor BatchNorm2d::Forward(const Tensor& x, bool training) {
     cached_xhat_ = Tensor(x.shape());
     cached_inv_std_ = Tensor(Shape{c});
     float* pxh = cached_xhat_.data();
-    for (int64_t ch = 0; ch < c; ++ch) {
-      double sum = 0.0;
-      double sq = 0.0;
-      for (int64_t i = 0; i < n; ++i) {
-        const float* plane = px + (i * c + ch) * spatial;
-        for (int64_t s = 0; s < spatial; ++s) {
-          sum += plane[s];
-          sq += static_cast<double>(plane[s]) * plane[s];
+    // Channels are independent: statistics, running-stat updates, and the
+    // normalized planes all live in per-channel slots.
+    ParallelFor(0, c, NormGrain(m), [&](int64_t ch_lo, int64_t ch_hi) {
+      for (int64_t ch = ch_lo; ch < ch_hi; ++ch) {
+        double sum = 0.0;
+        double sq = 0.0;
+        for (int64_t i = 0; i < n; ++i) {
+          const float* plane = px + (i * c + ch) * spatial;
+          for (int64_t s = 0; s < spatial; ++s) {
+            sum += plane[s];
+            sq += static_cast<double>(plane[s]) * plane[s];
+          }
+        }
+        const float mean = static_cast<float>(sum / m);
+        const float var = static_cast<float>(sq / m) - mean * mean;
+        const float inv_std = 1.0f / std::sqrt(var + eps_);
+        cached_inv_std_.at(ch) = inv_std;
+        running_mean_.at(ch) = (1 - momentum_) * running_mean_.at(ch) + momentum_ * mean;
+        running_var_.at(ch) = (1 - momentum_) * running_var_.at(ch) + momentum_ * var;
+        const float g = gamma_.value.at(ch);
+        const float b = beta_.value.at(ch);
+        for (int64_t i = 0; i < n; ++i) {
+          const float* plane = px + (i * c + ch) * spatial;
+          float* xh = pxh + (i * c + ch) * spatial;
+          float* yo = po + (i * c + ch) * spatial;
+          for (int64_t s = 0; s < spatial; ++s) {
+            const float v = (plane[s] - mean) * inv_std;
+            xh[s] = v;
+            yo[s] = g * v + b;
+          }
         }
       }
-      const float mean = static_cast<float>(sum / m);
-      const float var = static_cast<float>(sq / m) - mean * mean;
-      const float inv_std = 1.0f / std::sqrt(var + eps_);
-      cached_inv_std_.at(ch) = inv_std;
-      running_mean_.at(ch) = (1 - momentum_) * running_mean_.at(ch) + momentum_ * mean;
-      running_var_.at(ch) = (1 - momentum_) * running_var_.at(ch) + momentum_ * var;
-      const float g = gamma_.value.at(ch);
-      const float b = beta_.value.at(ch);
-      for (int64_t i = 0; i < n; ++i) {
-        const float* plane = px + (i * c + ch) * spatial;
-        float* xh = pxh + (i * c + ch) * spatial;
-        float* yo = po + (i * c + ch) * spatial;
-        for (int64_t s = 0; s < spatial; ++s) {
-          const float v = (plane[s] - mean) * inv_std;
-          xh[s] = v;
-          yo[s] = g * v + b;
-        }
-      }
-    }
+    });
   } else {
-    for (int64_t ch = 0; ch < c; ++ch) {
-      const float mean = running_mean_.at(ch);
-      const float inv_std = 1.0f / std::sqrt(running_var_.at(ch) + eps_);
-      const float g = gamma_.value.at(ch);
-      const float b = beta_.value.at(ch);
-      // Fold into a single affine transform per channel.
-      const float scale = g * inv_std;
-      const float shift = b - mean * scale;
-      for (int64_t i = 0; i < n; ++i) {
-        const float* plane = px + (i * c + ch) * spatial;
-        float* yo = po + (i * c + ch) * spatial;
-        for (int64_t s = 0; s < spatial; ++s) {
-          yo[s] = scale * plane[s] + shift;
+    ParallelFor(0, c, NormGrain(m), [&](int64_t ch_lo, int64_t ch_hi) {
+      for (int64_t ch = ch_lo; ch < ch_hi; ++ch) {
+        const float mean = running_mean_.at(ch);
+        const float inv_std = 1.0f / std::sqrt(running_var_.at(ch) + eps_);
+        const float g = gamma_.value.at(ch);
+        const float b = beta_.value.at(ch);
+        // Fold into a single affine transform per channel.
+        const float scale = g * inv_std;
+        const float shift = b - mean * scale;
+        for (int64_t i = 0; i < n; ++i) {
+          const float* plane = px + (i * c + ch) * spatial;
+          float* yo = po + (i * c + ch) * spatial;
+          for (int64_t s = 0; s < spatial; ++s) {
+            yo[s] = scale * plane[s] + shift;
+          }
         }
       }
-    }
+    });
   }
   return out;
 }
@@ -94,34 +110,38 @@ Tensor BatchNorm2d::Backward(const Tensor& grad_out) {
   const float* pxh = cached_xhat_.data();
   float* pgx = grad_x.data();
 
-  for (int64_t ch = 0; ch < c; ++ch) {
-    double sum_dy = 0.0;
-    double sum_dy_xhat = 0.0;
-    for (int64_t i = 0; i < n; ++i) {
-      const float* dy = pg + (i * c + ch) * spatial;
-      const float* xh = pxh + (i * c + ch) * spatial;
-      for (int64_t s = 0; s < spatial; ++s) {
-        sum_dy += dy[s];
-        sum_dy_xhat += static_cast<double>(dy[s]) * xh[s];
+  // Per-channel gradient slots (gamma_.grad.at(ch), beta_.grad.at(ch)) make
+  // channels safe to process in parallel.
+  ParallelFor(0, c, NormGrain(m), [&](int64_t ch_lo, int64_t ch_hi) {
+    for (int64_t ch = ch_lo; ch < ch_hi; ++ch) {
+      double sum_dy = 0.0;
+      double sum_dy_xhat = 0.0;
+      for (int64_t i = 0; i < n; ++i) {
+        const float* dy = pg + (i * c + ch) * spatial;
+        const float* xh = pxh + (i * c + ch) * spatial;
+        for (int64_t s = 0; s < spatial; ++s) {
+          sum_dy += dy[s];
+          sum_dy_xhat += static_cast<double>(dy[s]) * xh[s];
+        }
       }
-    }
-    gamma_.grad.at(ch) += static_cast<float>(sum_dy_xhat);
-    beta_.grad.at(ch) += static_cast<float>(sum_dy);
+      gamma_.grad.at(ch) += static_cast<float>(sum_dy_xhat);
+      beta_.grad.at(ch) += static_cast<float>(sum_dy);
 
-    const float g = gamma_.value.at(ch);
-    const float inv_std = cached_inv_std_.at(ch);
-    const float k = g * inv_std / static_cast<float>(m);
-    const float mean_dy = static_cast<float>(sum_dy);
-    const float mean_dy_xhat = static_cast<float>(sum_dy_xhat);
-    for (int64_t i = 0; i < n; ++i) {
-      const float* dy = pg + (i * c + ch) * spatial;
-      const float* xh = pxh + (i * c + ch) * spatial;
-      float* dx = pgx + (i * c + ch) * spatial;
-      for (int64_t s = 0; s < spatial; ++s) {
-        dx[s] = k * (static_cast<float>(m) * dy[s] - mean_dy - xh[s] * mean_dy_xhat);
+      const float g = gamma_.value.at(ch);
+      const float inv_std = cached_inv_std_.at(ch);
+      const float k = g * inv_std / static_cast<float>(m);
+      const float mean_dy = static_cast<float>(sum_dy);
+      const float mean_dy_xhat = static_cast<float>(sum_dy_xhat);
+      for (int64_t i = 0; i < n; ++i) {
+        const float* dy = pg + (i * c + ch) * spatial;
+        const float* xh = pxh + (i * c + ch) * spatial;
+        float* dx = pgx + (i * c + ch) * spatial;
+        for (int64_t s = 0; s < spatial; ++s) {
+          dx[s] = k * (static_cast<float>(m) * dy[s] - mean_dy - xh[s] * mean_dy_xhat);
+        }
       }
     }
-  }
+  });
   return grad_x;
 }
 
@@ -154,26 +174,28 @@ Tensor LayerNorm::Forward(const Tensor& x, bool /*training*/) {
   float* pxh = cached_xhat_.data();
   const float* pg = gamma_.value.data();
   const float* pb = beta_.value.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* row = px + r * dim_;
-    double sum = 0.0;
-    double sq = 0.0;
-    for (int64_t j = 0; j < dim_; ++j) {
-      sum += row[j];
-      sq += static_cast<double>(row[j]) * row[j];
+  ParallelFor(0, rows, NormGrain(dim_), [&](int64_t r_lo, int64_t r_hi) {
+    for (int64_t r = r_lo; r < r_hi; ++r) {
+      const float* row = px + r * dim_;
+      double sum = 0.0;
+      double sq = 0.0;
+      for (int64_t j = 0; j < dim_; ++j) {
+        sum += row[j];
+        sq += static_cast<double>(row[j]) * row[j];
+      }
+      const float mean = static_cast<float>(sum / dim_);
+      const float var = static_cast<float>(sq / dim_) - mean * mean;
+      const float inv_std = 1.0f / std::sqrt(var + eps_);
+      cached_inv_std_.at(r) = inv_std;
+      float* xh = pxh + r * dim_;
+      float* yo = po + r * dim_;
+      for (int64_t j = 0; j < dim_; ++j) {
+        const float v = (row[j] - mean) * inv_std;
+        xh[j] = v;
+        yo[j] = pg[j] * v + pb[j];
+      }
     }
-    const float mean = static_cast<float>(sum / dim_);
-    const float var = static_cast<float>(sq / dim_) - mean * mean;
-    const float inv_std = 1.0f / std::sqrt(var + eps_);
-    cached_inv_std_.at(r) = inv_std;
-    float* xh = pxh + r * dim_;
-    float* yo = po + r * dim_;
-    for (int64_t j = 0; j < dim_; ++j) {
-      const float v = (row[j] - mean) * inv_std;
-      xh[j] = v;
-      yo[j] = pg[j] * v + pb[j];
-    }
-  }
+  });
   return out;
 }
 
@@ -187,6 +209,8 @@ Tensor LayerNorm::Backward(const Tensor& grad_out) {
   const float* gamma = gamma_.value.data();
   float* ggamma = gamma_.grad.data();
   float* gbeta = beta_.grad.data();
+  // Serial on purpose: every row accumulates into the shared gamma/beta
+  // gradient vectors, so a row-parallel version would race on them.
   for (int64_t r = 0; r < rows; ++r) {
     const float* dy = pg + r * dim_;
     const float* xh = pxh + r * dim_;

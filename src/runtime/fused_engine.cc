@@ -1,8 +1,10 @@
 #include "src/runtime/fused_engine.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/common/check.h"
+#include "src/common/parallel_for.h"
 #include "src/nn/activations.h"
 #include "src/nn/blocks.h"
 #include "src/nn/rescale.h"
@@ -34,15 +36,21 @@ FusedEngine::FusedEngine(MultiTaskModel* model) : model_(model) {
       if (block->has_bn()) {
         const BatchNorm2d* bn = block->bn();
         const int64_t per_filter = step.weight.size() / out_c;
-        for (int64_t o = 0; o < out_c; ++o) {
-          const float inv_std = 1.0f / std::sqrt(bn->running_var().at(o) + bn->eps());
-          const float scale = bn->gamma().value.at(o) * inv_std;
-          float* w = step.weight.data() + o * per_filter;
-          for (int64_t i = 0; i < per_filter; ++i) {
-            w[i] *= scale;
-          }
-          step.bias.at(o) = bn->beta().value.at(o) - bn->running_mean().at(o) * scale;
-        }
+        // BN folding scales each filter independently.
+        ParallelFor(0, out_c, std::max<int64_t>(1, (1 << 15) / std::max<int64_t>(1, per_filter)),
+                    [&](int64_t lo, int64_t hi) {
+                      for (int64_t o = lo; o < hi; ++o) {
+                        const float inv_std =
+                            1.0f / std::sqrt(bn->running_var().at(o) + bn->eps());
+                        const float scale = bn->gamma().value.at(o) * inv_std;
+                        float* w = step.weight.data() + o * per_filter;
+                        for (int64_t i = 0; i < per_filter; ++i) {
+                          w[i] *= scale;
+                        }
+                        step.bias.at(o) = bn->beta().value.at(o) -
+                                          bn->running_mean().at(o) * scale;
+                      }
+                    });
       } else if (!conv.bias().value.empty()) {
         step.bias = conv.bias().value.Clone();
       }

@@ -5,10 +5,18 @@
 #include <limits>
 
 #include "src/common/check.h"
+#include "src/common/parallel_for.h"
+#include "src/tensor/scratch.h"
 #include "src/tensor/tensor_ops.h"
 
 namespace gmorph {
 namespace {
+
+// Batch/plane loops split work so each chunk covers at least this many output
+// elements; smaller plans run serially.
+int64_t ItemGrain(int64_t per_item) {
+  return std::max<int64_t>(1, (1 << 15) / std::max<int64_t>(1, per_item));
+}
 
 // Expands one sample (C,H,W) into a (C*KH*KW, OH*OW) column matrix.
 void Im2Col(const float* x, int64_t c, int64_t h, int64_t w, int64_t kernel, int64_t stride,
@@ -86,22 +94,26 @@ Tensor Conv2dForward(const Tensor& x, const Tensor& w, const Tensor& b, const Co
 
   Tensor out(Shape{n, o, oh, ow});
   const int64_t ckk = c * kernel * kernel;
-  std::vector<float> col(static_cast<size_t>(ckk * oh * ow));
-  for (int64_t i = 0; i < n; ++i) {
-    Im2Col(x.data() + i * c * h * wd, c, h, wd, kernel, args.stride, args.padding, oh, ow,
-           col.data());
-    float* y = out.data() + i * o * oh * ow;
-    MatmulNN(w.data(), col.data(), y, o, ckk, oh * ow);
-    if (!b.empty()) {
-      for (int64_t oc = 0; oc < o; ++oc) {
-        const float bias = b.at(oc);
-        float* yo = y + oc * oh * ow;
-        for (int64_t s = 0; s < oh * ow; ++s) {
-          yo[s] += bias;
+  // Samples are independent: parallelize over the batch, with the im2col
+  // buffer reused from each worker's scratch arena.
+  ParallelFor(0, n, ItemGrain(o * oh * ow), [&](int64_t lo, int64_t hi) {
+    ScratchScope scope;
+    float* col = scope.AllocFloats(static_cast<size_t>(ckk * oh * ow));
+    for (int64_t i = lo; i < hi; ++i) {
+      Im2Col(x.data() + i * c * h * wd, c, h, wd, kernel, args.stride, args.padding, oh, ow, col);
+      float* y = out.data() + i * o * oh * ow;
+      MatmulNN(w.data(), col, y, o, ckk, oh * ow);
+      if (!b.empty()) {
+        for (int64_t oc = 0; oc < o; ++oc) {
+          const float bias = b.at(oc);
+          float* yo = y + oc * oh * ow;
+          for (int64_t s = 0; s < oh * ow; ++s) {
+            yo[s] += bias;
+          }
         }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -120,28 +132,51 @@ Tensor Conv2dBackward(const Tensor& x, const Tensor& w, const Tensor& grad_out,
 
   const int64_t ckk = c * kernel * kernel;
   Tensor grad_x(x.shape());
-  std::vector<float> col(static_cast<size_t>(ckk * oh * ow));
-  std::vector<float> dcol(static_cast<size_t>(ckk * oh * ow));
-  for (int64_t i = 0; i < n; ++i) {
-    const float* xi = x.data() + i * c * h * wd;
-    const float* dy = grad_out.data() + i * o * oh * ow;
+  // grad_x rows are per-sample disjoint, but grad_w / grad_b accumulate across
+  // the whole batch: each sample's contribution goes into its own slot and is
+  // reduced in sample order afterwards, so the result does not depend on how
+  // samples were distributed over threads.
+  std::vector<float> partial_w(static_cast<size_t>(n * o * ckk));
+  std::vector<float> partial_b(grad_b.empty() ? 0 : static_cast<size_t>(n * o));
+  ParallelFor(0, n, ItemGrain(o * oh * ow), [&](int64_t lo, int64_t hi) {
+    ScratchScope scope;
+    float* col = scope.AllocFloats(static_cast<size_t>(ckk * oh * ow));
+    float* dcol = scope.AllocFloats(static_cast<size_t>(ckk * oh * ow));
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* xi = x.data() + i * c * h * wd;
+      const float* dy = grad_out.data() + i * o * oh * ow;
 
-    Im2Col(xi, c, h, wd, kernel, args.stride, args.padding, oh, ow, col.data());
-    // dW[o, ckk] += dY[o, ohow] * col[ckk, ohow]^T
-    MatmulNT(dy, col.data(), grad_w.data(), o, oh * ow, ckk, /*accumulate=*/true);
-    // dcol[ckk, ohow] = W[o, ckk]^T * dY[o, ohow]
-    MatmulTN(w.data(), dy, dcol.data(), o, ckk, oh * ow);
-    Col2Im(dcol.data(), c, h, wd, kernel, args.stride, args.padding, oh, ow,
-           grad_x.data() + i * c * h * wd);
+      Im2Col(xi, c, h, wd, kernel, args.stride, args.padding, oh, ow, col);
+      // dW_i[o, ckk] = dY[o, ohow] * col[ckk, ohow]^T
+      MatmulNT(dy, col, partial_w.data() + i * o * ckk, o, oh * ow, ckk);
+      // dcol[ckk, ohow] = W[o, ckk]^T * dY[o, ohow]
+      MatmulTN(w.data(), dy, dcol, o, ckk, oh * ow);
+      Col2Im(dcol, c, h, wd, kernel, args.stride, args.padding, oh, ow,
+             grad_x.data() + i * c * h * wd);
 
-    if (!grad_b.empty()) {
-      for (int64_t oc = 0; oc < o; ++oc) {
-        const float* dyo = dy + oc * oh * ow;
-        float acc = 0.0f;
-        for (int64_t s = 0; s < oh * ow; ++s) {
-          acc += dyo[s];
+      if (!grad_b.empty()) {
+        for (int64_t oc = 0; oc < o; ++oc) {
+          const float* dyo = dy + oc * oh * ow;
+          float acc = 0.0f;
+          for (int64_t s = 0; s < oh * ow; ++s) {
+            acc += dyo[s];
+          }
+          partial_b[static_cast<size_t>(i * o + oc)] = acc;
         }
-        grad_b.at(oc) += acc;
+      }
+    }
+  });
+  float* gw = grad_w.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const float* pw = partial_w.data() + i * o * ckk;
+    for (int64_t j = 0; j < o * ckk; ++j) {
+      gw[j] += pw[j];
+    }
+  }
+  if (!grad_b.empty()) {
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t oc = 0; oc < o; ++oc) {
+        grad_b.at(oc) += partial_b[static_cast<size_t>(i * o + oc)];
       }
     }
   }
@@ -162,11 +197,11 @@ Tensor MaxPool2dForward(const Tensor& x, int64_t kernel, int64_t stride,
   argmax.assign(static_cast<size_t>(out.size()), 0);
   const float* px = x.data();
   float* po = out.data();
-  int64_t oi = 0;
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t ch = 0; ch < c; ++ch) {
-      const float* plane = px + (i * c + ch) * h * w;
-      const int64_t plane_base = (i * c + ch) * h * w;
+  ParallelFor(0, n * c, ItemGrain(oh * ow), [&](int64_t lo, int64_t hi) {
+    for (int64_t p = lo; p < hi; ++p) {
+      const float* plane = px + p * h * w;
+      const int64_t plane_base = p * h * w;
+      int64_t oi = p * oh * ow;
       for (int64_t oy = 0; oy < oh; ++oy) {
         for (int64_t ox = 0; ox < ow; ++ox, ++oi) {
           float best = -std::numeric_limits<float>::infinity();
@@ -187,7 +222,7 @@ Tensor MaxPool2dForward(const Tensor& x, int64_t kernel, int64_t stride,
         }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -197,9 +232,15 @@ Tensor MaxPool2dBackward(const Shape& input_shape, const Tensor& grad_out,
   Tensor grad_x(input_shape);
   float* gx = grad_x.data();
   const float* go = grad_out.data();
-  for (int64_t i = 0; i < grad_out.size(); ++i) {
-    gx[argmax[static_cast<size_t>(i)]] += go[i];
-  }
+  // Each output element scatters into its own (sample, channel) input plane,
+  // so chunking on plane boundaries keeps writes disjoint across threads.
+  const int64_t planes = input_shape[0] * input_shape[1];
+  const int64_t plane_out = grad_out.size() / std::max<int64_t>(1, planes);
+  ParallelFor(0, planes, ItemGrain(plane_out), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo * plane_out; i < hi * plane_out; ++i) {
+      gx[argmax[static_cast<size_t>(i)]] += go[i];
+    }
+  });
   return grad_x;
 }
 
@@ -215,21 +256,23 @@ Tensor AvgPool2dForward(const Tensor& x, int64_t kernel, int64_t stride) {
   const float* px = x.data();
   float* po = out.data();
   const float inv = 1.0f / static_cast<float>(kernel * kernel);
-  for (int64_t plane = 0; plane < n * c; ++plane) {
-    const float* src = px + plane * h * w;
-    float* dst = po + plane * oh * ow;
-    for (int64_t oy = 0; oy < oh; ++oy) {
-      for (int64_t ox = 0; ox < ow; ++ox) {
-        float acc = 0.0f;
-        for (int64_t ky = 0; ky < kernel; ++ky) {
-          for (int64_t kx = 0; kx < kernel; ++kx) {
-            acc += src[(oy * stride + ky) * w + ox * stride + kx];
+  ParallelFor(0, n * c, ItemGrain(oh * ow), [&](int64_t lo, int64_t hi) {
+    for (int64_t plane = lo; plane < hi; ++plane) {
+      const float* src = px + plane * h * w;
+      float* dst = po + plane * oh * ow;
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox) {
+          float acc = 0.0f;
+          for (int64_t ky = 0; ky < kernel; ++ky) {
+            for (int64_t kx = 0; kx < kernel; ++kx) {
+              acc += src[(oy * stride + ky) * w + ox * stride + kx];
+            }
           }
+          dst[oy * ow + ox] = acc * inv;
         }
-        dst[oy * ow + ox] = acc * inv;
       }
     }
-  }
+  });
   return out;
 }
 
@@ -246,20 +289,22 @@ Tensor AvgPool2dBackward(const Shape& input_shape, const Tensor& grad_out, int64
   float* gx = grad_x.data();
   const float* go = grad_out.data();
   const float inv = 1.0f / static_cast<float>(kernel * kernel);
-  for (int64_t plane = 0; plane < n * c; ++plane) {
-    float* dst = gx + plane * h * w;
-    const float* src = go + plane * oh * ow;
-    for (int64_t oy = 0; oy < oh; ++oy) {
-      for (int64_t ox = 0; ox < ow; ++ox) {
-        const float g = src[oy * ow + ox] * inv;
-        for (int64_t ky = 0; ky < kernel; ++ky) {
-          for (int64_t kx = 0; kx < kernel; ++kx) {
-            dst[(oy * stride + ky) * w + ox * stride + kx] += g;
+  ParallelFor(0, n * c, ItemGrain(oh * ow), [&](int64_t lo, int64_t hi) {
+    for (int64_t plane = lo; plane < hi; ++plane) {
+      float* dst = gx + plane * h * w;
+      const float* src = go + plane * oh * ow;
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox) {
+          const float g = src[oy * ow + ox] * inv;
+          for (int64_t ky = 0; ky < kernel; ++ky) {
+            for (int64_t kx = 0; kx < kernel; ++kx) {
+              dst[(oy * stride + ky) * w + ox * stride + kx] += g;
+            }
           }
         }
       }
     }
-  }
+  });
   return grad_x;
 }
 
@@ -272,14 +317,16 @@ Tensor GlobalAvgPoolForward(const Tensor& x) {
   const float* px = x.data();
   float* po = out.data();
   const float inv = 1.0f / static_cast<float>(spatial);
-  for (int64_t i = 0; i < n * c; ++i) {
-    const float* plane = px + i * spatial;
-    float acc = 0.0f;
-    for (int64_t s = 0; s < spatial; ++s) {
-      acc += plane[s];
+  ParallelFor(0, n * c, ItemGrain(spatial), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* plane = px + i * spatial;
+      float acc = 0.0f;
+      for (int64_t s = 0; s < spatial; ++s) {
+        acc += plane[s];
+      }
+      po[i] = acc * inv;
     }
-    po[i] = acc * inv;
-  }
+  });
   return out;
 }
 
@@ -292,13 +339,15 @@ Tensor GlobalAvgPoolBackward(const Shape& input_shape, const Tensor& grad_out) {
   float* gx = grad_x.data();
   const float* go = grad_out.data();
   const float inv = 1.0f / static_cast<float>(spatial);
-  for (int64_t i = 0; i < n * c; ++i) {
-    const float g = go[i] * inv;
-    float* plane = gx + i * spatial;
-    for (int64_t s = 0; s < spatial; ++s) {
-      plane[s] = g;
+  ParallelFor(0, n * c, ItemGrain(spatial), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float g = go[i] * inv;
+      float* plane = gx + i * spatial;
+      for (int64_t s = 0; s < spatial; ++s) {
+        plane[s] = g;
+      }
     }
-  }
+  });
   return grad_x;
 }
 
@@ -343,26 +392,28 @@ Tensor BilinearResizeForward(const Tensor& x, int64_t out_h, int64_t out_w) {
   Tensor out(Shape{n, c, out_h, out_w});
   const float* px = x.data();
   float* po = out.data();
-  for (int64_t plane = 0; plane < n * c; ++plane) {
-    const float* src = px + plane * h * w;
-    float* dst = po + plane * out_h * out_w;
-    for (int64_t oy = 0; oy < out_h; ++oy) {
-      const int64_t y0 = ay.lo[static_cast<size_t>(oy)];
-      const int64_t y1 = ay.hi[static_cast<size_t>(oy)];
-      const float ty = ay.t[static_cast<size_t>(oy)];
-      for (int64_t ox = 0; ox < out_w; ++ox) {
-        const int64_t x0 = ax.lo[static_cast<size_t>(ox)];
-        const int64_t x1 = ax.hi[static_cast<size_t>(ox)];
-        const float tx = ax.t[static_cast<size_t>(ox)];
-        const float v00 = src[y0 * w + x0];
-        const float v01 = src[y0 * w + x1];
-        const float v10 = src[y1 * w + x0];
-        const float v11 = src[y1 * w + x1];
-        dst[oy * out_w + ox] = (1 - ty) * ((1 - tx) * v00 + tx * v01) +
-                               ty * ((1 - tx) * v10 + tx * v11);
+  ParallelFor(0, n * c, ItemGrain(out_h * out_w), [&](int64_t lo, int64_t hi) {
+    for (int64_t plane = lo; plane < hi; ++plane) {
+      const float* src = px + plane * h * w;
+      float* dst = po + plane * out_h * out_w;
+      for (int64_t oy = 0; oy < out_h; ++oy) {
+        const int64_t y0 = ay.lo[static_cast<size_t>(oy)];
+        const int64_t y1 = ay.hi[static_cast<size_t>(oy)];
+        const float ty = ay.t[static_cast<size_t>(oy)];
+        for (int64_t ox = 0; ox < out_w; ++ox) {
+          const int64_t x0 = ax.lo[static_cast<size_t>(ox)];
+          const int64_t x1 = ax.hi[static_cast<size_t>(ox)];
+          const float tx = ax.t[static_cast<size_t>(ox)];
+          const float v00 = src[y0 * w + x0];
+          const float v01 = src[y0 * w + x1];
+          const float v10 = src[y1 * w + x0];
+          const float v11 = src[y1 * w + x1];
+          dst[oy * out_w + ox] = (1 - ty) * ((1 - tx) * v00 + tx * v01) +
+                                 ty * ((1 - tx) * v10 + tx * v11);
+        }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -379,25 +430,27 @@ Tensor BilinearResizeBackward(const Shape& input_shape, const Tensor& grad_out) 
   Tensor grad_x(input_shape);
   float* gx = grad_x.data();
   const float* go = grad_out.data();
-  for (int64_t plane = 0; plane < n * c; ++plane) {
-    float* dst = gx + plane * h * w;
-    const float* src = go + plane * out_h * out_w;
-    for (int64_t oy = 0; oy < out_h; ++oy) {
-      const int64_t y0 = ay.lo[static_cast<size_t>(oy)];
-      const int64_t y1 = ay.hi[static_cast<size_t>(oy)];
-      const float ty = ay.t[static_cast<size_t>(oy)];
-      for (int64_t ox = 0; ox < out_w; ++ox) {
-        const int64_t x0 = ax.lo[static_cast<size_t>(ox)];
-        const int64_t x1 = ax.hi[static_cast<size_t>(ox)];
-        const float tx = ax.t[static_cast<size_t>(ox)];
-        const float g = src[oy * out_w + ox];
-        dst[y0 * w + x0] += (1 - ty) * (1 - tx) * g;
-        dst[y0 * w + x1] += (1 - ty) * tx * g;
-        dst[y1 * w + x0] += ty * (1 - tx) * g;
-        dst[y1 * w + x1] += ty * tx * g;
+  ParallelFor(0, n * c, ItemGrain(out_h * out_w), [&](int64_t lo, int64_t hi) {
+    for (int64_t plane = lo; plane < hi; ++plane) {
+      float* dst = gx + plane * h * w;
+      const float* src = go + plane * out_h * out_w;
+      for (int64_t oy = 0; oy < out_h; ++oy) {
+        const int64_t y0 = ay.lo[static_cast<size_t>(oy)];
+        const int64_t y1 = ay.hi[static_cast<size_t>(oy)];
+        const float ty = ay.t[static_cast<size_t>(oy)];
+        for (int64_t ox = 0; ox < out_w; ++ox) {
+          const int64_t x0 = ax.lo[static_cast<size_t>(ox)];
+          const int64_t x1 = ax.hi[static_cast<size_t>(ox)];
+          const float tx = ax.t[static_cast<size_t>(ox)];
+          const float g = src[oy * out_w + ox];
+          dst[y0 * w + x0] += (1 - ty) * (1 - tx) * g;
+          dst[y0 * w + x1] += (1 - ty) * tx * g;
+          dst[y1 * w + x0] += ty * (1 - tx) * g;
+          dst[y1 * w + x1] += ty * tx * g;
+        }
       }
     }
-  }
+  });
   return grad_x;
 }
 
@@ -410,19 +463,21 @@ Tensor LinearResizeTokensForward(const Tensor& x, int64_t out_t) {
   Tensor out(Shape{n, out_t, d});
   const float* px = x.data();
   float* po = out.data();
-  for (int64_t i = 0; i < n; ++i) {
-    const float* src = px + i * t * d;
-    float* dst = po + i * out_t * d;
-    for (int64_t ot = 0; ot < out_t; ++ot) {
-      const float* lo = src + axis.lo[static_cast<size_t>(ot)] * d;
-      const float* hi = src + axis.hi[static_cast<size_t>(ot)] * d;
-      const float tt = axis.t[static_cast<size_t>(ot)];
-      float* row = dst + ot * d;
-      for (int64_t j = 0; j < d; ++j) {
-        row[j] = (1 - tt) * lo[j] + tt * hi[j];
+  ParallelFor(0, n, ItemGrain(out_t * d), [&](int64_t b_lo, int64_t b_hi) {
+    for (int64_t i = b_lo; i < b_hi; ++i) {
+      const float* src = px + i * t * d;
+      float* dst = po + i * out_t * d;
+      for (int64_t ot = 0; ot < out_t; ++ot) {
+        const float* lo = src + axis.lo[static_cast<size_t>(ot)] * d;
+        const float* hi = src + axis.hi[static_cast<size_t>(ot)] * d;
+        const float tt = axis.t[static_cast<size_t>(ot)];
+        float* row = dst + ot * d;
+        for (int64_t j = 0; j < d; ++j) {
+          row[j] = (1 - tt) * lo[j] + tt * hi[j];
+        }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -436,20 +491,22 @@ Tensor LinearResizeTokensBackward(const Shape& input_shape, const Tensor& grad_o
   Tensor grad_x(input_shape);
   float* gx = grad_x.data();
   const float* go = grad_out.data();
-  for (int64_t i = 0; i < n; ++i) {
-    float* dst = gx + i * t * d;
-    const float* src = go + i * out_t * d;
-    for (int64_t ot = 0; ot < out_t; ++ot) {
-      float* lo = dst + axis.lo[static_cast<size_t>(ot)] * d;
-      float* hi = dst + axis.hi[static_cast<size_t>(ot)] * d;
-      const float tt = axis.t[static_cast<size_t>(ot)];
-      const float* row = src + ot * d;
-      for (int64_t j = 0; j < d; ++j) {
-        lo[j] += (1 - tt) * row[j];
-        hi[j] += tt * row[j];
+  ParallelFor(0, n, ItemGrain(out_t * d), [&](int64_t b_lo, int64_t b_hi) {
+    for (int64_t i = b_lo; i < b_hi; ++i) {
+      float* dst = gx + i * t * d;
+      const float* src = go + i * out_t * d;
+      for (int64_t ot = 0; ot < out_t; ++ot) {
+        float* lo = dst + axis.lo[static_cast<size_t>(ot)] * d;
+        float* hi = dst + axis.hi[static_cast<size_t>(ot)] * d;
+        const float tt = axis.t[static_cast<size_t>(ot)];
+        const float* row = src + ot * d;
+        for (int64_t j = 0; j < d; ++j) {
+          lo[j] += (1 - tt) * row[j];
+          hi[j] += tt * row[j];
+        }
       }
     }
-  }
+  });
   return grad_x;
 }
 

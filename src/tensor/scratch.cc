@@ -1,0 +1,76 @@
+#include "src/tensor/scratch.h"
+
+#include <algorithm>
+#include <atomic>
+#include <new>
+
+#include "src/common/check.h"
+
+namespace gmorph {
+namespace {
+
+// Floats per 64-byte cache line; block capacities and allocations are rounded
+// up to this so consecutive allocations stay line-aligned.
+constexpr size_t kAlignFloats = 16;
+constexpr size_t kMinBlockFloats = 1u << 18;  // 1 MiB
+
+std::atomic<int64_t> g_heap_bytes{0};
+
+size_t RoundUp(size_t n) { return (n + kAlignFloats - 1) & ~(kAlignFloats - 1); }
+
+}  // namespace
+
+ScratchArena& ScratchArena::ThreadLocal() {
+  static thread_local ScratchArena arena;
+  return arena;
+}
+
+int64_t ScratchArena::TotalHeapBytes() { return g_heap_bytes.load(std::memory_order_relaxed); }
+
+float* ScratchArena::AllocFloats(size_t n) {
+  n = RoundUp(n > 0 ? n : 1);
+  // Scan from the current block forward; blocks are only ever appended, so
+  // saved marks (block index, used offset) stay valid across growth.
+  while (current_ < blocks_.size()) {
+    Block& b = blocks_[current_];
+    if (b.used + n <= b.capacity) {
+      float* p = b.data.get() + b.used;
+      b.used += n;
+      return p;
+    }
+    ++current_;
+  }
+  size_t capacity = std::max(RoundUp(n), kMinBlockFloats);
+  if (!blocks_.empty()) {
+    capacity = std::max(capacity, blocks_.back().capacity * 2);
+  }
+  Block block;
+  block.data = std::make_unique<float[]>(capacity);
+  block.capacity = capacity;
+  block.used = n;
+  g_heap_bytes.fetch_add(static_cast<int64_t>(capacity * sizeof(float)),
+                         std::memory_order_relaxed);
+  blocks_.push_back(std::move(block));
+  current_ = blocks_.size() - 1;
+  return blocks_[current_].data.get();
+}
+
+ScratchArena::Mark ScratchArena::Save() const {
+  Mark mark;
+  mark.block = current_;
+  mark.used = current_ < blocks_.size() ? blocks_[current_].used : 0;
+  return mark;
+}
+
+void ScratchArena::Restore(const Mark& mark) {
+  GMORPH_CHECK_MSG(mark.block <= current_, "scratch scopes closed out of order");
+  for (size_t i = blocks_.size(); i-- > mark.block + 1;) {
+    blocks_[i].used = 0;
+  }
+  if (mark.block < blocks_.size()) {
+    blocks_[mark.block].used = mark.used;
+  }
+  current_ = mark.block;
+}
+
+}  // namespace gmorph

@@ -1,0 +1,81 @@
+// Thread-local scratch arena for kernel workspace (im2col columns, GEMM
+// packing panels). Allocation is a bump pointer into blocks that persist for
+// the thread's lifetime, so steady-state kernels reuse warm memory instead of
+// hitting the heap once per call.
+//
+// Lifetime rules:
+//  - Open a ScratchScope at the top of a kernel; every AllocFloats() through
+//    that scope (or a nested one) is released when the scope closes.
+//  - Pointers are valid until their scope closes. Never store them across
+//    calls and never hand them to another thread: the arena is thread-local,
+//    and a parallel worker must open its own scope inside the parallel region.
+//  - Scopes nest like a stack; closing out of order is a bug (checked).
+#ifndef GMORPH_SRC_TENSOR_SCRATCH_H_
+#define GMORPH_SRC_TENSOR_SCRATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace gmorph {
+
+class ScratchScope;
+
+class ScratchArena {
+ public:
+  // The calling thread's arena (created on first use).
+  static ScratchArena& ThreadLocal();
+
+  // Bytes of backing memory newly allocated from the heap, across all
+  // threads, since process start. Flat after warmup — the benchmark's
+  // bytes-per-op metric is a delta of this plus the tensor counter.
+  static int64_t TotalHeapBytes();
+
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+ private:
+  friend class ScratchScope;
+
+  struct Block {
+    std::unique_ptr<float[]> data;
+    size_t capacity = 0;  // floats
+    size_t used = 0;      // floats
+  };
+
+  ScratchArena() = default;
+
+  float* AllocFloats(size_t n);
+
+  struct Mark {
+    size_t block = 0;
+    size_t used = 0;
+  };
+  Mark Save() const;
+  void Restore(const Mark& mark);
+
+  std::vector<Block> blocks_;
+  size_t current_ = 0;  // blocks_[current_] receives the next allocation
+};
+
+// RAII window into the thread-local arena.
+class ScratchScope {
+ public:
+  ScratchScope() : arena_(ScratchArena::ThreadLocal()), mark_(arena_.Save()) {}
+  ~ScratchScope() { arena_.Restore(mark_); }
+
+  ScratchScope(const ScratchScope&) = delete;
+  ScratchScope& operator=(const ScratchScope&) = delete;
+
+  // Contents are uninitialized (reused allocations carry stale data).
+  float* AllocFloats(size_t n) { return arena_.AllocFloats(n); }
+
+ private:
+  ScratchArena& arena_;
+  ScratchArena::Mark mark_;
+};
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_TENSOR_SCRATCH_H_

@@ -1,16 +1,30 @@
 #include "src/tensor/tensor.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "src/common/check.h"
 
 namespace gmorph {
+namespace {
+
+std::atomic<int64_t> g_tensor_bytes{0};
+
+void CountAlloc(size_t elements) {
+  g_tensor_bytes.fetch_add(static_cast<int64_t>(elements * sizeof(float)),
+                           std::memory_order_relaxed);
+}
+
+}  // namespace
+
+int64_t Tensor::TotalAllocatedBytes() { return g_tensor_bytes.load(std::memory_order_relaxed); }
 
 Tensor::Tensor(const Shape& shape)
     : shape_(shape),
       data_(std::make_shared<std::vector<float>>(static_cast<size_t>(shape.NumElements()),
                                                  0.0f)) {
   GMORPH_CHECK_MSG(shape.NumElements() >= 0, "invalid shape " << shape.ToString());
+  CountAlloc(data_->size());
 }
 
 Tensor Tensor::Full(const Shape& shape, float value) {
@@ -25,6 +39,7 @@ Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values) {
   Tensor t;
   t.shape_ = shape;
   t.data_ = std::make_shared<std::vector<float>>(std::move(values));
+  CountAlloc(t.data_->size());
   return t;
 }
 
@@ -58,6 +73,7 @@ Tensor Tensor::Clone() const {
   Tensor t;
   t.shape_ = shape_;
   t.data_ = std::make_shared<std::vector<float>>(*data_);
+  CountAlloc(t.data_->size());
   return t;
 }
 

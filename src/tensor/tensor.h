@@ -53,6 +53,11 @@ class Tensor {
   // True if the two handles share storage.
   bool SharesStorageWith(const Tensor& other) const { return data_ == other.data_; }
 
+  // Bytes of tensor storage allocated process-wide since start (monotonic;
+  // deallocation is not subtracted). The micro-ops benchmark reports
+  // per-op allocation as a delta of this plus the scratch-arena counter.
+  static int64_t TotalAllocatedBytes();
+
  private:
   Shape shape_;
   std::shared_ptr<std::vector<float>> data_;

@@ -5,6 +5,16 @@
 //   forward:   Y = X * W            -> MatmulNN
 //   grad in:   dX = dY * W^T        -> MatmulNT
 //   grad w:    dW = X^T * dY        -> MatmulTN
+//
+// Each variant dispatches by shape (see tensor_ops.cc):
+//   - wide N:  register-tiled micro-kernel (6x32 / 4x32), either directly on
+//     the operands when the working set is cache-resident or through the
+//     cache-blocked MC/KC/NC path with panels packed into thread-local
+//     scratch; row blocks run in parallel via ParallelFor.
+//   - narrow N, deep K: a lane-vectorized dot-product kernel over a packed
+//     B^T, parallel over output rows.
+//   - tiny problems: the retained reference loops below.
+// All paths produce results that are bitwise independent of the thread count.
 #ifndef GMORPH_SRC_TENSOR_TENSOR_OPS_H_
 #define GMORPH_SRC_TENSOR_TENSOR_OPS_H_
 
@@ -33,6 +43,16 @@ void MatmulNT(const float* a, const float* b, float* c, int64_t m, int64_t n, in
 // C[k,n] = A[m,k]^T * B[m,n]
 void MatmulTN(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n,
               bool accumulate = false);
+
+// Naive reference GEMMs (the pre-blocking kernels). Retained as the oracle
+// for the randomized cross-check tests, as the tiny-problem fast path, and as
+// the baseline the micro_ops bench reports speedups against.
+void RefMatmulNN(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n,
+                 bool accumulate = false);
+void RefMatmulNT(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
+                 bool accumulate = false);
+void RefMatmulTN(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n,
+                 bool accumulate = false);
 
 // ---- Tensor-level matmul: a is (m,k), b is (k,n) ----
 Tensor Matmul(const Tensor& a, const Tensor& b);

@@ -1,10 +1,12 @@
 #include "src/tensor/conv_ops.h"
 
+#include <cstring>
 #include <tuple>
 
 #include <gtest/gtest.h>
 
 #include "src/common/check.h"
+#include "src/common/parallel_for.h"
 #include "src/common/rng.h"
 #include "src/tensor/tensor_ops.h"
 #include "tests/test_util.h"
@@ -115,6 +117,118 @@ TEST(ConvBackwardTest, GradientsMatchNumeric) {
     bm.at(0) -= eps;
     EXPECT_NEAR(grad_b.at(0), (loss(x, w, bp) - loss(x, w, bm)) / (2 * eps), 5e-2f);
   }
+}
+
+// Direct reference gradients of NaiveConv2d (double accumulators, no im2col).
+void NaiveConv2dBackward(const Tensor& x, const Tensor& w, const Tensor& grad_out,
+                         int64_t stride, int64_t padding, Tensor& grad_x, Tensor& grad_w,
+                         Tensor& grad_b) {
+  const int64_t n = x.shape()[0];
+  const int64_t c = x.shape()[1];
+  const int64_t h = x.shape()[2];
+  const int64_t wd = x.shape()[3];
+  const int64_t o = w.shape()[0];
+  const int64_t k = w.shape()[2];
+  const int64_t oh = grad_out.shape()[2];
+  const int64_t ow = grad_out.shape()[3];
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t oc = 0; oc < o; ++oc) {
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox) {
+          const float gy = grad_out.at(((i * o + oc) * oh + oy) * ow + ox);
+          grad_b.at(oc) += gy;
+          for (int64_t ic = 0; ic < c; ++ic) {
+            for (int64_t ky = 0; ky < k; ++ky) {
+              for (int64_t kx = 0; kx < k; ++kx) {
+                const int64_t iy = oy * stride + ky - padding;
+                const int64_t ix = ox * stride + kx - padding;
+                if (iy < 0 || iy >= h || ix < 0 || ix >= wd) {
+                  continue;
+                }
+                const int64_t xi = ((i * c + ic) * h + iy) * wd + ix;
+                const int64_t wi = ((oc * c + ic) * k + ky) * k + kx;
+                grad_x.at(xi) += gy * w.at(wi);
+                grad_w.at(wi) += gy * x.at(xi);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// Randomized-shape forward and backward against the direct references. The
+// im2col path reorders float accumulation, so comparisons are tolerance-based.
+TEST(ConvPropertyTest, RandomShapesMatchNaiveReference) {
+  Rng rng(314);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int64_t batch = 1 + rng.NextInt(3);
+    const int64_t c = 1 + rng.NextInt(5);
+    const int64_t o = 1 + rng.NextInt(6);
+    const int64_t k = 1 + rng.NextInt(3);           // 1..3
+    const int64_t s = 1 + rng.NextInt(2);           // 1..2
+    const int64_t p = rng.NextInt(static_cast<int>(k));  // 0..k-1
+    const int64_t hw = k + rng.NextInt(9);          // >= kernel
+    SCOPED_TRACE(::testing::Message() << "n=" << batch << " c=" << c << " o=" << o << " k=" << k
+                                      << " s=" << s << " p=" << p << " hw=" << hw);
+    Tensor x = Tensor::RandomGaussian(Shape{batch, c, hw, hw}, rng);
+    Tensor w = Tensor::RandomGaussian(Shape{o, c, k, k}, rng);
+    Tensor b = Tensor::RandomGaussian(Shape{o}, rng);
+    const Conv2dArgs args{s, p};
+
+    Tensor got = Conv2dForward(x, w, b, args);
+    Tensor want = NaiveConv2d(x, w, b, s, p);
+    EXPECT_LE(MaxDiff(got, want), 1e-4f * (1.0f + MaxAbs(want)));
+
+    Tensor grad_out = Tensor::RandomGaussian(got.shape(), rng);
+    Tensor grad_w = Tensor::Zeros(w.shape());
+    Tensor grad_b = Tensor::Zeros(b.shape());
+    Tensor grad_x = Conv2dBackward(x, w, grad_out, args, grad_w, grad_b);
+
+    Tensor ref_gx = Tensor::Zeros(x.shape());
+    Tensor ref_gw = Tensor::Zeros(w.shape());
+    Tensor ref_gb = Tensor::Zeros(b.shape());
+    NaiveConv2dBackward(x, w, grad_out, s, p, ref_gx, ref_gw, ref_gb);
+    EXPECT_LE(MaxDiff(grad_x, ref_gx), 1e-4f * (1.0f + MaxAbs(ref_gx)));
+    EXPECT_LE(MaxDiff(grad_w, ref_gw), 1e-4f * (1.0f + MaxAbs(ref_gw)));
+    EXPECT_LE(MaxDiff(grad_b, ref_gb), 1e-4f * (1.0f + MaxAbs(ref_gb)));
+  }
+}
+
+// The batch-parallel forward and the per-sample-partials backward must be
+// bitwise independent of the thread count (weight gradients are reduced in
+// sample order regardless of which worker produced each partial).
+TEST(ConvThreadDeterminismTest, BitwiseEqualAcrossThreadCounts) {
+  const int restore = KernelThreads();
+  Rng rng(2718);
+  Tensor x = Tensor::RandomGaussian(Shape{5, 3, 9, 9}, rng);
+  Tensor w = Tensor::RandomGaussian(Shape{4, 3, 3, 3}, rng);
+  Tensor b = Tensor::RandomGaussian(Shape{4}, rng);
+  const Conv2dArgs args{1, 1};
+
+  auto run = [&](int threads, Tensor& grad_w, Tensor& grad_b, Tensor& grad_x) {
+    SetKernelThreads(threads);
+    Tensor y = Conv2dForward(x, w, b, args);
+    Tensor grad_out = y;  // deterministic, shape-correct upstream gradient
+    grad_w = Tensor::Zeros(w.shape());
+    grad_b = Tensor::Zeros(b.shape());
+    grad_x = Conv2dBackward(x, w, grad_out, args, grad_w, grad_b);
+    return y;
+  };
+  Tensor gw1, gb1, gx1, gw4, gb4, gx4;
+  Tensor y1 = run(1, gw1, gb1, gx1);
+  Tensor y4 = run(4, gw4, gb4, gx4);
+  SetKernelThreads(restore);
+
+  auto bitwise_equal = [](const Tensor& a, const Tensor& b) {
+    return a.size() == b.size() &&
+           std::memcmp(a.data(), b.data(), static_cast<size_t>(a.size()) * sizeof(float)) == 0;
+  };
+  EXPECT_TRUE(bitwise_equal(y1, y4));
+  EXPECT_TRUE(bitwise_equal(gx1, gx4));
+  EXPECT_TRUE(bitwise_equal(gw1, gw4));
+  EXPECT_TRUE(bitwise_equal(gb1, gb4));
 }
 
 TEST(MaxPoolTest, SelectsWindowMaxima) {

@@ -76,7 +76,7 @@ TEST(FinetuneTest, RecoversAccuracyAfterMutation) {
   ASSERT_TRUE(ApplyMutation(g, {second0, second1}));
   MultiTaskModel model(g, rng);
   FinetuneOptions opts;
-  opts.max_epochs = 8;
+  opts.max_epochs = 24;
   opts.eval_interval = 2;
   opts.target_drop = 0.05;
   FinetuneResult r =

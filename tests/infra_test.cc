@@ -1,11 +1,15 @@
-// Tests for thread pool, config parsing, DOT export, and the parallel search
-// mode.
+// Tests for thread pool, ParallelFor, config parsing, DOT export, and the
+// parallel search mode.
 #include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/common/check.h"
 #include "src/common/config.h"
+#include "src/common/parallel_for.h"
 #include "src/common/thread_pool.h"
 #include "src/core/dot_export.h"
 #include "src/core/gmorph.h"
@@ -55,6 +59,113 @@ TEST(ThreadPoolTest, DestructorDrainsQueue) {
     }
   }
   EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, WaitAllRethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&ran, i] {
+      ran.fetch_add(1);
+      if (i == 3) {
+        throw std::runtime_error("task failed");
+      }
+    });
+  }
+  EXPECT_THROW(pool.WaitAll(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 8);  // the exception does not abandon queued tasks
+
+  // The exception is cleared by the rethrow: the pool stays usable.
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitAll();  // must not rethrow again
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, RunningTasksMaySubmitMoreWork) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit([&pool, &counter] {
+      counter.fetch_add(1);
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    });
+  }
+  pool.WaitAll();  // must count the nested submissions as in-flight
+  EXPECT_EQ(counter.load(), 8);
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  constexpr int64_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) {
+    h.store(0);
+  }
+  ParallelFor(3, kN, 7, [&](int64_t lo, int64_t hi) {
+    EXPECT_LE(hi - lo, 7);
+    for (int64_t i = lo; i < hi; ++i) {
+      hits[static_cast<size_t>(i)].fetch_add(1);
+    }
+  });
+  for (int64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), i >= 3 ? 1 : 0) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, RethrowsExceptionFromChunk) {
+  EXPECT_THROW(ParallelFor(0, 100, 10,
+                           [](int64_t lo, int64_t) {
+                             if (lo == 50) {
+                               throw std::runtime_error("chunk failed");
+                             }
+                           }),
+               std::runtime_error);
+  // Later calls still work.
+  std::atomic<int> n{0};
+  ParallelFor(0, 100, 10, [&](int64_t lo, int64_t hi) { n.fetch_add(static_cast<int>(hi - lo)); });
+  EXPECT_EQ(n.load(), 100);
+}
+
+TEST(ParallelForTest, NestedCallsRunSeriallyOnCallingThread) {
+  const int restore = KernelThreads();
+  SetKernelThreads(4);
+  // Inside a ParallelFor task the nested call must stay on that task's thread.
+  std::atomic<bool> nested_ok{true};
+  ParallelFor(0, 8, 1, [&](int64_t, int64_t) {
+    EXPECT_TRUE(InParallelRegion());
+    const std::thread::id outer = std::this_thread::get_id();
+    ParallelFor(0, 64, 1, [&](int64_t, int64_t) {
+      if (std::this_thread::get_id() != outer) {
+        nested_ok.store(false);
+      }
+    });
+  });
+  EXPECT_TRUE(nested_ok.load());
+  SetKernelThreads(restore);
+}
+
+TEST(ParallelForTest, RegionGuardForcesSerialExecution) {
+  const int restore = KernelThreads();
+  SetKernelThreads(4);
+  EXPECT_FALSE(InParallelRegion());
+  {
+    // Models a search worker that owns its parallelism: kernel-level
+    // ParallelFor calls under the guard must not fan out to the pool.
+    ParallelRegionGuard guard;
+    EXPECT_TRUE(InParallelRegion());
+    const std::thread::id self = std::this_thread::get_id();
+    std::atomic<bool> same_thread{true};
+    ParallelFor(0, 64, 1, [&](int64_t, int64_t) {
+      if (std::this_thread::get_id() != self) {
+        same_thread.store(false);
+      }
+    });
+    EXPECT_TRUE(same_thread.load());
+  }
+  EXPECT_FALSE(InParallelRegion());
+  SetKernelThreads(restore);
 }
 
 TEST(ConfigTest, ParsesTypesAndComments) {

@@ -1,11 +1,13 @@
 #include "src/tensor/tensor_ops.h"
 
 #include <cmath>
+#include <cstring>
 #include <tuple>
 
 #include <gtest/gtest.h>
 
 #include "src/common/check.h"
+#include "src/common/parallel_for.h"
 #include "src/common/rng.h"
 #include "tests/test_util.h"
 
@@ -104,6 +106,122 @@ INSTANTIATE_TEST_SUITE_P(Sizes, MatmulParamTest,
                                            std::make_tuple(3, 17, 9),
                                            std::make_tuple(16, 8, 16),
                                            std::make_tuple(10, 32, 6)));
+
+// ---- Property tests: blocked/parallel GEMM vs the retained references ----
+//
+// The blocked kernels reorder float accumulation, so results are compared
+// against RefMatmul* with a tolerance scaled by the result magnitude rather
+// than bitwise.
+
+void ExpectClose(const Tensor& got, const Tensor& want) {
+  EXPECT_LE(MaxDiff(got, want), 1e-4f * (1.0f + MaxAbs(want)));
+}
+
+// Exercises NN, NT and TN (fresh + accumulate) at one (m, k, n).
+void CheckGemmAgainstRef(int64_t m, int64_t k, int64_t n, Rng& rng) {
+  SCOPED_TRACE(::testing::Message() << "m=" << m << " k=" << k << " n=" << n);
+  for (const bool accumulate : {false, true}) {
+    Tensor init = Tensor::RandomGaussian(Shape{m, n}, rng);
+    {
+      Tensor a = Tensor::RandomGaussian(Shape{m, k}, rng);
+      Tensor b = Tensor::RandomGaussian(Shape{k, n}, rng);
+      Tensor got = init.Clone();
+      Tensor want = init.Clone();
+      MatmulNN(a.data(), b.data(), got.data(), m, k, n, accumulate);
+      RefMatmulNN(a.data(), b.data(), want.data(), m, k, n, accumulate);
+      ExpectClose(got, want);
+    }
+    {
+      // NT computes C[m,n] = A[m,k] * B[n,k]^T (argument order m, k, n).
+      Tensor a = Tensor::RandomGaussian(Shape{m, k}, rng);
+      Tensor b = Tensor::RandomGaussian(Shape{n, k}, rng);
+      Tensor got = init.Clone();
+      Tensor want = init.Clone();
+      MatmulNT(a.data(), b.data(), got.data(), m, k, n, accumulate);
+      RefMatmulNT(a.data(), b.data(), want.data(), m, k, n, accumulate);
+      ExpectClose(got, want);
+    }
+    {
+      // TN computes C[k,n] = A[m,k]^T * B[m,n] (argument order m, k, n).
+      Tensor a = Tensor::RandomGaussian(Shape{m, k}, rng);
+      Tensor b = Tensor::RandomGaussian(Shape{m, n}, rng);
+      Tensor got = Tensor::RandomGaussian(Shape{k, n}, rng);
+      Tensor want = got.Clone();
+      MatmulTN(a.data(), b.data(), got.data(), m, k, n, accumulate);
+      RefMatmulTN(a.data(), b.data(), want.data(), m, k, n, accumulate);
+      ExpectClose(got, want);
+    }
+  }
+}
+
+TEST(GemmPropertyTest, RandomShapesMatchReference) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 24; ++trial) {
+    const int64_t m = 1 + rng.NextInt(120);
+    const int64_t k = 1 + rng.NextInt(150);
+    const int64_t n = 1 + rng.NextInt(140);
+    CheckGemmAgainstRef(m, k, n, rng);
+  }
+}
+
+TEST(GemmPropertyTest, BlockBoundaryShapesMatchReference) {
+  // Odd sizes straddling the MC=96 / KC=256 / NC block edges and the
+  // MR/NR register-tile edges, where packing has to zero-pad partial panels.
+  Rng rng(77);
+  for (const auto& [m, k, n] :
+       {std::make_tuple<int64_t, int64_t, int64_t>(95, 255, 33),
+        std::make_tuple<int64_t, int64_t, int64_t>(97, 257, 65),
+        std::make_tuple<int64_t, int64_t, int64_t>(96, 256, 32),
+        std::make_tuple<int64_t, int64_t, int64_t>(101, 130, 31),
+        std::make_tuple<int64_t, int64_t, int64_t>(130, 300, 29),
+        std::make_tuple<int64_t, int64_t, int64_t>(7, 300, 97),
+        std::make_tuple<int64_t, int64_t, int64_t>(193, 3, 67)}) {
+    CheckGemmAgainstRef(m, k, n, rng);
+  }
+}
+
+// Chunk boundaries in ParallelFor depend only on the grain, and every
+// reduction combines partials in chunk order, so results must be *bitwise*
+// identical for any thread count.
+TEST(GemmThreadDeterminismTest, BitwiseEqualAcrossThreadCounts) {
+  const int restore = KernelThreads();
+  Rng rng(99);
+  for (const auto& [m, k, n] :
+       {std::make_tuple<int64_t, int64_t, int64_t>(130, 64, 130),
+        std::make_tuple<int64_t, int64_t, int64_t>(64, 300, 9),
+        std::make_tuple<int64_t, int64_t, int64_t>(97, 97, 97)}) {
+    Tensor a = Tensor::RandomGaussian(Shape{m, k}, rng);
+    Tensor b = Tensor::RandomGaussian(Shape{k, n}, rng);
+    Tensor c1(Shape{m, n});
+    Tensor c4(Shape{m, n});
+    SetKernelThreads(1);
+    MatmulNN(a.data(), b.data(), c1.data(), m, k, n);
+    SetKernelThreads(4);
+    MatmulNN(a.data(), b.data(), c4.data(), m, k, n);
+    EXPECT_EQ(std::memcmp(c1.data(), c4.data(), static_cast<size_t>(c1.size()) * sizeof(float)),
+              0)
+        << "m=" << m << " k=" << k << " n=" << n;
+
+    Tensor bt = Tensor::RandomGaussian(Shape{n, k}, rng);
+    SetKernelThreads(1);
+    MatmulNT(a.data(), bt.data(), c1.data(), m, k, n);
+    SetKernelThreads(4);
+    MatmulNT(a.data(), bt.data(), c4.data(), m, k, n);
+    EXPECT_EQ(std::memcmp(c1.data(), c4.data(), static_cast<size_t>(c1.size()) * sizeof(float)),
+              0);
+
+    Tensor bn = Tensor::RandomGaussian(Shape{m, n}, rng);
+    Tensor d1(Shape{k, n});
+    Tensor d4(Shape{k, n});
+    SetKernelThreads(1);
+    MatmulTN(a.data(), bn.data(), d1.data(), m, k, n);
+    SetKernelThreads(4);
+    MatmulTN(a.data(), bn.data(), d4.data(), m, k, n);
+    EXPECT_EQ(std::memcmp(d1.data(), d4.data(), static_cast<size_t>(d1.size()) * sizeof(float)),
+              0);
+  }
+  SetKernelThreads(restore);
+}
 
 TEST(MatmulTest, AccumulateAddsToExisting) {
   Rng rng(2);

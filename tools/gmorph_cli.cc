@@ -16,6 +16,7 @@
 #include "src/common/check.h"
 #include "src/common/config.h"
 #include "src/common/logging.h"
+#include "src/common/parallel_for.h"
 #include "src/core/dot_export.h"
 #include "src/core/gmorph.h"
 #include "src/core/graph_io.h"
@@ -74,6 +75,18 @@ int main(int argc, char** argv) {
   } catch (const CheckError& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;
+  }
+
+  // kernel_threads overrides GMORPH_NUM_THREADS / hardware concurrency.
+  // Validated before the (expensive) teacher pre-training below.
+  if (config.Has("kernel_threads")) {
+    const int kernel_threads = static_cast<int>(config.GetInt("kernel_threads", 0));
+    if (kernel_threads < 1) {
+      std::fprintf(stderr, "config error: kernel_threads must be >= 1, got %d\n",
+                   kernel_threads);
+      return 2;
+    }
+    SetKernelThreads(kernel_threads);
   }
 
   const int bench_index = static_cast<int>(config.GetInt("benchmark", 1));
