@@ -34,6 +34,23 @@ int main() {
   MultiTaskModel fused_model(best_graph, rng);
   const Shape input = original_graph.node(0).output_shape;
 
+  // One JSON line per configuration (machine-parseable, like micro_ops),
+  // including the calibrated per-batch-size service times the queueing
+  // simulator ran against.
+  const auto print_json = [](const std::string& engine, const char* model, double arrival,
+                             const ServingStats& st) {
+    std::printf("{\"engine\": \"%s\", \"model\": \"%s\", \"arrival_qps\": %.0f, "
+                "\"throughput_qps\": %.1f, \"p50_ms\": %.3f, \"p95_ms\": %.3f, "
+                "\"mean_batch\": %.2f, \"service_time_ms\": [",
+                engine.c_str(), model, arrival, st.throughput_qps, st.p50_latency_ms,
+                st.p95_latency_ms, st.mean_batch_size);
+    for (size_t i = 0; i < st.service_time_ms.size(); ++i) {
+      std::printf("%s%.3f", i == 0 ? "" : ", ", st.service_time_ms[i]);
+    }
+    std::printf("]}\n");
+    std::fflush(stdout);
+  };
+
   PrintRow({"engine", "arrivalQPS", "model", "qps", "p50(ms)", "p95(ms)", "meanBatch"});
   for (EngineKind kind : {EngineKind::kEager, EngineKind::kFused}) {
     auto engine_orig = MakeEngine(kind, &original_model);
@@ -45,6 +62,8 @@ int main() {
       opts.max_batch = 8;
       ServingStats orig = SimulateServing(*engine_orig, input, opts);
       ServingStats fused = SimulateServing(*engine_fused, input, opts);
+      print_json(engine_orig->Name(), "original", qps, orig);
+      print_json(engine_fused->Name(), "fused", qps, fused);
       PrintRow({engine_orig->Name(), Fmt(qps, 0), "original", Fmt(orig.throughput_qps, 0),
                 Fmt(orig.p50_latency_ms), Fmt(orig.p95_latency_ms),
                 Fmt(orig.mean_batch_size, 1)});

@@ -1,0 +1,27 @@
+#include "src/common/timing.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/timer.h"
+
+namespace gmorph {
+
+double MedianTimedMs(const std::function<void()>& fn, int warmup, int repeats) {
+  GMORPH_CHECK_MSG(repeats >= 1, "MedianTimedMs needs repeats >= 1, got " << repeats);
+  for (int i = 0; i < warmup; ++i) {
+    fn();
+  }
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(repeats));
+  for (int i = 0; i < repeats; ++i) {
+    Timer timer;
+    fn();
+    samples.push_back(timer.Millis());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace gmorph

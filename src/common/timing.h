@@ -1,0 +1,20 @@
+// Shared wall-clock measurement helper.
+//
+// Both the search-time latency estimator (src/core/latency.cc) and the
+// engine benchmark path (src/runtime/engine.cc) report the median of N timed
+// runs after a warmup; keeping the loop in one place guarantees the two
+// measurements are taken identically.
+#ifndef GMORPH_SRC_COMMON_TIMING_H_
+#define GMORPH_SRC_COMMON_TIMING_H_
+
+#include <functional>
+
+namespace gmorph {
+
+// Runs `fn` `warmup` times untimed, then `repeats` times timed, and returns
+// the median wall-clock duration in milliseconds. `repeats` must be >= 1.
+double MedianTimedMs(const std::function<void()>& fn, int warmup, int repeats);
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_COMMON_TIMING_H_

@@ -1,9 +1,6 @@
 #include "src/core/latency.h"
 
-#include <algorithm>
-#include <vector>
-
-#include "src/common/timer.h"
+#include "src/common/timing.h"
 
 namespace gmorph {
 
@@ -11,18 +8,8 @@ double MeasureLatencyMs(MultiTaskModel& model, const LatencyOptions& options) {
   const Shape input_shape =
       model.graph().node(model.graph().root()).output_shape.WithBatch(options.batch_size);
   Tensor input = Tensor::Zeros(input_shape);
-  for (int i = 0; i < options.warmup_runs; ++i) {
-    model.Forward(input, /*training=*/false);
-  }
-  std::vector<double> samples;
-  samples.reserve(static_cast<size_t>(options.measured_runs));
-  for (int i = 0; i < options.measured_runs; ++i) {
-    Timer timer;
-    model.Forward(input, /*training=*/false);
-    samples.push_back(timer.Millis());
-  }
-  std::sort(samples.begin(), samples.end());
-  return samples[samples.size() / 2];
+  return MedianTimedMs([&] { model.Forward(input, /*training=*/false); }, options.warmup_runs,
+                       options.measured_runs);
 }
 
 }  // namespace gmorph

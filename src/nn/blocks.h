@@ -55,6 +55,14 @@ class ResidualBlock : public Module {
   std::vector<Tensor*> Buffers() override;
   std::string Name() const override;
 
+  // Read access for the fused runtime's BN-folding lowering pass.
+  const Conv2d& conv1() const { return *conv1_; }
+  const BatchNorm2d& bn1() const { return *bn1_; }
+  const Conv2d& conv2() const { return *conv2_; }
+  const BatchNorm2d& bn2() const { return *bn2_; }
+  const Conv2d* proj() const { return proj_.get(); }
+  const BatchNorm2d* proj_bn() const { return proj_bn_.get(); }
+
  protected:
   std::unique_ptr<Module> CloneImpl() const override;
 

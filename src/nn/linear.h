@@ -24,6 +24,8 @@ class Linear : public Module {
 
   int64_t in_features() const { return in_features_; }
   int64_t out_features() const { return out_features_; }
+  const Parameter& weight() const { return weight_; }
+  const Parameter& bias() const { return bias_; }
   Parameter& mutable_weight() { return weight_; }
 
  protected:

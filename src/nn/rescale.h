@@ -34,6 +34,12 @@ class Rescale : public Module {
   // True when this adapter is a pure identity (shapes already equal).
   bool IsIdentity() const;
 
+  // Lowering access for the fused runtime: the constituent resize / adapter
+  // pieces (null when that piece is skipped).
+  bool needs_spatial() const { return needs_spatial_; }
+  const Conv2d* channel_adapter() const { return channel_adapter_.get(); }
+  const Linear* dim_adapter() const { return dim_adapter_.get(); }
+
  protected:
   std::unique_ptr<Module> CloneImpl() const override;
 

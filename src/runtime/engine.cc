@@ -1,9 +1,7 @@
 #include "src/runtime/engine.h"
 
-#include <algorithm>
-
 #include "src/common/check.h"
-#include "src/common/timer.h"
+#include "src/common/timing.h"
 #include "src/runtime/fused_engine.h"
 
 namespace gmorph {
@@ -23,18 +21,12 @@ std::unique_ptr<InferenceEngine> MakeEngine(EngineKind kind, MultiTaskModel* mod
 double MeasureEngineLatencyMs(InferenceEngine& engine, const Shape& per_sample_input,
                               int64_t batch, int warmup, int repeats) {
   Tensor input = Tensor::Zeros(per_sample_input.WithBatch(batch));
-  for (int i = 0; i < warmup; ++i) {
-    engine.Run(input);
-  }
-  std::vector<double> samples;
-  samples.reserve(static_cast<size_t>(repeats));
-  for (int i = 0; i < repeats; ++i) {
-    Timer timer;
-    engine.Run(input);
-    samples.push_back(timer.Millis());
-  }
-  std::sort(samples.begin(), samples.end());
-  return samples[samples.size() / 2];
+  return MeasureEngineLatencyMs(engine, input, warmup, repeats);
+}
+
+double MeasureEngineLatencyMs(InferenceEngine& engine, const Tensor& input, int warmup,
+                              int repeats) {
+  return MedianTimedMs([&] { engine.Run(input); }, warmup, repeats);
 }
 
 }  // namespace gmorph

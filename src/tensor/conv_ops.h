@@ -24,6 +24,14 @@ int64_t ConvOutDim(int64_t in, int64_t kernel, int64_t stride, int64_t padding);
 // x: (N,C,H,W), w: (O,C,KH,KW), b: (O) or empty -> (N,O,OH,OW).
 Tensor Conv2dForward(const Tensor& x, const Tensor& w, const Tensor& b, const Conv2dArgs& args);
 
+// Out-parameter variant used by the execution planner: writes into the
+// preallocated `out` (N,O,OH,OW) and optionally fuses an epilogue into the
+// per-sample loop — `skip` (same shape as out) is added to the conv result
+// and `relu` clamps at zero, so residual tails and activations cost no extra
+// pass over memory and no allocation.
+void Conv2dForwardInto(const Tensor& x, const Tensor& w, const Tensor& b, const Conv2dArgs& args,
+                       Tensor& out, const Tensor* skip = nullptr, bool relu = false);
+
 // Gradients of the same convolution. `grad_w`/`grad_b` are accumulated into
 // (caller zeroes them at the start of a step); returns grad_x.
 Tensor Conv2dBackward(const Tensor& x, const Tensor& w, const Tensor& grad_out,
@@ -33,6 +41,8 @@ Tensor Conv2dBackward(const Tensor& x, const Tensor& w, const Tensor& grad_out,
 // so the backward pass can scatter gradients exactly.
 Tensor MaxPool2dForward(const Tensor& x, int64_t kernel, int64_t stride,
                         std::vector<int64_t>& argmax);
+// Inference-only variant: no argmax bookkeeping, writes into preallocated out.
+void MaxPool2dForwardInto(const Tensor& x, int64_t kernel, int64_t stride, Tensor& out);
 Tensor MaxPool2dBackward(const Shape& input_shape, const Tensor& grad_out,
                          const std::vector<int64_t>& argmax);
 
@@ -43,15 +53,23 @@ Tensor AvgPool2dBackward(const Shape& input_shape, const Tensor& grad_out, int64
 
 // Global average pooling: (N,C,H,W) -> (N,C).
 Tensor GlobalAvgPoolForward(const Tensor& x);
+void GlobalAvgPoolForwardInto(const Tensor& x, Tensor& out);
 Tensor GlobalAvgPoolBackward(const Shape& input_shape, const Tensor& grad_out);
+
+// Mean over tokens: (N,T,D) -> (N,D).
+void MeanPoolTokensForwardInto(const Tensor& x, Tensor& out);
 
 // Bilinear resize of spatial dims: (N,C,H,W) -> (N,C,out_h,out_w).
 Tensor BilinearResizeForward(const Tensor& x, int64_t out_h, int64_t out_w);
+// Target spatial size is taken from out's shape (N,C,out_h,out_w).
+void BilinearResizeForwardInto(const Tensor& x, Tensor& out);
 Tensor BilinearResizeBackward(const Shape& input_shape, const Tensor& grad_out);
 
 // Linear interpolation along dim 1 of (N,T,D) -> (N,out_t,D); used by the
 // rescale adapter to match transformer token counts.
 Tensor LinearResizeTokensForward(const Tensor& x, int64_t out_t);
+// Target token count is taken from out's shape (N,out_t,D).
+void LinearResizeTokensForwardInto(const Tensor& x, Tensor& out);
 Tensor LinearResizeTokensBackward(const Shape& input_shape, const Tensor& grad_out);
 
 }  // namespace gmorph

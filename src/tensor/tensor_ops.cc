@@ -572,6 +572,40 @@ Tensor Matmul(const Tensor& a, const Tensor& b) {
   return c;
 }
 
+void LinearForwardInto(const Tensor& x, const Tensor& w, const Tensor& b, Tensor& out,
+                       bool relu) {
+  GMORPH_CHECK(w.shape().Rank() == 2);
+  const int64_t in_features = w.shape()[0];
+  const int64_t out_features = w.shape()[1];
+  GMORPH_CHECK_MSG(x.shape()[-1] == in_features,
+                   "linear in features: x " << x.shape().ToString() << " w "
+                                            << w.shape().ToString());
+  const int64_t rows = x.size() / in_features;
+  GMORPH_CHECK(out.size() == rows * out_features);
+  MatmulNN(x.data(), w.data(), out.data(), rows, in_features, out_features);
+  if (b.empty() && !relu) {
+    return;
+  }
+  float* po = out.data();
+  const float* pb = b.empty() ? nullptr : b.data();
+  const int64_t grain = std::max<int64_t>(1, (1 << 15) / std::max<int64_t>(1, out_features));
+  ParallelFor(0, rows, grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      float* row = po + r * out_features;
+      if (pb != nullptr) {
+        for (int64_t j = 0; j < out_features; ++j) {
+          row[j] += pb[j];
+        }
+      }
+      if (relu) {
+        for (int64_t j = 0; j < out_features; ++j) {
+          row[j] = row[j] > 0.0f ? row[j] : 0.0f;
+        }
+      }
+    }
+  });
+}
+
 Tensor SoftmaxLastDim(const Tensor& x) {
   GMORPH_CHECK(x.shape().Rank() >= 1);
   const int64_t cols = x.shape()[-1];

@@ -57,6 +57,13 @@ void RefMatmulTN(const float* a, const float* b, float* c, int64_t m, int64_t k,
 // ---- Tensor-level matmul: a is (m,k), b is (k,n) ----
 Tensor Matmul(const Tensor& a, const Tensor& b);
 
+// Fused fully-connected forward for the execution planner: out = x * w (+ b)
+// (+ ReLU), written into the preallocated `out`. x is (rows..., in) with
+// leading dims flattened into rows; w is (in, out) row-major; b is (out) or
+// empty. The bias/ReLU epilogue runs row-blocked while rows are cache-hot.
+void LinearForwardInto(const Tensor& x, const Tensor& w, const Tensor& b, Tensor& out,
+                       bool relu = false);
+
 // ---- Softmax over the last dimension ----
 Tensor SoftmaxLastDim(const Tensor& x);
 // Given y = softmax(x) and dL/dy, returns dL/dx.

@@ -130,7 +130,11 @@ TEST(TreeMtlTest, RecommendsSomeSharing) {
   ASSERT_TRUE(result.feasible);
   EXPECT_GE(result.shared_blocks, 1);
   EXPECT_LE(result.shared_blocks, 3);  // B4's common prefix is 3 blocks
-  EXPECT_GE(result.speedup, 1.0);
+  // Sharing a prefix strictly reduces compute; assert on the deterministic
+  // FLOPs ratio. The wall-clock ratio at this tiny scale sits within timer
+  // noise, so only sanity-check it.
+  EXPECT_GE(result.flops_speedup, 1.0);
+  EXPECT_GE(result.speedup, 0.9);
 }
 
 }  // namespace

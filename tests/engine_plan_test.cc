@@ -1,0 +1,247 @@
+// Tests for the FusedEngine execution planner: eager/fused parity across the
+// model zoo and mutated graphs, bitwise determinism, branch-parallel
+// scheduling, and the zero-allocation steady state of the static memory plan.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/parallel_for.h"
+#include "src/core/model_parser.h"
+#include "src/core/mutation.h"
+#include "src/models/zoo.h"
+#include "src/runtime/engine.h"
+#include "src/runtime/fused_engine.h"
+#include "tests/test_util.h"
+
+namespace gmorph {
+namespace {
+
+// Gaussian images for vision models, integer token ids for BERT.
+Tensor InputFor(const ModelSpec& spec, int64_t batch, Rng& rng) {
+  const Shape shape = spec.input_shape.WithBatch(batch);
+  if (spec.input_shape.Rank() == 1) {
+    Tensor x = Tensor::Zeros(shape);
+    for (int64_t i = 0; i < x.size(); ++i) {
+      x.at(i) = std::floor(rng.NextDouble() * 8.0);
+    }
+    return x;
+  }
+  return Tensor::RandomGaussian(shape, rng);
+}
+
+struct ZooCase {
+  std::string name;
+  ModelSpec spec;
+};
+
+std::vector<ZooCase> ZooCases() {
+  VisionModelOptions v;
+  v.base_width = 4;
+  v.classes = 3;
+  TransformerModelOptions vit = ViTBaseOptions();
+  vit.classes = 3;
+  TransformerModelOptions bert = BertBaseOptions();
+  bert.classes = 2;
+  return {
+      {"vgg11", MakeVgg11(v)},       {"vgg13", MakeVgg13(v)},
+      {"vgg16", MakeVgg16(v)},       {"resnet18", MakeResNet18(v)},
+      {"resnet34", MakeResNet34(v)}, {"vit", MakeViT("vit", vit)},
+      {"bert", MakeBert("bert", bert)},
+  };
+}
+
+class EngineZooParity : public ::testing::TestWithParam<ZooCase> {};
+
+TEST_P(EngineZooParity, FusedMatchesEager) {
+  const ZooCase& c = GetParam();
+  Rng rng(11);
+  AbsGraph g = ParseModelSpecs({c.spec});
+  MultiTaskModel model(g, rng);
+  auto eager = MakeEngine(EngineKind::kEager, &model);
+  auto fused = MakeEngine(EngineKind::kFused, &model);
+  const Tensor x = InputFor(c.spec, /*batch=*/2, rng);
+  std::vector<Tensor> eager_out = eager->Run(x);
+  std::vector<Tensor> fused_out = fused->Run(x);
+  ASSERT_EQ(eager_out.size(), fused_out.size());
+  for (size_t t = 0; t < eager_out.size(); ++t) {
+    EXPECT_LT(testing::MaxDiff(eager_out[t], fused_out[t]), 1e-4f) << c.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllZoo, EngineZooParity, ::testing::ValuesIn(ZooCases()),
+                         [](const ::testing::TestParamInfo<ZooCase>& info) {
+                           return info.param.name;
+                         });
+
+TEST(EnginePlanTest, ResidualBlocksLowerFully) {
+  Rng rng(12);
+  VisionModelOptions opts;
+  opts.base_width = 4;
+  AbsGraph g = ParseModelSpecs({MakeResNet18(opts)});
+  MultiTaskModel model(g, rng);
+  FusedEngine fused(&model);
+  // Every convolution — stem, both block convs, projection shortcuts — is
+  // folded into a plan step; no residual block falls back to Module::Forward.
+  EXPECT_EQ(fused.num_fallback_modules(), 0);
+  EXPECT_GT(fused.num_fused_convs(), 16);  // 1 stem + 8 blocks * 2 + projections
+}
+
+TEST(EnginePlanTest, IdentityRescaleBecomesAlias) {
+  Rng rng(13);
+  VisionModelOptions opts;
+  opts.base_width = 4;
+  // Splice an identity rescale (equal in/out shapes) into a VGG chain — the
+  // planner must lower it to a buffer alias, not a copy step, and downstream
+  // blocks must read through the alias.
+  AbsGraph g = ParseModelSpecs({MakeVgg11(opts), MakeVgg11(opts)});
+  const int first = g.node(g.root()).children[0];
+  const int second = g.node(first).children[0];
+  const AbsNode& first_node = g.node(first);
+  const int rescale = g.AddNode(first, first_node.task_id, first_node.op_id,
+                                RescaleSpec(first_node.output_shape, first_node.output_shape));
+  g.Reparent(second, rescale);
+  g.Validate();
+  MultiTaskModel model(g, rng);
+  FusedEngine fused(&model);
+  EXPECT_GE(fused.num_eliminated(), 1);
+
+  EagerEngine eager(&model);
+  const Tensor x = Tensor::RandomGaussian(Shape{2, 3, 32, 32}, rng);
+  std::vector<Tensor> eager_out = eager.Run(x);
+  std::vector<Tensor> fused_out = fused.Run(x);
+  ASSERT_EQ(eager_out.size(), fused_out.size());
+  for (size_t t = 0; t < eager_out.size(); ++t) {
+    EXPECT_LT(testing::MaxDiff(eager_out[t], fused_out[t]), 1e-4f);
+  }
+}
+
+TEST(EnginePlanTest, MutatedGraphWithRescalesMatchesEager) {
+  Rng rng(14);
+  VisionModelOptions narrow;
+  narrow.base_width = 4;
+  VisionModelOptions wide;
+  wide.base_width = 8;
+  // Mixed-width bundle so sampled mutations insert non-identity rescale
+  // adapters (channel/spatial mismatches) alongside residual blocks.
+  AbsGraph base = ParseModelSpecs({MakeVgg11(narrow), MakeResNet18(wide)});
+  std::optional<AbsGraph> mutated = SampleMutatePass(base, 3, ShapeSimilarity::kAny, rng);
+  ASSERT_TRUE(mutated.has_value());
+  MultiTaskModel model(*mutated, rng);
+  auto eager = MakeEngine(EngineKind::kEager, &model);
+  auto fused = MakeEngine(EngineKind::kFused, &model);
+  const Tensor x = Tensor::RandomGaussian(Shape{2, 3, 32, 32}, rng);
+  std::vector<Tensor> eager_out = eager->Run(x);
+  std::vector<Tensor> fused_out = fused->Run(x);
+  ASSERT_EQ(eager_out.size(), fused_out.size());
+  for (size_t t = 0; t < eager_out.size(); ++t) {
+    EXPECT_LT(testing::MaxDiff(eager_out[t], fused_out[t]), 1e-4f);
+  }
+}
+
+TEST(EnginePlanTest, BranchParallelMatchesSerialBitwise) {
+  Rng rng(15);
+  VisionModelOptions opts;
+  opts.base_width = 4;
+  AbsGraph g = ParseModelSpecs({MakeVgg11(opts), MakeVgg13(opts), MakeResNet18(opts)});
+  MultiTaskModel model(g, rng);
+  FusedEngine::Options serial_opts;
+  serial_opts.branch_parallel = false;
+  FusedEngine parallel_engine(&model);
+  FusedEngine serial_engine(&model, serial_opts);
+  const Tensor x = Tensor::RandomGaussian(Shape{2, 3, 32, 32}, rng);
+  std::vector<Tensor> par = parallel_engine.Run(x);
+  std::vector<Tensor> ser = serial_engine.Run(x);
+  ASSERT_EQ(par.size(), ser.size());
+  for (size_t t = 0; t < par.size(); ++t) {
+    EXPECT_EQ(testing::MaxDiff(par[t], ser[t]), 0.0f);
+  }
+}
+
+TEST(EnginePlanDeterminismTest, RunIsBitwiseStableAcrossCallsAndThreadCounts) {
+  Rng rng(16);
+  VisionModelOptions opts;
+  opts.base_width = 4;
+  AbsGraph g = ParseModelSpecs({MakeVgg11(opts), MakeResNet18(opts)});
+  MultiTaskModel model(g, rng);
+  FusedEngine fused(&model);
+  const Tensor x = Tensor::RandomGaussian(Shape{3, 3, 32, 32}, rng);
+
+  const int restore_threads = KernelThreads();
+  std::vector<Tensor> baseline;
+  for (int threads : {1, 2, 4}) {
+    SetKernelThreads(threads);
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      std::vector<Tensor> out = fused.Run(x);
+      if (baseline.empty()) {
+        for (Tensor& t : out) {
+          baseline.push_back(t.Clone());  // outputs alias engine buffers
+        }
+        continue;
+      }
+      ASSERT_EQ(out.size(), baseline.size());
+      for (size_t t = 0; t < out.size(); ++t) {
+        EXPECT_EQ(testing::MaxDiff(out[t], baseline[t]), 0.0f)
+            << "threads=" << threads << " repeat=" << repeat;
+      }
+    }
+  }
+  SetKernelThreads(restore_threads);
+}
+
+TEST(EnginePlanTest, SteadyStateRunAllocatesNoTensorStorage) {
+  Rng rng(17);
+  VisionModelOptions opts;
+  opts.base_width = 4;
+  // Fully-lowerable bundle (convs, pools, flatten, linears — no fallbacks):
+  // after the first Run binds each batch size, Run must not touch the tensor
+  // allocator again.
+  AbsGraph g = ParseModelSpecs({MakeVgg11(opts), MakeVgg13(opts)});
+  MultiTaskModel model(g, rng);
+  FusedEngine fused(&model);
+  EXPECT_EQ(fused.num_fallback_modules(), 0);
+
+  const Tensor x1 = Tensor::RandomGaussian(Shape{1, 3, 32, 32}, rng);
+  const Tensor x4 = Tensor::RandomGaussian(Shape{4, 3, 32, 32}, rng);
+  const int64_t unbound = Tensor::TotalAllocatedBytes();
+  fused.Run(x1);  // first sight of each batch size allocates its binding
+  fused.Run(x4);
+  EXPECT_GT(Tensor::TotalAllocatedBytes(), unbound);
+
+  const int64_t bound = Tensor::TotalAllocatedBytes();
+  for (int i = 0; i < 3; ++i) {
+    fused.Run(x1);
+    fused.Run(x4);
+  }
+  EXPECT_EQ(Tensor::TotalAllocatedBytes(), bound);
+}
+
+TEST(EnginePlanTest, PlanReusesBuffersAndProfiles) {
+  Rng rng(18);
+  VisionModelOptions opts;
+  opts.base_width = 4;
+  AbsGraph g = ParseModelSpecs({MakeVgg16(opts)});
+  MultiTaskModel model(g, rng);
+  FusedEngine fused(&model);
+  // Liveness coloring must fold the 13-conv chain into fewer buffers than
+  // values (ping-pong within each size class).
+  EXPECT_LT(fused.num_buffers(), fused.num_steps());
+  EXPECT_FALSE(fused.DumpPlan().empty());
+
+  const Tensor x = Tensor::RandomGaussian(Shape{1, 3, 32, 32}, rng);
+  fused.Run(x);
+  fused.Run(x);
+  int64_t total_calls = 0;
+  for (const auto& step : fused.Profile()) {
+    EXPECT_EQ(step.calls, 2);
+    total_calls += step.calls;
+  }
+  EXPECT_EQ(total_calls, 2 * fused.num_steps());
+  fused.ResetProfile();
+  for (const auto& step : fused.Profile()) {
+    EXPECT_EQ(step.calls, 0);
+    EXPECT_EQ(step.total_ms, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace gmorph

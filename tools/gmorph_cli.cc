@@ -4,7 +4,14 @@
 //
 // Usage:
 //   gmorph_cli <config-file>
+//   gmorph_cli --dump-plan <config-file>
 //   gmorph_cli --print-default-config
+//
+// --dump-plan skips search and teacher training: it materializes the
+// benchmark's multi-task graph (or a fused graph saved by a previous run via
+// `input_graph = <file>`), lowers it through the FusedEngine execution
+// planner, and prints the plan (steps, buffer assignment, groups) plus a
+// per-step latency profile at the configured batch size.
 //
 // The config selects one of the built-in benchmarks (B1-B7), pre-trains its
 // task-specific teachers on the synthetic datasets, runs the search, and
@@ -20,8 +27,10 @@
 #include "src/core/dot_export.h"
 #include "src/core/gmorph.h"
 #include "src/core/graph_io.h"
+#include "src/core/model_parser.h"
 #include "src/data/benchmarks.h"
 #include "src/data/teacher.h"
+#include "src/runtime/fused_engine.h"
 
 namespace {
 
@@ -54,6 +63,60 @@ output_graph = fused_model.gmorph
 output_dot = fused_model.dot
 )";
 
+// Lowers the configured benchmark (or a saved fused graph) into an execution
+// plan and prints it with a per-step profile. No search, no teacher training.
+int DumpPlanMode(const gmorph::Config& config) {
+  using namespace gmorph;
+  const int bench_index = static_cast<int>(config.GetInt("benchmark", 1));
+  BenchmarkScale scale;
+  scale.train_size = 1;  // datasets are unused here; keep materialization cheap
+  scale.test_size = 1;
+  scale.cnn_width = config.GetInt("cnn_width", 8);
+  const uint64_t seed = static_cast<uint64_t>(config.GetInt("seed", 42));
+  BenchmarkDef def = MakeBenchmark(bench_index, scale, seed);
+
+  AbsGraph graph;
+  const std::string graph_path = config.GetString("input_graph", "");
+  if (!graph_path.empty()) {
+    if (!LoadGraph(graph_path, graph)) {
+      std::fprintf(stderr, "failed to load %s\n", graph_path.c_str());
+      return 2;
+    }
+    std::printf("plan for fused graph %s (benchmark B%d)\n", graph_path.c_str(), bench_index);
+  } else {
+    std::vector<ModelSpec> specs;
+    for (const auto& task : def.tasks) {
+      specs.push_back(task.model);
+    }
+    graph = ParseModelSpecs(specs);
+    std::printf("plan for unfused benchmark B%d (%zu tasks)\n", bench_index, def.tasks.size());
+  }
+
+  Rng rng(seed);
+  MultiTaskModel model(graph, rng);
+  FusedEngine engine(&model);
+  std::printf("%s\n", engine.DumpPlan().c_str());
+
+  const int64_t batch = config.GetInt("batch_size", 1);
+  const int runs = static_cast<int>(config.GetInt("profile_runs", 10));
+  const Shape input_shape = graph.node(graph.root()).output_shape.WithBatch(batch);
+  const Tensor input = Tensor::Zeros(input_shape);
+  engine.Run(input);  // warmup: binds buffers, grows scratch arenas
+  engine.ResetProfile();
+  for (int r = 0; r < runs; ++r) {
+    engine.Run(input);
+  }
+  std::printf("per-step profile (batch %lld, %d runs):\n", static_cast<long long>(batch), runs);
+  double total_ms = 0.0;
+  for (const auto& step : engine.Profile()) {
+    total_ms += step.total_ms;
+    std::printf("  %-32s node%-3d calls=%-4lld %8.3f ms\n", step.label.c_str(), step.node,
+                static_cast<long long>(step.calls), step.total_ms);
+  }
+  std::printf("  %-32s %8.3f ms total step time\n", "", total_ms);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -62,16 +125,18 @@ int main(int argc, char** argv) {
     std::fputs(kDefaultConfig, stdout);
     return 0;
   }
-  if (argc != 2) {
+  const bool dump_plan = argc == 3 && std::strcmp(argv[1], "--dump-plan") == 0;
+  if (argc != 2 && !dump_plan) {
     std::fprintf(stderr,
-                 "usage: %s <config-file>\n       %s --print-default-config > gmorph.cfg\n",
-                 argv[0], argv[0]);
+                 "usage: %s <config-file>\n       %s --dump-plan <config-file>\n       %s "
+                 "--print-default-config > gmorph.cfg\n",
+                 argv[0], argv[0], argv[0]);
     return 2;
   }
 
   Config config;
   try {
-    config = Config::FromFile(argv[1]);
+    config = Config::FromFile(argv[dump_plan ? 2 : 1]);
   } catch (const CheckError& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;
@@ -87,6 +152,15 @@ int main(int argc, char** argv) {
       return 2;
     }
     SetKernelThreads(kernel_threads);
+  }
+
+  if (dump_plan) {
+    try {
+      return DumpPlanMode(config);
+    } catch (const CheckError& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
   }
 
   const int bench_index = static_cast<int>(config.GetInt("benchmark", 1));
