@@ -1,0 +1,402 @@
+#include "src/analysis/plan_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace gmorph {
+namespace {
+
+std::optional<PlanOp> PlanOpFromName(const std::string& name) {
+  for (PlanOp op : {PlanOp::kConv, PlanOp::kLinear, PlanOp::kMaxPool, PlanOp::kGlobalAvgPool,
+                    PlanOp::kMeanPoolTokens, PlanOp::kBilinearResize, PlanOp::kTokenResize,
+                    PlanOp::kModule}) {
+    if (PlanOpName(op) == name) {
+      return op;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string ShapeToken(const Shape& shape) {
+  if (shape.Rank() == 0) {
+    return "scalar";
+  }
+  std::ostringstream os;
+  for (int i = 0; i < shape.Rank(); ++i) {
+    os << (i ? "x" : "") << shape[i];
+  }
+  return os.str();
+}
+
+bool ParseShapeToken(const std::string& token, Shape& shape) {
+  if (token == "scalar") {
+    shape = Shape{};
+    return true;
+  }
+  std::vector<int64_t> dims;
+  std::string part;
+  std::istringstream is(token);
+  while (std::getline(is, part, 'x')) {
+    try {
+      size_t used = 0;
+      dims.push_back(std::stoll(part, &used));
+      if (used != part.size()) {
+        return false;
+      }
+    } catch (...) {
+      return false;
+    }
+  }
+  if (dims.empty() || dims.size() > 8) {
+    return false;
+  }
+  shape = Shape(std::move(dims));
+  return true;
+}
+
+// One `key=value` or bare-flag token off a plan line.
+struct Field {
+  std::string key;
+  std::string value;  // empty for bare flags
+};
+
+std::vector<Field> SplitFields(std::istringstream& is) {
+  std::vector<Field> fields;
+  std::string token;
+  while (is >> token) {
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      fields.push_back({token, ""});
+    } else {
+      fields.push_back({token.substr(0, eq), token.substr(eq + 1)});
+    }
+  }
+  return fields;
+}
+
+class Parser {
+ public:
+  PlanParseResult Run(std::istream& in) {
+    std::string line;
+    int lineno = 0;
+    bool saw_header = false;
+    while (std::getline(in, line)) {
+      ++lineno;
+      const size_t hash = line.find('#');
+      if (hash != std::string::npos) {
+        line.resize(hash);
+      }
+      std::istringstream is(line);
+      std::string kw;
+      if (!(is >> kw)) {
+        continue;
+      }
+      if (!saw_header) {
+        std::string version;
+        if (kw != "gmorph-plan" || !(is >> version) || version != "v1") {
+          Err(lineno) << "expected header 'gmorph-plan v1'";
+          return std::move(result_);
+        }
+        saw_header = true;
+        continue;
+      }
+      if (kw == "value") {
+        ParseValue(is, lineno);
+      } else if (kw == "step") {
+        ParseStep(is, lineno);
+      } else if (kw == "group") {
+        ParseGroup(is, lineno);
+      } else if (kw == "buffer") {
+        ParseBuffer(is, lineno);
+      } else if (kw == "head") {
+        int v = -1;
+        if (!(is >> v)) {
+          Err(lineno) << "head needs a value id";
+        } else {
+          result_.plan.head_values.push_back(v);
+        }
+      } else {
+        Err(lineno) << "unknown directive '" << kw << "'";
+      }
+    }
+    if (!saw_header) {
+      result_.diagnostics.Error("plan.io.header", "plan") << "empty input (no header line)";
+      return std::move(result_);
+    }
+    Finish();
+    return std::move(result_);
+  }
+
+ private:
+  DiagnosticBuilder Err(int lineno) {
+    return result_.diagnostics.Error("plan.io.parse", "line " + std::to_string(lineno));
+  }
+
+  bool ParseInt(const std::string& text, int64_t& out) {
+    try {
+      size_t used = 0;
+      out = std::stoll(text, &used);
+      return used == text.size();
+    } catch (...) {
+      return false;
+    }
+  }
+
+  // Ids must arrive dense so a typo'd id is a parse error, not a silent gap.
+  template <typename T>
+  bool Place(std::vector<T>& vec, int64_t id, int lineno, const char* what, T&& item) {
+    if (id != static_cast<int64_t>(vec.size())) {
+      Err(lineno) << what << " id " << id << " out of order (expected " << vec.size() << ")";
+      return false;
+    }
+    vec.push_back(std::move(item));
+    return true;
+  }
+
+  void ParseValue(std::istringstream& is, int lineno) {
+    int64_t id = -1;
+    std::string id_token;
+    if (!(is >> id_token) || !ParseInt(id_token, id)) {
+      Err(lineno) << "value needs an id";
+      return;
+    }
+    PlanValue v;
+    bool have_shape = false;
+    for (const Field& f : SplitFields(is)) {
+      int64_t n = 0;
+      if (f.key == "shape" && ParseShapeToken(f.value, v.shape)) {
+        have_shape = true;
+      } else if (f.key == "alias" && ParseInt(f.value, n)) {
+        v.alias_of = static_cast<int>(n);
+      } else if (f.key == "buffer" && ParseInt(f.value, n)) {
+        v.buffer = static_cast<int>(n);
+      } else if (f.key == "module" && f.value.empty()) {
+        v.from_module = true;
+      } else if (f.key == "head" && f.value.empty()) {
+        v.is_head = true;
+      } else {
+        Err(lineno) << "bad value field '" << f.key << (f.value.empty() ? "" : "=") << f.value
+                    << "'";
+        return;
+      }
+    }
+    if (!have_shape) {
+      Err(lineno) << "value " << id << " missing shape=";
+      return;
+    }
+    Place(result_.plan.values, id, lineno, "value", std::move(v));
+  }
+
+  void ParseStep(std::istringstream& is, int lineno) {
+    int64_t seq = -1;
+    std::string seq_token;
+    if (!(is >> seq_token) || !ParseInt(seq_token, seq)) {
+      Err(lineno) << "step needs a sequence number";
+      return;
+    }
+    PlanStep s;
+    bool have_kind = false;
+    bool have_in = false;
+    bool have_out = false;
+    for (const Field& f : SplitFields(is)) {
+      int64_t n = 0;
+      if (f.key == "kind") {
+        if (auto op = PlanOpFromName(f.value)) {
+          s.kind = *op;
+          have_kind = true;
+        } else {
+          Err(lineno) << "unknown step kind '" << f.value << "'";
+          return;
+        }
+      } else if (f.key == "group" && ParseInt(f.value, n)) {
+        s.group = static_cast<int>(n);
+      } else if (f.key == "in" && ParseInt(f.value, n)) {
+        s.in0 = static_cast<int>(n);
+        have_in = true;
+      } else if (f.key == "out" && ParseInt(f.value, n)) {
+        s.out = static_cast<int>(n);
+        have_out = true;
+      } else if (f.key == "skip" && ParseInt(f.value, n)) {
+        s.skip = static_cast<int>(n);
+      } else if (f.key == "node" && ParseInt(f.value, n)) {
+        s.node = static_cast<int>(n);
+      } else if (f.key == "w" && ParseShapeToken(f.value, s.weight_shape)) {
+        // parsed in place
+      } else if (f.key == "stride" && ParseInt(f.value, s.stride)) {
+      } else if (f.key == "pad" && ParseInt(f.value, s.padding)) {
+      } else if (f.key == "pool_k" && ParseInt(f.value, s.pool_kernel)) {
+      } else if (f.key == "pool_s" && ParseInt(f.value, s.pool_stride)) {
+      } else if (f.key == "label") {
+        s.label = f.value;
+      } else if (f.key == "relu" && f.value.empty()) {
+        s.relu = true;
+      } else {
+        Err(lineno) << "bad step field '" << f.key << (f.value.empty() ? "" : "=") << f.value
+                    << "'";
+        return;
+      }
+    }
+    if (!have_kind || !have_in || !have_out) {
+      Err(lineno) << "step " << seq << " needs kind=, in= and out=";
+      return;
+    }
+    Place(result_.plan.steps, seq, lineno, "step", std::move(s));
+  }
+
+  void ParseGroup(std::istringstream& is, int lineno) {
+    int64_t id = -1;
+    std::string id_token;
+    if (!(is >> id_token) || !ParseInt(id_token, id)) {
+      Err(lineno) << "group needs an id";
+      return;
+    }
+    PlanGroup g;
+    for (const Field& f : SplitFields(is)) {
+      int64_t n = 0;
+      if (f.key == "parent" && ParseInt(f.value, n)) {
+        g.parent = static_cast<int>(n);
+      } else {
+        Err(lineno) << "bad group field '" << f.key << "'";
+        return;
+      }
+    }
+    Place(result_.plan.groups, id, lineno, "group", std::move(g));
+  }
+
+  void ParseBuffer(std::istringstream& is, int lineno) {
+    int64_t id = -1;
+    std::string id_token;
+    if (!(is >> id_token) || !ParseInt(id_token, id)) {
+      Err(lineno) << "buffer needs an id";
+      return;
+    }
+    PlanBuffer b;
+    bool have_elems = false;
+    for (const Field& f : SplitFields(is)) {
+      if (f.key == "elems" && ParseInt(f.value, b.elems_per_sample)) {
+        have_elems = true;
+      } else if (f.key == "dedicated" && f.value.empty()) {
+        b.reusable = false;
+      } else {
+        Err(lineno) << "bad buffer field '" << f.key << "'";
+        return;
+      }
+    }
+    if (!have_elems) {
+      Err(lineno) << "buffer " << id << " missing elems=";
+      return;
+    }
+    Place(result_.plan.buffers, id, lineno, "buffer", std::move(b));
+  }
+
+  // Derive group step lists and child links from the steps' own fields, so a
+  // hand-written file cannot declare lists that contradict them.
+  void Finish() {
+    PlanIR& plan = result_.plan;
+    if (plan.groups.empty() && !plan.steps.empty()) {
+      plan.groups.push_back(PlanGroup{});  // implicit root group
+    }
+    const int num_groups = static_cast<int>(plan.groups.size());
+    for (int s = 0; s < static_cast<int>(plan.steps.size()); ++s) {
+      const int g = plan.steps[static_cast<size_t>(s)].group;
+      if (g >= 0 && g < num_groups) {
+        plan.groups[static_cast<size_t>(g)].steps.push_back(s);
+      }
+      // Out-of-range groups are left for the verifier to report.
+    }
+    for (int g = 1; g < num_groups; ++g) {
+      const int p = plan.groups[static_cast<size_t>(g)].parent;
+      if (p >= 0 && p < num_groups && p != g) {
+        plan.groups[static_cast<size_t>(p)].children.push_back(g);
+      }
+    }
+  }
+
+  PlanParseResult result_;
+};
+
+}  // namespace
+
+PlanParseResult ParsePlanText(std::istream& in) {
+  return Parser().Run(in);
+}
+
+PlanParseResult ParsePlanTextFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    PlanParseResult result;
+    result.diagnostics.Error("plan.io.open", path) << "cannot open plan file";
+    return result;
+  }
+  return ParsePlanText(in);
+}
+
+void PlanToText(const PlanIR& plan, std::ostream& out) {
+  out << "gmorph-plan v1\n";
+  for (size_t v = 0; v < plan.values.size(); ++v) {
+    const PlanValue& val = plan.values[v];
+    out << "value " << v << " shape=" << ShapeToken(val.shape);
+    if (val.alias_of >= 0) {
+      out << " alias=" << val.alias_of;
+    }
+    if (val.from_module) {
+      out << " module";
+    }
+    if (val.is_head) {
+      out << " head";
+    }
+    if (val.buffer >= 0) {
+      out << " buffer=" << val.buffer;
+    }
+    out << "\n";
+  }
+  for (size_t g = 0; g < plan.groups.size(); ++g) {
+    out << "group " << g << " parent=" << plan.groups[g].parent << "\n";
+  }
+  for (size_t b = 0; b < plan.buffers.size(); ++b) {
+    const PlanBuffer& buf = plan.buffers[b];
+    out << "buffer " << b << " elems=" << buf.elems_per_sample;
+    if (!buf.reusable) {
+      out << " dedicated";
+    }
+    out << "\n";
+  }
+  for (size_t s = 0; s < plan.steps.size(); ++s) {
+    const PlanStep& step = plan.steps[s];
+    out << "step " << s << " group=" << step.group << " kind=" << PlanOpName(step.kind)
+        << " in=" << step.in0 << " out=" << step.out;
+    if (step.skip >= 0) {
+      out << " skip=" << step.skip;
+    }
+    if (step.node >= 0) {
+      out << " node=" << step.node;
+    }
+    if (!step.label.empty()) {
+      std::string label = step.label;  // the format is whitespace-delimited
+      std::replace(label.begin(), label.end(), ' ', '_');
+      out << " label=" << label;
+    }
+    if (step.weight_shape.Rank() > 0) {
+      out << " w=" << ShapeToken(step.weight_shape);
+    }
+    if (step.kind == PlanOp::kConv) {
+      out << " stride=" << step.stride << " pad=" << step.padding;
+    }
+    if (step.kind == PlanOp::kMaxPool) {
+      out << " pool_k=" << step.pool_kernel << " pool_s=" << step.pool_stride;
+    }
+    if (step.relu) {
+      out << " relu";
+    }
+    out << "\n";
+  }
+  for (int hv : plan.head_values) {
+    out << "head " << hv << "\n";
+  }
+}
+
+}  // namespace gmorph

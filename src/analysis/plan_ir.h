@@ -1,0 +1,87 @@
+// PlanIR: a public, self-contained mirror of a FusedEngine execution plan.
+//
+// FusedEngine::ExportPlan() snapshots its lowered plan into this form so the
+// PlanVerifier can symbolically execute it without access to engine
+// internals, and so tests (and the CLI's plan-lint mode, see plan_io.h) can
+// hand-construct plans with deliberately seeded defects.
+//
+// The verifier deliberately receives *less* than the engine keeps: no
+// liveness events and no def bookkeeping. It recomputes all of that from the
+// steps alone, so a bug in the engine's own liveness tracking cannot hide a
+// bug in its buffer assignment.
+#ifndef GMORPH_SRC_ANALYSIS_PLAN_IR_H_
+#define GMORPH_SRC_ANALYSIS_PLAN_IR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/tensor/shape.h"
+
+namespace gmorph {
+
+enum class PlanOp {
+  kConv,           // conv (+skip add)(+ReLU); weight (O,C,KH,KW)
+  kLinear,         // linear (+ReLU); weight (in_features, out_features)
+  kMaxPool,
+  kGlobalAvgPool,  // (C,H,W) -> (C)
+  kMeanPoolTokens, // (T,D) -> (D)
+  kBilinearResize, // (C,H,W) -> (C,H',W')
+  kTokenResize,    // (T,D) -> (T',D)
+  kModule,         // opaque fallback; output allocated dynamically
+};
+
+std::string PlanOpName(PlanOp op);
+
+// One SSA-style activation. Aliases (flatten, identity rescale) carry no
+// buffer of their own; module outputs are bound dynamically (buffer -1).
+struct PlanValue {
+  Shape shape;         // per-sample
+  int alias_of = -1;   // value id this is a reshape view of
+  bool from_module = false;
+  bool is_head = false;
+  int buffer = -1;     // arena slot for planned root values
+};
+
+struct PlanStep {
+  PlanOp kind = PlanOp::kModule;
+  int node = -1;       // originating graph node (for attribution only)
+  std::string label;
+  int in0 = -1;        // value ids
+  int skip = -1;       // residual skip input (kConv only)
+  int out = -1;
+  int group = 0;
+  // Kernel signature payload.
+  Shape weight_shape;  // kConv / kLinear
+  int64_t stride = 1;  // kConv
+  int64_t padding = 0; // kConv
+  bool relu = false;
+  int64_t pool_kernel = 0;  // kMaxPool
+  int64_t pool_stride = 0;  // kMaxPool
+};
+
+// A maximal chain: steps run in listed order, then children fork (possibly in
+// parallel). Group 0 is the shared prefix rooted at the plan input.
+struct PlanGroup {
+  int parent = -1;
+  std::vector<int> steps;
+  std::vector<int> children;
+};
+
+struct PlanBuffer {
+  int64_t elems_per_sample = 0;
+  bool reusable = true;  // head buffers are dedicated
+};
+
+struct PlanIR {
+  // Value 0 is the plan input: never defined by a step, live from the start.
+  std::vector<PlanValue> values;
+  std::vector<PlanStep> steps;
+  std::vector<PlanGroup> groups;
+  std::vector<PlanBuffer> buffers;
+  std::vector<int> head_values;  // per task, in task order
+};
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_ANALYSIS_PLAN_IR_H_

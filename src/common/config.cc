@@ -40,11 +40,11 @@ Config Config::FromString(const std::string& text) {
       continue;
     }
     const size_t eq = trimmed.find('=');
-    GMORPH_CHECK_MSG(eq != std::string::npos,
+    GMORPH_CHECK(eq != std::string::npos,
                      "config line " << line_number << " is not 'key = value': " << trimmed);
     const std::string key = Trim(trimmed.substr(0, eq));
     const std::string value = Trim(trimmed.substr(eq + 1));
-    GMORPH_CHECK_MSG(!key.empty(), "config line " << line_number << " has an empty key");
+    GMORPH_CHECK(!key.empty(), "config line " << line_number << " has an empty key");
     config.entries_[key] = value;
   }
   return config;
@@ -52,7 +52,7 @@ Config Config::FromString(const std::string& text) {
 
 Config Config::FromFile(const std::string& path) {
   std::ifstream in(path);
-  GMORPH_CHECK_MSG(static_cast<bool>(in), "cannot open config file " << path);
+  GMORPH_CHECK(static_cast<bool>(in), "cannot open config file " << path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return FromString(buffer.str());
@@ -73,10 +73,10 @@ int64_t Config::GetInt(const std::string& key, int64_t default_value) const {
   try {
     size_t pos = 0;
     const int64_t value = std::stoll(it->second, &pos);
-    GMORPH_CHECK_MSG(pos == it->second.size(), "trailing characters in int '" << key << "'");
+    GMORPH_CHECK(pos == it->second.size(), "trailing characters in int '" << key << "'");
     return value;
   } catch (const std::logic_error&) {
-    GMORPH_CHECK_MSG(false, "config key '" << key << "' is not an integer: " << it->second);
+    GMORPH_CHECK(false, "config key '" << key << "' is not an integer: " << it->second);
   }
   return default_value;
 }
@@ -89,10 +89,10 @@ double Config::GetDouble(const std::string& key, double default_value) const {
   try {
     size_t pos = 0;
     const double value = std::stod(it->second, &pos);
-    GMORPH_CHECK_MSG(pos == it->second.size(), "trailing characters in double '" << key << "'");
+    GMORPH_CHECK(pos == it->second.size(), "trailing characters in double '" << key << "'");
     return value;
   } catch (const std::logic_error&) {
-    GMORPH_CHECK_MSG(false, "config key '" << key << "' is not a number: " << it->second);
+    GMORPH_CHECK(false, "config key '" << key << "' is not a number: " << it->second);
   }
   return default_value;
 }
@@ -111,7 +111,7 @@ bool Config::GetBool(const std::string& key, bool default_value) const {
   if (v == "false" || v == "0" || v == "no" || v == "off") {
     return false;
   }
-  GMORPH_CHECK_MSG(false, "config key '" << key << "' is not a boolean: " << it->second);
+  GMORPH_CHECK(false, "config key '" << key << "' is not a boolean: " << it->second);
   return default_value;
 }
 

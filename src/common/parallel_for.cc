@@ -59,7 +59,7 @@ int KernelThreads() {
 }
 
 void SetKernelThreads(int n) {
-  GMORPH_CHECK_MSG(n >= 1, "kernel thread count must be >= 1, got " << n);
+  GMORPH_CHECK(n >= 1, "kernel thread count must be >= 1, got " << n);
   std::unique_ptr<ThreadPool> old;
   {
     std::lock_guard<std::mutex> lock(g_pool_mutex);

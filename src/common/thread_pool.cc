@@ -29,7 +29,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     // A running task may keep submitting while the destructor drains
     // (in_flight_ > 0 covers the submitter itself); fresh external submissions
     // after shutdown are a bug.
-    GMORPH_CHECK_MSG(!shutdown_ || in_flight_ > 0, "Submit after shutdown");
+    GMORPH_CHECK(!shutdown_ || in_flight_ > 0, "Submit after shutdown");
     queue_.push_back(std::move(task));
     ++in_flight_;
   }

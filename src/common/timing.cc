@@ -9,7 +9,7 @@
 namespace gmorph {
 
 double MedianTimedMs(const std::function<void()>& fn, int warmup, int repeats) {
-  GMORPH_CHECK_MSG(repeats >= 1, "MedianTimedMs needs repeats >= 1, got " << repeats);
+  GMORPH_CHECK(repeats >= 1, "MedianTimedMs needs repeats >= 1, got " << repeats);
   for (int i = 0; i < warmup; ++i) {
     fn();
   }

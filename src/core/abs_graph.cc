@@ -40,10 +40,15 @@ AbsGraph AbsGraph::WithRoot(const Shape& input_shape, int num_tasks) {
 }
 
 AbsGraph AbsGraph::FromNodes(std::vector<AbsNode> nodes, int num_tasks) {
+  AbsGraph g = FromNodesUnchecked(std::move(nodes), num_tasks);
+  g.Validate();
+  return g;
+}
+
+AbsGraph AbsGraph::FromNodesUnchecked(std::vector<AbsNode> nodes, int num_tasks) {
   AbsGraph g;
   g.nodes_ = std::move(nodes);
   g.num_tasks_ = num_tasks;
-  g.Validate();
   return g;
 }
 
@@ -76,7 +81,7 @@ int AbsGraph::AddNode(int parent, int task_id, int op_id, const BlockSpec& spec,
 
 void AbsGraph::Reparent(int child, int new_parent) {
   GMORPH_CHECK(child > 0 && child < size() && new_parent >= 0 && new_parent < size());
-  GMORPH_CHECK_MSG(!IsAncestor(child, new_parent), "reparent would create a cycle");
+  GMORPH_CHECK(!IsAncestor(child, new_parent), "reparent would create a cycle");
   AbsNode& c = nodes_[static_cast<size_t>(child)];
   AbsNode& old_parent = nodes_[static_cast<size_t>(c.parent)];
   old_parent.children.erase(
@@ -254,24 +259,24 @@ void AbsGraph::Validate() const {
       continue;
     }
     const AbsNode& p = nodes_[static_cast<size_t>(n.parent)];
-    GMORPH_CHECK_MSG(p.output_shape == n.input_shape,
+    GMORPH_CHECK(p.output_shape == n.input_shape,
                      "edge shape mismatch at node " << id << ": parent outputs "
                                                     << p.output_shape.ToString() << ", node "
                                                     << n.spec.ToString() << " expects "
                                                     << n.input_shape.ToString());
     GMORPH_CHECK(std::find(p.children.begin(), p.children.end(), id) != p.children.end());
-    GMORPH_CHECK_MSG(BlockOutShape(n.spec, n.input_shape) == n.output_shape,
+    GMORPH_CHECK(BlockOutShape(n.spec, n.input_shape) == n.output_shape,
                      "stale output shape at node " << id);
     if (n.IsHead()) {
       GMORPH_CHECK(n.task_id >= 0 && n.task_id < num_tasks_);
       ++seen_heads[static_cast<size_t>(n.task_id)];
     } else {
-      GMORPH_CHECK_MSG(!n.children.empty(), "dangling non-head node " << id);
+      GMORPH_CHECK(!n.children.empty(), "dangling non-head node " << id);
     }
   }
-  GMORPH_CHECK_MSG(reached == size(), "unreachable nodes present");
+  GMORPH_CHECK(reached == size(), "unreachable nodes present");
   for (int t = 0; t < num_tasks_; ++t) {
-    GMORPH_CHECK_MSG(seen_heads[static_cast<size_t>(t)] == 1,
+    GMORPH_CHECK(seen_heads[static_cast<size_t>(t)] == 1,
                      "task " << t << " has " << seen_heads[static_cast<size_t>(t)] << " heads");
   }
 }

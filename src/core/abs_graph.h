@@ -63,6 +63,11 @@ class AbsGraph {
   // Reassembles a graph from raw nodes (deserialization); validates.
   static AbsGraph FromNodes(std::vector<AbsNode> nodes, int num_tasks);
 
+  // Reassembles without validating. For the deserializer and the static
+  // verifier, which diagnose malformed graphs instead of throwing; every
+  // other caller wants FromNodes.
+  static AbsGraph FromNodesUnchecked(std::vector<AbsNode> nodes, int num_tasks);
+
   int num_tasks() const { return num_tasks_; }
   const std::vector<AbsNode>& nodes() const { return nodes_; }
   const AbsNode& node(int id) const { return nodes_[static_cast<size_t>(id)]; }

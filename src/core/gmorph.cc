@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/analysis/graph_verifier.h"
 #include "src/common/check.h"
 #include "src/common/logging.h"
 #include "src/common/parallel_for.h"
@@ -20,7 +21,7 @@ std::unique_ptr<SamplingPolicy> MakePolicy(PolicyKind kind, const AnnealingOptio
     case PolicyKind::kRandom:
       return std::make_unique<RandomPolicy>();
   }
-  GMORPH_CHECK_MSG(false, "unknown policy");
+  GMORPH_CHECK(false, "unknown policy");
   return nullptr;
 }
 
@@ -104,6 +105,18 @@ GMorphResult GMorph::Run() {
         continue;
       }
       history.MarkEvaluated(*mutated);
+      // Static analysis gate: an ill-formed candidate would crash lowering or
+      // fine-tuning; reject it here and count it as a mutation-engine bug.
+      const DiagnosticList verdict = VerifyGraph(*mutated);
+      if (!verdict.ok()) {
+        c.record.rejected_by_verifier = true;
+        ++result.candidates_rejected;
+        if (options_.verbose) {
+          GMORPH_LOG_INFO << "iter " << c.record.iteration
+                          << " candidate rejected by verifier:\n" << verdict.ToString();
+        }
+        continue;
+      }
       c.record.candidate_flops = mutated->TotalFlops();
       // Rule-based filter: skip fine-tuning candidates more aggressive than a
       // known non-promising one.

@@ -57,6 +57,8 @@ struct IterationRecord {
   bool filtered_by_rule = false;
   bool terminated_early = false;
   bool duplicate = false;
+  // Candidate failed the GraphVerifier static-analysis pass (never fine-tuned).
+  bool rejected_by_verifier = false;
   double finetune_seconds = 0.0;
   double elapsed_seconds = 0.0;      // cumulative search time at iteration end
   double best_latency_ms = 0.0;      // best satisfying latency so far
@@ -77,6 +79,10 @@ struct GMorphResult {
   double search_seconds = 0.0;
   int candidates_finetuned = 0;
   int candidates_filtered = 0;
+  // Candidates rejected by the GraphVerifier before fine-tuning. Nonzero
+  // means the mutation engine emitted an ill-formed graph (a bug), but the
+  // search degrades gracefully instead of crashing mid-run.
+  int candidates_rejected = 0;
 };
 
 class GMorph {

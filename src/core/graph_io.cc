@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstdint>
 #include <fstream>
+#include <utility>
+
+#include "src/analysis/graph_verifier.h"
 
 namespace gmorph {
 namespace {
@@ -10,45 +13,24 @@ namespace {
 constexpr uint64_t kMagic = 0x474d4f5250484731ull;  // "GMORPHG1"
 
 template <typename T>
-void WritePod(std::ofstream& out, const T& value) {
+void WritePod(std::ostream& out, const T& value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
 template <typename T>
-bool ReadPod(std::ifstream& in, T& value) {
+bool ReadPod(std::istream& in, T& value) {
   in.read(reinterpret_cast<char*>(&value), sizeof(T));
   return static_cast<bool>(in);
 }
 
-void WriteShape(std::ofstream& out, const Shape& shape) {
+void WriteShape(std::ostream& out, const Shape& shape) {
   WritePod(out, static_cast<int64_t>(shape.Rank()));
   for (int64_t d : shape.dims()) {
     WritePod(out, d);
   }
 }
 
-bool ReadShape(std::ifstream& in, Shape& shape) {
-  int64_t rank = 0;
-  if (!ReadPod(in, rank) || rank < 0 || rank > 8) {
-    return false;
-  }
-  std::vector<int64_t> dims(static_cast<size_t>(rank));
-  int64_t elements = 1;
-  for (auto& d : dims) {
-    // Bound dimensions so corrupted files cannot trigger huge allocations.
-    if (!ReadPod(in, d) || d < 0 || d > (1 << 24)) {
-      return false;
-    }
-    elements *= std::max<int64_t>(d, 1);
-    if (elements > (int64_t{1} << 28)) {
-      return false;
-    }
-  }
-  shape = Shape(std::move(dims));
-  return true;
-}
-
-void WriteSpec(std::ofstream& out, const BlockSpec& spec) {
+void WriteSpec(std::ostream& out, const BlockSpec& spec) {
   WritePod(out, static_cast<int64_t>(spec.type));
   for (int64_t v : {spec.in_channels, spec.out_channels, spec.kernel, spec.stride, spec.padding,
                     spec.pool_kernel, spec.pool_stride, spec.in_features, spec.out_features,
@@ -60,27 +42,214 @@ void WriteSpec(std::ofstream& out, const BlockSpec& spec) {
   WriteShape(out, spec.rescale_out);
 }
 
-bool ReadSpec(std::ifstream& in, BlockSpec& spec) {
-  int64_t type = 0;
-  if (!ReadPod(in, type)) {
-    return false;
-  }
-  spec.type = static_cast<BlockType>(type);
-  for (int64_t* field : {&spec.in_channels, &spec.out_channels, &spec.kernel, &spec.stride,
-                         &spec.padding, &spec.pool_kernel, &spec.pool_stride, &spec.in_features,
-                         &spec.out_features, &spec.dim, &spec.heads, &spec.mlp_ratio,
-                         &spec.vocab, &spec.seq_len, &spec.image_size, &spec.patch}) {
-    if (!ReadPod(in, *field)) {
-      return false;
+// Decoder that accumulates a diagnostic on the first failure and goes inert,
+// so the read loop can bail without scattering error construction everywhere.
+class Reader {
+ public:
+  Reader(std::istream& in, DiagnosticList& diags) : in_(in), diags_(diags) {}
+
+  bool failed() const { return failed_; }
+
+  void Fail(const char* rule, const std::string& what) {
+    if (!failed_) {
+      failed_ = true;
+      diags_.Error(rule, "stream") << what;
     }
   }
-  return ReadShape(in, spec.rescale_in) && ReadShape(in, spec.rescale_out);
+
+  template <typename T>
+  bool Pod(T& value, const char* what) {
+    if (failed_) {
+      return false;
+    }
+    if (!ReadPod(in_, value)) {
+      Fail("io.truncated", std::string("stream ended inside ") + what);
+      return false;
+    }
+    return true;
+  }
+
+  bool ReadShapeChecked(Shape& shape, const char* what) {
+    int64_t rank = 0;
+    if (!Pod(rank, what)) {
+      return false;
+    }
+    if (rank < 0 || rank > 8) {
+      Fail("io.bounds", std::string(what) + ": shape rank " + std::to_string(rank));
+      return false;
+    }
+    std::vector<int64_t> dims(static_cast<size_t>(rank));
+    int64_t elements = 1;
+    for (auto& d : dims) {
+      // Bound dimensions so corrupted files cannot trigger huge allocations.
+      if (!Pod(d, what)) {
+        return false;
+      }
+      if (d < 0 || d > (1 << 24)) {
+        Fail("io.bounds", std::string(what) + ": dimension " + std::to_string(d));
+        return false;
+      }
+      elements *= std::max<int64_t>(d, 1);
+      if (elements > (int64_t{1} << 28)) {
+        Fail("io.bounds", std::string(what) + ": shape exceeds element budget");
+        return false;
+      }
+    }
+    shape = Shape(std::move(dims));
+    return true;
+  }
+
+  bool ReadSpecChecked(BlockSpec& spec) {
+    int64_t type = 0;
+    if (!Pod(type, "block spec")) {
+      return false;
+    }
+    spec.type = static_cast<BlockType>(type);
+    for (int64_t* field : {&spec.in_channels, &spec.out_channels, &spec.kernel, &spec.stride,
+                           &spec.padding, &spec.pool_kernel, &spec.pool_stride, &spec.in_features,
+                           &spec.out_features, &spec.dim, &spec.heads, &spec.mlp_ratio,
+                           &spec.vocab, &spec.seq_len, &spec.image_size, &spec.patch}) {
+      if (!Pod(*field, "block spec")) {
+        return false;
+      }
+    }
+    return ReadShapeChecked(spec.rescale_in, "rescale_in") &&
+           ReadShapeChecked(spec.rescale_out, "rescale_out");
+  }
+
+ private:
+  std::istream& in_;
+  DiagnosticList& diags_;
+  bool failed_ = false;
+};
+
+GraphLoadResult LoadFromStream(std::istream& in) {
+  GraphLoadResult result;
+  Reader r(in, result.diagnostics);
+  uint64_t magic = 0;
+  int64_t num_tasks = 0;
+  int64_t count = 0;
+  if (!r.Pod(magic, "header")) {
+    return result;
+  }
+  if (magic != kMagic) {
+    r.Fail("io.magic", "not a GMorph graph file (bad magic)");
+    return result;
+  }
+  if (!r.Pod(num_tasks, "header") || !r.Pod(count, "header")) {
+    return result;
+  }
+  if (count <= 0 || count > (1 << 20)) {
+    r.Fail("io.header", "node count " + std::to_string(count) + " out of range");
+    return result;
+  }
+  if (num_tasks < 0 || num_tasks > count) {
+    r.Fail("io.header", "num_tasks " + std::to_string(num_tasks) + " impossible for " +
+                            std::to_string(count) + " nodes");
+    return result;
+  }
+  std::vector<AbsNode> nodes(static_cast<size_t>(count));
+  int64_t position = 0;
+  for (AbsNode& n : nodes) {
+    int64_t id = 0;
+    int64_t task_id = 0;
+    int64_t op_id = 0;
+    int64_t parent = 0;
+    if (!r.Pod(id, "node header") || !r.Pod(task_id, "node header") ||
+        !r.Pod(op_id, "node header") || !r.Pod(parent, "node header") ||
+        !r.Pod(n.capacity, "node header")) {
+      return result;
+    }
+    // Ids/parents must index into the node array or validation below would
+    // dereference out of bounds on corrupted input.
+    if (id != position || parent < -1 || parent >= count) {
+      r.Fail("io.bounds", "node " + std::to_string(position) + ": id " + std::to_string(id) +
+                              " / parent " + std::to_string(parent) + " out of range");
+      return result;
+    }
+    ++position;
+    n.id = static_cast<int>(id);
+    n.task_id = static_cast<int>(task_id);
+    n.op_id = static_cast<int>(op_id);
+    n.parent = static_cast<int>(parent);
+    if (!r.ReadSpecChecked(n.spec) || !r.ReadShapeChecked(n.input_shape, "input shape") ||
+        !r.ReadShapeChecked(n.output_shape, "output shape")) {
+      return result;
+    }
+    int64_t num_children = 0;
+    if (!r.Pod(num_children, "child list")) {
+      return result;
+    }
+    if (num_children < 0 || num_children > count) {
+      r.Fail("io.bounds", "node " + std::to_string(n.id) + ": child count " +
+                              std::to_string(num_children));
+      return result;
+    }
+    for (int64_t i = 0; i < num_children; ++i) {
+      int64_t c = 0;
+      if (!r.Pod(c, "child list")) {
+        return result;
+      }
+      if (c < 0 || c >= count) {
+        r.Fail("io.bounds",
+               "node " + std::to_string(n.id) + ": child id " + std::to_string(c));
+        return result;
+      }
+      n.children.push_back(static_cast<int>(c));
+    }
+    int64_t num_weights = 0;
+    if (!r.Pod(num_weights, "weight list")) {
+      return result;
+    }
+    if (num_weights < 0 || num_weights > 64) {
+      r.Fail("io.bounds", "node " + std::to_string(n.id) + ": weight count " +
+                              std::to_string(num_weights));
+      return result;
+    }
+    for (int64_t i = 0; i < num_weights; ++i) {
+      Shape shape;
+      if (!r.ReadShapeChecked(shape, "weight shape")) {
+        return result;
+      }
+      Tensor t{shape};
+      in.read(reinterpret_cast<char*>(t.data()),
+              static_cast<std::streamsize>(t.size() * sizeof(float)));
+      if (!in) {
+        r.Fail("io.truncated", "stream ended inside weight data");
+        return result;
+      }
+      n.weights.push_back(std::move(t));
+    }
+  }
+  // Semantic validation goes through the verifier — no partially-initialized
+  // graph ever escapes, and the caller gets every finding, not just the first.
+  AbsGraph graph = AbsGraph::FromNodesUnchecked(std::move(nodes), static_cast<int>(num_tasks));
+  DiagnosticList verdict = VerifyGraph(graph);
+  const bool clean = verdict.ok();
+  result.diagnostics.Merge(std::move(verdict));
+  if (clean) {
+    result.graph = std::move(graph);
+  }
+  return result;
 }
 
 }  // namespace
 
-bool SaveGraph(const std::string& path, const AbsGraph& graph) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+GraphLoadResult TryLoadGraph(std::istream& in) {
+  return LoadFromStream(in);
+}
+
+GraphLoadResult TryLoadGraph(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    GraphLoadResult result;
+    result.diagnostics.Error("io.open", path) << "cannot open graph file";
+    return result;
+  }
+  return LoadFromStream(in);
+}
+
+bool SaveGraph(std::ostream& out, const AbsGraph& graph) {
   if (!out) {
     return false;
   }
@@ -110,76 +279,17 @@ bool SaveGraph(const std::string& path, const AbsGraph& graph) {
   return static_cast<bool>(out);
 }
 
+bool SaveGraph(const std::string& path, const AbsGraph& graph) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  return out && SaveGraph(out, graph);
+}
+
 bool LoadGraph(const std::string& path, AbsGraph& graph) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
+  GraphLoadResult result = TryLoadGraph(path);
+  if (!result.ok()) {
     return false;
   }
-  uint64_t magic = 0;
-  int64_t num_tasks = 0;
-  int64_t count = 0;
-  if (!ReadPod(in, magic) || magic != kMagic || !ReadPod(in, num_tasks) ||
-      !ReadPod(in, count) || count <= 0) {
-    return false;
-  }
-  if (count > (1 << 20)) {
-    return false;
-  }
-  std::vector<AbsNode> nodes(static_cast<size_t>(count));
-  int64_t position = 0;
-  for (AbsNode& n : nodes) {
-    int64_t id = 0;
-    int64_t task_id = 0;
-    int64_t op_id = 0;
-    int64_t parent = 0;
-    if (!ReadPod(in, id) || !ReadPod(in, task_id) || !ReadPod(in, op_id) ||
-        !ReadPod(in, parent) || !ReadPod(in, n.capacity)) {
-      return false;
-    }
-    // Ids/parents must index into the node array or validation below would
-    // dereference out of bounds on corrupted input.
-    if (id != position || parent < -1 || parent >= count) {
-      return false;
-    }
-    ++position;
-    n.id = static_cast<int>(id);
-    n.task_id = static_cast<int>(task_id);
-    n.op_id = static_cast<int>(op_id);
-    n.parent = static_cast<int>(parent);
-    if (!ReadSpec(in, n.spec) || !ReadShape(in, n.input_shape) ||
-        !ReadShape(in, n.output_shape)) {
-      return false;
-    }
-    int64_t num_children = 0;
-    if (!ReadPod(in, num_children) || num_children < 0 || num_children > count) {
-      return false;
-    }
-    for (int64_t i = 0; i < num_children; ++i) {
-      int64_t c = 0;
-      if (!ReadPod(in, c) || c < 0 || c >= count) {
-        return false;
-      }
-      n.children.push_back(static_cast<int>(c));
-    }
-    int64_t num_weights = 0;
-    if (!ReadPod(in, num_weights) || num_weights < 0) {
-      return false;
-    }
-    for (int64_t i = 0; i < num_weights; ++i) {
-      Shape shape;
-      if (!ReadShape(in, shape)) {
-        return false;
-      }
-      Tensor t{shape};
-      in.read(reinterpret_cast<char*>(t.data()),
-              static_cast<std::streamsize>(t.size() * sizeof(float)));
-      if (!in) {
-        return false;
-      }
-      n.weights.push_back(std::move(t));
-    }
-  }
-  graph = AbsGraph::FromNodes(std::move(nodes), static_cast<int>(num_tasks));
+  graph = std::move(*result.graph);
   return true;
 }
 

@@ -10,7 +10,7 @@ AbsGraph BuildChains(const std::vector<const ModelSpec*>& specs,
   GMORPH_CHECK(!specs.empty());
   const Shape input = specs[0]->input_shape;
   for (const ModelSpec* s : specs) {
-    GMORPH_CHECK_MSG(s->input_shape == input,
+    GMORPH_CHECK(s->input_shape == input,
                      "all task models must consume the same input; " << s->name << " expects "
                                                                      << s->input_shape.ToString()
                                                                      << " vs "
@@ -27,7 +27,7 @@ AbsGraph BuildChains(const std::vector<const ModelSpec*>& specs,
       parent = g.AddNode(parent, static_cast<int>(t), static_cast<int>(i),
                          specs[t]->blocks[i], std::move(weights));
     }
-    GMORPH_CHECK_MSG(g.node(parent).IsHead(),
+    GMORPH_CHECK(g.node(parent).IsHead(),
                      "model " << specs[t]->name << " must end in a Head block");
   }
   g.Validate();

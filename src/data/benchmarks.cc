@@ -171,7 +171,7 @@ BenchmarkDef MakeBenchmark(int index, const BenchmarkScale& scale, uint64_t seed
       return def;
     }
     default:
-      GMORPH_CHECK_MSG(false, "benchmark index " << index << " out of range 1..7");
+      GMORPH_CHECK(false, "benchmark index " << index << " out of range 1..7");
   }
   return {};
 }

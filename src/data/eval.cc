@@ -14,7 +14,7 @@ double ComputeMetric(const Tensor& logits, const TaskLabels& labels) {
     case MetricKind::kMatthews:
       return MatthewsCorrelation(logits, labels.class_labels);
   }
-  GMORPH_CHECK_MSG(false, "unknown metric");
+  GMORPH_CHECK(false, "unknown metric");
   return 0.0;
 }
 

@@ -227,7 +227,7 @@ std::unique_ptr<Module> MakeModule(const BlockSpec& spec, Rng& rng) {
     case BlockType::kRescale:
       return std::make_unique<Rescale>(spec.rescale_in, spec.rescale_out, rng);
   }
-  GMORPH_CHECK_MSG(false, "unknown block type");
+  GMORPH_CHECK(false, "unknown block type");
   return nullptr;
 }
 
@@ -235,14 +235,14 @@ Shape BlockOutShape(const BlockSpec& spec, const Shape& in) {
   switch (spec.type) {
     case BlockType::kConvReLU:
     case BlockType::kConvBNReLU: {
-      GMORPH_CHECK_MSG(in.Rank() == 3 && in[0] == spec.in_channels,
+      GMORPH_CHECK(in.Rank() == 3 && in[0] == spec.in_channels,
                        "conv block " << spec.ToString() << " got " << in.ToString());
       const int64_t oh = ConvOutDim(in[1], spec.kernel, spec.stride, spec.padding);
       const int64_t ow = ConvOutDim(in[2], spec.kernel, spec.stride, spec.padding);
       return Shape{spec.out_channels, oh, ow};
     }
     case BlockType::kResidual: {
-      GMORPH_CHECK_MSG(in.Rank() == 3 && in[0] == spec.in_channels,
+      GMORPH_CHECK(in.Rank() == 3 && in[0] == spec.in_channels,
                        "residual block " << spec.ToString() << " got " << in.ToString());
       const int64_t oh = ConvOutDim(in[1], 3, spec.stride, 1);
       const int64_t ow = ConvOutDim(in[2], 3, spec.stride, 1);
@@ -260,7 +260,7 @@ Shape BlockOutShape(const BlockSpec& spec, const Shape& in) {
       return Shape{in.NumElements()};
     case BlockType::kLinearReLU:
     case BlockType::kHead:
-      GMORPH_CHECK_MSG(in[-1] == spec.in_features,
+      GMORPH_CHECK(in[-1] == spec.in_features,
                        spec.ToString() << " got " << in.ToString());
       return Shape{spec.out_features};
     case BlockType::kPatchEmbed: {
@@ -270,19 +270,19 @@ Shape BlockOutShape(const BlockSpec& spec, const Shape& in) {
     case BlockType::kTokenEmbed:
       return Shape{spec.seq_len, spec.dim};
     case BlockType::kTransformer:
-      GMORPH_CHECK_MSG(in.Rank() == 2 && in[1] == spec.dim,
+      GMORPH_CHECK(in.Rank() == 2 && in[1] == spec.dim,
                        "transformer " << spec.ToString() << " got " << in.ToString());
       return in;
     case BlockType::kMeanPoolTokens:
       GMORPH_CHECK(in.Rank() == 2);
       return Shape{in[1]};
     case BlockType::kRescale:
-      GMORPH_CHECK_MSG(in == spec.rescale_in,
+      GMORPH_CHECK(in == spec.rescale_in,
                        "rescale expected " << spec.rescale_in.ToString() << " got "
                                            << in.ToString());
       return spec.rescale_out;
   }
-  GMORPH_CHECK_MSG(false, "unknown block type");
+  GMORPH_CHECK(false, "unknown block type");
   return {};
 }
 
@@ -337,7 +337,7 @@ int64_t BlockCapacity(const BlockSpec& spec) {
       return 0;
     }
   }
-  GMORPH_CHECK_MSG(false, "unknown block type");
+  GMORPH_CHECK(false, "unknown block type");
   return 0;
 }
 
@@ -399,7 +399,7 @@ int64_t BlockFlops(const BlockSpec& spec, const Shape& in) {
       return f;
     }
   }
-  GMORPH_CHECK_MSG(false, "unknown block type");
+  GMORPH_CHECK(false, "unknown block type");
   return 0;
 }
 

@@ -25,7 +25,7 @@ ModelSpec MakeVgg(const std::string& name, const std::array<int, 5>& reps,
     spec.blocks.push_back(MaxPoolSpec());
     hw /= 2;
   }
-  GMORPH_CHECK_MSG(hw >= 1, "image too small for 5 pooling stages");
+  GMORPH_CHECK(hw >= 1, "image too small for 5 pooling stages");
   const int64_t feat = in_c * hw * hw;
   spec.blocks.push_back(FlattenSpec());
   spec.blocks.push_back(LinearReLUSpec(feat, in_c));

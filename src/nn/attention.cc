@@ -44,7 +44,7 @@ void ScatterPanel(const float* src, int64_t t, int64_t row_stride, int64_t offse
 
 MultiHeadSelfAttention::MultiHeadSelfAttention(int64_t dim, int64_t num_heads, Rng& rng)
     : dim_(dim), num_heads_(num_heads), head_dim_(dim / num_heads) {
-  GMORPH_CHECK_MSG(dim % num_heads == 0, "dim " << dim << " not divisible by heads " << num_heads);
+  GMORPH_CHECK(dim % num_heads == 0, "dim " << dim << " not divisible by heads " << num_heads);
   qkv_ = std::make_unique<Linear>(dim, 3 * dim, rng);
   proj_ = std::make_unique<Linear>(dim, dim, rng);
 }

@@ -15,7 +15,7 @@ TokenEmbedding::TokenEmbedding(int64_t vocab_size, int64_t seq_len, int64_t dim,
       pos_("pos", Tensor::RandomGaussian(Shape{seq_len, dim}, rng, 0.02f)) {}
 
 Tensor TokenEmbedding::Forward(const Tensor& x, bool /*training*/) {
-  GMORPH_CHECK_MSG(x.shape().Rank() == 2 && x.shape()[1] == seq_len_,
+  GMORPH_CHECK(x.shape().Rank() == 2 && x.shape()[1] == seq_len_,
                    "TokenEmbedding got " << x.shape().ToString());
   const int64_t n = x.shape()[0];
   cached_ids_.resize(static_cast<size_t>(n * seq_len_));
@@ -26,7 +26,7 @@ Tensor TokenEmbedding::Forward(const Tensor& x, bool /*training*/) {
   const float* pos = pos_.value.data();
   for (int64_t i = 0; i < n * seq_len_; ++i) {
     const int64_t id = static_cast<int64_t>(std::lround(px[i]));
-    GMORPH_CHECK_MSG(id >= 0 && id < vocab_size_, "token id " << id << " out of range");
+    GMORPH_CHECK(id >= 0 && id < vocab_size_, "token id " << id << " out of range");
     cached_ids_[static_cast<size_t>(i)] = id;
     const float* row = table + id * dim_;
     const float* prow = pos + (i % seq_len_) * dim_;
@@ -75,7 +75,7 @@ PatchEmbed::PatchEmbed(int64_t in_channels, int64_t image_size, int64_t patch_si
       num_tokens_(patch_grid_ * patch_grid_),
       dim_(dim),
       pos_("pos", Tensor::RandomGaussian(Shape{num_tokens_, dim}, rng, 0.02f)) {
-  GMORPH_CHECK_MSG(image_size % patch_size == 0,
+  GMORPH_CHECK(image_size % patch_size == 0,
                    "image " << image_size << " not divisible by patch " << patch_size);
   proj_ = std::make_unique<Conv2d>(in_channels, dim, patch_size, patch_size, 0, rng);
 }

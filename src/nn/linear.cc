@@ -18,7 +18,7 @@ Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng, bool bias)
       bias_("bias", bias ? Tensor::Zeros(Shape{out_features}) : Tensor()) {}
 
 Tensor Linear::Forward(const Tensor& x, bool /*training*/) {
-  GMORPH_CHECK_MSG(x.shape()[-1] == in_features_,
+  GMORPH_CHECK(x.shape()[-1] == in_features_,
                    "Linear(" << in_features_ << ") got " << x.shape().ToString());
   cached_input_ = x;
   const int64_t rows = x.size() / in_features_;

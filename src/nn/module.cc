@@ -33,10 +33,10 @@ void Module::ZeroGrad() {
 void Module::CopyParametersFrom(const Module& src) {
   auto dst_params = Parameters();
   auto src_params = const_cast<Module&>(src).Parameters();
-  GMORPH_CHECK_MSG(dst_params.size() == src_params.size(),
+  GMORPH_CHECK(dst_params.size() == src_params.size(),
                    "parameter count mismatch copying into " << Name());
   for (size_t i = 0; i < dst_params.size(); ++i) {
-    GMORPH_CHECK_MSG(dst_params[i]->value.shape() == src_params[i]->value.shape(),
+    GMORPH_CHECK(dst_params[i]->value.shape() == src_params[i]->value.shape(),
                      "parameter shape mismatch at " << dst_params[i]->name);
     dst_params[i]->value = src_params[i]->value.Clone();
   }
@@ -58,19 +58,19 @@ void Module::ImportParameters(const std::vector<Tensor>& values) {
   auto params = Parameters();
   auto buffers = Buffers();
   const bool with_buffers = values.size() == params.size() + buffers.size();
-  GMORPH_CHECK_MSG(with_buffers || values.size() == params.size(),
+  GMORPH_CHECK(with_buffers || values.size() == params.size(),
                    "ImportParameters count mismatch in " << Name() << ": got " << values.size()
                                                          << ", want " << params.size() << " or "
                                                          << params.size() + buffers.size());
   for (size_t i = 0; i < params.size(); ++i) {
-    GMORPH_CHECK_MSG(params[i]->value.shape() == values[i].shape(),
+    GMORPH_CHECK(params[i]->value.shape() == values[i].shape(),
                      "ImportParameters shape mismatch at " << params[i]->name);
     params[i]->value = values[i].Clone();
   }
   if (with_buffers) {
     for (size_t i = 0; i < buffers.size(); ++i) {
       const Tensor& src = values[params.size() + i];
-      GMORPH_CHECK_MSG(buffers[i]->shape() == src.shape(),
+      GMORPH_CHECK(buffers[i]->shape() == src.shape(),
                        "ImportParameters buffer shape mismatch in " << Name());
       *buffers[i] = src.Clone();
     }

@@ -98,7 +98,7 @@ Tensor BatchNorm2d::Forward(const Tensor& x, bool training) {
 }
 
 Tensor BatchNorm2d::Backward(const Tensor& grad_out) {
-  GMORPH_CHECK_MSG(!cached_xhat_.empty(),
+  GMORPH_CHECK(!cached_xhat_.empty(),
                    "BatchNorm2d::Backward requires a training-mode Forward first");
   const int64_t n = grad_out.shape()[0];
   const int64_t c = channels_;

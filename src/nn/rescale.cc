@@ -35,7 +35,7 @@ void InitIdentityLike(Tensor& weight, int64_t in, int64_t out, bool out_major, R
 
 Rescale::Rescale(const Shape& in_shape, const Shape& out_shape, Rng& rng)
     : in_shape_(in_shape), out_shape_(out_shape) {
-  GMORPH_CHECK_MSG(in_shape.Rank() == out_shape.Rank(),
+  GMORPH_CHECK(in_shape.Rank() == out_shape.Rank(),
                    "rescale rank mismatch " << in_shape.ToString() << " -> "
                                             << out_shape.ToString());
   if (in_shape.Rank() == 3) {
@@ -56,7 +56,7 @@ Rescale::Rescale(const Shape& in_shape, const Shape& out_shape, Rng& rng)
                        /*out_major=*/false, rng);
     }
   } else {
-    GMORPH_CHECK_MSG(false, "unsupported rescale rank " << in_shape.Rank());
+    GMORPH_CHECK(false, "unsupported rescale rank " << in_shape.Rank());
   }
 }
 
@@ -65,7 +65,7 @@ bool Rescale::IsIdentity() const {
 }
 
 Tensor Rescale::Forward(const Tensor& x, bool training) {
-  GMORPH_CHECK_MSG(x.shape().WithoutBatch() == in_shape_,
+  GMORPH_CHECK(x.shape().WithoutBatch() == in_shape_,
                    "Rescale expected " << in_shape_.ToString() << " got "
                                        << x.shape().ToString());
   cached_input_shape_ = x.shape();

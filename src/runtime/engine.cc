@@ -14,7 +14,7 @@ std::unique_ptr<InferenceEngine> MakeEngine(EngineKind kind, MultiTaskModel* mod
     case EngineKind::kFused:
       return std::make_unique<FusedEngine>(model);
   }
-  GMORPH_CHECK_MSG(false, "unknown engine kind");
+  GMORPH_CHECK(false, "unknown engine kind");
   return nullptr;
 }
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 
+#include "src/analysis/plan_verifier.h"
 #include "src/common/check.h"
 #include "src/common/parallel_for.h"
 #include "src/common/timer.h"
@@ -59,8 +61,24 @@ FusedEngine::FusedEngine(MultiTaskModel* model, const Options& options)
 
   for (int t = 0; t < graph.num_tasks(); ++t) {
     const int head = graph.HeadOfTask(t);
-    GMORPH_CHECK_MSG(head >= 0, "task " << t << " has no head");
+    GMORPH_CHECK(head >= 0, "task " << t << " has no head");
     head_values_.push_back(node_value_[static_cast<size_t>(head)]);
+  }
+
+  // Self-check the freshly built plan: always in debug builds, opt-in via
+  // GMORPH_VERIFY=1 in release. A verifier error here is a planner bug, so it
+  // is fatal rather than a diagnostic the caller could ignore.
+#ifdef NDEBUG
+  static const bool verify_plan = [] {
+    const char* v = std::getenv("GMORPH_VERIFY");
+    return v != nullptr && std::string(v) != "0";
+  }();
+#else
+  constexpr bool verify_plan = true;
+#endif
+  if (verify_plan) {
+    const DiagnosticList verdict = VerifyPlan(ExportPlan());
+    GMORPH_CHECK(verdict.ok(), "execution plan failed verification:\n" << verdict.ToString());
   }
 }
 
@@ -501,7 +519,7 @@ FusedEngine::Binding& FusedEngine::BindingFor(int64_t batch) {
 }
 
 std::vector<Tensor> FusedEngine::Run(const Tensor& input) {
-  GMORPH_CHECK_MSG(input.shape().Rank() >= 1, "FusedEngine::Run needs a batched input");
+  GMORPH_CHECK(input.shape().Rank() >= 1, "FusedEngine::Run needs a batched input");
   const int64_t batch = input.shape()[0];
   Binding& bind = BindingFor(batch);
   bind.values[0] = input;
@@ -646,6 +664,77 @@ std::string FusedEngine::DumpPlan() const {
     os << "\n";
   }
   return os.str();
+}
+
+PlanIR FusedEngine::ExportPlan() const {
+  PlanIR plan;
+  plan.values.reserve(values_.size());
+  for (const Value& v : values_) {
+    PlanValue pv;
+    pv.shape = v.shape;
+    pv.alias_of = v.alias_of;
+    pv.from_module = v.from_module;
+    pv.is_head = v.is_head;
+    pv.buffer = v.buffer;
+    plan.values.push_back(std::move(pv));
+  }
+  plan.steps.reserve(steps_.size());
+  for (const Step& s : steps_) {
+    PlanStep ps;
+    switch (s.kind) {
+      case OpKind::kConv:
+        ps.kind = PlanOp::kConv;
+        break;
+      case OpKind::kLinear:
+        ps.kind = PlanOp::kLinear;
+        break;
+      case OpKind::kMaxPool:
+        ps.kind = PlanOp::kMaxPool;
+        break;
+      case OpKind::kGlobalAvgPool:
+        ps.kind = PlanOp::kGlobalAvgPool;
+        break;
+      case OpKind::kMeanPoolTokens:
+        ps.kind = PlanOp::kMeanPoolTokens;
+        break;
+      case OpKind::kBilinearResize:
+        ps.kind = PlanOp::kBilinearResize;
+        break;
+      case OpKind::kTokenResize:
+        ps.kind = PlanOp::kTokenResize;
+        break;
+      case OpKind::kModule:
+        ps.kind = PlanOp::kModule;
+        break;
+    }
+    ps.node = s.node;
+    ps.label = s.label;
+    ps.in0 = s.in0;
+    ps.skip = s.skip;
+    ps.out = s.out;
+    ps.group = s.group;
+    ps.weight_shape = s.weight.shape();
+    ps.stride = s.conv_args.stride;
+    ps.padding = s.conv_args.padding;
+    ps.relu = s.relu;
+    ps.pool_kernel = s.pool_kernel;
+    ps.pool_stride = s.pool_stride;
+    plan.steps.push_back(std::move(ps));
+  }
+  plan.groups.reserve(groups_.size());
+  for (const Group& g : groups_) {
+    PlanGroup pg;
+    pg.parent = g.parent;
+    pg.steps = g.steps;
+    pg.children = g.children;
+    plan.groups.push_back(std::move(pg));
+  }
+  plan.buffers.reserve(buffers_.size());
+  for (const Buffer& b : buffers_) {
+    plan.buffers.push_back(PlanBuffer{b.elems_per_sample, b.reusable});
+  }
+  plan.head_values = head_values_;
+  return plan;
 }
 
 }  // namespace gmorph

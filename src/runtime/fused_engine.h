@@ -38,6 +38,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/analysis/plan_ir.h"
 #include "src/runtime/engine.h"
 #include "src/tensor/conv_ops.h"
 
@@ -84,6 +85,12 @@ class FusedEngine : public InferenceEngine {
 
   // Human-readable plan: steps, value table, buffer assignment, groups.
   std::string DumpPlan() const;
+
+  // Snapshots the lowered plan (values, steps, groups, buffer assignment —
+  // but not the engine's own liveness bookkeeping) for the PlanVerifier and
+  // plan-dump tooling. Construction runs VerifyPlan over this export in debug
+  // builds, and in release builds when GMORPH_VERIFY=1 is set.
+  PlanIR ExportPlan() const;
 
  private:
   enum class OpKind {

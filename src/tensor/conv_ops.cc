@@ -73,7 +73,7 @@ void Col2Im(const float* col, int64_t c, int64_t h, int64_t w, int64_t kernel, i
 
 int64_t ConvOutDim(int64_t in, int64_t kernel, int64_t stride, int64_t padding) {
   const int64_t out = (in + 2 * padding - kernel) / stride + 1;
-  GMORPH_CHECK_MSG(out > 0, "conv output dim <= 0 (in=" << in << " k=" << kernel << " s="
+  GMORPH_CHECK(out > 0, "conv output dim <= 0 (in=" << in << " k=" << kernel << " s="
                                                         << stride << " p=" << padding << ")");
   return out;
 }
@@ -96,12 +96,12 @@ void Conv2dForwardInto(const Tensor& x, const Tensor& w, const Tensor& b, const 
   const int64_t wd = x.shape()[3];
   const int64_t o = w.shape()[0];
   const int64_t kernel = w.shape()[2];
-  GMORPH_CHECK_MSG(w.shape()[1] == c, "conv channels: x " << x.shape().ToString() << " w "
+  GMORPH_CHECK(w.shape()[1] == c, "conv channels: x " << x.shape().ToString() << " w "
                                                           << w.shape().ToString());
   GMORPH_CHECK(w.shape()[3] == kernel);
   const int64_t oh = ConvOutDim(h, kernel, args.stride, args.padding);
   const int64_t ow = ConvOutDim(wd, kernel, args.stride, args.padding);
-  GMORPH_CHECK_MSG(out.shape() == Shape({n, o, oh, ow}),
+  GMORPH_CHECK(out.shape() == Shape({n, o, oh, ow}),
                    "conv out buffer " << out.shape().ToString() << " want "
                                       << Shape({n, o, oh, ow}).ToString());
   GMORPH_CHECK(skip == nullptr || skip->shape() == out.shape());

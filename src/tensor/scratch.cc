@@ -63,7 +63,7 @@ ScratchArena::Mark ScratchArena::Save() const {
 }
 
 void ScratchArena::Restore(const Mark& mark) {
-  GMORPH_CHECK_MSG(mark.block <= current_, "scratch scopes closed out of order");
+  GMORPH_CHECK(mark.block <= current_, "scratch scopes closed out of order");
   for (size_t i = blocks_.size(); i-- > mark.block + 1;) {
     blocks_[i].used = 0;
   }

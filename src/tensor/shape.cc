@@ -19,7 +19,7 @@ int64_t Shape::Dim(int i) const {
   if (i < 0) {
     i += rank;
   }
-  GMORPH_CHECK_MSG(i >= 0 && i < rank, "dim " << i << " out of range for " << ToString());
+  GMORPH_CHECK(i >= 0 && i < rank, "dim " << i << " out of range for " << ToString());
   return dims_[static_cast<size_t>(i)];
 }
 

@@ -23,7 +23,7 @@ Tensor::Tensor(const Shape& shape)
     : shape_(shape),
       data_(std::make_shared<std::vector<float>>(static_cast<size_t>(shape.NumElements()),
                                                  0.0f)) {
-  GMORPH_CHECK_MSG(shape.NumElements() >= 0, "invalid shape " << shape.ToString());
+  GMORPH_CHECK(shape.NumElements() >= 0, "invalid shape " << shape.ToString());
   CountAlloc(data_->size());
 }
 
@@ -34,7 +34,7 @@ Tensor Tensor::Full(const Shape& shape, float value) {
 }
 
 Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values) {
-  GMORPH_CHECK_MSG(static_cast<int64_t>(values.size()) == shape.NumElements(),
+  GMORPH_CHECK(static_cast<int64_t>(values.size()) == shape.NumElements(),
                    "vector size " << values.size() << " != shape " << shape.ToString());
   Tensor t;
   t.shape_ = shape;
@@ -62,7 +62,7 @@ Tensor Tensor::RandomUniform(const Shape& shape, Rng& rng, float lo, float hi) {
 }
 
 Tensor Tensor::Reshape(const Shape& new_shape) const {
-  GMORPH_CHECK_MSG(new_shape.NumElements() == size(),
+  GMORPH_CHECK(new_shape.NumElements() == size(),
                    "reshape " << shape_.ToString() << " -> " << new_shape.ToString());
   Tensor t = *this;
   t.shape_ = new_shape;

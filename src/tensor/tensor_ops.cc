@@ -14,7 +14,7 @@ namespace {
 #define GMORPH_RESTRICT __restrict__
 
 void CheckSameShape(const Tensor& a, const Tensor& b) {
-  GMORPH_CHECK_MSG(a.shape() == b.shape(), "shape mismatch " << a.shape().ToString() << " vs "
+  GMORPH_CHECK(a.shape() == b.shape(), "shape mismatch " << a.shape().ToString() << " vs "
                                                              << b.shape().ToString());
 }
 
@@ -564,7 +564,7 @@ Tensor Matmul(const Tensor& a, const Tensor& b) {
   GMORPH_CHECK(a.shape().Rank() == 2 && b.shape().Rank() == 2);
   const int64_t m = a.shape()[0];
   const int64_t k = a.shape()[1];
-  GMORPH_CHECK_MSG(b.shape()[0] == k, "matmul inner dims " << a.shape().ToString() << " x "
+  GMORPH_CHECK(b.shape()[0] == k, "matmul inner dims " << a.shape().ToString() << " x "
                                                            << b.shape().ToString());
   const int64_t n = b.shape()[1];
   Tensor c(Shape{m, n});
@@ -577,7 +577,7 @@ void LinearForwardInto(const Tensor& x, const Tensor& w, const Tensor& b, Tensor
   GMORPH_CHECK(w.shape().Rank() == 2);
   const int64_t in_features = w.shape()[0];
   const int64_t out_features = w.shape()[1];
-  GMORPH_CHECK_MSG(x.shape()[-1] == in_features,
+  GMORPH_CHECK(x.shape()[-1] == in_features,
                    "linear in features: x " << x.shape().ToString() << " w "
                                             << w.shape().ToString());
   const int64_t rows = x.size() / in_features;

@@ -8,12 +8,15 @@
 
 #include <gtest/gtest.h>
 
+#include "src/analysis/graph_verifier.h"
+#include "src/analysis/plan_verifier.h"
 #include "src/common/check.h"
 #include "src/core/graph_io.h"
 #include "src/core/model_parser.h"
 #include "src/core/multitask_model.h"
 #include "src/core/mutation.h"
 #include "src/data/benchmarks.h"
+#include "src/runtime/fused_engine.h"
 
 namespace gmorph {
 namespace {
@@ -90,9 +93,40 @@ TEST_P(MutationFuzzTest, MutatedGraphsExecute) {
 
 INSTANTIATE_TEST_SUITE_P(AllBenchmarks, MutationFuzzTest, ::testing::Range(1, 8));
 
+class VerifierFuzzTest : public ::testing::TestWithParam<int> {};
+
+// Every randomly mutated graph passes the GraphVerifier, lowers through the
+// FusedEngine, and yields a plan the PlanVerifier proves race- and
+// overlap-free. 7 benchmarks x 30 trials = 210 graphs per suite run.
+TEST_P(VerifierFuzzTest, MutatedGraphsAndPlansVerifyClean) {
+  const int bench = GetParam();
+  AbsGraph base = GraphForBenchmark(bench);
+  GraphVerifyOptions roundtrip;
+  roundtrip.roundtrip = true;
+  for (int trial = 0; trial < 30; ++trial) {
+    Rng rng(static_cast<uint64_t>(bench) * 1009 + static_cast<uint64_t>(trial) * 31 + 7);
+    const int num_mutations = 1 + rng.NextInt(4);
+    std::optional<AbsGraph> mutated =
+        SampleMutatePass(base, num_mutations, ShapeSimilarity::kSimilar, rng);
+    const AbsGraph& g = mutated.has_value() ? *mutated : base;
+
+    const DiagnosticList graph_verdict = VerifyGraph(g, roundtrip);
+    ASSERT_TRUE(graph_verdict.ok())
+        << "bench " << bench << " trial " << trial << ":\n" << graph_verdict.ToString();
+
+    MultiTaskModel model(g, rng);
+    FusedEngine engine(&model);
+    const DiagnosticList plan_verdict = VerifyPlan(engine.ExportPlan());
+    ASSERT_TRUE(plan_verdict.ok())
+        << "bench " << bench << " trial " << trial << ":\n" << plan_verdict.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, VerifierFuzzTest, ::testing::Range(1, 8));
+
 // Random byte-level corruption of serialized graphs must never crash the
-// loader or yield an invalid graph — either the load fails cleanly or the
-// corruption missed the parsed region.
+// loader or yield an invalid graph — either the load fails with diagnostics
+// or the corruption missed the parsed region and the graph verifies clean.
 TEST(SerializationFuzzTest, CorruptGraphsRejectedOrHarmless) {
   AbsGraph g = GraphForBenchmark(1);
   const auto dir = std::filesystem::temp_directory_path() / "gmorph_fuzz";
@@ -119,13 +153,15 @@ TEST(SerializationFuzzTest, CorruptGraphsRejectedOrHarmless) {
     std::ofstream out(cpath, std::ios::binary | std::ios::trunc);
     out.write(corrupted.data(), static_cast<std::streamsize>(corrupted.size()));
     out.close();
-    AbsGraph loaded;
-    try {
-      if (LoadGraph(cpath, loaded)) {
-        loaded.Validate();  // accepted data must still be a valid graph
-      }
-    } catch (const CheckError&) {
-      // Structured corruption detected during FromNodes validation: fine.
+    GraphLoadResult loaded = TryLoadGraph(cpath);
+    if (loaded.ok()) {
+      // Accepted data must still be a fully valid graph.
+      EXPECT_TRUE(VerifyGraph(*loaded.graph).ok()) << "trial " << trial;
+    } else {
+      // Rejections must carry at least one structured diagnostic, never an
+      // exception or a partially-initialized graph.
+      EXPECT_FALSE(loaded.diagnostics.ok()) << "trial " << trial;
+      EXPECT_FALSE(loaded.graph.has_value());
     }
   }
   std::filesystem::remove_all(dir);

@@ -1,5 +1,8 @@
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
@@ -139,6 +142,77 @@ TEST_F(SerializationTest, GraphLoadRejectsCorrupt) {
   std::fputs("garbage", f);
   std::fclose(f);
   EXPECT_FALSE(LoadGraph(junk, g));
+}
+
+// Regression coverage for the diagnostic-returning loader: every corruption
+// class maps to a stable io.* rule id and never a partially-built graph.
+class GraphIoTest : public SerializationTest {
+ protected:
+  AbsGraph SampleGraph() {
+    Rng rng(11);
+    VisionModelOptions opts;
+    opts.base_width = 4;
+    opts.classes = 2;
+    TaskModel a(MakeVgg11(opts), rng);
+    TaskModel b(MakeVgg11(opts), rng);
+    return ParseTaskModels({&a, &b});
+  }
+
+  std::string SavedGraphBytes() {
+    const std::string path = Path("sample.bin");
+    if (!SaveGraph(path, SampleGraph())) {
+      return "";
+    }
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+  }
+
+  GraphLoadResult LoadBytes(const std::string& bytes) {
+    std::istringstream in(bytes);
+    return TryLoadGraph(in);
+  }
+};
+
+TEST_F(GraphIoTest, MissingFileReportsOpen) {
+  GraphLoadResult result = TryLoadGraph(Path("nope.bin"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(result.graph.has_value());
+  EXPECT_TRUE(result.diagnostics.HasRule("io.open"));
+}
+
+TEST_F(GraphIoTest, BadMagicReportsMagic) {
+  GraphLoadResult result = LoadBytes("this is not a gmorph graph file at all....");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.diagnostics.HasRule("io.magic"));
+}
+
+TEST_F(GraphIoTest, TruncatedFileReportsTruncated) {
+  const std::string bytes = SavedGraphBytes();
+  ASSERT_FALSE(bytes.empty());
+  GraphLoadResult result = LoadBytes(bytes.substr(0, bytes.size() / 2));
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(result.graph.has_value());
+  EXPECT_TRUE(result.diagnostics.HasRule("io.truncated"));
+}
+
+TEST_F(GraphIoTest, InsaneNodeCountReportsHeader) {
+  std::string bytes = SavedGraphBytes();
+  ASSERT_GE(bytes.size(), 24u);
+  // Bytes [16,24) hold the node count; blow it past the 2^20 cap.
+  const int64_t huge = int64_t{1} << 40;
+  std::memcpy(bytes.data() + 16, &huge, sizeof(huge));
+  GraphLoadResult result = LoadBytes(bytes);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.diagnostics.HasRule("io.header"));
+}
+
+TEST_F(GraphIoTest, CleanFileRoundTripsThroughVerifier) {
+  const std::string bytes = SavedGraphBytes();
+  ASSERT_FALSE(bytes.empty());
+  GraphLoadResult result = LoadBytes(bytes);
+  ASSERT_TRUE(result.ok()) << result.diagnostics.ToString();
+  EXPECT_EQ(result.graph->Fingerprint(), SampleGraph().Fingerprint());
+  EXPECT_TRUE(result.diagnostics.ok());
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 // Usage:
 //   gmorph_cli <config-file>
 //   gmorph_cli --dump-plan <config-file>
+//   gmorph_cli --verify <file>
 //   gmorph_cli --print-default-config
 //
 // --dump-plan skips search and teacher training: it materializes the
@@ -13,13 +14,27 @@
 // planner, and prints the plan (steps, buffer assignment, groups) plus a
 // per-step latency profile at the configured batch size.
 //
+// --verify lints a file through the static-analysis passes and exits nonzero
+// on any error diagnostic. The file kind is sniffed:
+//   - a binary .gmorph graph: GraphVerifier (with serializer round-trip),
+//     then lowered through the FusedEngine and the plan re-checked;
+//   - a `gmorph-plan v1` text plan: PlanVerifier (symbolic execution —
+//     buffer overlaps, cross-branch races, stale aliases, kernel shapes);
+//   - otherwise a config file: the configured benchmark's graph (or its
+//     input_graph) is built and verified as above.
+// Exit codes: 0 clean, 1 diagnostics with errors, 2 unreadable input.
+//
 // The config selects one of the built-in benchmarks (B1-B7), pre-trains its
 // task-specific teachers on the synthetic datasets, runs the search, and
 // writes the fused model (binary graph) and an optional Graphviz rendering.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
+#include "src/analysis/graph_verifier.h"
+#include "src/analysis/plan_io.h"
+#include "src/analysis/plan_verifier.h"
 #include "src/common/check.h"
 #include "src/common/config.h"
 #include "src/common/logging.h"
@@ -117,6 +132,100 @@ int DumpPlanMode(const gmorph::Config& config) {
   return 0;
 }
 
+// Prints every diagnostic; returns the --verify exit code for the list.
+int ReportDiagnostics(const gmorph::DiagnosticList& diags) {
+  for (const auto& d : diags.items()) {
+    std::printf("%s\n", d.ToString().c_str());
+  }
+  if (!diags.ok()) {
+    std::printf("verify: %d error(s)\n", diags.error_count());
+    return 1;
+  }
+  std::printf("verify: clean (%zu warning(s)/note(s))\n", diags.size());
+  return 0;
+}
+
+// Verifies a fully built graph and, when it is clean, its execution plan.
+int VerifyGraphAndPlan(const gmorph::AbsGraph& graph, uint64_t seed) {
+  using namespace gmorph;
+  GraphVerifyOptions opts;
+  opts.roundtrip = true;
+  DiagnosticList diags = VerifyGraph(graph, opts);
+  if (diags.ok()) {
+    // Graph invariants hold, so lowering is safe; re-check the derived plan.
+    Rng rng(seed);
+    MultiTaskModel model(graph, rng);
+    FusedEngine engine(&model);
+    diags.Merge(VerifyPlan(engine.ExportPlan()));
+  }
+  return ReportDiagnostics(diags);
+}
+
+// Lints one file through the static-analysis passes (see usage comment).
+int VerifyMode(const std::string& path) {
+  using namespace gmorph;
+  std::ifstream probe(path, std::ios::binary);
+  if (!probe) {
+    std::fprintf(stderr, "verify: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::string head(11, '\0');
+  probe.read(head.data(), static_cast<std::streamsize>(head.size()));
+  head.resize(static_cast<size_t>(probe.gcount()));
+  probe.close();
+
+  if (head.rfind("GMORPHG", 0) == 0 ||
+      (head.size() >= 8 && head.compare(0, 8, "1GHPROMG") == 0)) {
+    // Binary graph (magic, either byte order). Loading already runs the
+    // GraphVerifier; re-verify with round-trip and then lint the plan.
+    GraphLoadResult loaded = TryLoadGraph(path);
+    if (!loaded.ok()) {
+      return ReportDiagnostics(loaded.diagnostics);
+    }
+    return VerifyGraphAndPlan(*loaded.graph, /*seed=*/42);
+  }
+  if (head.rfind("gmorph-plan", 0) == 0) {
+    PlanParseResult parsed = ParsePlanTextFile(path);
+    DiagnosticList diags = std::move(parsed.diagnostics);
+    if (diags.ok()) {
+      diags.Merge(VerifyPlan(parsed.plan));
+    }
+    return ReportDiagnostics(diags);
+  }
+  // Fall back to treating it as a search config naming a benchmark.
+  Config config;
+  try {
+    config = Config::FromFile(path);
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "verify: %s is neither a graph, a plan, nor a config: %s\n",
+                 path.c_str(), e.what());
+    return 2;
+  }
+  const uint64_t seed = static_cast<uint64_t>(config.GetInt("seed", 42));
+  AbsGraph graph;
+  const std::string graph_path = config.GetString("input_graph", "");
+  if (!graph_path.empty()) {
+    GraphLoadResult loaded = TryLoadGraph(graph_path);
+    if (!loaded.ok()) {
+      return ReportDiagnostics(loaded.diagnostics);
+    }
+    graph = std::move(*loaded.graph);
+  } else {
+    const int bench_index = static_cast<int>(config.GetInt("benchmark", 1));
+    BenchmarkScale scale;
+    scale.train_size = 1;
+    scale.test_size = 1;
+    scale.cnn_width = config.GetInt("cnn_width", 8);
+    BenchmarkDef def = MakeBenchmark(bench_index, scale, seed);
+    std::vector<ModelSpec> specs;
+    for (const auto& task : def.tasks) {
+      specs.push_back(task.model);
+    }
+    graph = ParseModelSpecs(specs);
+  }
+  return VerifyGraphAndPlan(graph, seed);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -126,12 +235,21 @@ int main(int argc, char** argv) {
     return 0;
   }
   const bool dump_plan = argc == 3 && std::strcmp(argv[1], "--dump-plan") == 0;
-  if (argc != 2 && !dump_plan) {
+  const bool verify = argc == 3 && std::strcmp(argv[1], "--verify") == 0;
+  if (argc != 2 && !dump_plan && !verify) {
     std::fprintf(stderr,
                  "usage: %s <config-file>\n       %s --dump-plan <config-file>\n       %s "
-                 "--print-default-config > gmorph.cfg\n",
-                 argv[0], argv[0], argv[0]);
+                 "--verify <graph|plan|config>\n       %s --print-default-config > gmorph.cfg\n",
+                 argv[0], argv[0], argv[0], argv[0]);
     return 2;
+  }
+  if (verify) {
+    try {
+      return VerifyMode(argv[2]);
+    } catch (const CheckError& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
   }
 
   Config config;
