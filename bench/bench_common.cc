@@ -176,16 +176,27 @@ std::string VariantTag(Variant v) {
   return "x";
 }
 
+// Bumped whenever the summary layout changes; a version mismatch invalidates
+// old cached summaries (they are recomputed, not misparsed).
+constexpr const char* kSummaryVersion = "gmorph-summary-v2";
+
 bool LoadSummary(const std::string& path, SearchSummary& s) {
   std::ifstream in(path);
   if (!in) {
     return false;
   }
+  std::string version;
   size_t teachers = 0;
   size_t trace = 0;
+  in >> version;
+  if (version != kSummaryVersion) {
+    return false;
+  }
   in >> s.original_flops >> s.best_flops >> s.speedup >> s.search_seconds >>
-      s.candidates_finetuned >> s.candidates_filtered >> teachers >> trace >>
+      s.candidates_finetuned >> s.candidates_filtered >> s.cache_hits >> teachers >> trace >>
       s.best_graph_path;
+  in >> s.stage_seconds.sample >> s.stage_seconds.verify >> s.stage_seconds.profile >>
+      s.stage_seconds.finetune >> s.stage_seconds.score;
   if (!in) {
     return false;
   }
@@ -199,17 +210,23 @@ bool LoadSummary(const std::string& path, SearchSummary& s) {
   }
   s.trace.resize(trace);
   for (auto& point : s.trace) {
-    in >> point.elapsed_seconds >> point.best_flops;
+    int hit = 0;
+    in >> point.elapsed_seconds >> point.best_flops >> hit;
+    point.cache_hit = hit != 0;
   }
   return static_cast<bool>(in);
 }
 
 void SaveSummary(const std::string& path, const SearchSummary& s) {
   std::ofstream out(path);
+  out << kSummaryVersion << "\n";
   out << s.original_flops << " " << s.best_flops << " " << s.speedup << " "
       << s.search_seconds << " " << s.candidates_finetuned << " " << s.candidates_filtered
-      << " " << s.teacher_scores.size() << " " << s.trace.size() << " " << s.best_graph_path
-      << "\n";
+      << " " << s.cache_hits << " " << s.teacher_scores.size() << " " << s.trace.size() << " "
+      << s.best_graph_path << "\n";
+  out << s.stage_seconds.sample << " " << s.stage_seconds.verify << " "
+      << s.stage_seconds.profile << " " << s.stage_seconds.finetune << " "
+      << s.stage_seconds.score << "\n";
   for (double v : s.teacher_scores) {
     out << v << " ";
   }
@@ -219,7 +236,8 @@ void SaveSummary(const std::string& path, const SearchSummary& s) {
   }
   out << "\n";
   for (const auto& point : s.trace) {
-    out << point.elapsed_seconds << " " << point.best_flops << "\n";
+    out << point.elapsed_seconds << " " << point.best_flops << " " << (point.cache_hit ? 1 : 0)
+        << "\n";
   }
 }
 
@@ -243,6 +261,10 @@ SearchSummary RunSearchCached(int bench_index, double threshold, Variant variant
   if (variant == Variant::kRandom) {
     options.policy = PolicyKind::kRandom;
   }
+  // Content-addressed evaluation cache: repeated suite runs (and overlapping
+  // variants, which sample many identical candidates) skip re-fine-tuning.
+  options.use_eval_cache = true;
+  options.cache_dir = CacheDir();
   GMorph gmorph(p.teacher_ptrs, &p.def.train, &p.def.test, options);
   GMorphResult result = gmorph.Run();
 
@@ -253,10 +275,12 @@ SearchSummary RunSearchCached(int bench_index, double threshold, Variant variant
   summary.search_seconds = result.search_seconds;
   summary.candidates_finetuned = result.candidates_finetuned;
   summary.candidates_filtered = result.candidates_filtered;
+  summary.cache_hits = result.cache_hits;
+  summary.stage_seconds = result.stage_seconds;
   summary.teacher_scores = result.teacher_scores;
   summary.best_task_scores = result.best_task_scores;
   for (const IterationRecord& rec : result.trace) {
-    summary.trace.push_back({rec.elapsed_seconds, rec.best_flops});
+    summary.trace.push_back({rec.elapsed_seconds, rec.best_flops, rec.cache_hit});
   }
   summary.best_graph_path = CacheDir() + "/" + key.str() + "_graph.bin";
   SaveGraph(summary.best_graph_path, result.best_graph);

@@ -64,11 +64,14 @@ struct SearchSummary {
   double search_seconds = 0.0;
   int candidates_finetuned = 0;
   int candidates_filtered = 0;
+  int cache_hits = 0;  // candidates served by the evaluation cache this run
+  StageSeconds stage_seconds;  // sample/verify/profile/finetune/score breakdown
   std::vector<double> teacher_scores;
   std::vector<double> best_task_scores;
   struct TracePoint {
     double elapsed_seconds = 0.0;
     int64_t best_flops = 0;
+    bool cache_hit = false;
   };
   std::vector<TracePoint> trace;
   std::string best_graph_path;  // serialized trained best graph

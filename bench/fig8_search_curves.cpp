@@ -29,6 +29,17 @@ int main() {
         }
       }
       std::printf("\n");
+      // One JSON line per trace point: the full search-cost trajectory
+      // (machine-parseable, like micro_ops/table3).
+      for (size_t i = 0; i < s.trace.size(); ++i) {
+        std::printf("{\"bench\": \"B1\", \"threshold\": %.3f, \"variant\": \"%s\", "
+                    "\"iteration\": %zu, \"elapsed_seconds\": %.3f, \"best_flops\": %lld, "
+                    "\"cache_hit\": %s}\n",
+                    threshold, VariantName(v).c_str(), i + 1, s.trace[i].elapsed_seconds,
+                    static_cast<long long>(s.trace[i].best_flops),
+                    s.trace[i].cache_hit ? "true" : "false");
+      }
+      std::fflush(stdout);
     }
     std::printf("\n");
   }

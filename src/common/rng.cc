@@ -74,4 +74,9 @@ bool Rng::NextBool(double p) { return NextDouble() < p; }
 
 Rng Rng::Fork() { return Rng(NextU64()); }
 
+uint64_t Rng::MixSeed(uint64_t seed, uint64_t stream, uint64_t substream) {
+  uint64_t z = seed ^ (stream * 0xbf58476d1ce4e5b9ull) ^ (substream * 0x94d049bb133111ebull);
+  return SplitMix64(z);
+}
+
 }  // namespace gmorph

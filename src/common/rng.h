@@ -40,6 +40,13 @@ class Rng {
   // Forks an independent stream (useful to decouple data / init / search RNG).
   Rng Fork();
 
+  // Derives a seed for an independent named stream via SplitMix64-style
+  // avalanching. The search gives every candidate its own stream keyed by
+  // (seed, iteration, slot), so results do not depend on how draws interleave
+  // across parallel rounds and a resumed search can re-derive the exact
+  // stream from the iteration cursor alone.
+  static uint64_t MixSeed(uint64_t seed, uint64_t stream, uint64_t substream = 0);
+
  private:
   uint64_t s_[4];
   bool has_cached_gaussian_ = false;

@@ -1,0 +1,158 @@
+#include "src/core/candidate_eval.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/analysis/graph_verifier.h"
+#include "src/common/check.h"
+#include "src/common/timer.h"
+
+namespace gmorph {
+
+void StageSeconds::Accumulate(const StageSeconds& other) {
+  sample += other.sample;
+  verify += other.verify;
+  profile += other.profile;
+  finetune += other.finetune;
+  score += other.score;
+}
+
+uint64_t HashEvalOptions(const EvalOptions& o) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "evalopts v1|" << o.finetune.max_epochs << "|" << o.finetune.batch_size << "|"
+     << o.finetune.lr << "|" << o.finetune.eval_interval << "|"
+     << o.finetune.early_stop_on_target << "|" << o.finetune.predictive_termination << "|"
+     << o.finetune.target_drop << "|";
+  for (const float w : o.finetune.task_loss_weights) {
+    os << w << ",";
+  }
+  os << "|" << o.latency.warmup_runs << "|" << o.latency.measured_runs << "|"
+     << o.latency.batch_size << "|" << o.rule_based_filtering;
+  return Fnv1aHash(os.str());
+}
+
+CandidateEvaluator::CandidateEvaluator(const std::vector<Tensor>* teacher_train_logits,
+                                       const MultiTaskDataset* train,
+                                       const MultiTaskDataset* test,
+                                       const std::vector<double>* teacher_scores,
+                                       const EvalOptions& options, EvaluationCache* cache)
+    : teacher_train_logits_(teacher_train_logits),
+      train_(train),
+      test_(test),
+      teacher_scores_(teacher_scores),
+      options_(options),
+      cache_(cache) {
+  GMORPH_CHECK(teacher_train_logits_ != nullptr && train_ != nullptr && test_ != nullptr &&
+               teacher_scores_ != nullptr);
+}
+
+PendingEval CandidateEvaluator::Screen(AbsGraph candidate, const HistoryDatabase& history,
+                                       Rng& model_rng) {
+  PendingEval pending;
+  pending.graph = std::move(candidate);
+  pending.fingerprint = pending.graph.Fingerprint();
+  EvalOutcome& out = pending.outcome;
+  out.flops = pending.graph.TotalFlops();
+
+  // Cache probe first: a hit skips verification (the entry was verified when
+  // stored and the trained graph re-verifies on load) and, crucially, the
+  // fine-tuning cost.
+  if (cache_ != nullptr) {
+    if (std::optional<EvaluationCache::CachedEval> hit = cache_->Lookup(pending.fingerprint)) {
+      out.status = EvalStatus::kCacheHit;
+      out.latency_ms = hit->entry.latency_ms;
+      out.accuracy_drop = hit->entry.accuracy_drop;
+      out.met_target = hit->entry.met_target;
+      out.terminated_early = hit->entry.terminated_early;
+      out.epochs_run = hit->entry.epochs_run;
+      out.task_scores = hit->entry.task_scores;
+      out.trained_graph = std::move(hit->trained_graph);
+      pending.done = true;
+      return pending;
+    }
+  }
+
+  // Static-analysis gate: an ill-formed candidate would crash lowering or
+  // fine-tuning; reject it here (a mutation-engine bug, but the search
+  // degrades gracefully instead of crashing mid-run).
+  Timer verify_timer;
+  const DiagnosticList verdict = VerifyGraph(pending.graph);
+  out.stages.verify = verify_timer.Seconds();
+  if (!verdict.ok()) {
+    out.status = EvalStatus::kRejectedByVerifier;
+    pending.verifier_report = verdict.ToString();
+    pending.done = true;
+    return pending;
+  }
+
+  // Rule-based filter: skip fine-tuning candidates more aggressive in sharing
+  // than a known non-promising one.
+  if (options_.rule_based_filtering && history.FilteredByRule(pending.graph.Signature())) {
+    out.status = EvalStatus::kFilteredByRule;
+    pending.done = true;
+    return pending;
+  }
+
+  // Model generation (weight inheritance happens through the node weights the
+  // mutated graph carries) + latency profile.
+  Timer profile_timer;
+  pending.model = std::make_unique<MultiTaskModel>(pending.graph, model_rng);
+  out.latency_ms = MeasureLatencyMs(*pending.model, options_.latency);
+  out.stages.profile = profile_timer.Seconds();
+  return pending;
+}
+
+void CandidateEvaluator::Finetune(PendingEval& pending) const {
+  if (pending.done) {
+    return;
+  }
+  GMORPH_CHECK(pending.model != nullptr);
+  pending.finetune = DistillFinetune(*pending.model, *teacher_train_logits_, *train_, *test_,
+                                     *teacher_scores_, options_.finetune);
+}
+
+EvalOutcome CandidateEvaluator::Finish(PendingEval& pending) {
+  EvalOutcome& out = pending.outcome;
+  if (pending.done) {
+    return std::move(out);
+  }
+  const FinetuneResult& ft = pending.finetune;
+  out.status = EvalStatus::kEvaluated;
+  out.accuracy_drop = ft.max_drop;
+  out.met_target = ft.met_target;
+  out.terminated_early = ft.terminated_early;
+  out.epochs_run = ft.epochs_run;
+  out.finetune_seconds = ft.seconds;
+  out.stages.finetune = ft.seconds;
+  out.task_scores = ft.task_scores;
+
+  Timer score_timer;
+  if (out.met_target) {
+    out.trained_graph = pending.model->ExportTrainedGraph();
+  }
+  if (cache_ != nullptr) {
+    EvaluationCache::Entry entry;
+    entry.met_target = out.met_target;
+    entry.terminated_early = out.terminated_early;
+    entry.epochs_run = out.epochs_run;
+    entry.accuracy_drop = out.accuracy_drop;
+    entry.latency_ms = out.latency_ms;
+    entry.flops = out.flops;
+    entry.finetune_seconds = out.finetune_seconds;
+    entry.task_scores = out.task_scores;
+    cache_->Store(pending.fingerprint, entry,
+                  out.trained_graph.has_value() ? &*out.trained_graph : nullptr);
+  }
+  out.stages.score = score_timer.Seconds();
+  return std::move(out);
+}
+
+EvalOutcome CandidateEvaluator::Evaluate(AbsGraph candidate, const HistoryDatabase& history,
+                                         Rng& model_rng) {
+  PendingEval pending = Screen(std::move(candidate), history, model_rng);
+  Finetune(pending);
+  return Finish(pending);
+}
+
+}  // namespace gmorph

@@ -6,6 +6,12 @@
 namespace gmorph {
 
 double EstimateConvergenceRate(double f0, double f1, double f2, double f3) {
+  // Non-finite inputs (a diverged fine-tuning run producing NaN/inf scores)
+  // must not poison the predictive-termination decision: report the neutral
+  // rate 1.0, which the caller treats as "no convergence signal".
+  if (!std::isfinite(f0) || !std::isfinite(f1) || !std::isfinite(f2) || !std::isfinite(f3)) {
+    return 1.0;
+  }
   const double d1 = std::fabs(f1 - f0);
   const double d2 = std::fabs(f2 - f1);
   const double d3 = std::fabs(f3 - f2);
@@ -17,21 +23,37 @@ double EstimateConvergenceRate(double f0, double f1, double f2, double f3) {
   if (std::fabs(denom) < kTiny) {
     return 1.0;
   }
-  return (std::log(d3) - std::log(d2)) / denom;
+  const double rate = (std::log(d3) - std::log(d2)) / denom;
+  return std::isfinite(rate) ? rate : 1.0;
 }
 
 double ExtrapolateFinal(const std::vector<double>& measurements, int remaining_steps) {
   if (measurements.empty()) {
     return 0.0;
   }
+  // With a non-finite tail there is no curve to extrapolate; return the last
+  // finite measurement (or 0 when none exists) instead of propagating NaN
+  // into the termination comparison, where NaN would disable early stopping.
+  const size_t n = measurements.size();
+  if (!std::isfinite(measurements.back())) {
+    for (size_t i = n; i-- > 0;) {
+      if (std::isfinite(measurements[i])) {
+        return measurements[i];
+      }
+    }
+    return 0.0;
+  }
   if (measurements.size() < 2 || remaining_steps <= 0) {
     return measurements.back();
   }
-  const size_t n = measurements.size();
-  const double last_inc = measurements[n - 1] - measurements[n - 2];
+  const double prev = measurements[n - 2];
+  if (!std::isfinite(prev)) {
+    return measurements.back();
+  }
+  const double last_inc = measurements.back() - prev;
   double q = 0.5;
-  if (n >= 3) {
-    const double prev_inc = measurements[n - 2] - measurements[n - 3];
+  if (n >= 3 && std::isfinite(measurements[n - 3])) {
+    const double prev_inc = prev - measurements[n - 3];
     if (std::fabs(prev_inc) > 1e-12) {
       q = std::clamp(std::fabs(last_inc / prev_inc), 0.0, 0.95);
     }
@@ -42,7 +64,7 @@ double ExtrapolateFinal(const std::vector<double>& measurements, int remaining_s
     inc *= q;
     value += inc;
   }
-  return value;
+  return std::isfinite(value) ? value : measurements.back();
 }
 
 }  // namespace gmorph

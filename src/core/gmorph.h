@@ -1,16 +1,30 @@
-// The GMorph driver: Algorithm 1 (graph mutation optimization).
+// The GMorph driver: Algorithm 1 (graph mutation optimization), structured as
+// a staged, resumable candidate-evaluation pipeline.
 //
 // Inputs: pre-trained task models sharing one input stream, representative
 // (train) inputs, a labeled test split, and an optimization config. Output:
 // the fastest trained multi-task graph meeting the accuracy-drop target,
 // plus a per-iteration trace used by the evaluation benches.
+//
+// Each search round runs three phases over `parallel_candidates` slots
+// (width 1 degenerates to the paper's sequential Algorithm 1):
+//   1. serial:   policy sampling + mutation + dedup, then
+//                CandidateEvaluator::Screen (cache probe, verifier gate,
+//                rule filter, latency profile);
+//   2. parallel: CandidateEvaluator::Finetune on `num_threads` workers;
+//   3. serial:   CandidateEvaluator::Finish + elite/best/policy integration.
+// Every candidate draws from its own RNG stream derived from
+// (seed, iteration, slot), so traces are independent of the thread count and
+// a resumed search re-derives the exact streams from the iteration cursor.
 #ifndef GMORPH_SRC_CORE_GMORPH_H_
 #define GMORPH_SRC_CORE_GMORPH_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/core/abs_graph.h"
+#include "src/core/candidate_eval.h"
 #include "src/core/finetune.h"
 #include "src/core/history.h"
 #include "src/core/latency.h"
@@ -19,6 +33,8 @@
 #include "src/models/task_model.h"
 
 namespace gmorph {
+
+struct SearchCheckpoint;
 
 enum class PolicyKind { kSimulatedAnnealing, kRandom };
 enum class OptimizeMetric { kLatency, kFlops };
@@ -46,7 +62,21 @@ struct GMorphOptions {
   int num_threads = 1;
   uint64_t seed = 42;
   bool verbose = false;
+  // Content-addressed evaluation cache (eval_cache.h): reuse verify/fine-tune
+  // outcomes across runs keyed by graph fingerprint + eval-options hash.
+  bool use_eval_cache = false;
+  // Cache directory; empty resolves $GMORPH_CACHE_DIR then "gmorph_bench_cache".
+  std::string cache_dir;
+  // When non-empty, a resumable checkpoint is written here every
+  // `checkpoint_every` iterations and at search end (atomic tmp+rename).
+  std::string checkpoint_path;
+  int checkpoint_every = 0;  // 0: only at search end
 };
+
+// Hash of the options that determine search semantics (everything except
+// budget/execution knobs: iterations, num_threads, verbose, cache and
+// checkpoint settings). A checkpoint only resumes under a matching hash.
+uint64_t SearchOptionsHash(const GMorphOptions& options);
 
 struct IterationRecord {
   int iteration = 0;
@@ -59,10 +89,13 @@ struct IterationRecord {
   bool duplicate = false;
   // Candidate failed the GraphVerifier static-analysis pass (never fine-tuned).
   bool rejected_by_verifier = false;
+  // Outcome reused from the evaluation cache (no fine-tuning paid this run).
+  bool cache_hit = false;
   double finetune_seconds = 0.0;
   double elapsed_seconds = 0.0;      // cumulative search time at iteration end
   double best_latency_ms = 0.0;      // best satisfying latency so far
   int64_t best_flops = 0;            // FLOPs of the best satisfying model so far
+  StageSeconds stages;               // per-stage wall time of this iteration
 };
 
 struct GMorphResult {
@@ -83,6 +116,12 @@ struct GMorphResult {
   // means the mutation engine emitted an ill-formed graph (a bug), but the
   // search degrades gracefully instead of crashing mid-run.
   int candidates_rejected = 0;
+  // Candidates whose outcome was served by the evaluation cache.
+  int cache_hits = 0;
+  // Whole-search wall-time breakdown (sample/verify/profile/finetune/score).
+  StageSeconds stage_seconds;
+  // Checkpoints written during this run (periodic + final).
+  int checkpoints_written = 0;
 };
 
 class GMorph {
@@ -95,10 +134,18 @@ class GMorph {
 
   GMorphResult Run();
 
+  // Continues an interrupted search from `checkpoint` (see
+  // search_checkpoint.h). The options must hash-match the checkpoint; the
+  // continuation reproduces the uninterrupted run's deterministic trace
+  // fields exactly (wall-clock fields necessarily differ).
+  GMorphResult Resume(const SearchCheckpoint& checkpoint);
+
   // The parsed original abstract graph (before any mutation).
   const AbsGraph& original_graph() const { return original_graph_; }
 
  private:
+  GMorphResult RunInternal(const SearchCheckpoint* resume);
+
   std::vector<TaskModel*> teachers_;
   const MultiTaskDataset* train_;
   const MultiTaskDataset* test_;

@@ -1,6 +1,7 @@
 #include "src/core/history.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace gmorph {
 
@@ -12,10 +13,16 @@ void HistoryDatabase::MarkEvaluated(const AbsGraph& g) {
   fingerprints_.insert(g.Fingerprint());
 }
 
-void HistoryDatabase::AddElite(AbsGraph graph, double latency_ms, double accuracy_drop) {
-  elites_.push_back({std::move(graph), latency_ms, accuracy_drop});
-  std::sort(elites_.begin(), elites_.end(),
-            [](const EliteEntry& a, const EliteEntry& b) { return a.latency_ms < b.latency_ms; });
+void HistoryDatabase::MarkEvaluatedFingerprint(std::string fingerprint) {
+  fingerprints_.insert(std::move(fingerprint));
+}
+
+void HistoryDatabase::AddElite(AbsGraph graph, double cost, double accuracy_drop) {
+  elites_.push_back({std::move(graph), cost, accuracy_drop});
+  // Stable: equal-cost elites keep insertion order, so eviction at capacity is
+  // deterministic and checkpoint resume reproduces the list bit-for-bit.
+  std::stable_sort(elites_.begin(), elites_.end(),
+                   [](const EliteEntry& a, const EliteEntry& b) { return a.cost < b.cost; });
   if (elites_.size() > max_elites_) {
     elites_.resize(max_elites_);
   }

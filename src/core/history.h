@@ -1,5 +1,5 @@
 // History database (paper §4.3): stores evaluated candidates, the elite list
-// (candidates meeting the accuracy target, ranked by latency), and the
+// (candidates meeting the accuracy target, ranked by search cost), and the
 // capacity signatures of non-promising candidates for rule-based filtering.
 #ifndef GMORPH_SRC_CORE_HISTORY_H_
 #define GMORPH_SRC_CORE_HISTORY_H_
@@ -14,7 +14,9 @@ namespace gmorph {
 
 struct EliteEntry {
   AbsGraph graph;  // carries trained weights
-  double latency_ms = 0.0;
+  // Ordering key under the configured search metric (latency ms or FLOPs).
+  // FLOPs-metric searches rank deterministically even under CPU contention.
+  double cost = 0.0;
   double accuracy_drop = 0.0;
 };
 
@@ -25,21 +27,30 @@ class HistoryDatabase {
   // Deduplication of structurally identical candidates.
   bool AlreadyEvaluated(const AbsGraph& g) const;
   void MarkEvaluated(const AbsGraph& g);
+  // Restores a fingerprint recorded by a previous run (checkpoint resume).
+  void MarkEvaluatedFingerprint(std::string fingerprint);
 
   // Elite candidates (meet the accuracy target). Keeps the `max_elites_`
-  // lowest-latency entries.
-  void AddElite(AbsGraph graph, double latency_ms, double accuracy_drop);
+  // lowest-cost entries; ties evict in insertion order (stable sort), so a
+  // resumed search reproduces the exact elite list.
+  void AddElite(AbsGraph graph, double cost, double accuracy_drop);
   const std::vector<EliteEntry>& elites() const { return elites_; }
 
   // Rule-based filtering support: signatures of candidates that failed the
   // accuracy target.
   void AddNonPromising(const CapacitySignature& signature);
-  // True if `signature` is more aggressive in sharing than some known
+  // True if `signature` is at least as aggressive in sharing as some known
   // non-promising candidate (and therefore can be skipped before training).
+  // Non-strict: an equal signature is filtered too — a capacity profile that
+  // already failed cannot succeed by restructuring alone.
   bool FilteredByRule(const CapacitySignature& signature) const;
 
   size_t num_evaluated() const { return fingerprints_.size(); }
   size_t num_non_promising() const { return non_promising_.size(); }
+
+  // Checkpoint serialization support (see search_checkpoint.h).
+  const std::set<std::string>& fingerprints() const { return fingerprints_; }
+  const std::vector<CapacitySignature>& non_promising() const { return non_promising_; }
 
  private:
   size_t max_elites_;

@@ -24,6 +24,14 @@
 
 namespace gmorph {
 
+// Serializable policy state for search checkpoint/resume: the annealing step
+// (which fixes the current temperature) and the last observed drop. Policies
+// without state leave the defaults.
+struct PolicyState {
+  int iteration = 0;
+  double last_drop = 0.0;
+};
+
 class SamplingPolicy {
  public:
   virtual ~SamplingPolicy() = default;
@@ -37,6 +45,9 @@ class SamplingPolicy {
   virtual void Observe(double accuracy_drop) = 0;
 
   virtual void AdvanceIteration() = 0;
+
+  virtual PolicyState ExportState() const { return {}; }
+  virtual void RestoreState(const PolicyState& state) { (void)state; }
 
   virtual std::string Name() const = 0;
 };
@@ -55,6 +66,11 @@ class SimulatedAnnealingPolicy : public SamplingPolicy {
                              Rng& rng) override;
   void Observe(double accuracy_drop) override;
   void AdvanceIteration() override;
+  PolicyState ExportState() const override { return {iteration_, last_drop_}; }
+  void RestoreState(const PolicyState& state) override {
+    iteration_ = state.iteration;
+    last_drop_ = state.last_drop;
+  }
   std::string Name() const override { return "SimulatedAnnealing"; }
 
   // Exposed for tests: the elite-sampling probability at the current state.

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "src/core/filtering.h"
 #include "src/core/history.h"
 #include "src/core/model_parser.h"
@@ -104,13 +107,48 @@ TEST(HistoryTest, EvaluatedDeduplication) {
 
 TEST(HistoryTest, ElitesSortedAndBounded) {
   HistoryDatabase history(/*max_elites=*/3);
-  for (double lat : {5.0, 1.0, 3.0, 2.0, 4.0}) {
-    history.AddElite(TinyGraph(2), lat, 0.0);
+  for (double cost : {5.0, 1.0, 3.0, 2.0, 4.0}) {
+    history.AddElite(TinyGraph(2), cost, 0.0);
   }
   ASSERT_EQ(history.elites().size(), 3u);
-  EXPECT_DOUBLE_EQ(history.elites()[0].latency_ms, 1.0);
-  EXPECT_DOUBLE_EQ(history.elites()[1].latency_ms, 2.0);
-  EXPECT_DOUBLE_EQ(history.elites()[2].latency_ms, 3.0);
+  EXPECT_DOUBLE_EQ(history.elites()[0].cost, 1.0);
+  EXPECT_DOUBLE_EQ(history.elites()[1].cost, 2.0);
+  EXPECT_DOUBLE_EQ(history.elites()[2].cost, 3.0);
+}
+
+TEST(HistoryTest, EliteEvictionAtCapacityIsStableOnTies) {
+  // Equal-cost elites keep insertion order (stable sort), so the entry that
+  // falls off at capacity is always the most recently inserted tie — the
+  // ordering a checkpoint resume must reproduce bit-for-bit.
+  HistoryDatabase history(/*max_elites=*/2);
+  history.AddElite(TinyGraph(2), 1.0, 0.01);  // first tie at cost 1.0
+  history.AddElite(TinyGraph(3), 1.0, 0.02);  // second tie
+  history.AddElite(TinyGraph(4), 1.0, 0.03);  // third tie: must be evicted
+  ASSERT_EQ(history.elites().size(), 2u);
+  EXPECT_DOUBLE_EQ(history.elites()[0].accuracy_drop, 0.01);
+  EXPECT_DOUBLE_EQ(history.elites()[1].accuracy_drop, 0.02);
+
+  // A strictly better candidate still evicts the worst regardless of age.
+  history.AddElite(TinyGraph(5), 0.5, 0.04);
+  ASSERT_EQ(history.elites().size(), 2u);
+  EXPECT_DOUBLE_EQ(history.elites()[0].cost, 0.5);
+  EXPECT_DOUBLE_EQ(history.elites()[1].accuracy_drop, 0.01);
+}
+
+TEST(HistoryTest, CheckpointAccessorsExposeContents) {
+  HistoryDatabase history;
+  AbsGraph g = TinyGraph(2);
+  history.MarkEvaluated(g);
+  history.MarkEvaluatedFingerprint("synthetic-fingerprint");
+  EXPECT_EQ(history.fingerprints().size(), 2u);
+  EXPECT_TRUE(history.fingerprints().count(g.Fingerprint()) > 0);
+  EXPECT_TRUE(history.AlreadyEvaluated(g));
+
+  CapacitySignature sig;
+  sig.total = 10;
+  history.AddNonPromising(sig);
+  ASSERT_EQ(history.non_promising().size(), 1u);
+  EXPECT_EQ(history.non_promising()[0].total, 10);
 }
 
 TEST(HistoryTest, RuleFilterMatchesMoreAggressive) {
@@ -131,6 +169,27 @@ TEST(HistoryTest, RuleFilterMatchesMoreAggressive) {
   CapacitySignature conservative = bad;
   conservative.total = 120;
   EXPECT_FALSE(history.FilteredByRule(conservative));
+}
+
+TEST(HistoryTest, RuleFilterIsNonStrictOnEqualSignatures) {
+  // MoreAggressiveThan is non-strict: a candidate with a capacity profile
+  // *equal* to a known non-promising one is filtered too — the same capacity
+  // distribution that already failed the accuracy target cannot succeed by
+  // restructuring alone.
+  HistoryDatabase history;
+  CapacitySignature bad;
+  bad.total = 100;
+  bad.per_task_total = {50, 70};
+  bad.per_task_specific = {30, 50};
+  bad.shared_total = 20;
+  history.AddNonPromising(bad);
+  EXPECT_TRUE(history.FilteredByRule(bad));
+
+  // A signature with a different task count never matches.
+  CapacitySignature other_arity = bad;
+  other_arity.per_task_total = {50};
+  other_arity.per_task_specific = {30};
+  EXPECT_FALSE(history.FilteredByRule(other_arity));
 }
 
 TEST(ConvergenceRateTest, GeometricSequenceRateOne) {
@@ -159,6 +218,47 @@ TEST(ExtrapolateTest, FewMeasurementsReturnLast) {
 TEST(ExtrapolateTest, StalledCurveStaysPut) {
   std::vector<double> curve = {-0.5, -0.5, -0.5, -0.5};
   EXPECT_NEAR(ExtrapolateFinal(curve, 100), -0.5, 1e-9);
+}
+
+TEST(ConvergenceRateTest, NonFiniteInputsClampToNeutralRate) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  // A diverged fine-tuning run (NaN/inf scores) must yield the neutral rate,
+  // never propagate NaN into the termination decision.
+  EXPECT_DOUBLE_EQ(EstimateConvergenceRate(nan, 0.5, 0.75, 0.875), 1.0);
+  EXPECT_DOUBLE_EQ(EstimateConvergenceRate(0.0, nan, 0.75, 0.875), 1.0);
+  EXPECT_DOUBLE_EQ(EstimateConvergenceRate(0.0, 0.5, inf, 0.875), 1.0);
+  EXPECT_DOUBLE_EQ(EstimateConvergenceRate(0.0, 0.5, 0.75, -inf), 1.0);
+  EXPECT_DOUBLE_EQ(EstimateConvergenceRate(inf, inf, inf, inf), 1.0);
+}
+
+TEST(ConvergenceRateTest, OscillatingSequenceStaysFinite) {
+  // Alternating improvements/regressions: whatever rate comes out must be a
+  // finite number the caller can safely compare against thresholds.
+  const double rate = EstimateConvergenceRate(0.5, 0.8, 0.4, 0.9);
+  EXPECT_TRUE(std::isfinite(rate));
+}
+
+TEST(ExtrapolateTest, NonFiniteTailReturnsLastFiniteMeasurement) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(ExtrapolateFinal({0.4, 0.6, nan}, 10), 0.6);
+  EXPECT_DOUBLE_EQ(ExtrapolateFinal({0.4, inf, inf}, 10), 0.4);
+  EXPECT_DOUBLE_EQ(ExtrapolateFinal({nan, nan}, 10), 0.0);
+}
+
+TEST(ExtrapolateTest, NonFinitePenultimateFallsBackToLast) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // The last value is fine but the increment cannot be formed: return it.
+  EXPECT_DOUBLE_EQ(ExtrapolateFinal({0.2, nan, 0.7}, 10), 0.7);
+}
+
+TEST(ExtrapolateTest, OscillatingCurveStaysFinite) {
+  std::vector<double> curve = {0.5, 0.9, 0.3, 0.8, 0.2};
+  const double predicted = ExtrapolateFinal(curve, 50);
+  EXPECT_TRUE(std::isfinite(predicted));
+  // With remaining_steps = 0 the oscillation is irrelevant: exact last value.
+  EXPECT_DOUBLE_EQ(ExtrapolateFinal(curve, 0), 0.2);
 }
 
 }  // namespace

@@ -4,9 +4,15 @@
 //
 // Usage:
 //   gmorph_cli <config-file>
+//   gmorph_cli --resume <checkpoint> <config-file>
 //   gmorph_cli --dump-plan <config-file>
 //   gmorph_cli --verify <file>
 //   gmorph_cli --print-default-config
+//
+// --resume continues an interrupted search from a checkpoint written by a
+// previous run (config keys `checkpoint_path` / `checkpoint_every`). The
+// config must describe the same search (seed, thresholds, policy, ...); the
+// continuation reproduces the uninterrupted run's results exactly.
 //
 // --dump-plan skips search and teacher training: it materializes the
 // benchmark's multi-task graph (or a fused graph saved by a previous run via
@@ -20,6 +26,10 @@
 //     then lowered through the FusedEngine and the plan re-checked;
 //   - a `gmorph-plan v1` text plan: PlanVerifier (symbolic execution —
 //     buffer overlaps, cross-branch races, stale aliases, kernel shapes);
+//   - a `gmorph-evalcache v1` index: cache linter (entry syntax, referenced
+//     trained graphs, fingerprint agreement — cache.* rules);
+//   - a `gmorph-checkpoint v1` file: checkpoint decoder (ckpt.* rules plus
+//     embedded-graph io.*/graph.* findings);
 //   - otherwise a config file: the configured benchmark's graph (or its
 //     input_graph) is built and verified as above.
 // Exit codes: 0 clean, 1 diagnostics with errors, 2 unreadable input.
@@ -40,9 +50,11 @@
 #include "src/common/logging.h"
 #include "src/common/parallel_for.h"
 #include "src/core/dot_export.h"
+#include "src/core/eval_cache.h"
 #include "src/core/gmorph.h"
 #include "src/core/graph_io.h"
 #include "src/core/model_parser.h"
+#include "src/core/search_checkpoint.h"
 #include "src/data/benchmarks.h"
 #include "src/data/teacher.h"
 #include "src/runtime/fused_engine.h"
@@ -76,6 +88,20 @@ seed = 42
 verbose = true
 output_graph = fused_model.gmorph
 output_dot = fused_model.dot
+
+# Parallel search: candidates sampled per round / fine-tuning workers
+parallel_candidates = 1
+search_threads = 1
+
+# Evaluation cache: reuse verify/fine-tune outcomes across runs.
+# cache_dir empty resolves $GMORPH_CACHE_DIR, then gmorph_bench_cache/.
+use_eval_cache = false
+cache_dir =
+
+# Checkpoint/resume: write a resumable checkpoint every N iterations (and at
+# search end); continue with `gmorph_cli --resume <checkpoint> <config>`.
+checkpoint_path =
+checkpoint_every = 0
 )";
 
 // Lowers the configured benchmark (or a saved fused graph) into an execution
@@ -169,11 +195,17 @@ int VerifyMode(const std::string& path) {
     std::fprintf(stderr, "verify: cannot open %s\n", path.c_str());
     return 2;
   }
-  std::string head(11, '\0');
+  std::string head(24, '\0');
   probe.read(head.data(), static_cast<std::streamsize>(head.size()));
   head.resize(static_cast<size_t>(probe.gcount()));
   probe.close();
 
+  if (head.rfind("gmorph-evalcache", 0) == 0) {
+    return ReportDiagnostics(VerifyEvalCacheFile(path));
+  }
+  if (head.rfind("gmorph-checkpoint", 0) == 0) {
+    return ReportDiagnostics(VerifyCheckpointFile(path));
+  }
   if (head.rfind("GMORPHG", 0) == 0 ||
       (head.size() >= 8 && head.compare(0, 8, "1GHPROMG") == 0)) {
     // Binary graph (magic, either byte order). Loading already runs the
@@ -236,11 +268,14 @@ int main(int argc, char** argv) {
   }
   const bool dump_plan = argc == 3 && std::strcmp(argv[1], "--dump-plan") == 0;
   const bool verify = argc == 3 && std::strcmp(argv[1], "--verify") == 0;
-  if (argc != 2 && !dump_plan && !verify) {
+  const bool resume = argc == 4 && std::strcmp(argv[1], "--resume") == 0;
+  if (argc != 2 && !dump_plan && !verify && !resume) {
     std::fprintf(stderr,
-                 "usage: %s <config-file>\n       %s --dump-plan <config-file>\n       %s "
-                 "--verify <graph|plan|config>\n       %s --print-default-config > gmorph.cfg\n",
-                 argv[0], argv[0], argv[0], argv[0]);
+                 "usage: %s <config-file>\n       %s --resume <checkpoint> <config-file>\n"
+                 "       %s --dump-plan <config-file>\n       %s "
+                 "--verify <graph|plan|config|evalcache|checkpoint>\n"
+                 "       %s --print-default-config > gmorph.cfg\n",
+                 argv[0], argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }
   if (verify) {
@@ -254,10 +289,23 @@ int main(int argc, char** argv) {
 
   Config config;
   try {
-    config = Config::FromFile(argv[dump_plan ? 2 : 1]);
+    config = Config::FromFile(argv[resume ? 3 : dump_plan ? 2 : 1]);
   } catch (const CheckError& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;
+  }
+
+  // Load the checkpoint before the (expensive) teacher pre-training so a
+  // corrupt file fails fast with its diagnostics.
+  SearchCheckpoint checkpoint;
+  if (resume) {
+    CheckpointLoadResult loaded = TryLoadCheckpoint(argv[2]);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot resume from %s:\n%s", argv[2],
+                   loaded.diagnostics.ToString().c_str());
+      return 2;
+    }
+    checkpoint = std::move(*loaded.checkpoint);
   }
 
   // kernel_threads overrides GMORPH_NUM_THREADS / hardware concurrency.
@@ -320,22 +368,48 @@ int main(int argc, char** argv) {
   options.finetune.eval_interval = static_cast<int>(config.GetInt("eval_interval", 2));
   options.finetune.batch_size = config.GetInt("batch_size", 32);
   options.finetune.lr = static_cast<float>(config.GetDouble("learning_rate", 1e-3));
+  options.parallel_candidates = static_cast<int>(config.GetInt("parallel_candidates", 1));
+  options.num_threads = static_cast<int>(config.GetInt("search_threads", 1));
   options.seed = seed;
   options.verbose = config.GetBool("verbose", true);
+  options.use_eval_cache = config.GetBool("use_eval_cache", false);
+  options.cache_dir = config.GetString("cache_dir", "");
+  options.checkpoint_path = config.GetString("checkpoint_path", "");
+  options.checkpoint_every = static_cast<int>(config.GetInt("checkpoint_every", 0));
   if (options.verbose) {
     SetLogLevel(LogLevel::kInfo);
   }
+  if (resume && checkpoint.options_hash != SearchOptionsHash(options)) {
+    std::fprintf(stderr,
+                 "cannot resume from %s: the checkpoint was written under different search "
+                 "options (hash %016llx, config gives %016llx)\n",
+                 argv[2], static_cast<unsigned long long>(checkpoint.options_hash),
+                 static_cast<unsigned long long>(SearchOptionsHash(options)));
+    return 2;
+  }
 
-  std::printf("searching (%d iterations, drop < %.1f%%)...\n", options.iterations,
-              options.accuracy_drop_threshold * 100);
+  if (resume) {
+    std::printf("resuming at iteration %d of %d (drop < %.1f%%)...\n", checkpoint.next_iteration,
+                options.iterations, options.accuracy_drop_threshold * 100);
+  } else {
+    std::printf("searching (%d iterations, drop < %.1f%%)...\n", options.iterations,
+                options.accuracy_drop_threshold * 100);
+  }
   GMorph gmorph(ptrs, &def.train, &def.test, options);
-  GMorphResult result = gmorph.Run();
+  GMorphResult result = resume ? gmorph.Resume(checkpoint) : gmorph.Run();
 
   std::printf("\nsearch finished in %.1fs: %.2f ms -> %.2f ms (%.2fx), FLOPs %.2fx\n",
               result.search_seconds, result.original_latency_ms, result.best_latency_ms,
               result.speedup,
               static_cast<double>(result.original_flops) /
                   static_cast<double>(std::max<int64_t>(1, result.best_flops)));
+  std::printf("  %d finetuned, %d filtered, %d rejected, %d cache hit(s), %d checkpoint(s)\n",
+              result.candidates_finetuned, result.candidates_filtered,
+              result.candidates_rejected, result.cache_hits, result.checkpoints_written);
+  std::printf(
+      "  stage seconds: sample %.2f, verify %.2f, profile %.2f, finetune %.2f, score %.2f\n",
+      result.stage_seconds.sample, result.stage_seconds.verify, result.stage_seconds.profile,
+      result.stage_seconds.finetune, result.stage_seconds.score);
   for (size_t t = 0; t < def.tasks.size(); ++t) {
     std::printf("  %-13s teacher %.3f -> fused %.3f\n", def.tasks[t].name.c_str(),
                 result.teacher_scores[t], result.best_task_scores[t]);
