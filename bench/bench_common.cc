@@ -12,6 +12,8 @@
 #include "src/common/serialization.h"
 #include "src/core/graph_io.h"
 #include "src/core/model_parser.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace gmorph::bench {
 
@@ -347,7 +349,99 @@ bool ReplayOrBeginRecord(const std::string& name) {
   return false;
 }
 
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+// Arms tracing/metrics from GMORPH_TRACE / GMORPH_METRICS once per process
+// and registers the metrics-snapshot trailer line. atexit ordering (LIFO)
+// puts the trailer before ReplayOrBeginRecord's transcript commit, so
+// recorded transcripts include it.
+void InitObsOnce() {
+  static const bool done = [] {
+    obs::InitTracingFromEnv();
+    obs::InitMetricsFromEnv();
+    std::atexit([] {
+      std::printf("{\"metrics_snapshot\": %s}\n", obs::MetricsRegistry::Global().ToJson().c_str());
+      std::fflush(stdout);
+    });
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace
+
+void Json::Key(const std::string& key) {
+  if (!body_.empty()) {
+    body_ += ", ";
+  }
+  body_ += '"';
+  body_ += JsonEscape(key);
+  body_ += "\": ";
+}
+
+Json& Json::Set(const std::string& key, const std::string& value) {
+  Key(key);
+  body_ += '"';
+  body_ += JsonEscape(value);
+  body_ += '"';
+  return *this;
+}
+
+Json& Json::Set(const std::string& key, const char* value) {
+  return Set(key, std::string(value));
+}
+
+Json& Json::Set(const std::string& key, double value, int precision) {
+  Key(key);
+  body_ += Fmt(value, precision);
+  return *this;
+}
+
+Json& Json::Set(const std::string& key, int64_t value) {
+  Key(key);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+Json& Json::Set(const std::string& key, int value) {
+  return Set(key, static_cast<int64_t>(value));
+}
+
+Json& Json::SetArray(const std::string& key, const std::vector<double>& values, int precision) {
+  Key(key);
+  body_ += '[';
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) {
+      body_ += ", ";
+    }
+    body_ += Fmt(values[i], precision);
+  }
+  body_ += ']';
+  return *this;
+}
+
+std::string Json::Str() const { return "{" + body_ + "}"; }
+
+void EmitJsonLine(const Json& json) {
+  InitObsOnce();
+  std::printf("%s\n", json.Str().c_str());
+  std::fflush(stdout);
+}
+
 void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  InitObsOnce();
   std::printf("\n== %s ==\n", title.c_str());
   std::printf("(reproduces %s; scaled substrate — compare shapes/ratios, not absolute values;"
               " GMORPH_BENCH_SCALE=%.2f)\n\n",

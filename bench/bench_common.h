@@ -104,6 +104,36 @@ GMorphOptions DefaultSearchOptions(double threshold, uint64_t seed);
 // normal exit) and false is returned.
 bool ReplayOrBeginRecord(const std::string& name);
 
+// ---- JSON emission ----
+
+// Single-line JSON object builder for the benches' machine-parseable output
+// (micro_ops, table3_engines, serving_throughput all emit through it so the
+// line format stays uniform).
+class Json {
+ public:
+  Json& Set(const std::string& key, const std::string& value);
+  Json& Set(const std::string& key, const char* value);
+  Json& Set(const std::string& key, double value, int precision = 3);
+  Json& Set(const std::string& key, int64_t value);
+  Json& Set(const std::string& key, int value);
+  Json& SetArray(const std::string& key, const std::vector<double>& values, int precision = 3);
+
+  // The assembled object, e.g. {"op": "gemm", "gflops": 1.25}.
+  std::string Str() const;
+
+ private:
+  void Key(const std::string& key);
+  std::string body_;
+};
+
+// Prints one JSON line to stdout (flushed). The first call arms the obs
+// subsystem from the environment (GMORPH_TRACE / GMORPH_METRICS) and
+// registers an atexit hook that appends one final
+//   {"metrics_snapshot": {...}}
+// line carrying the metrics-registry snapshot, so every bench transcript ends
+// with its counters/histograms.
+void EmitJsonLine(const Json& json);
+
 // ---- Table formatting ----
 
 // Prints a header like "== Figure 7: ... ==" plus the scale note.

@@ -18,6 +18,7 @@
 #include <functional>
 #include <string>
 
+#include "bench/bench_common.h"
 #include "src/common/parallel_for.h"
 #include "src/common/rng.h"
 #include "src/nn/attention.h"
@@ -63,14 +64,14 @@ BenchResult Run(const std::function<void()>& fn) {
 void PrintLine(const std::string& op, const std::string& shape, double flops,
                const BenchResult& main, const BenchResult* ref) {
   const double gf = flops / main.seconds_per_iter / 1e9;
-  std::printf("{\"op\": \"%s\", \"shape\": \"%s\", \"gflops\": %.2f", op.c_str(), shape.c_str(),
-              gf);
+  bench::Json line;
+  line.Set("op", op).Set("shape", shape).Set("gflops", gf, 2);
   if (ref != nullptr) {
     const double ref_gf = flops / ref->seconds_per_iter / 1e9;
-    std::printf(", \"ref_gflops\": %.2f, \"speedup\": %.2f", ref_gf, gf / ref_gf);
+    line.Set("ref_gflops", ref_gf, 2).Set("speedup", gf / ref_gf, 2);
   }
-  std::printf(", \"bytes_per_op\": %lld}\n", static_cast<long long>(main.bytes_per_iter));
-  std::fflush(stdout);
+  line.Set("bytes_per_op", main.bytes_per_iter);
+  bench::EmitJsonLine(line);
 }
 
 void BenchGemm(Rng& rng, const char* name, int64_t m, int64_t k, int64_t n) {
@@ -137,7 +138,7 @@ void BenchAttention(Rng& rng, int64_t batch, int64_t t, int64_t dim, int64_t hea
 
 void Main() {
   Rng rng(42);
-  std::printf("{\"config\": \"kernel_threads\", \"value\": %d}\n", KernelThreads());
+  bench::EmitJsonLine(bench::Json().Set("config", "kernel_threads").Set("value", KernelThreads()));
 
   // Square GEMM plus the scaled model shapes from the zoo:
   //   ViT (dim 32, 4 heads, 17 tokens): qkv (17,32,96), mlp (17,32,64)

@@ -39,16 +39,15 @@ int main() {
   // simulator ran against.
   const auto print_json = [](const std::string& engine, const char* model, double arrival,
                              const ServingStats& st) {
-    std::printf("{\"engine\": \"%s\", \"model\": \"%s\", \"arrival_qps\": %.0f, "
-                "\"throughput_qps\": %.1f, \"p50_ms\": %.3f, \"p95_ms\": %.3f, "
-                "\"mean_batch\": %.2f, \"service_time_ms\": [",
-                engine.c_str(), model, arrival, st.throughput_qps, st.p50_latency_ms,
-                st.p95_latency_ms, st.mean_batch_size);
-    for (size_t i = 0; i < st.service_time_ms.size(); ++i) {
-      std::printf("%s%.3f", i == 0 ? "" : ", ", st.service_time_ms[i]);
-    }
-    std::printf("]}\n");
-    std::fflush(stdout);
+    EmitJsonLine(Json()
+                     .Set("engine", engine)
+                     .Set("model", model)
+                     .Set("arrival_qps", arrival, 0)
+                     .Set("throughput_qps", st.throughput_qps, 1)
+                     .Set("p50_ms", st.p50_latency_ms, 3)
+                     .Set("p95_ms", st.p95_latency_ms, 3)
+                     .Set("mean_batch", st.mean_batch_size, 2)
+                     .SetArray("service_time_ms", st.service_time_ms, 3));
   };
 
   PrintRow({"engine", "arrivalQPS", "model", "qps", "p50(ms)", "p95(ms)", "meanBatch"});

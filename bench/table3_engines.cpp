@@ -40,12 +40,16 @@ EngineSample Sample(InferenceEngine& engine, const Tensor& input) {
 
 void PrintJson(int bench, const std::string& engine, const char* model, int64_t batch,
                const EngineSample& s) {
-  std::printf("{\"bench\": \"B%d\", \"engine\": \"%s\", \"model\": \"%s\", \"batch\": %lld, "
-              "\"latency_ms\": %.3f, \"throughput_qps\": %.1f, \"bytes_per_op\": %lld}\n",
-              bench, engine.c_str(), model, static_cast<long long>(batch), s.latency_ms,
-              s.latency_ms > 0.0 ? 1000.0 / s.latency_ms * static_cast<double>(batch) : 0.0,
-              static_cast<long long>(s.bytes_per_run));
-  std::fflush(stdout);
+  gmorph::bench::EmitJsonLine(
+      gmorph::bench::Json()
+          .Set("bench", "B" + std::to_string(bench))
+          .Set("engine", engine)
+          .Set("model", model)
+          .Set("batch", batch)
+          .Set("latency_ms", s.latency_ms, 3)
+          .Set("throughput_qps",
+               s.latency_ms > 0.0 ? 1000.0 / s.latency_ms * static_cast<double>(batch) : 0.0, 1)
+          .Set("bytes_per_op", s.bytes_per_run));
 }
 
 }  // namespace

@@ -1,11 +1,40 @@
 #include "src/common/logging.h"
 
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/obs/timing.h"
+#include "src/obs/trace.h"
 
 namespace gmorph {
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+LogLevel LevelFromEnv() {
+  const char* env = std::getenv("GMORPH_LOG_LEVEL");
+  if (env == nullptr || env[0] == '\0') {
+    return LogLevel::kWarn;
+  }
+  if (std::strcmp(env, "debug") == 0) {
+    return LogLevel::kDebug;
+  }
+  if (std::strcmp(env, "info") == 0) {
+    return LogLevel::kInfo;
+  }
+  if (std::strcmp(env, "warn") == 0) {
+    return LogLevel::kWarn;
+  }
+  if (std::strcmp(env, "error") == 0) {
+    return LogLevel::kError;
+  }
+  if (std::strcmp(env, "off") == 0) {
+    return LogLevel::kOff;
+  }
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel> g_level{LevelFromEnv()};
 
 }  // namespace
 
@@ -13,4 +42,14 @@ LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
+namespace internal {
+
+void AppendLogPrefix(std::ostream& os, const char* tag) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "[%10.3f t%02d %s] ",
+                static_cast<double>(MonotonicNowNs()) * 1e-9, obs::CurrentThreadIndex(), tag);
+  os << buf;
+}
+
+}  // namespace internal
 }  // namespace gmorph

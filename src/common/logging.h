@@ -1,5 +1,11 @@
 // Minimal leveled logging to stderr. The search driver logs one line per
 // iteration; everything else stays quiet unless the level is raised.
+//
+// Line prefix: "[<seconds since start> t<thread index> <level>] " — the
+// timestamp shares the MonotonicNowNs anchor with trace exports and the
+// thread index matches the trace's tid, so log lines correlate with spans.
+// The initial level comes from GMORPH_LOG_LEVEL (debug|info|warn|error|off;
+// default warn) and can be overridden with SetLogLevel().
 #ifndef GMORPH_SRC_COMMON_LOGGING_H_
 #define GMORPH_SRC_COMMON_LOGGING_H_
 
@@ -16,9 +22,12 @@ void SetLogLevel(LogLevel level);
 
 namespace internal {
 
+// Writes the "[<elapsed> t<idx> <tag>] " prefix for the calling thread.
+void AppendLogPrefix(std::ostream& os, const char* tag);
+
 class LogMessage {
  public:
-  LogMessage(LogLevel level, const char* tag) : level_(level) { os_ << "[" << tag << "] "; }
+  LogMessage(LogLevel level, const char* tag) : level_(level) { AppendLogPrefix(os_, tag); }
 
   ~LogMessage() {
     if (level_ >= GetLogLevel()) {

@@ -9,6 +9,7 @@
 
 #include "src/common/check.h"
 #include "src/common/thread_pool.h"
+#include "src/obs/trace.h"
 
 namespace gmorph {
 namespace {
@@ -46,7 +47,7 @@ ThreadPool* PoolLocked() {
   if (g_pool == nullptr) {
     // The caller participates in every ParallelFor, so the pool only needs
     // threads - 1 workers to reach the configured parallelism.
-    g_pool = std::make_unique<ThreadPool>(threads - 1);
+    g_pool = std::make_unique<ThreadPool>(threads - 1, "kernel");
   }
   return g_pool.get();
 }
@@ -112,6 +113,7 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
 
   auto worker = [state, begin, end, grain, chunks, &fn] {
     ParallelRegionGuard guard;
+    obs::TraceSpan span("parallel_for", obs::TraceCat::kKernel);
     int64_t c;
     while ((c = state->next_chunk.fetch_add(1, std::memory_order_relaxed)) < chunks) {
       if (state->failed.load(std::memory_order_relaxed)) {

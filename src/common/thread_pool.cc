@@ -1,14 +1,15 @@
 #include "src/common/thread_pool.h"
 
 #include "src/common/check.h"
+#include "src/obs/trace.h"
 
 namespace gmorph {
 
-ThreadPool::ThreadPool(int num_threads) {
+ThreadPool::ThreadPool(int num_threads, std::string name) : name_(std::move(name)) {
   GMORPH_CHECK(num_threads >= 1);
   workers_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -46,7 +47,8 @@ void ThreadPool::WaitAll() {
   }
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int worker_index) {
+  obs::SetCurrentThreadName(name_ + "-" + std::to_string(worker_index));
   while (true) {
     std::function<void()> task;
     {
@@ -64,6 +66,7 @@ void ThreadPool::WorkerLoop() {
     }
     std::exception_ptr raised;
     try {
+      obs::TraceSpan span("pool/task", obs::TraceCat::kPool);
       task();
     } catch (...) {
       raised = std::current_exception();

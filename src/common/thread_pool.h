@@ -9,6 +9,7 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -17,7 +18,8 @@ namespace gmorph {
 class ThreadPool {
  public:
   // `num_threads` >= 1. Threads start immediately and idle on the queue.
-  explicit ThreadPool(int num_threads);
+  // `name` labels the workers ("<name>-0", "<name>-1", ...) in trace exports.
+  explicit ThreadPool(int num_threads, std::string name = "pool");
   // Drains the queue (including tasks submitted by running tasks), then joins
   // all workers. Exceptions still pending at destruction are dropped.
   ~ThreadPool();
@@ -37,8 +39,9 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
 
+  std::string name_;
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;

@@ -5,7 +5,7 @@
 
 #include "src/analysis/graph_verifier.h"
 #include "src/common/check.h"
-#include "src/common/timer.h"
+#include "src/obs/trace.h"
 
 namespace gmorph {
 
@@ -59,6 +59,7 @@ PendingEval CandidateEvaluator::Screen(AbsGraph candidate, const HistoryDatabase
   // stored and the trained graph re-verifies on load) and, crucially, the
   // fine-tuning cost.
   if (cache_ != nullptr) {
+    obs::TraceSpan probe_span("eval/cache_probe", obs::TraceCat::kEval);
     if (std::optional<EvaluationCache::CachedEval> hit = cache_->Lookup(pending.fingerprint)) {
       out.status = EvalStatus::kCacheHit;
       out.latency_ms = hit->entry.latency_ms;
@@ -76,9 +77,11 @@ PendingEval CandidateEvaluator::Screen(AbsGraph candidate, const HistoryDatabase
   // Static-analysis gate: an ill-formed candidate would crash lowering or
   // fine-tuning; reject it here (a mutation-engine bug, but the search
   // degrades gracefully instead of crashing mid-run).
-  Timer verify_timer;
-  const DiagnosticList verdict = VerifyGraph(pending.graph);
-  out.stages.verify = verify_timer.Seconds();
+  DiagnosticList verdict;
+  {
+    obs::TraceSpan verify_span("eval/verify", obs::TraceCat::kEval, &out.stages.verify);
+    verdict = VerifyGraph(pending.graph);
+  }
   if (!verdict.ok()) {
     out.status = EvalStatus::kRejectedByVerifier;
     pending.verifier_report = verdict.ToString();
@@ -88,18 +91,22 @@ PendingEval CandidateEvaluator::Screen(AbsGraph candidate, const HistoryDatabase
 
   // Rule-based filter: skip fine-tuning candidates more aggressive in sharing
   // than a known non-promising one.
-  if (options_.rule_based_filtering && history.FilteredByRule(pending.graph.Signature())) {
-    out.status = EvalStatus::kFilteredByRule;
-    pending.done = true;
-    return pending;
+  {
+    obs::TraceSpan filter_span("eval/filter", obs::TraceCat::kEval);
+    if (options_.rule_based_filtering && history.FilteredByRule(pending.graph.Signature())) {
+      out.status = EvalStatus::kFilteredByRule;
+      pending.done = true;
+      return pending;
+    }
   }
 
   // Model generation (weight inheritance happens through the node weights the
   // mutated graph carries) + latency profile.
-  Timer profile_timer;
-  pending.model = std::make_unique<MultiTaskModel>(pending.graph, model_rng);
-  out.latency_ms = MeasureLatencyMs(*pending.model, options_.latency);
-  out.stages.profile = profile_timer.Seconds();
+  {
+    obs::TraceSpan profile_span("eval/profile", obs::TraceCat::kEval, &out.stages.profile);
+    pending.model = std::make_unique<MultiTaskModel>(pending.graph, model_rng);
+    out.latency_ms = MeasureLatencyMs(*pending.model, options_.latency);
+  }
   return pending;
 }
 
@@ -108,6 +115,7 @@ void CandidateEvaluator::Finetune(PendingEval& pending) const {
     return;
   }
   GMORPH_CHECK(pending.model != nullptr);
+  obs::TraceSpan finetune_span("eval/finetune", obs::TraceCat::kEval);
   pending.finetune = DistillFinetune(*pending.model, *teacher_train_logits_, *train_, *test_,
                                      *teacher_scores_, options_.finetune);
 }
@@ -127,24 +135,25 @@ EvalOutcome CandidateEvaluator::Finish(PendingEval& pending) {
   out.stages.finetune = ft.seconds;
   out.task_scores = ft.task_scores;
 
-  Timer score_timer;
-  if (out.met_target) {
-    out.trained_graph = pending.model->ExportTrainedGraph();
+  {
+    obs::TraceSpan score_span("eval/score", obs::TraceCat::kEval, &out.stages.score);
+    if (out.met_target) {
+      out.trained_graph = pending.model->ExportTrainedGraph();
+    }
+    if (cache_ != nullptr) {
+      EvaluationCache::Entry entry;
+      entry.met_target = out.met_target;
+      entry.terminated_early = out.terminated_early;
+      entry.epochs_run = out.epochs_run;
+      entry.accuracy_drop = out.accuracy_drop;
+      entry.latency_ms = out.latency_ms;
+      entry.flops = out.flops;
+      entry.finetune_seconds = out.finetune_seconds;
+      entry.task_scores = out.task_scores;
+      cache_->Store(pending.fingerprint, entry,
+                    out.trained_graph.has_value() ? &*out.trained_graph : nullptr);
+    }
   }
-  if (cache_ != nullptr) {
-    EvaluationCache::Entry entry;
-    entry.met_target = out.met_target;
-    entry.terminated_early = out.terminated_early;
-    entry.epochs_run = out.epochs_run;
-    entry.accuracy_drop = out.accuracy_drop;
-    entry.latency_ms = out.latency_ms;
-    entry.flops = out.flops;
-    entry.finetune_seconds = out.finetune_seconds;
-    entry.task_scores = out.task_scores;
-    cache_->Store(pending.fingerprint, entry,
-                  out.trained_graph.has_value() ? &*out.trained_graph : nullptr);
-  }
-  out.stages.score = score_timer.Seconds();
   return std::move(out);
 }
 

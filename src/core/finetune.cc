@@ -4,7 +4,7 @@
 #include <cstring>
 
 #include "src/common/check.h"
-#include "src/common/timer.h"
+#include "src/obs/timing.h"
 #include "src/core/filtering.h"
 #include "src/data/eval.h"
 #include "src/nn/loss.h"

@@ -7,7 +7,9 @@
 #include "src/common/logging.h"
 #include "src/common/parallel_for.h"
 #include "src/common/thread_pool.h"
-#include "src/common/timer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/timing.h"
+#include "src/obs/trace.h"
 #include "src/core/eval_cache.h"
 #include "src/core/model_parser.h"
 #include "src/core/mutation.h"
@@ -75,6 +77,15 @@ GMorphResult GMorph::Resume(const SearchCheckpoint& checkpoint) {
 }
 
 GMorphResult GMorph::RunInternal(const SearchCheckpoint* resume) {
+  obs::TraceSpan run_span("search/run", obs::TraceCat::kSearch);
+  obs::Counter& m_finetuned = obs::GetCounter("search.candidates_finetuned");
+  obs::Counter& m_filtered = obs::GetCounter("search.candidates_filtered");
+  obs::Counter& m_rejected = obs::GetCounter("search.candidates_rejected");
+  obs::Counter& m_duplicates = obs::GetCounter("search.candidates_duplicate");
+  obs::Counter& m_cache_hits = obs::GetCounter("search.cache_hits");
+  obs::Counter& m_elites = obs::GetCounter("search.elites_admitted");
+  obs::Histogram& m_candidate_latency = obs::GetHistogram("search.candidate_latency_ms");
+  obs::Gauge& m_best_latency = obs::GetGauge("search.best_latency_ms");
   Timer search_timer;
   GMorphResult result;
 
@@ -205,7 +216,7 @@ GMorphResult GMorph::RunInternal(const SearchCheckpoint* resume) {
   const int round_width = std::max(1, options_.parallel_candidates);
   std::unique_ptr<ThreadPool> pool;
   if (options_.num_threads > 1 && round_width > 1) {
-    pool = std::make_unique<ThreadPool>(options_.num_threads);
+    pool = std::make_unique<ThreadPool>(options_.num_threads, "search");
   }
   int last_checkpoint_iter = iter;
 
@@ -221,21 +232,28 @@ GMorphResult GMorph::RunInternal(const SearchCheckpoint* resume) {
     for (size_t slot_idx = 0; slot_idx < slots.size(); ++slot_idx) {
       Slot& s = slots[slot_idx];
       s.record.iteration = ++iter;
-      Timer sample_timer;
+      obs::TraceSpan iter_span("search/iteration", obs::TraceCat::kSearch);
       Rng cand_rng(Rng::MixSeed(options_.seed, static_cast<uint64_t>(s.record.iteration),
                                 static_cast<uint64_t>(slot_idx + 1)));
-      const AbsGraph& base = policy->SampleBase(original_graph_, history, cand_rng);
-      const int num_mutations = cand_rng.NextIntRange(1, options_.max_mutations_per_pass);
-      std::optional<AbsGraph> mutated =
-          SampleMutatePass(base, num_mutations, ShapeSimilarity::kSimilar, cand_rng);
-      policy->AdvanceIteration();
-      if (!mutated.has_value() || history.AlreadyEvaluated(*mutated)) {
-        s.record.duplicate = true;
-        s.record.stages.sample = sample_timer.Seconds();
+      std::optional<AbsGraph> mutated;
+      {
+        obs::TraceSpan sample_span("search/sample", obs::TraceCat::kSearch,
+                                   &s.record.stages.sample);
+        const AbsGraph& base = policy->SampleBase(original_graph_, history, cand_rng);
+        const int num_mutations = cand_rng.NextIntRange(1, options_.max_mutations_per_pass);
+        mutated = SampleMutatePass(base, num_mutations, ShapeSimilarity::kSimilar, cand_rng);
+        policy->AdvanceIteration();
+        if (!mutated.has_value() || history.AlreadyEvaluated(*mutated)) {
+          s.record.duplicate = true;
+          mutated.reset();
+        } else {
+          history.MarkEvaluated(*mutated);
+        }
+      }
+      if (!mutated.has_value()) {
+        m_duplicates.Increment();
         continue;
       }
-      history.MarkEvaluated(*mutated);
-      s.record.stages.sample = sample_timer.Seconds();
       s.pending = evaluator.Screen(std::move(*mutated), history, cand_rng);
     }
 
@@ -274,6 +292,7 @@ GMorphResult GMorph::RunInternal(const SearchCheckpoint* resume) {
           case EvalStatus::kRejectedByVerifier:
             record.rejected_by_verifier = true;
             ++result.candidates_rejected;
+            m_rejected.Increment();
             if (options_.verbose) {
               GMORPH_LOG_INFO << "iter " << record.iteration
                               << " candidate rejected by verifier:\n"
@@ -283,15 +302,19 @@ GMorphResult GMorph::RunInternal(const SearchCheckpoint* resume) {
           case EvalStatus::kFilteredByRule:
             record.filtered_by_rule = true;
             ++result.candidates_filtered;
+            m_filtered.Increment();
             break;
           case EvalStatus::kCacheHit:
           case EvalStatus::kEvaluated: {
             if (out.status == EvalStatus::kCacheHit) {
               record.cache_hit = true;
               ++result.cache_hits;
+              m_cache_hits.Increment();
             } else {
               ++result.candidates_finetuned;
+              m_finetuned.Increment();
             }
+            m_candidate_latency.Observe(out.latency_ms);
             record.accuracy_drop = out.accuracy_drop;
             record.met_target = out.met_target;
             record.terminated_early = out.terminated_early;
@@ -303,6 +326,7 @@ GMorphResult GMorph::RunInternal(const SearchCheckpoint* resume) {
               GMORPH_CHECK(out.trained_graph.has_value());
               const double cost = candidate_cost(out.latency_ms, out.flops);
               history.AddElite(*out.trained_graph, cost, out.accuracy_drop);
+              m_elites.Increment();
               if (cost < best_cost) {
                 best_cost = cost;
                 result.best_graph = std::move(*out.trained_graph);
@@ -327,6 +351,7 @@ GMorphResult GMorph::RunInternal(const SearchCheckpoint* resume) {
         }
       }
       record.best_latency_ms = result.best_latency_ms;
+      m_best_latency.Set(result.best_latency_ms);
       record.best_flops = result.best_flops;
       record.elapsed_seconds = elapsed_offset + search_timer.Seconds();
       result.stage_seconds.Accumulate(record.stages);

@@ -1,6 +1,6 @@
 #include "src/core/latency.h"
 
-#include "src/common/timing.h"
+#include "src/obs/timing.h"
 
 namespace gmorph {
 

@@ -1,6 +1,8 @@
 #include "src/core/multitask_model.h"
 
 #include "src/common/check.h"
+#include "src/models/model_spec.h"
+#include "src/obs/trace.h"
 #include "src/tensor/tensor_ops.h"
 
 namespace gmorph {
@@ -8,6 +10,7 @@ namespace gmorph {
 MultiTaskModel::MultiTaskModel(const AbsGraph& graph, Rng& rng) : graph_(graph) {
   graph_.Validate();
   modules_.resize(static_cast<size_t>(graph_.size()));
+  node_labels_.resize(static_cast<size_t>(graph_.size()));
   for (const AbsNode& n : graph_.nodes()) {
     if (n.IsRoot()) {
       continue;
@@ -17,6 +20,8 @@ MultiTaskModel::MultiTaskModel(const AbsGraph& graph, Rng& rng) : graph_(graph) 
       module->ImportParameters(n.weights);
     }
     modules_[static_cast<size_t>(n.id)] = std::move(module);
+    node_labels_[static_cast<size_t>(n.id)] =
+        "node/" + std::to_string(n.id) + ":" + BlockTypeName(n.spec.type);
   }
   topo_order_ = graph_.TopologicalOrder();
   head_of_task_.resize(static_cast<size_t>(graph_.num_tasks()));
@@ -34,6 +39,7 @@ std::vector<Tensor> MultiTaskModel::Forward(const Tensor& input, bool training) 
       continue;
     }
     const AbsNode& n = graph_.node(id);
+    obs::TraceSpan span(node_labels_[static_cast<size_t>(id)], obs::TraceCat::kEngine);
     activations[static_cast<size_t>(id)] =
         modules_[static_cast<size_t>(id)]->Forward(activations[static_cast<size_t>(n.parent)],
                                                    training);

@@ -10,6 +10,7 @@
 #define GMORPH_SRC_CORE_MULTITASK_MODEL_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -47,6 +48,10 @@ class MultiTaskModel {
   AbsGraph graph_;
   // modules_[i] corresponds to graph_.node(i); null for the root.
   std::vector<std::unique_ptr<Module>> modules_;
+  // Per-node trace labels, precomputed so the Forward hot path never builds
+  // strings (span names must outlive each call; the disabled-tracing path
+  // touches nothing but the enable flag).
+  std::vector<std::string> node_labels_;
   std::vector<int> topo_order_;
   std::vector<int> head_of_task_;
 };

@@ -1,12 +1,17 @@
-#include "src/common/timing.h"
+#include "src/obs/timing.h"
 
 #include <algorithm>
 #include <vector>
 
 #include "src/common/check.h"
-#include "src/common/timer.h"
 
 namespace gmorph {
+
+int64_t MonotonicNowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point anchor = Clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - anchor).count();
+}
 
 double MedianTimedMs(const std::function<void()>& fn, int warmup, int repeats) {
   GMORPH_CHECK(repeats >= 1, "MedianTimedMs needs repeats >= 1, got " << repeats);

@@ -1,0 +1,52 @@
+// Consolidated monotonic clocks for the whole repo (the former
+// src/common/timer.h and src/common/timing.h, merged).
+//
+//  - MonotonicNowNs(): nanoseconds on the steady clock since a process-wide
+//    anchor taken at first use. Every observability timestamp (trace spans,
+//    log prefixes, engine step profiles) derives from this one origin so the
+//    streams line up when viewed together.
+//  - Timer: RAII-free stopwatch used by the latency estimator and search-time
+//    accounting.
+//  - MedianTimedMs(): the shared warmup+median measurement loop. Both the
+//    search-time latency estimator (src/core/latency.cc) and the engine bench
+//    path (src/runtime/engine.cc) report the median of N timed runs after a
+//    warmup; keeping the loop in one place guarantees the two measurements
+//    are taken identically.
+#ifndef GMORPH_SRC_OBS_TIMING_H_
+#define GMORPH_SRC_OBS_TIMING_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+namespace gmorph {
+
+// Nanoseconds since the process-wide monotonic anchor (first call wins; all
+// later readings are relative to it, so values are small and trace-friendly).
+int64_t MonotonicNowNs();
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction / last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Runs `fn` `warmup` times untimed, then `repeats` times timed, and returns
+// the median wall-clock duration in milliseconds. `repeats` must be >= 1.
+double MedianTimedMs(const std::function<void()>& fn, int warmup, int repeats);
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_OBS_TIMING_H_

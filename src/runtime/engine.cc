@@ -1,7 +1,7 @@
 #include "src/runtime/engine.h"
 
 #include "src/common/check.h"
-#include "src/common/timing.h"
+#include "src/obs/timing.h"
 #include "src/runtime/fused_engine.h"
 
 namespace gmorph {

@@ -49,7 +49,7 @@ enum class EngineKind { kEager, kFused };
 std::unique_ptr<InferenceEngine> MakeEngine(EngineKind kind, MultiTaskModel* model);
 
 // Median wall-clock latency (ms) of `engine` on a zero batch of `batch` rows.
-// Shares the warmup/median logic with MeasureLatencyMs (src/common/timing.h),
+// Shares the warmup/median logic with MeasureLatencyMs (src/obs/timing.h),
 // so search-time and engine-bench latencies are measured identically.
 double MeasureEngineLatencyMs(InferenceEngine& engine, const Shape& per_sample_input,
                               int64_t batch = 1, int warmup = 1, int repeats = 5);

@@ -8,7 +8,7 @@
 #include "src/analysis/plan_verifier.h"
 #include "src/common/check.h"
 #include "src/common/parallel_for.h"
-#include "src/common/timer.h"
+#include "src/obs/trace.h"
 #include "src/nn/blocks.h"
 #include "src/nn/linear.h"
 #include "src/nn/pooling.h"
@@ -519,6 +519,7 @@ FusedEngine::Binding& FusedEngine::BindingFor(int64_t batch) {
 }
 
 std::vector<Tensor> FusedEngine::Run(const Tensor& input) {
+  obs::TraceSpan span("engine/run", obs::TraceCat::kEngine);
   GMORPH_CHECK(input.shape().Rank() >= 1, "FusedEngine::Run needs a batched input");
   const int64_t batch = input.shape()[0];
   Binding& bind = BindingFor(batch);
@@ -561,7 +562,10 @@ void FusedEngine::ExecGroup(int group, Binding& bind) {
 }
 
 void FusedEngine::ExecStep(Step& step, Binding& bind) {
-  Timer timer;
+  // Span both feeds the Perfetto trace (when enabled) and accumulates into the
+  // per-step profile that Profile()/DumpPlan() report.
+  obs::TraceSpan span(step.label, obs::TraceCat::kEngine, &step.seconds);
+  ++step.calls;
   const Tensor& in = bind.values[static_cast<size_t>(step.in0)];
   Tensor& out = bind.values[static_cast<size_t>(step.out)];
   switch (step.kind) {
@@ -597,8 +601,6 @@ void FusedEngine::ExecStep(Step& step, Binding& bind) {
       break;
     }
   }
-  step.seconds += timer.Seconds();
-  ++step.calls;
 }
 
 // ---------------------------------------------------------------------------

@@ -2,11 +2,26 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "src/common/check.h"
 #include "src/common/rng.h"
+#include "src/obs/metrics.h"
+#include "src/obs/timing.h"
+#include "src/obs/trace.h"
 
 namespace gmorph {
+namespace {
+
+// Virtual trace lanes for the simulated timeline: one server lane plus a small
+// pool of request lanes (requests round-robin across them so overlapping
+// lifecycles stay readable in Perfetto). Base offset keeps the virtual tids
+// clear of real thread ids.
+constexpr int kServerLane = 1000;
+constexpr int kRequestLaneBase = 1001;
+constexpr int kNumRequestLanes = 32;
+
+}  // namespace
 
 ServingStats SimulateServingWithServiceTimes(const std::vector<double>& service_time_ms,
                                              const ServingOptions& options) {
@@ -34,6 +49,27 @@ ServingStats SimulateServingWithServiceTimes(const std::vector<double>& service_
   stats.service_time_ms = service_time_ms;
   std::vector<double> latencies;
   latencies.reserve(arrival.size());
+
+  obs::Histogram& m_latency = obs::GetHistogram("serving.request_latency_ms");
+  obs::Histogram& m_batch =
+      obs::GetHistogram("serving.batch_size", {1, 2, 4, 8, 16, 32, 64, 128, 256});
+  obs::Histogram& m_queue =
+      obs::GetHistogram("serving.queue_depth", {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
+  obs::Counter& m_requests = obs::GetCounter("serving.requests");
+  obs::Counter& m_batches = obs::GetCounter("serving.batches");
+
+  // The simulation runs in virtual milliseconds; trace spans are emitted on
+  // virtual lanes anchored at the current real clock so the simulated
+  // timeline lands where the surrounding real spans do.
+  const bool tracing = obs::TraceEnabled();
+  const double anchor_us = static_cast<double>(MonotonicNowNs()) * 1e-3;
+  if (tracing) {
+    obs::SetVirtualLaneName(kServerLane, "sim/server");
+    for (int l = 0; l < kNumRequestLanes; ++l) {
+      obs::SetVirtualLaneName(kRequestLaneBase + l, "sim/requests-" + std::to_string(l));
+    }
+  }
+
   double server_free_at = 0.0;
   size_t next = 0;
   int64_t served_total = 0;
@@ -46,17 +82,38 @@ ServingStats SimulateServingWithServiceTimes(const std::vector<double>& service_
            static_cast<int>(batch_end - next) < max_batch) {
       ++batch_end;
     }
+    // Queue depth when the server picks up work: everything that has arrived
+    // and not yet been served (the batch cap does not bound what is waiting).
+    size_t queued = batch_end;
+    while (queued < arrival.size() && arrival[queued] <= start) {
+      ++queued;
+    }
+    m_queue.Observe(static_cast<double>(queued - next));
     const int batch = static_cast<int>(batch_end - next);
     const double completion = start + service_time_ms[static_cast<size_t>(batch - 1)];
     for (size_t i = next; i < batch_end; ++i) {
-      latencies.push_back(completion - arrival[i]);
+      const double latency_ms = completion - arrival[i];
+      latencies.push_back(latency_ms);
+      m_latency.Observe(latency_ms);
+      if (tracing) {
+        obs::RecordManualSpan("request", obs::TraceCat::kServing,
+                              anchor_us + arrival[i] * 1e3, latency_ms * 1e3,
+                              kRequestLaneBase + static_cast<int>(i % kNumRequestLanes));
+      }
     }
+    if (tracing) {
+      obs::RecordManualSpan("batch=" + std::to_string(batch), obs::TraceCat::kServing,
+                            anchor_us + start * 1e3, (completion - start) * 1e3, kServerLane);
+    }
+    m_batch.Observe(static_cast<double>(batch));
+    m_batches.Increment();
     served_total += batch;
     ++stats.num_batches;
     server_free_at = completion;
     last_completion = completion;
     next = batch_end;
   }
+  m_requests.Increment(static_cast<int64_t>(arrival.size()));
 
   std::sort(latencies.begin(), latencies.end());
   auto percentile = [&](double p) {
@@ -82,6 +139,7 @@ ServingStats SimulateServingWithServiceTimes(const std::vector<double>& service_
 
 ServingStats SimulateServing(InferenceEngine& engine, const Shape& per_sample_input,
                              const ServingOptions& options) {
+  obs::TraceSpan calibrate_span("serving/calibrate", obs::TraceCat::kServing);
   std::vector<double> service(static_cast<size_t>(options.max_batch));
   for (int b = 1; b <= options.max_batch; ++b) {
     // One preallocated input per batch size, reused across every calibration

@@ -1,0 +1,79 @@
+# Smoke test for the observability surface: runs a tiny gmorph_cli search with
+# GMORPH_TRACE / GMORPH_METRICS set and validates the exported files.
+#
+# Invoked by ctest as:
+#   cmake -DCLI=<gmorph_cli> -DCFG=<cli_trace_smoke.cfg> -DOUT_DIR=<dir>
+#         -P run_cli_trace_smoke.cmake
+#
+# Checks:
+#   - the CLI exits 0 with both env vars set,
+#   - the trace contains the span taxonomy the acceptance criteria name
+#     (search/iteration -> eval stages -> engine-category node spans) plus
+#     thread_name metadata for the named search pool workers,
+#   - both files parse as JSON (python3 -m json.tool, when python3 exists),
+#   - the metrics snapshot carries the search counters.
+
+set(TRACE_FILE "${OUT_DIR}/cli_trace_smoke.json")
+set(METRICS_FILE "${OUT_DIR}/cli_metrics_smoke.json")
+file(REMOVE "${TRACE_FILE}" "${METRICS_FILE}")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+          "GMORPH_TRACE=${TRACE_FILE}" "GMORPH_METRICS=${METRICS_FILE}"
+          "${CLI}" "${CFG}"
+  RESULT_VARIABLE run_rc
+  OUTPUT_VARIABLE run_out
+  ERROR_VARIABLE run_err)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "gmorph_cli exited ${run_rc}:\n${run_out}\n${run_err}")
+endif()
+
+if(NOT EXISTS "${TRACE_FILE}")
+  message(FATAL_ERROR "GMORPH_TRACE was set but ${TRACE_FILE} was not written")
+endif()
+if(NOT EXISTS "${METRICS_FILE}")
+  message(FATAL_ERROR "GMORPH_METRICS was set but ${METRICS_FILE} was not written")
+endif()
+
+file(READ "${TRACE_FILE}" trace)
+foreach(needle
+        "{\"traceEvents\":["
+        "\"ph\":\"X\""
+        "\"ph\":\"M\""
+        "thread_name"
+        "search/run"
+        "search/iteration"
+        "search/sample"
+        "eval/profile"
+        "eval/finetune"
+        "\"cat\":\"engine\""
+        "\"name\":\"search-0\""
+        "\"name\":\"search-1\""
+        "\"name\":\"main\"")
+  string(FIND "${trace}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "trace ${TRACE_FILE} is missing expected content: ${needle}")
+  endif()
+endforeach()
+
+file(READ "${METRICS_FILE}" metrics)
+foreach(needle "\"counters\":{" "search.candidates_finetuned" "\"histograms\":{"
+        "search.candidate_latency_ms")
+  string(FIND "${metrics}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "metrics ${METRICS_FILE} is missing expected content: ${needle}")
+  endif()
+endforeach()
+
+find_program(PYTHON3 python3)
+if(PYTHON3)
+  foreach(f "${TRACE_FILE}" "${METRICS_FILE}")
+    execute_process(COMMAND "${PYTHON3}" -m json.tool "${f}"
+                    RESULT_VARIABLE json_rc OUTPUT_QUIET ERROR_VARIABLE json_err)
+    if(NOT json_rc EQUAL 0)
+      message(FATAL_ERROR "${f} is not valid JSON:\n${json_err}")
+    endif()
+  endforeach()
+else()
+  message(STATUS "python3 not found; skipping strict JSON validation")
+endif()

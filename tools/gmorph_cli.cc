@@ -3,11 +3,16 @@
 // accuracy threshold, fine-tuning hyper-parameters and search budget).
 //
 // Usage:
-//   gmorph_cli <config-file>
+//   gmorph_cli [--trace <out.json>] [--metrics <out.json>] <config-file>
 //   gmorph_cli --resume <checkpoint> <config-file>
 //   gmorph_cli --dump-plan <config-file>
 //   gmorph_cli --verify <file>
 //   gmorph_cli --print-default-config
+//
+// --trace writes a Chrome trace-event JSON (loadable in Perfetto /
+// chrome://tracing) covering the whole run; --metrics writes the metrics
+// registry snapshot at exit. Both combine with any mode and are also
+// reachable via the GMORPH_TRACE / GMORPH_METRICS environment variables.
 //
 // --resume continues an interrupted search from a checkpoint written by a
 // previous run (config keys `checkpoint_path` / `checkpoint_every`). The
@@ -41,6 +46,7 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "src/analysis/graph_verifier.h"
 #include "src/analysis/plan_io.h"
@@ -57,6 +63,8 @@
 #include "src/core/search_checkpoint.h"
 #include "src/data/benchmarks.h"
 #include "src/data/teacher.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/runtime/fused_engine.h"
 
 namespace {
@@ -262,6 +270,23 @@ int VerifyMode(const std::string& path) {
 
 int main(int argc, char** argv) {
   using namespace gmorph;
+  // Observability flags are peeled off before mode parsing so they combine
+  // with every mode; the env vars cover processes the CLI spawns indirectly.
+  obs::InitTracingFromEnv();
+  obs::InitMetricsFromEnv();
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      obs::WriteTraceJsonAtExit(argv[++i]);
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      obs::WriteMetricsJsonAtExit(argv[++i]);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
   if (argc == 2 && std::strcmp(argv[1], "--print-default-config") == 0) {
     std::fputs(kDefaultConfig, stdout);
     return 0;
@@ -271,7 +296,8 @@ int main(int argc, char** argv) {
   const bool resume = argc == 4 && std::strcmp(argv[1], "--resume") == 0;
   if (argc != 2 && !dump_plan && !verify && !resume) {
     std::fprintf(stderr,
-                 "usage: %s <config-file>\n       %s --resume <checkpoint> <config-file>\n"
+                 "usage: %s [--trace <out.json>] [--metrics <out.json>] <config-file>\n"
+                 "       %s --resume <checkpoint> <config-file>\n"
                  "       %s --dump-plan <config-file>\n       %s "
                  "--verify <graph|plan|config|evalcache|checkpoint>\n"
                  "       %s --print-default-config > gmorph.cfg\n",
