@@ -12,18 +12,28 @@
 //
 // GMORPH_NUM_THREADS controls the kernel thread count; run with 1 and N to
 // compare threading scale.
+//
+// --sweep-solvers switches to the solver-registry sweep: every registered
+// GEMM solver is benchmarked (autotuner timing path) on each model shape for
+// all three variants, one JSON line per (shape, solver) plus a
+// "sweep_selected" line comparing the autotuned winner against the heuristic
+// default that the hard-coded dispatch would have picked.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <string>
 
 #include "bench/bench_common.h"
 #include "src/common/parallel_for.h"
 #include "src/common/rng.h"
+#include "src/kernels/autotune.h"
+#include "src/kernels/registry.h"
+#include "src/kernels/scratch.h"
+#include "src/kernels/tune_db.h"
 #include "src/nn/attention.h"
 #include "src/tensor/conv_ops.h"
-#include "src/tensor/scratch.h"
 #include "src/tensor/tensor.h"
 #include "src/tensor/tensor_ops.h"
 
@@ -136,6 +146,59 @@ void BenchAttention(Rng& rng, int64_t batch, int64_t t, int64_t dim, int64_t hea
   PrintLine("attention_fwd", shape, flops, fwd, nullptr);
 }
 
+// The model shapes the standard GEMM benches cover (logical m x k x n).
+struct GemmShape {
+  const char* name;
+  int64_t m, k, n;
+};
+constexpr GemmShape kGemmShapes[] = {
+    {"sq256", 256, 256, 256},  {"vit_qkv", 17, 32, 96},  {"vit_mlp", 17, 32, 64},
+    {"vgg_c1", 8, 27, 1024},   {"vgg_c3", 16, 72, 256},  {"vgg_c8", 64, 288, 16},
+};
+
+// Benchmarks every applicable solver per (shape, GEMM variant) through the
+// autotuner's timing path and reports each candidate plus the selection.
+void SweepSolvers() {
+  using kernels::OpFamily;
+  bench::EmitJsonLine(bench::Json().Set("config", "kernel_threads").Set("value", KernelThreads()));
+  const kernels::SolverRegistry& registry = kernels::SolverRegistry::Global();
+  kernels::TuneDb db;  // in-memory scratch; the sweep always re-measures
+  kernels::AutotuneOptions opts;
+  opts.force = true;
+  for (const GemmShape& shape : kGemmShapes) {
+    for (OpFamily op : {OpFamily::kGemmNN, OpFamily::kGemmNT, OpFamily::kGemmTN}) {
+      const kernels::ProblemDesc desc = kernels::GemmProblem(op, shape.m, shape.k, shape.n);
+      const std::string heuristic = registry.HeuristicGemm(desc)->name();
+      const kernels::TuneResult result = kernels::TuneProblem(desc, db, opts);
+      double heuristic_gflops = 0.0;
+      for (const kernels::SolverSample& sample : result.samples) {
+        if (sample.solver == heuristic) {
+          heuristic_gflops = sample.gflops;
+        }
+        bench::EmitJsonLine(bench::Json()
+                                .Set("op", "sweep")
+                                .Set("family", kernels::OpFamilyName(op))
+                                .Set("shape", shape.name)
+                                .Set("solver", sample.solver)
+                                .Set("gflops", sample.gflops, 2)
+                                .Set("winner", sample.solver == result.winner ? 1 : 0));
+      }
+      bench::EmitJsonLine(bench::Json()
+                              .Set("op", "sweep_selected")
+                              .Set("family", kernels::OpFamilyName(op))
+                              .Set("shape", shape.name)
+                              .Set("solver", result.winner)
+                              .Set("gflops", result.winner_gflops, 2)
+                              .Set("heuristic", heuristic)
+                              .Set("heuristic_gflops", heuristic_gflops, 2)
+                              .Set("improvement",
+                                   heuristic_gflops > 0.0 ? result.winner_gflops / heuristic_gflops
+                                                          : 1.0,
+                                   3));
+    }
+  }
+}
+
 void Main() {
   Rng rng(42);
   bench::EmitJsonLine(bench::Json().Set("config", "kernel_threads").Set("value", KernelThreads()));
@@ -143,12 +206,9 @@ void Main() {
   // Square GEMM plus the scaled model shapes from the zoo:
   //   ViT (dim 32, 4 heads, 17 tokens): qkv (17,32,96), mlp (17,32,64)
   //   VGG (base width 8, 32x32 input): im2col GEMMs o x ckk x oh*ow
-  BenchGemm(rng, "sq256", 256, 256, 256);
-  BenchGemm(rng, "vit_qkv", 17, 32, 96);
-  BenchGemm(rng, "vit_mlp", 17, 32, 64);
-  BenchGemm(rng, "vgg_c1", 8, 27, 1024);
-  BenchGemm(rng, "vgg_c3", 16, 72, 256);
-  BenchGemm(rng, "vgg_c8", 64, 288, 16);
+  for (const GemmShape& shape : kGemmShapes) {
+    BenchGemm(rng, shape.name, shape.m, shape.k, shape.n);
+  }
 
   BenchConv(rng, "vgg_first", 8, 3, 32, 8, 3, 1, 1);
   BenchConv(rng, "vgg_mid", 8, 16, 16, 32, 3, 1, 1);
@@ -160,7 +220,11 @@ void Main() {
 }  // namespace
 }  // namespace gmorph
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--sweep-solvers") == 0) {
+    gmorph::SweepSolvers();
+    return 0;
+  }
   gmorph::Main();
   return 0;
 }

@@ -9,13 +9,24 @@
 //    "latency_ms": ..., "throughput_qps": ..., "bytes_per_op": ...}
 // bytes_per_op is the heap growth (tensor storage + scratch arenas) per Run
 // in steady state — 0 for the planned fused engine on fully-lowered graphs.
+//
+// --autotune benchmarks the kernel solvers on every shape the measured plans
+// execute (all batches) before timing, records the winners in the tuning DB
+// (GMORPH_TUNE_DB, else <cache dir>/gmorph.tunedb), and measures with tuned
+// dispatch. Without the flag, a DB named by GMORPH_TUNE_DB is still honored —
+// kernel resolution consults it automatically.
 #include <cstdio>
+#include <cstring>
+#include <set>
 
 #include "bench/bench_common.h"
 #include "src/core/graph_io.h"
 #include "src/core/model_parser.h"
+#include "src/kernels/autotune.h"
+#include "src/kernels/scratch.h"
+#include "src/kernels/tune_db.h"
 #include "src/runtime/engine.h"
-#include "src/tensor/scratch.h"
+#include "src/runtime/fused_engine.h"
 
 namespace {
 
@@ -54,8 +65,18 @@ void PrintJson(int bench, const std::string& engine, const char* model, int64_t 
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gmorph::bench;
+  const bool autotune = argc > 1 && std::strcmp(argv[1], "--autotune") == 0;
+  std::shared_ptr<kernels::TuneDb> tune_db;
+  std::string tune_db_path;
+  if (autotune) {
+    tune_db_path = kernels::ResolveTuneDbPath();
+    tune_db = std::make_shared<kernels::TuneDb>();
+    tune_db->Load(tune_db_path);
+    kernels::SetGlobalTuneDb(tune_db);
+  }
+
   PrintHeader("Table 3: Original vs GMorph on eager and fused engines", "paper Table 3");
   PrintRow({"Benchmark", "eagerOrig", "eagerFused", "speedup", "optOrig", "optFused",
             "speedup"});
@@ -72,6 +93,22 @@ int main() {
     MultiTaskModel original_model(original, rng);
     MultiTaskModel best_model(best, rng);
     const Shape per_sample = original.node(original.root()).output_shape;
+
+    if (autotune) {
+      // Tune every kernel shape the measured plans will execute, at every
+      // measured batch, so the timed runs below resolve winners from the DB.
+      std::set<kernels::ProblemDesc> problems;
+      for (MultiTaskModel* model : {&original_model, &best_model}) {
+        FusedEngine probe(model);
+        for (int64_t batch : {int64_t{1}, int64_t{4}, int64_t{8}}) {
+          for (const kernels::ProblemDesc& desc : probe.KernelProblems(batch)) {
+            problems.insert(desc);
+          }
+        }
+      }
+      kernels::TuneProblems(std::vector<kernels::ProblemDesc>(problems.begin(), problems.end()),
+                            *tune_db, kernels::AutotuneOptions());
+    }
 
     std::vector<std::string> row = {"B" + std::to_string(b)};
     for (EngineKind kind : {EngineKind::kEager, EngineKind::kFused}) {
@@ -95,6 +132,14 @@ int main() {
       row.push_back(Fmt(batch1_orig / batch1_best) + "x");
     }
     PrintRow(row);
+  }
+  if (autotune) {
+    if (tune_db->Save(tune_db_path)) {
+      std::printf("\nautotuned dispatch: %lld tuned entries -> %s\n",
+                  static_cast<long long>(tune_db->size()), tune_db_path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: failed to save tuning DB to %s\n", tune_db_path.c_str());
+    }
   }
   std::printf("\n'eager' executes module-by-module; 'opt' lowers the graph through the\n"
               "execution planner (BN folding, epilogue fusion, static memory planning,\n"

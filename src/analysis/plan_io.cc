@@ -232,6 +232,8 @@ class Parser {
       } else if (f.key == "pool_s" && ParseInt(f.value, s.pool_stride)) {
       } else if (f.key == "label") {
         s.label = f.value;
+      } else if (f.key == "solver" && !f.value.empty()) {
+        s.solver = f.value;
       } else if (f.key == "relu" && f.value.empty()) {
         s.relu = true;
       } else {
@@ -388,6 +390,9 @@ void PlanToText(const PlanIR& plan, std::ostream& out) {
     }
     if (step.kind == PlanOp::kMaxPool) {
       out << " pool_k=" << step.pool_kernel << " pool_s=" << step.pool_stride;
+    }
+    if (!step.solver.empty()) {
+      out << " solver=" << step.solver;  // registry names contain no spaces
     }
     if (step.relu) {
       out << " relu";

@@ -58,6 +58,10 @@ struct PlanStep {
   bool relu = false;
   int64_t pool_kernel = 0;  // kMaxPool
   int64_t pool_stride = 0;  // kMaxPool
+  // Kernel solver resolved at plan time (registry name, e.g. "gemm.packed");
+  // empty for untuned/legacy plans and for step kinds without a tunable
+  // kernel. For kConv this names the solver of the per-sample im2col GEMM.
+  std::string solver;
 };
 
 // A maximal chain: steps run in listed order, then children fork (possibly in

@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/kernels/registry.h"
+
 namespace gmorph {
 
 std::string PlanOpName(PlanOp op) {
@@ -64,6 +66,7 @@ class PlanChecker {
     CollectDefsAndUses();
     CheckRaces();
     CheckShapes();
+    CheckSolvers();
     CheckBuffers();
     return std::move(diags_);
   }
@@ -459,6 +462,83 @@ class PlanChecker {
           break;
         case PlanOp::kModule:
           break;  // opaque
+      }
+    }
+  }
+
+  // ---- Stage 6b: plan-time solver annotations ------------------------------
+  // Steps may carry the kernel solver resolved at plan time (tuning DB or
+  // heuristic). The annotation must name a registered solver of the step's
+  // kernel family that accepts the step's problem shape. Applicability is
+  // checked on the per-sample descriptor with threads=1: no registered
+  // solver's IsApplicable depends on the thread count, and the plan text does
+  // not record the execution-time parallelism.
+  void CheckSolvers() {
+    const kernels::SolverRegistry& registry = kernels::SolverRegistry::Global();
+    for (int s = 0; s < S(); ++s) {
+      const PlanStep& step = plan_.steps[static_cast<size_t>(s)];
+      if (step.solver.empty()) {
+        continue;  // untuned / legacy plan
+      }
+      const std::string path = StepPath(plan_, s);
+      const Shape& in = plan_.values[static_cast<size_t>(step.in0)].shape;
+      const Shape& out = plan_.values[static_cast<size_t>(step.out)].shape;
+      kernels::ProblemDesc desc;
+      desc.threads = 1;
+      switch (step.kind) {
+        case PlanOp::kConv: {
+          const Shape& w = step.weight_shape;
+          if (w.Rank() != 4 || out.Rank() != 3) {
+            continue;  // malformed signature already reported by plan.shape.*
+          }
+          desc.op = kernels::OpFamily::kGemmNN;
+          desc.m = w[0];
+          desc.k = w[1] * w[2] * w[3];
+          desc.n = out[1] * out[2];
+          break;
+        }
+        case PlanOp::kLinear: {
+          const Shape& w = step.weight_shape;
+          if (w.Rank() != 2 || w[0] <= 0 || in.Rank() < 1) {
+            continue;
+          }
+          desc.op = kernels::OpFamily::kGemmNN;
+          desc.m = in.NumElements() / w[0];
+          desc.k = w[0];
+          desc.n = w[1];
+          break;
+        }
+        case PlanOp::kMaxPool: {
+          if (in.Rank() != 3) {
+            continue;
+          }
+          desc.op = kernels::OpFamily::kMaxPool;
+          desc.m = in[0];
+          desc.k = in[1];
+          desc.n = in[2];
+          desc.aux0 = step.pool_kernel;
+          desc.aux1 = step.pool_stride;
+          break;
+        }
+        default:
+          diags_.Error("plan.solver.kind", path)
+              << "step kind " << PlanOpName(step.kind) << " has no tunable kernel but names "
+              << "solver '" << step.solver << "'";
+          continue;
+      }
+      const kernels::Solver* solver =
+          desc.op == kernels::OpFamily::kMaxPool
+              ? static_cast<const kernels::Solver*>(registry.FindPool(step.solver))
+              : static_cast<const kernels::Solver*>(registry.FindGemm(step.solver));
+      if (solver == nullptr) {
+        diags_.Error("plan.solver.unknown", path)
+            << "solver '" << step.solver << "' is not registered for "
+            << kernels::OpFamilyName(desc.op);
+        continue;
+      }
+      if (!solver->IsApplicable(desc)) {
+        diags_.Error("plan.solver.applicable", path)
+            << "solver '" << step.solver << "' rejects " << kernels::ProblemKey(desc);
       }
     }
   }

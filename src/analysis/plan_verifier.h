@@ -30,6 +30,10 @@
 //   plan.shape.*            step in/out shapes disagree with the kernel
 //                           signature (conv, linear, pool, gap, meanpool,
 //                           resize, tokresize, skip)
+//   plan.solver.kind        solver named on a step kind without a tunable
+//                           kernel
+//   plan.solver.unknown     solver name not in the kernel registry
+//   plan.solver.applicable  named solver rejects the step's problem shape
 #ifndef GMORPH_SRC_ANALYSIS_PLAN_VERIFIER_H_
 #define GMORPH_SRC_ANALYSIS_PLAN_VERIFIER_H_
 

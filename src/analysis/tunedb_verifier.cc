@@ -1,0 +1,103 @@
+#include "src/analysis/tunedb_verifier.h"
+
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "src/kernels/registry.h"
+#include "src/kernels/tune_db.h"
+
+namespace gmorph {
+namespace {
+
+std::string LinePath(int lineno) { return "line " + std::to_string(lineno); }
+
+}  // namespace
+
+DiagnosticList VerifyTuneDbFile(const std::string& path) {
+  using kernels::OpFamily;
+  using kernels::ProblemDesc;
+  using kernels::SolverRegistry;
+  using kernels::TuneDb;
+
+  DiagnosticList diags;
+  std::ifstream in(path);
+  if (!in) {
+    diags.Error("tune.open", path) << "cannot open tuning DB file";
+    return diags;
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    diags.Error("tune.header", path) << "empty tuning DB file";
+    return diags;
+  }
+  if (line.rfind(kernels::kTuneDbHeaderPrefix, 0) != 0) {
+    diags.Error("tune.header", path) << "missing " << kernels::kTuneDbHeaderPrefix << " header";
+    return diags;
+  }
+  if (line != kernels::kTuneDbHeader) {
+    diags.Error("tune.version", path) << "unsupported tuning DB version '" << line << "'";
+    return diags;
+  }
+
+  const SolverRegistry& registry = SolverRegistry::Global();
+  std::map<ProblemDesc, int> first_line;  // desc -> line that introduced it
+  bool saw_fingerprint = false;
+  int lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    if (line.rfind("fingerprint", 0) == 0) {
+      if (saw_fingerprint) {
+        diags.Error("tune.fingerprint", LinePath(lineno)) << "repeated fingerprint line";
+        continue;
+      }
+      saw_fingerprint = true;
+      if (line.rfind("fingerprint ", 0) != 0 || line.size() != 12 + 16) {
+        diags.Error("tune.fingerprint", LinePath(lineno))
+            << "malformed fingerprint line (want 'fingerprint <16-hex>')";
+        continue;
+      }
+      if (line.substr(12) != kernels::BuildFingerprint()) {
+        diags.Warning("tune.fingerprint", LinePath(lineno))
+            << "fingerprint " << line.substr(12) << " differs from this build ("
+            << kernels::BuildFingerprint() << "); this binary will ignore all entries";
+      }
+      continue;
+    }
+    ProblemDesc desc;
+    TuneDb::Entry entry;
+    std::string error;
+    if (!kernels::ParseTuneEntryLine(line, &desc, &entry, &error)) {
+      diags.Error("tune.entry", LinePath(lineno)) << error;
+      continue;
+    }
+    const kernels::Solver* solver =
+        desc.op == OpFamily::kMaxPool
+            ? static_cast<const kernels::Solver*>(registry.FindPool(entry.solver))
+            : static_cast<const kernels::Solver*>(registry.FindGemm(entry.solver));
+    if (solver == nullptr) {
+      diags.Error("tune.solver", LinePath(lineno))
+          << "solver '" << entry.solver << "' is not registered for "
+          << kernels::OpFamilyName(desc.op);
+    } else if (!solver->IsApplicable(desc)) {
+      diags.Error("tune.applicable", LinePath(lineno))
+          << "solver '" << entry.solver << "' rejects " << kernels::ProblemKey(desc);
+    }
+    const auto [it, inserted] = first_line.emplace(desc, lineno);
+    if (!inserted) {
+      diags.Error("tune.duplicate", LinePath(lineno))
+          << "duplicate entry for " << kernels::ProblemKey(desc) << " (first at line "
+          << it->second << "; the loader keeps the last)";
+    }
+  }
+  if (!saw_fingerprint) {
+    diags.Warning("tune.fingerprint", path)
+        << "no fingerprint line; entries cannot be matched to a build";
+  }
+  return diags;
+}
+
+}  // namespace gmorph

@@ -1,0 +1,35 @@
+// Strict linter for "gmorph-tunedb v1" tuning-DB files.
+//
+// The runtime loader (kernels::TuneDb::Load) is tolerant by design — it
+// silently drops malformed lines so a damaged DB degrades to heuristic
+// dispatch instead of crashing a serving process. This pass is the strict
+// counterpart wired into `gmorph_cli --verify`: every dropped or suspicious
+// line becomes a structured diagnostic.
+//
+//   tune.open         cannot open the file
+//   tune.header       missing gmorph-tunedb header line
+//   tune.version      header names an unsupported format version
+//   tune.fingerprint  fingerprint differs from this build (warning: entries
+//                     are valid but this binary will ignore them), or the
+//                     fingerprint line is malformed / repeated (error)
+//   tune.entry        entry line fails the strict grammar (shared parser
+//                     ParseTuneEntryLine, so the linter cannot drift from the
+//                     loader)
+//   tune.solver       entry names a solver the registry does not know
+//   tune.applicable   named solver rejects the entry's problem descriptor
+//   tune.duplicate    two entries share one problem descriptor (the loader
+//                     keeps the last; earlier ones are dead weight)
+#ifndef GMORPH_SRC_ANALYSIS_TUNEDB_VERIFIER_H_
+#define GMORPH_SRC_ANALYSIS_TUNEDB_VERIFIER_H_
+
+#include <string>
+
+#include "src/analysis/diagnostics.h"
+
+namespace gmorph {
+
+DiagnosticList VerifyTuneDbFile(const std::string& path);
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_ANALYSIS_TUNEDB_VERIFIER_H_

@@ -1,0 +1,56 @@
+// The kernel autotuner: benchmarks every applicable solver on a problem
+// descriptor (median-of-k timing over deterministic synthetic operands) and
+// records the winner in a TuneDb. Warm reruns are free — a descriptor that
+// already has a usable entry is skipped unless `force` is set, and the
+// "kernels.autotune_benchmarks" counter stays at zero (the autotune smoke
+// test asserts exactly that).
+//
+// Metrics: kernels.autotune_benchmarks (one per solver timed),
+// kernels.autotune_shapes (one per descriptor tuned),
+// kernels.autotune_cached (one per descriptor skipped as already tuned), and
+// the kernels.autotune_ms histogram (wall time per tuned descriptor). Each
+// tuned descriptor runs under a "kernel/autotune" trace span.
+#ifndef GMORPH_SRC_KERNELS_AUTOTUNE_H_
+#define GMORPH_SRC_KERNELS_AUTOTUNE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/kernels/solver.h"
+#include "src/kernels/tune_db.h"
+
+namespace gmorph::kernels {
+
+struct AutotuneOptions {
+  int warmup = 1;    // untimed runs per solver before timing
+  int repeats = 5;   // timed runs per solver; the median is kept
+  bool force = false;  // re-benchmark descriptors that already have entries
+};
+
+struct SolverSample {
+  std::string solver;
+  double ms = 0.0;
+  double gflops = 0.0;
+};
+
+struct TuneResult {
+  ProblemDesc desc;
+  // One sample per applicable solver, in registry order; empty when reused.
+  std::vector<SolverSample> samples;
+  std::string winner;
+  double winner_gflops = 0.0;
+  bool reused = false;  // entry already present; nothing was benchmarked
+};
+
+// Benchmarks `desc` and records the winner in `db`. Descriptors with
+// threads == 1 are timed inside a forced-serial region so the measurement
+// matches how nested kernels actually run.
+TuneResult TuneProblem(const ProblemDesc& desc, TuneDb& db, const AutotuneOptions& options = {});
+
+// Tunes each descriptor in turn (duplicates collapse via the DB skip).
+std::vector<TuneResult> TuneProblems(const std::vector<ProblemDesc>& descs, TuneDb& db,
+                                     const AutotuneOptions& options = {});
+
+}  // namespace gmorph::kernels
+
+#endif  // GMORPH_SRC_KERNELS_AUTOTUNE_H_

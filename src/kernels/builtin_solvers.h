@@ -1,0 +1,20 @@
+// Accessors for the built-in solver singletons. Internal to src/kernels —
+// everything above the registry resolves solvers by name or descriptor.
+#ifndef GMORPH_SRC_KERNELS_BUILTIN_SOLVERS_H_
+#define GMORPH_SRC_KERNELS_BUILTIN_SOLVERS_H_
+
+#include "src/kernels/solver.h"
+
+namespace gmorph::kernels {
+
+const GemmSolver* GemmRefSolver();     // "gemm.ref"
+const GemmSolver* GemmDirectSolver();  // "gemm.direct"
+const GemmSolver* GemmPackedSolver();  // "gemm.packed"
+const GemmSolver* GemmDotSolver();     // "gemm.dot"
+
+const PoolSolver* PoolGenericSolver();  // "pool.generic"
+const PoolSolver* Pool2x2Solver();      // "pool.2x2s2"
+
+}  // namespace gmorph::kernels
+
+#endif  // GMORPH_SRC_KERNELS_BUILTIN_SOLVERS_H_

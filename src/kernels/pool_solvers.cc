@@ -1,0 +1,108 @@
+// The built-in max-pool solvers: the generic windowed loop and an unrolled
+// specialization for the ubiquitous 2x2/stride-2 case (every VGG stage).
+// Both run valid pooling (no padding) over contiguous planes and produce
+// bitwise-identical maxima, so the autotuner is free to pick either.
+#include <algorithm>
+#include <limits>
+
+#include "src/common/parallel_for.h"
+#include "src/kernels/builtin_solvers.h"
+#include "src/kernels/solver.h"
+
+namespace gmorph::kernels {
+namespace {
+
+// Plane loops split work so each chunk covers at least this many output
+// elements; smaller plans run serially (matches the conv kernels' grain).
+int64_t PlaneGrain(int64_t per_plane) {
+  return std::max<int64_t>(1, (1 << 15) / std::max<int64_t>(1, per_plane));
+}
+
+class PoolGeneric final : public PoolSolver {
+ public:
+  const char* name() const override { return "pool.generic"; }
+  bool IsApplicable(const ProblemDesc& desc) const override {
+    return desc.op == OpFamily::kMaxPool;
+  }
+  void Run(const ProblemDesc& desc, const PoolCall& call) const override {
+    const int64_t h = desc.k;
+    const int64_t w = desc.n;
+    const int64_t kernel = desc.aux0;
+    const int64_t stride = desc.aux1;
+    const int64_t oh = PooledDim(h, kernel, stride);
+    const int64_t ow = PooledDim(w, kernel, stride);
+    const float* px = call.x;
+    float* po = call.out;
+    ParallelFor(0, desc.m, PlaneGrain(oh * ow), [&](int64_t lo, int64_t hi) {
+      for (int64_t p = lo; p < hi; ++p) {
+        const float* plane = px + p * h * w;
+        int64_t oi = p * oh * ow;
+        for (int64_t oy = 0; oy < oh; ++oy) {
+          for (int64_t ox = 0; ox < ow; ++ox, ++oi) {
+            float best = -std::numeric_limits<float>::infinity();
+            for (int64_t ky = 0; ky < kernel; ++ky) {
+              const float* row = plane + (oy * stride + ky) * w + ox * stride;
+              for (int64_t kx = 0; kx < kernel; ++kx) {
+                best = std::max(best, row[kx]);
+              }
+            }
+            po[oi] = best;
+          }
+        }
+      }
+    });
+  }
+};
+
+class Pool2x2 final : public PoolSolver {
+ public:
+  const char* name() const override { return "pool.2x2s2"; }
+  bool IsApplicable(const ProblemDesc& desc) const override {
+    return desc.op == OpFamily::kMaxPool && desc.aux0 == 2 && desc.aux1 == 2 && desc.k >= 2 &&
+           desc.n >= 2;
+  }
+  void Run(const ProblemDesc& desc, const PoolCall& call) const override {
+    const int64_t h = desc.k;
+    const int64_t w = desc.n;
+    const int64_t oh = PooledDim(h, 2, 2);
+    const int64_t ow = PooledDim(w, 2, 2);
+    const float* px = call.x;
+    float* po = call.out;
+    ParallelFor(0, desc.m, PlaneGrain(oh * ow), [&](int64_t lo, int64_t hi) {
+      for (int64_t p = lo; p < hi; ++p) {
+        const float* plane = px + p * h * w;
+        float* out_plane = po + p * oh * ow;
+        for (int64_t oy = 0; oy < oh; ++oy) {
+          const float* r0 = plane + oy * 2 * w;
+          const float* r1 = r0 + w;
+          float* dst = out_plane + oy * ow;
+          // Same comparison order as the generic loop, so maxima are
+          // bitwise identical; the fixed 4-way unroll drops the window
+          // loops and their bounds arithmetic.
+          for (int64_t ox = 0; ox < ow; ++ox) {
+            const int64_t ix = ox * 2;
+            float best = r0[ix];
+            best = std::max(best, r0[ix + 1]);
+            best = std::max(best, r1[ix]);
+            best = std::max(best, r1[ix + 1]);
+            dst[ox] = best;
+          }
+        }
+      }
+    });
+  }
+};
+
+}  // namespace
+
+const PoolSolver* PoolGenericSolver() {
+  static const PoolGeneric solver;
+  return &solver;
+}
+
+const PoolSolver* Pool2x2Solver() {
+  static const Pool2x2 solver;
+  return &solver;
+}
+
+}  // namespace gmorph::kernels

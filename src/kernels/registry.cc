@@ -1,0 +1,115 @@
+#include "src/kernels/registry.h"
+
+#include "src/kernels/builtin_solvers.h"
+#include "src/kernels/tune_db.h"
+#include "src/obs/metrics.h"
+
+namespace gmorph::kernels {
+namespace {
+
+// The historical dispatch thresholds (formerly hard-coded in
+// src/tensor/tensor_ops.cc). The heuristic below must reproduce that
+// dispatch exactly so an untuned process stays bit-identical to the
+// pre-registry kernels.
+constexpr int64_t kTinyFlops = 8192;  // below: the reference loops win
+constexpr int64_t kWideMinN = 24;     // wide tile needs most of a 32-col strip
+constexpr int64_t kDotMinK = 24;      // dot path needs k >= ~16 lanes to win
+constexpr int64_t kDirectMaxFloats = 48 * 1024;  // working set of the no-pack path
+
+}  // namespace
+
+SolverRegistry::SolverRegistry() {
+  gemm_ = {GemmRefSolver(), GemmDirectSolver(), GemmPackedSolver(), GemmDotSolver()};
+  pool_ = {PoolGenericSolver(), Pool2x2Solver()};
+}
+
+const SolverRegistry& SolverRegistry::Global() {
+  static const SolverRegistry registry;
+  return registry;
+}
+
+const GemmSolver* SolverRegistry::FindGemm(std::string_view name) const {
+  for (const GemmSolver* s : gemm_) {
+    if (name == s->name()) {
+      return s;
+    }
+  }
+  return nullptr;
+}
+
+const PoolSolver* SolverRegistry::FindPool(std::string_view name) const {
+  for (const PoolSolver* s : pool_) {
+    if (name == s->name()) {
+      return s;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const Solver*> SolverRegistry::Applicable(const ProblemDesc& desc) const {
+  std::vector<const Solver*> out;
+  if (desc.op == OpFamily::kMaxPool) {
+    for (const PoolSolver* s : pool_) {
+      if (s->IsApplicable(desc)) {
+        out.push_back(s);
+      }
+    }
+  } else {
+    for (const GemmSolver* s : gemm_) {
+      if (s->IsApplicable(desc)) {
+        out.push_back(s);
+      }
+    }
+  }
+  return out;
+}
+
+const GemmSolver* SolverRegistry::HeuristicGemm(const ProblemDesc& desc) const {
+  if (2 * desc.m * desc.k * desc.n <= kTinyFlops ||
+      (desc.n < kWideMinN && desc.k < kDotMinK)) {
+    return GemmRefSolver();
+  }
+  if (desc.n >= kWideMinN) {
+    const int64_t footprint = desc.m * desc.k + desc.k * desc.n + desc.m * desc.n;
+    if (footprint <= kDirectMaxFloats) {
+      return GemmDirectSolver();
+    }
+    return GemmPackedSolver();
+  }
+  return GemmDotSolver();
+}
+
+const PoolSolver* SolverRegistry::HeuristicPool(const ProblemDesc& desc) const {
+  (void)desc;
+  return PoolGenericSolver();
+}
+
+const GemmSolver* SolverRegistry::ResolveGemm(const ProblemDesc& desc) const {
+  if (const TuneDb* db = GlobalTuneDb(); db != nullptr) {
+    static obs::Counter& hits = obs::GetCounter("kernels.resolve_db_hits");
+    static obs::Counter& misses = obs::GetCounter("kernels.resolve_heuristic");
+    if (const TuneDb::Entry* e = db->Lookup(desc);
+        e != nullptr && e->resolved != nullptr && e->resolved->IsApplicable(desc)) {
+      hits.Increment();
+      return static_cast<const GemmSolver*>(e->resolved);
+    }
+    misses.Increment();
+  }
+  return HeuristicGemm(desc);
+}
+
+const PoolSolver* SolverRegistry::ResolvePool(const ProblemDesc& desc) const {
+  if (const TuneDb* db = GlobalTuneDb(); db != nullptr) {
+    static obs::Counter& hits = obs::GetCounter("kernels.resolve_db_hits");
+    static obs::Counter& misses = obs::GetCounter("kernels.resolve_heuristic");
+    if (const TuneDb::Entry* e = db->Lookup(desc);
+        e != nullptr && e->resolved != nullptr && e->resolved->IsApplicable(desc)) {
+      hits.Increment();
+      return static_cast<const PoolSolver*>(e->resolved);
+    }
+    misses.Increment();
+  }
+  return HeuristicPool(desc);
+}
+
+}  // namespace gmorph::kernels

@@ -1,0 +1,53 @@
+// The solver registry: enumerates the solvers that can run a ProblemDesc,
+// resolves names from plans and tuning-DB entries, and picks the solver a
+// kernel call actually uses — the tuned winner when the global tuning DB has
+// an applicable entry, otherwise the shape heuristic that reproduces the
+// pre-registry dispatch exactly (so an untuned process is bit-identical to
+// the old hard-coded paths).
+#ifndef GMORPH_SRC_KERNELS_REGISTRY_H_
+#define GMORPH_SRC_KERNELS_REGISTRY_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/kernels/solver.h"
+
+namespace gmorph::kernels {
+
+class SolverRegistry {
+ public:
+  // The process-wide registry, pre-populated with the built-in solvers.
+  static const SolverRegistry& Global();
+
+  const std::vector<const GemmSolver*>& gemm_solvers() const { return gemm_; }
+  const std::vector<const PoolSolver*>& pool_solvers() const { return pool_; }
+
+  // Name lookup across the family's solver list; nullptr when unknown.
+  const GemmSolver* FindGemm(std::string_view name) const;
+  const PoolSolver* FindPool(std::string_view name) const;
+
+  // Every registered solver (of desc's family) with IsApplicable(desc).
+  std::vector<const Solver*> Applicable(const ProblemDesc& desc) const;
+
+  // The solver a kernel call uses: the tuning-DB winner when one is loaded,
+  // applicable, and resolvable, else the heuristic default. Never null; does
+  // no allocation, so it is safe on the steady-state hot path.
+  const GemmSolver* ResolveGemm(const ProblemDesc& desc) const;
+  const PoolSolver* ResolvePool(const ProblemDesc& desc) const;
+
+  // The untuned default: reproduces the historical hard-coded dispatch
+  // (tiny/narrow -> reference, wide cache-resident -> direct, wide -> packed,
+  // narrow-N -> dot; generic pooling).
+  const GemmSolver* HeuristicGemm(const ProblemDesc& desc) const;
+  const PoolSolver* HeuristicPool(const ProblemDesc& desc) const;
+
+ private:
+  SolverRegistry();
+
+  std::vector<const GemmSolver*> gemm_;
+  std::vector<const PoolSolver*> pool_;
+};
+
+}  // namespace gmorph::kernels
+
+#endif  // GMORPH_SRC_KERNELS_REGISTRY_H_

@@ -1,4 +1,4 @@
-#include "src/tensor/scratch.h"
+#include "src/kernels/scratch.h"
 
 #include <algorithm>
 #include <atomic>

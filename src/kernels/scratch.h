@@ -10,8 +10,8 @@
 //    calls and never hand them to another thread: the arena is thread-local,
 //    and a parallel worker must open its own scope inside the parallel region.
 //  - Scopes nest like a stack; closing out of order is a bug (checked).
-#ifndef GMORPH_SRC_TENSOR_SCRATCH_H_
-#define GMORPH_SRC_TENSOR_SCRATCH_H_
+#ifndef GMORPH_SRC_KERNELS_SCRATCH_H_
+#define GMORPH_SRC_KERNELS_SCRATCH_H_
 
 #include <cstddef>
 #include <cstdint>
@@ -78,4 +78,4 @@ class ScratchScope {
 
 }  // namespace gmorph
 
-#endif  // GMORPH_SRC_TENSOR_SCRATCH_H_
+#endif  // GMORPH_SRC_KERNELS_SCRATCH_H_

@@ -1,0 +1,114 @@
+#include "src/kernels/solver.h"
+
+#include <cstdio>
+
+#include "src/common/check.h"
+#include "src/common/parallel_for.h"
+
+namespace gmorph::kernels {
+
+const char* OpFamilyName(OpFamily op) {
+  switch (op) {
+    case OpFamily::kGemmNN:
+      return "gemm_nn";
+    case OpFamily::kGemmNT:
+      return "gemm_nt";
+    case OpFamily::kGemmTN:
+      return "gemm_tn";
+    case OpFamily::kMaxPool:
+      return "maxpool";
+  }
+  return "unknown";
+}
+
+bool OpFamilyFromName(std::string_view name, OpFamily* out) {
+  if (name == "gemm_nn") {
+    *out = OpFamily::kGemmNN;
+  } else if (name == "gemm_nt") {
+    *out = OpFamily::kGemmNT;
+  } else if (name == "gemm_tn") {
+    *out = OpFamily::kGemmTN;
+  } else if (name == "maxpool") {
+    *out = OpFamily::kMaxPool;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string ProblemKey(const ProblemDesc& desc) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s m=%lld k=%lld n=%lld aux0=%lld aux1=%lld threads=%d",
+                OpFamilyName(desc.op), static_cast<long long>(desc.m),
+                static_cast<long long>(desc.k), static_cast<long long>(desc.n),
+                static_cast<long long>(desc.aux0), static_cast<long long>(desc.aux1),
+                desc.threads);
+  return buf;
+}
+
+namespace {
+
+int ContextThreads() { return InParallelRegion() ? 1 : KernelThreads(); }
+
+}  // namespace
+
+ProblemDesc GemmProblem(OpFamily op, int64_t m, int64_t k, int64_t n) {
+  ProblemDesc desc;
+  desc.op = op;
+  desc.m = m;
+  desc.k = k;
+  desc.n = n;
+  desc.threads = ContextThreads();
+  return desc;
+}
+
+ProblemDesc PoolProblem(int64_t planes, int64_t h, int64_t w, int64_t kernel, int64_t stride) {
+  ProblemDesc desc;
+  desc.op = OpFamily::kMaxPool;
+  desc.m = planes;
+  desc.k = h;
+  desc.n = w;
+  desc.aux0 = kernel;
+  desc.aux1 = stride;
+  desc.threads = ContextThreads();
+  return desc;
+}
+
+int64_t PooledDim(int64_t in, int64_t kernel, int64_t stride) {
+  return (in - kernel) / stride + 1;
+}
+
+int64_t ProblemFlops(const ProblemDesc& desc) {
+  if (desc.op == OpFamily::kMaxPool) {
+    const int64_t oh = PooledDim(desc.k, desc.aux0, desc.aux1);
+    const int64_t ow = PooledDim(desc.n, desc.aux0, desc.aux1);
+    return desc.m * oh * ow * desc.aux0 * desc.aux0;
+  }
+  return 2 * desc.m * desc.k * desc.n;
+}
+
+GemmCall MakeGemmCall(const ProblemDesc& desc, const float* a, const float* b, float* c,
+                      bool accumulate) {
+  GemmCall call;
+  call.c = c;
+  call.accumulate = accumulate;
+  switch (desc.op) {
+    case OpFamily::kGemmNN:
+      call.a = MatView{a, desc.k, 1};
+      call.b = MatView{b, desc.n, 1};
+      break;
+    case OpFamily::kGemmNT:
+      call.a = MatView{a, desc.k, 1};
+      call.b = MatView{b, 1, desc.k};
+      break;
+    case OpFamily::kGemmTN:
+      call.a = MatView{a, 1, desc.m};
+      call.b = MatView{b, desc.n, 1};
+      break;
+    case OpFamily::kMaxPool:
+      GMORPH_CHECK(false, "MakeGemmCall on a pool descriptor");
+  }
+  return call;
+}
+
+}  // namespace gmorph::kernels

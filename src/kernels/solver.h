@@ -1,0 +1,170 @@
+// Solver interface for the kernel registry (DESIGN.md "Solver registry &
+// autotuning").
+//
+// Every tunable kernel family — the three GEMM variants (which also carry the
+// im2col convolution product and the attention matmuls) and max-pooling —
+// exposes one or more Solver implementations behind a common interface. A
+// solver advertises which problems it can handle (IsApplicable), how much
+// scratch it packs into the thread-local arena (WorkspaceBytes), and runs the
+// problem (Run). The registry (registry.h) enumerates applicable solvers per
+// ProblemDesc; the autotuner (autotune.h) benchmarks them and persists the
+// winner in the tuning DB (tune_db.h).
+//
+// The interface is deliberately backend-agnostic: a future SIMD, BLAS, or JIT
+// backend plugs in by registering more Solver instances — nothing above this
+// layer changes.
+#ifndef GMORPH_SRC_KERNELS_SOLVER_H_
+#define GMORPH_SRC_KERNELS_SOLVER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gmorph::kernels {
+
+// The kernel families the registry distinguishes. The GEMM families are named
+// after the caller-facing operand layouts; internally every variant is the
+// same logical product C[M,N] (+)= A·B over strided views (see MatView).
+enum class OpFamily : uint8_t {
+  kGemmNN,
+  kGemmNT,
+  kGemmTN,
+  kMaxPool,
+};
+
+// Stable text names ("gemm_nn", ..., "maxpool") used by the tuning DB and the
+// plan annotations.
+const char* OpFamilyName(OpFamily op);
+bool OpFamilyFromName(std::string_view name, OpFamily* out);
+
+// The canonical problem descriptor: the key solvers, the autotuner, and the
+// tuning DB all agree on. For the GEMM families m/k/n are the *logical*
+// product dimensions (C is m x n, the contraction runs over k) — NOT the
+// caller-facing argument order of MatmulNT/MatmulTN. For kMaxPool: m = number
+// of (sample, channel) planes, k = input height, n = input width,
+// aux0 = pool kernel, aux1 = pool stride.
+//
+// `threads` is the parallelism the call runs under: 1 when the kernel is
+// invoked inside an enclosing parallel region (conv's per-sample im2col GEMMs,
+// branch-parallel engine groups), otherwise the kernel pool width. The tuning
+// DB keys on it because the best solver differs between the serial and the
+// parallel regime.
+struct ProblemDesc {
+  OpFamily op = OpFamily::kGemmNN;
+  int64_t m = 0;
+  int64_t k = 0;
+  int64_t n = 0;
+  int64_t aux0 = 0;
+  int64_t aux1 = 0;
+  int threads = 1;
+
+  friend bool operator==(const ProblemDesc& a, const ProblemDesc& b) {
+    return a.op == b.op && a.m == b.m && a.k == b.k && a.n == b.n && a.aux0 == b.aux0 &&
+           a.aux1 == b.aux1 && a.threads == b.threads;
+  }
+  friend bool operator<(const ProblemDesc& a, const ProblemDesc& b) {
+    if (a.op != b.op) return a.op < b.op;
+    if (a.m != b.m) return a.m < b.m;
+    if (a.k != b.k) return a.k < b.k;
+    if (a.n != b.n) return a.n < b.n;
+    if (a.aux0 != b.aux0) return a.aux0 < b.aux0;
+    if (a.aux1 != b.aux1) return a.aux1 < b.aux1;
+    return a.threads < b.threads;
+  }
+};
+
+// "gemm_nn m=17 k=32 n=96 aux0=0 aux1=0 threads=4" — the human-readable key
+// the tuning DB and diagnostics print.
+std::string ProblemKey(const ProblemDesc& desc);
+
+// Builds a GEMM descriptor from the logical dims, with `threads` resolved from
+// the current execution context (1 inside a parallel region).
+ProblemDesc GemmProblem(OpFamily op, int64_t m, int64_t k, int64_t n);
+// Max-pool descriptor; planes = batch * channels.
+ProblemDesc PoolProblem(int64_t planes, int64_t h, int64_t w, int64_t kernel, int64_t stride);
+// Arithmetic work for throughput reporting: 2*m*k*n for GEMMs, one op per
+// pooled window element for kMaxPool.
+int64_t ProblemFlops(const ProblemDesc& desc);
+
+// Element (i,j) of a strided matrix view lives at data[i * rs + j * cs].
+struct MatView {
+  const float* data;
+  int64_t rs;
+  int64_t cs;
+  const float* at(int64_t i, int64_t j) const { return data + i * rs + j * cs; }
+};
+
+// A bound GEMM invocation. Views are canonical per family (MakeGemmCall):
+//   kGemmNN: a = {a, k, 1}, b = {b, n, 1}    (both row-major)
+//   kGemmNT: a = {a, k, 1}, b = {b, 1, k}    (b stored N x K row-major)
+//   kGemmTN: a = {a, 1, m}, b = {b, n, 1}    (a stored K x M row-major)
+// Solvers may rely on these strides (the reference solver replays the
+// original row-major loops straight off the data pointers).
+struct GemmCall {
+  MatView a;
+  MatView b;
+  float* c;
+  bool accumulate = false;
+};
+
+// Builds the canonical views for desc.op over the caller's row-major arrays.
+GemmCall MakeGemmCall(const ProblemDesc& desc, const float* a, const float* b, float* c,
+                      bool accumulate);
+
+// A bound max-pool invocation: x is m contiguous h x w planes, out is m
+// contiguous oh x ow planes (valid pooling, no padding).
+struct PoolCall {
+  const float* x;
+  float* out;
+};
+
+// Output spatial extent of a valid pooled dimension.
+int64_t PooledDim(int64_t in, int64_t kernel, int64_t stride);
+
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  // Stable identifier ("gemm.packed", "pool.2x2s2"); recorded in the tuning
+  // DB and in exported plans, so renaming one invalidates tuned entries.
+  virtual const char* name() const = 0;
+
+  // Whether this solver can run `desc` at all (correctness, not preference).
+  // A GEMM solver serves all three GEMM families; a pool solver only
+  // kMaxPool. Must be decidable from the descriptor alone so the verifier
+  // can lint plans and tuning DBs offline.
+  virtual bool IsApplicable(const ProblemDesc& desc) const = 0;
+
+  // Upper bound on thread-local scratch the solver packs for `desc`, in
+  // bytes. Purely informational (the arena grows on demand); the autotuner
+  // reports it and tests sanity-check it.
+  virtual int64_t WorkspaceBytes(const ProblemDesc& /*desc*/) const { return 0; }
+};
+
+class GemmSolver : public Solver {
+ public:
+  // Requires IsApplicable(desc). Results are bitwise independent of the
+  // thread count; determinism tests pin solvers via a frozen tuning DB and
+  // compare outputs exactly.
+  virtual void Run(const ProblemDesc& desc, const GemmCall& call) const = 0;
+};
+
+class PoolSolver : public Solver {
+ public:
+  virtual void Run(const ProblemDesc& desc, const PoolCall& call) const = 0;
+};
+
+// Reference GEMM loops in the caller-facing argument orders (see
+// tensor_ops.h for the layout contract). They are the oracle for the
+// randomized solver cross-check tests, the tiny-problem fast path, and the
+// baseline the micro_ops bench reports speedups against.
+void RefMatmulNN(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n,
+                 bool accumulate = false);
+void RefMatmulNT(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
+                 bool accumulate = false);
+void RefMatmulTN(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n,
+                 bool accumulate = false);
+
+}  // namespace gmorph::kernels
+
+#endif  // GMORPH_SRC_KERNELS_SOLVER_H_

@@ -1,0 +1,334 @@
+#include "src/kernels/tune_db.h"
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "src/kernels/registry.h"
+
+namespace gmorph::kernels {
+namespace {
+
+// FNV-1a, as used by the search checkpoints; good enough to distinguish
+// toolchains and cheap enough to run at static-init time.
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string ComputeFingerprint() {
+  std::ostringstream os;
+#if defined(__VERSION__)
+  os << "compiler=" << __VERSION__ << ";";
+#endif
+#if defined(__OPTIMIZE__)
+  os << "opt=1;";
+#else
+  os << "opt=0;";
+#endif
+#if defined(NDEBUG)
+  os << "ndebug=1;";
+#else
+  os << "ndebug=0;";
+#endif
+#if defined(__AVX512F__)
+  os << "isa=avx512;";
+#elif defined(__AVX2__)
+  os << "isa=avx2;";
+#elif defined(__AVX__)
+  os << "isa=avx;";
+#elif defined(__SSE2__)
+  os << "isa=sse2;";
+#elif defined(__ARM_NEON)
+  os << "isa=neon;";
+#else
+  os << "isa=scalar;";
+#endif
+  os << "ptr=" << sizeof(void*) * 8;
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, Fnv1a(os.str()));
+  return buf;
+}
+
+std::string FormatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+bool ParseInt64(const std::string& s, int64_t* out) {
+  if (s.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+const Solver* ResolveName(OpFamily op, const std::string& name) {
+  const SolverRegistry& reg = SolverRegistry::Global();
+  if (op == OpFamily::kMaxPool) {
+    return reg.FindPool(name);
+  }
+  return reg.FindGemm(name);
+}
+
+}  // namespace
+
+const std::string& BuildFingerprint() {
+  static const std::string fp = ComputeFingerprint();
+  return fp;
+}
+
+bool ParseTuneEntryLine(const std::string& line, ProblemDesc* desc, TuneDb::Entry* entry,
+                        std::string* error) {
+  std::istringstream is(line);
+  std::string tok;
+  is >> tok;
+  if (tok != "entry") {
+    *error = "expected 'entry'";
+    return false;
+  }
+  ProblemDesc d;
+  TuneDb::Entry e;
+  bool have_op = false, have_m = false, have_k = false, have_n = false, have_threads = false;
+  while (is >> tok) {
+    const size_t eq = tok.find('=');
+    if (eq == std::string::npos) {
+      *error = "bad token '" + tok + "'";
+      return false;
+    }
+    const std::string key = tok.substr(0, eq);
+    const std::string val = tok.substr(eq + 1);
+    int64_t iv = 0;
+    if (key == "op") {
+      if (!OpFamilyFromName(val, &d.op)) {
+        *error = "unknown op '" + val + "'";
+        return false;
+      }
+      have_op = true;
+    } else if (key == "m" && ParseInt64(val, &d.m)) {
+      have_m = true;
+    } else if (key == "k" && ParseInt64(val, &d.k)) {
+      have_k = true;
+    } else if (key == "n" && ParseInt64(val, &d.n)) {
+      have_n = true;
+    } else if (key == "aux0" && ParseInt64(val, &d.aux0)) {
+    } else if (key == "aux1" && ParseInt64(val, &d.aux1)) {
+    } else if (key == "threads" && ParseInt64(val, &iv) && iv >= 1) {
+      d.threads = static_cast<int>(iv);
+      have_threads = true;
+    } else if (key == "solver" && !val.empty()) {
+      e.solver = val;
+    } else if (key == "gflops" && ParseDouble(val, &e.gflops)) {
+    } else if (key == "ms" && ParseDouble(val, &e.ms)) {
+    } else {
+      *error = "bad entry field '" + tok + "'";
+      return false;
+    }
+  }
+  if (!have_op || !have_m || !have_k || !have_n || !have_threads || e.solver.empty()) {
+    *error = "missing required field (op/m/k/n/threads/solver)";
+    return false;
+  }
+  if (d.m < 1 || d.k < 1 || d.n < 1) {
+    *error = "non-positive dimension";
+    return false;
+  }
+  *desc = d;
+  *entry = std::move(e);
+  return true;
+}
+
+std::string FormatTuneEntryLine(const ProblemDesc& desc, const TuneDb::Entry& entry) {
+  std::ostringstream os;
+  os << "entry op=" << OpFamilyName(desc.op) << " m=" << desc.m << " k=" << desc.k
+     << " n=" << desc.n << " aux0=" << desc.aux0 << " aux1=" << desc.aux1
+     << " threads=" << desc.threads << " solver=" << entry.solver
+     << " gflops=" << FormatDouble(entry.gflops) << " ms=" << FormatDouble(entry.ms);
+  return os.str();
+}
+
+TuneDb::LoadStats TuneDb::Load(const std::string& path) {
+  LoadStats stats;
+  std::ifstream in(path);
+  if (!in) {
+    return stats;  // missing file: empty DB, not an error
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != kTuneDbHeader) {
+    return stats;
+  }
+  stats.ok = true;
+  bool usable = true;
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    if (line.rfind("fingerprint ", 0) == 0) {
+      if (line.substr(12) != BuildFingerprint()) {
+        stats.fingerprint_mismatch = true;
+        usable = false;  // foreign build: keep parsing nothing into the map
+      }
+      continue;
+    }
+    ProblemDesc desc;
+    Entry entry;
+    std::string error;
+    if (!ParseTuneEntryLine(line, &desc, &entry, &error)) {
+      ++stats.skipped;
+      continue;
+    }
+    if (!usable) {
+      continue;
+    }
+    entry.resolved = ResolveName(desc.op, entry.solver);
+    if (entry.resolved == nullptr) {
+      ++stats.skipped;  // solver unknown to this build
+      continue;
+    }
+    entries_[desc] = std::move(entry);
+    ++stats.entries;
+  }
+  return stats;
+}
+
+bool TuneDb::Save(const std::string& path) const {
+  std::error_code ec;
+  const std::filesystem::path target(path);
+  if (target.has_parent_path()) {
+    std::filesystem::create_directories(target.parent_path(), ec);
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return false;
+    }
+    out << kTuneDbHeader << "\n";
+    out << "fingerprint " << BuildFingerprint() << "\n";
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    for (const auto& [desc, entry] : entries_) {
+      out << FormatTuneEntryLine(desc, entry) << "\n";
+    }
+    if (!out.good()) {
+      return false;
+    }
+  }
+  std::filesystem::rename(tmp, target, ec);
+  return !ec;
+}
+
+const TuneDb::Entry* TuneDb::Lookup(const ProblemDesc& desc) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  const auto it = entries_.find(desc);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool TuneDb::Contains(const ProblemDesc& desc) const { return Lookup(desc) != nullptr; }
+
+void TuneDb::Record(const ProblemDesc& desc, Entry entry) {
+  entry.resolved = ResolveName(desc.op, entry.solver);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  entries_[desc] = std::move(entry);
+}
+
+int64_t TuneDb::size() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return static_cast<int64_t>(entries_.size());
+}
+
+void TuneDb::ForEach(const std::function<void(const ProblemDesc&, const Entry&)>& fn) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  for (const auto& [desc, entry] : entries_) {
+    fn(desc, entry);
+  }
+}
+
+std::string ResolveTuneDbPath(const std::string& override_path) {
+  if (!override_path.empty()) {
+    return override_path;
+  }
+  if (const char* env = std::getenv("GMORPH_TUNE_DB"); env != nullptr && *env != '\0') {
+    return env;
+  }
+  std::string dir = "gmorph_bench_cache";
+  if (const char* env = std::getenv("GMORPH_CACHE_DIR"); env != nullptr && *env != '\0') {
+    dir = env;
+  }
+  return dir + "/gmorph.tunedb";
+}
+
+namespace {
+
+std::mutex g_global_db_mutex;
+std::shared_ptr<TuneDb> g_global_db_owner;
+std::atomic<TuneDb*> g_global_db{nullptr};
+// Guarded by g_global_db_mutex. Set by the first explicit install or the
+// first lazy env probe, whichever comes first: an early SetGlobalTuneDb must
+// not be clobbered later by a stale on-disk copy of $GMORPH_TUNE_DB.
+bool g_global_db_resolved = false;
+// Release-published once resolution happened, so the per-dispatch fast path
+// is one atomic load even when no DB is installed (g_global_db stays null).
+std::atomic<bool> g_global_db_probed{false};
+
+void InstallGlobalTuneDbLocked(std::shared_ptr<TuneDb> db) {
+  g_global_db_resolved = true;
+  g_global_db.store(db.get(), std::memory_order_release);
+  g_global_db_owner = std::move(db);  // keeps the previous DB alive until here
+  g_global_db_probed.store(true, std::memory_order_release);
+}
+
+}  // namespace
+
+void SetGlobalTuneDb(std::shared_ptr<TuneDb> db) {
+  std::lock_guard<std::mutex> lock(g_global_db_mutex);
+  InstallGlobalTuneDbLocked(std::move(db));
+}
+
+TuneDb* GlobalTuneDb() {
+  if (g_global_db_probed.load(std::memory_order_acquire)) {
+    return g_global_db.load(std::memory_order_acquire);
+  }
+  std::lock_guard<std::mutex> lock(g_global_db_mutex);
+  if (!g_global_db_resolved) {
+    g_global_db_resolved = true;
+    if (const char* env = std::getenv("GMORPH_TUNE_DB"); env != nullptr && *env != '\0') {
+      auto db = std::make_shared<TuneDb>();
+      db->Load(env);
+      InstallGlobalTuneDbLocked(std::move(db));
+    }
+    g_global_db_probed.store(true, std::memory_order_release);
+  }
+  return g_global_db.load(std::memory_order_acquire);
+}
+
+}  // namespace gmorph::kernels

@@ -1,0 +1,106 @@
+// The persistent tuning DB: maps problem descriptors to autotuned solver
+// winners so warm processes plan at full speed without re-benchmarking.
+//
+// On-disk format ("gmorph-tunedb v1", text, one record per line):
+//
+//   gmorph-tunedb v1
+//   fingerprint <hex>
+//   entry op=gemm_nn m=8 k=27 n=1024 aux0=0 aux1=0 threads=4
+//         solver=gemm.direct gflops=10.5 ms=0.034   (one line on disk)
+//
+// Entries are content-addressed by the full problem descriptor (family, all
+// dims, thread count); the fingerprint line hashes the compiler, optimization
+// level, and target architecture, so a DB tuned by a different build is
+// ignored rather than trusted. Saves are atomic (tmp + rename), matching the
+// evaluation-cache discipline, and the default location sits next to the
+// eval cache ($GMORPH_CACHE_DIR, else gmorph_bench_cache/).
+//
+// Thread safety: Lookup takes a shared lock, Record an exclusive one, so a
+// serving process can keep resolving while an autotune pass records winners.
+// Entries are never erased and std::map nodes are address-stable, so pointers
+// returned by Lookup stay valid for the DB's lifetime.
+#ifndef GMORPH_SRC_KERNELS_TUNE_DB_H_
+#define GMORPH_SRC_KERNELS_TUNE_DB_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+
+#include "src/kernels/solver.h"
+
+namespace gmorph::kernels {
+
+inline constexpr char kTuneDbHeaderPrefix[] = "gmorph-tunedb";
+inline constexpr char kTuneDbHeader[] = "gmorph-tunedb v1";
+
+// Hash of the toolchain + target this binary was built with. Tuned winners
+// only transfer between identical builds.
+const std::string& BuildFingerprint();
+
+class TuneDb {
+ public:
+  struct Entry {
+    std::string solver;  // winner name, e.g. "gemm.packed"
+    double gflops = 0.0;
+    double ms = 0.0;
+    // Registry lookup cached when the entry is inserted; nullptr when the
+    // recorded name is unknown to this build (resolution then falls back to
+    // the heuristic).
+    const Solver* resolved = nullptr;
+  };
+
+  struct LoadStats {
+    bool ok = false;      // file opened and header parsed
+    int entries = 0;      // entries loaded
+    int skipped = 0;      // malformed or unresolvable lines dropped
+    bool fingerprint_mismatch = false;  // foreign build: entries ignored
+  };
+
+  TuneDb() = default;
+
+  // Loads `path`, dropping (not failing on) malformed lines; the strict
+  // linter lives in src/analysis/tunedb_verifier. A missing file is not an
+  // error — the DB just stays empty.
+  LoadStats Load(const std::string& path);
+
+  // Writes the full DB atomically (tmp + rename in the target directory).
+  bool Save(const std::string& path) const;
+
+  const Entry* Lookup(const ProblemDesc& desc) const;
+  bool Contains(const ProblemDesc& desc) const;
+  void Record(const ProblemDesc& desc, Entry entry);
+  int64_t size() const;
+  void ForEach(const std::function<void(const ProblemDesc&, const Entry&)>& fn) const;
+
+  TuneDb(const TuneDb&) = delete;
+  TuneDb& operator=(const TuneDb&) = delete;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::map<ProblemDesc, Entry> entries_;
+};
+
+// One entry line, both directions. Shared with the analysis-layer linter so
+// the loader and the verifier can never drift on the format.
+bool ParseTuneEntryLine(const std::string& line, ProblemDesc* desc, TuneDb::Entry* entry,
+                        std::string* error);
+std::string FormatTuneEntryLine(const ProblemDesc& desc, const TuneDb::Entry& entry);
+
+// DB location: `override_path` if non-empty, else $GMORPH_TUNE_DB, else
+// "<cache dir>/gmorph.tunedb" where the cache dir is $GMORPH_CACHE_DIR or
+// gmorph_bench_cache (the evaluation cache's resolution rule).
+std::string ResolveTuneDbPath(const std::string& override_path = "");
+
+// The DB kernel resolution consults. Starts null (pure heuristic dispatch);
+// the first call loads $GMORPH_TUNE_DB automatically when that is set, so
+// every binary honors a tuned DB without wiring. Reading is one atomic load.
+TuneDb* GlobalTuneDb();
+// Installs (or clears, with nullptr) the global DB. Tests and the CLI use
+// this; the shared_ptr keeps the previous DB alive until swapped out.
+void SetGlobalTuneDb(std::shared_ptr<TuneDb> db);
+
+}  // namespace gmorph::kernels
+
+#endif  // GMORPH_SRC_KERNELS_TUNE_DB_H_

@@ -5,7 +5,7 @@
 
 #include "src/common/check.h"
 #include "src/common/parallel_for.h"
-#include "src/tensor/scratch.h"
+#include "src/kernels/scratch.h"
 #include "src/tensor/tensor_ops.h"
 
 namespace gmorph {

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <set>
 #include <sstream>
 
 #include "src/analysis/plan_verifier.h"
 #include "src/common/check.h"
 #include "src/common/parallel_for.h"
+#include "src/kernels/registry.h"
 #include "src/obs/trace.h"
 #include "src/nn/blocks.h"
 #include "src/nn/linear.h"
@@ -64,6 +66,8 @@ FusedEngine::FusedEngine(MultiTaskModel* model, const Options& options)
     GMORPH_CHECK(head >= 0, "task " << t << " has no head");
     head_values_.push_back(node_value_[static_cast<size_t>(head)]);
   }
+
+  AnnotateSolvers();
 
   // Self-check the freshly built plan: always in debug builds, opt-in via
   // GMORPH_VERIFY=1 in release. A verifier error here is a planner bug, so it
@@ -485,6 +489,104 @@ int64_t FusedEngine::planned_bytes_per_sample() const {
 }
 
 // ---------------------------------------------------------------------------
+// Solver resolution
+// ---------------------------------------------------------------------------
+
+int FusedEngine::GroupThreads(int group) const {
+  if (options_.branch_parallel) {
+    // A group executes inside the branch-parallel ParallelFor iff some fork
+    // on its ancestor path has more than one child; kernels there degrade to
+    // serial via the nesting guard and must be keyed as threads=1.
+    for (int g = group; g > 0;) {
+      const int parent = groups_[static_cast<size_t>(g)].parent;
+      if (groups_[static_cast<size_t>(parent)].children.size() > 1) {
+        return 1;
+      }
+      g = parent;
+    }
+  }
+  return KernelThreads();
+}
+
+bool FusedEngine::StepProblemDesc(const Step& step, int64_t batch,
+                                  kernels::ProblemDesc* desc) const {
+  switch (step.kind) {
+    case OpKind::kConv: {
+      // The per-sample im2col GEMM of Conv2dForwardInto: W[O, C*KH*KW] times
+      // the column matrix [C*KH*KW, OH*OW]. It always runs inside the
+      // per-batch ParallelFor, i.e. in the serial nested regime.
+      const Shape& w = step.weight.shape();
+      const Shape& out = values_[static_cast<size_t>(step.out)].shape;
+      if (w.Rank() != 4 || out.Rank() != 3) {
+        return false;
+      }
+      desc->op = kernels::OpFamily::kGemmNN;
+      desc->m = w[0];
+      desc->k = w[1] * w[2] * w[3];
+      desc->n = out[1] * out[2];
+      desc->aux0 = desc->aux1 = 0;
+      desc->threads = 1;
+      return true;
+    }
+    case OpKind::kLinear: {
+      // LinearForwardInto flattens leading dims into rows, so m scales with
+      // the batch while k/n come from the weight.
+      const Shape& w = step.weight.shape();
+      if (w.Rank() != 2 || w[0] <= 0) {
+        return false;
+      }
+      const Shape& in = values_[static_cast<size_t>(step.in0)].shape;
+      desc->op = kernels::OpFamily::kGemmNN;
+      desc->m = batch * (in.NumElements() / w[0]);
+      desc->k = w[0];
+      desc->n = w[1];
+      desc->aux0 = desc->aux1 = 0;
+      desc->threads = GroupThreads(step.group);
+      return true;
+    }
+    case OpKind::kMaxPool: {
+      const Shape& in = values_[static_cast<size_t>(step.in0)].shape;
+      if (in.Rank() != 3) {
+        return false;
+      }
+      desc->op = kernels::OpFamily::kMaxPool;
+      desc->m = batch * in[0];
+      desc->k = in[1];
+      desc->n = in[2];
+      desc->aux0 = step.pool_kernel;
+      desc->aux1 = step.pool_stride;
+      desc->threads = GroupThreads(step.group);
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+void FusedEngine::AnnotateSolvers() {
+  const kernels::SolverRegistry& registry = kernels::SolverRegistry::Global();
+  for (Step& step : steps_) {
+    kernels::ProblemDesc desc;
+    if (!StepProblemDesc(step, /*batch=*/1, &desc)) {
+      continue;
+    }
+    step.solver = desc.op == kernels::OpFamily::kMaxPool ? registry.ResolvePool(desc)->name()
+                                                         : registry.ResolveGemm(desc)->name();
+  }
+}
+
+std::vector<kernels::ProblemDesc> FusedEngine::KernelProblems(int64_t batch) const {
+  std::set<kernels::ProblemDesc> dedup;
+  for (const Step& step : steps_) {
+    kernels::ProblemDesc desc;
+    if (StepProblemDesc(step, batch, &desc)) {
+      dedup.insert(desc);
+    }
+  }
+  return std::vector<kernels::ProblemDesc>(dedup.begin(), dedup.end());
+}
+
+// ---------------------------------------------------------------------------
 // Execution
 // ---------------------------------------------------------------------------
 
@@ -513,6 +615,20 @@ FusedEngine::Binding& FusedEngine::BindingFor(int64_t batch) {
           bind->buffers[static_cast<size_t>(val.buffer)].Reshape(val.shape.WithBatch(batch));
     }
   }
+  // Pin each linear step's GEMM solver once per (plan, batch): m scales with
+  // the batch, so the descriptor — and with it the tuned winner — can differ
+  // between bindings. Steady-state Run() then never touches the tuning DB.
+  bind->step_solvers.assign(steps_.size(), nullptr);
+  for (size_t s = 0; s < steps_.size(); ++s) {
+    const Step& step = steps_[s];
+    if (step.kind != OpKind::kLinear) {
+      continue;
+    }
+    kernels::ProblemDesc desc;
+    if (StepProblemDesc(step, batch, &desc)) {
+      bind->step_solvers[s] = kernels::SolverRegistry::Global().ResolveGemm(desc);
+    }
+  }
   Binding& ref = *bind;
   bindings_.emplace(batch, std::move(bind));
   return ref;
@@ -539,7 +655,7 @@ std::vector<Tensor> FusedEngine::Run(const Tensor& input) {
 
 void FusedEngine::ExecGroup(int group, Binding& bind) {
   for (int si : groups_[static_cast<size_t>(group)].steps) {
-    ExecStep(steps_[static_cast<size_t>(si)], bind);
+    ExecStep(si, bind);
   }
   const std::vector<int>& kids = groups_[static_cast<size_t>(group)].children;
   if (kids.empty()) {
@@ -561,7 +677,8 @@ void FusedEngine::ExecGroup(int group, Binding& bind) {
   }
 }
 
-void FusedEngine::ExecStep(Step& step, Binding& bind) {
+void FusedEngine::ExecStep(int seq, Binding& bind) {
+  Step& step = steps_[static_cast<size_t>(seq)];
   // Span both feeds the Perfetto trace (when enabled) and accumulates into the
   // per-step profile that Profile()/DumpPlan() report.
   obs::TraceSpan span(step.label, obs::TraceCat::kEngine, &step.seconds);
@@ -575,7 +692,8 @@ void FusedEngine::ExecStep(Step& step, Binding& bind) {
                         step.relu);
       break;
     case OpKind::kLinear:
-      LinearForwardInto(in, step.weight, step.bias, out, step.relu);
+      LinearForwardInto(in, step.weight, step.bias, out, step.relu,
+                        bind.step_solvers[static_cast<size_t>(seq)]);
       break;
     case OpKind::kMaxPool:
       MaxPool2dForwardInto(in, step.pool_kernel, step.pool_stride, out);
@@ -644,6 +762,9 @@ std::string FusedEngine::DumpPlan() const {
       os << "+v" << s.skip;
     }
     os << " -> v" << s.out << " " << out.shape.ToString();
+    if (!s.solver.empty()) {
+      os << " solver=" << s.solver;
+    }
     if (out.buffer >= 0) {
       os << " (buf" << out.buffer << (out.is_head ? ", head" : "") << ")";
     } else {
@@ -721,6 +842,7 @@ PlanIR FusedEngine::ExportPlan() const {
     ps.relu = s.relu;
     ps.pool_kernel = s.pool_kernel;
     ps.pool_stride = s.pool_stride;
+    ps.solver = s.solver;
     plan.steps.push_back(std::move(ps));
   }
   plan.groups.reserve(groups_.size());

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "src/analysis/plan_ir.h"
+#include "src/kernels/solver.h"
 #include "src/runtime/engine.h"
 #include "src/tensor/conv_ops.h"
 
@@ -92,6 +93,12 @@ class FusedEngine : public InferenceEngine {
   // builds, and in release builds when GMORPH_VERIFY=1 is set.
   PlanIR ExportPlan() const;
 
+  // The kernel problem descriptors this plan executes at the given batch
+  // size (deduplicated): the per-sample im2col GEMM of every conv step, the
+  // batched GEMM of every linear step, and every max-pool. This is the shape
+  // list `gmorph_cli --autotune` feeds the autotuner.
+  std::vector<kernels::ProblemDesc> KernelProblems(int64_t batch) const;
+
  private:
   enum class OpKind {
     kConv,           // folded conv (+skip add)(+ReLU) epilogue
@@ -138,6 +145,10 @@ class FusedEngine : public InferenceEngine {
     // kMaxPool
     int64_t pool_kernel = 0;
     int64_t pool_stride = 0;
+    // Solver resolved at plan time for the step's tunable kernel (per-sample
+    // descriptor); empty for step kinds without one. Exported with the plan
+    // so the PlanVerifier can lint applicability.
+    std::string solver;
     // kModule
     Module* module = nullptr;
     // Profiling accumulators (each step is executed by one thread at a time).
@@ -163,6 +174,10 @@ class FusedEngine : public InferenceEngine {
   struct Binding {
     std::vector<Tensor> buffers;
     std::vector<Tensor> values;
+    // Per-step GEMM solver pinned at binding time (kLinear only; nullptr for
+    // other kinds). Resolving once per (plan, batch) keeps the steady-state
+    // Run() free of tuning-DB lookups.
+    std::vector<const kernels::GemmSolver*> step_solvers;
   };
 
   // ---- Construction passes ----
@@ -174,11 +189,21 @@ class FusedEngine : public InferenceEngine {
   void RecordUse(int value, int seq, int group);
   void PlanBuffers();
   bool HappensBefore(const std::pair<int, int>& event, int seq, int group) const;
+  // Parallelism a step in `group` runs under: 1 inside a branch-parallel
+  // fork (kernels nest to serial there), the kernel pool width otherwise.
+  int GroupThreads(int group) const;
+  // Fills `desc` with the step's tunable-kernel descriptor at `batch`
+  // (kConv: the per-sample im2col GEMM; kLinear: the batched GEMM; kMaxPool:
+  // the pool). Returns false for step kinds without one.
+  bool StepProblemDesc(const Step& step, int64_t batch, kernels::ProblemDesc* desc) const;
+  // Records each step's registry-resolved solver name (tuned winner when a
+  // tuning DB is loaded, heuristic default otherwise) at batch 1.
+  void AnnotateSolvers();
 
   // ---- Execution ----
   Binding& BindingFor(int64_t batch);
   void ExecGroup(int group, Binding& bind);
-  void ExecStep(Step& step, Binding& bind);
+  void ExecStep(int seq, Binding& bind);
   int ResolveAlias(int value) const;
 
   MultiTaskModel* model_;

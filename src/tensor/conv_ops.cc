@@ -6,7 +6,9 @@
 
 #include "src/common/check.h"
 #include "src/common/parallel_for.h"
-#include "src/tensor/scratch.h"
+#include "src/kernels/registry.h"
+#include "src/kernels/scratch.h"
+#include "src/kernels/solver.h"
 #include "src/tensor/tensor_ops.h"
 
 namespace gmorph {
@@ -258,26 +260,12 @@ void MaxPool2dForwardInto(const Tensor& x, int64_t kernel, int64_t stride, Tenso
   const int64_t oh = ConvOutDim(h, kernel, stride, 0);
   const int64_t ow = ConvOutDim(w, kernel, stride, 0);
   GMORPH_CHECK(out.shape() == Shape({x.shape()[0], x.shape()[1], oh, ow}));
-  const float* px = x.data();
-  float* po = out.data();
-  ParallelFor(0, x.shape()[0] * x.shape()[1], ItemGrain(oh * ow), [&](int64_t lo, int64_t hi) {
-    for (int64_t p = lo; p < hi; ++p) {
-      const float* plane = px + p * h * w;
-      int64_t oi = p * oh * ow;
-      for (int64_t oy = 0; oy < oh; ++oy) {
-        for (int64_t ox = 0; ox < ow; ++ox, ++oi) {
-          float best = -std::numeric_limits<float>::infinity();
-          for (int64_t ky = 0; ky < kernel; ++ky) {
-            const float* row = plane + (oy * stride + ky) * w + ox * stride;
-            for (int64_t kx = 0; kx < kernel; ++kx) {
-              best = std::max(best, row[kx]);
-            }
-          }
-          po[oi] = best;
-        }
-      }
-    }
-  });
+  // Inference pooling routes through the solver registry (pool.generic /
+  // pool.2x2s2); the training path above keeps its argmax-tracking loop.
+  const kernels::ProblemDesc desc =
+      kernels::PoolProblem(x.shape()[0] * x.shape()[1], h, w, kernel, stride);
+  const kernels::PoolSolver* solver = kernels::SolverRegistry::Global().ResolvePool(desc);
+  solver->Run(desc, kernels::PoolCall{x.data(), out.data()});
 }
 
 Tensor MaxPool2dBackward(const Shape& input_shape, const Tensor& grad_out,

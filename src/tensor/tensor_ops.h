@@ -6,20 +6,20 @@
 //   grad in:   dX = dY * W^T        -> MatmulNT
 //   grad w:    dW = X^T * dY        -> MatmulTN
 //
-// Each variant dispatches by shape (see tensor_ops.cc):
-//   - wide N:  register-tiled micro-kernel (6x32 / 4x32), either directly on
-//     the operands when the working set is cache-resident or through the
-//     cache-blocked MC/KC/NC path with panels packed into thread-local
-//     scratch; row blocks run in parallel via ParallelFor.
-//   - narrow N, deep K: a lane-vectorized dot-product kernel over a packed
-//     B^T, parallel over output rows.
-//   - tiny problems: the retained reference loops below.
-// All paths produce results that are bitwise independent of the thread count.
+// Each variant resolves its implementation through the kernel solver
+// registry (src/kernels/registry.h): the tuned winner when a tuning DB is
+// loaded (GMORPH_TUNE_DB / gmorph_cli --autotune), otherwise a shape
+// heuristic choosing among the registered solvers — the register-tiled
+// direct path for wide cache-resident products, the cache-blocked packed
+// path for large wide products, the lane-vectorized dot path for narrow N,
+// and the reference loops for tiny problems. All solvers produce results
+// that are bitwise independent of the thread count.
 #ifndef GMORPH_SRC_TENSOR_TENSOR_OPS_H_
 #define GMORPH_SRC_TENSOR_TENSOR_OPS_H_
 
 #include <cstdint>
 
+#include "src/kernels/solver.h"
 #include "src/tensor/tensor.h"
 
 namespace gmorph {
@@ -44,15 +44,12 @@ void MatmulNT(const float* a, const float* b, float* c, int64_t m, int64_t n, in
 void MatmulTN(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n,
               bool accumulate = false);
 
-// Naive reference GEMMs (the pre-blocking kernels). Retained as the oracle
-// for the randomized cross-check tests, as the tiny-problem fast path, and as
-// the baseline the micro_ops bench reports speedups against.
-void RefMatmulNN(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n,
-                 bool accumulate = false);
-void RefMatmulNT(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
-                 bool accumulate = false);
-void RefMatmulTN(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n,
-                 bool accumulate = false);
+// Naive reference GEMMs (the pre-blocking kernels), now living in the solver
+// registry as "gemm.ref". Re-exported here because tests and benches use them
+// as the oracle for randomized cross-checks and as the speedup baseline.
+using kernels::RefMatmulNN;
+using kernels::RefMatmulNT;
+using kernels::RefMatmulTN;
 
 // ---- Tensor-level matmul: a is (m,k), b is (k,n) ----
 Tensor Matmul(const Tensor& a, const Tensor& b);
@@ -61,8 +58,10 @@ Tensor Matmul(const Tensor& a, const Tensor& b);
 // (+ ReLU), written into the preallocated `out`. x is (rows..., in) with
 // leading dims flattened into rows; w is (in, out) row-major; b is (out) or
 // empty. The bias/ReLU epilogue runs row-blocked while rows are cache-hot.
+// `solver` pins the GEMM solver (the fused engine caches the plan-time
+// resolution per binding); nullptr resolves through the registry per call.
 void LinearForwardInto(const Tensor& x, const Tensor& w, const Tensor& b, Tensor& out,
-                       bool relu = false);
+                       bool relu = false, const kernels::GemmSolver* solver = nullptr);
 
 // ---- Softmax over the last dimension ----
 Tensor SoftmaxLastDim(const Tensor& x);

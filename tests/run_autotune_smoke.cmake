@@ -1,0 +1,77 @@
+# End-to-end autotuning smoke: a cold `gmorph_cli --autotune` must benchmark
+# solvers and write a tuning DB, the DB must pass `gmorph_cli --verify`, and a
+# warm rerun against the populated DB must perform ZERO tuning benchmarks
+# (the kernels.autotune_benchmarks counter in the metrics snapshot is the
+# acceptance check — warm processes plan at full speed).
+#
+# Invoked by ctest as:
+#   cmake -DCLI=<gmorph_cli> -DCFG=<cli_trace_smoke.cfg> -DOUT_DIR=<dir>
+#         -P run_autotune_smoke.cmake
+
+set(TUNE_DB "${OUT_DIR}/autotune_smoke.tunedb")
+set(COLD_METRICS "${OUT_DIR}/autotune_cold_metrics.json")
+set(WARM_METRICS "${OUT_DIR}/autotune_warm_metrics.json")
+file(REMOVE "${TUNE_DB}" "${COLD_METRICS}" "${WARM_METRICS}")
+
+# Cold run: no DB yet, so every shape must be benchmarked.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+          "GMORPH_TUNE_DB=${TUNE_DB}" "GMORPH_METRICS=${COLD_METRICS}"
+          "${CLI}" "--autotune" "${CFG}"
+  RESULT_VARIABLE cold_rc
+  OUTPUT_VARIABLE cold_out
+  ERROR_VARIABLE cold_err)
+if(NOT cold_rc EQUAL 0)
+  message(FATAL_ERROR "cold --autotune exited ${cold_rc}:\n${cold_out}\n${cold_err}")
+endif()
+if(NOT EXISTS "${TUNE_DB}")
+  message(FATAL_ERROR "--autotune did not write ${TUNE_DB}")
+endif()
+if(NOT cold_out MATCHES "tuned ([1-9][0-9]*) shape")
+  message(FATAL_ERROR "cold --autotune tuned nothing:\n${cold_out}")
+endif()
+
+file(READ "${COLD_METRICS}" cold_metrics)
+if(NOT cold_metrics MATCHES "\"kernels.autotune_benchmarks\":([0-9]+)")
+  message(FATAL_ERROR "cold metrics missing kernels.autotune_benchmarks:\n${cold_metrics}")
+endif()
+if(CMAKE_MATCH_1 EQUAL 0)
+  message(FATAL_ERROR "cold run reported zero solver benchmarks:\n${cold_metrics}")
+endif()
+
+# The written DB must pass the strict linter.
+execute_process(
+  COMMAND "${CLI}" "--verify" "${TUNE_DB}"
+  RESULT_VARIABLE verify_rc
+  OUTPUT_VARIABLE verify_out
+  ERROR_VARIABLE verify_err)
+if(NOT verify_rc EQUAL 0)
+  message(FATAL_ERROR "--verify rejected the tuned DB (${verify_rc}):\n${verify_out}\n${verify_err}")
+endif()
+
+# Warm run: every shape is already tuned, so zero benchmarks may run.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+          "GMORPH_TUNE_DB=${TUNE_DB}" "GMORPH_METRICS=${WARM_METRICS}"
+          "${CLI}" "--autotune" "${CFG}"
+  RESULT_VARIABLE warm_rc
+  OUTPUT_VARIABLE warm_out
+  ERROR_VARIABLE warm_err)
+if(NOT warm_rc EQUAL 0)
+  message(FATAL_ERROR "warm --autotune exited ${warm_rc}:\n${warm_out}\n${warm_err}")
+endif()
+if(NOT warm_out MATCHES "tuned 0 shape")
+  message(FATAL_ERROR "warm --autotune re-tuned shapes instead of reusing:\n${warm_out}")
+endif()
+
+file(READ "${WARM_METRICS}" warm_metrics)
+if(NOT warm_metrics MATCHES "\"kernels.autotune_benchmarks\":([0-9]+)")
+  message(FATAL_ERROR "warm metrics missing kernels.autotune_benchmarks:\n${warm_metrics}")
+endif()
+if(NOT CMAKE_MATCH_1 EQUAL 0)
+  message(FATAL_ERROR
+          "warm run performed ${CMAKE_MATCH_1} solver benchmarks; expected zero:\n${warm_metrics}")
+endif()
+if(NOT warm_metrics MATCHES "kernels.autotune_cached")
+  message(FATAL_ERROR "warm metrics missing kernels.autotune_cached:\n${warm_metrics}")
+endif()

@@ -6,6 +6,7 @@
 //   gmorph_cli [--trace <out.json>] [--metrics <out.json>] <config-file>
 //   gmorph_cli --resume <checkpoint> <config-file>
 //   gmorph_cli --dump-plan <config-file>
+//   gmorph_cli --autotune <config-file>
 //   gmorph_cli --verify <file>
 //   gmorph_cli --print-default-config
 //
@@ -25,6 +26,15 @@
 // planner, and prints the plan (steps, buffer assignment, groups) plus a
 // per-step latency profile at the configured batch size.
 //
+// --autotune benchmarks every applicable kernel solver on each problem shape
+// the configured benchmark's execution plan runs (conv im2col GEMMs, linear
+// GEMMs, max-pools, at batch 1 and the configured batch_size) and records the
+// winners in the tuning DB. The DB location is the config key `tune_db`, else
+// $GMORPH_TUNE_DB, else <cache dir>/gmorph.tunedb next to the eval cache.
+// Already-tuned shapes are reused, so re-running against a warm DB performs
+// zero benchmarks. Any later run with GMORPH_TUNE_DB pointing at the file
+// (or the default location) resolves kernels through the tuned winners.
+//
 // --verify lints a file through the static-analysis passes and exits nonzero
 // on any error diagnostic. The file kind is sniffed:
 //   - a binary .gmorph graph: GraphVerifier (with serializer round-trip),
@@ -35,6 +45,8 @@
 //     trained graphs, fingerprint agreement — cache.* rules);
 //   - a `gmorph-checkpoint v1` file: checkpoint decoder (ckpt.* rules plus
 //     embedded-graph io.*/graph.* findings);
+//   - a `gmorph-tunedb v1` file: tuning-DB linter (tune.* rules — entry
+//     grammar, solver registration, shape applicability, duplicates);
 //   - otherwise a config file: the configured benchmark's graph (or its
 //     input_graph) is built and verified as above.
 // Exit codes: 0 clean, 1 diagnostics with errors, 2 unreadable input.
@@ -45,12 +57,14 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "src/analysis/graph_verifier.h"
 #include "src/analysis/plan_io.h"
 #include "src/analysis/plan_verifier.h"
+#include "src/analysis/tunedb_verifier.h"
 #include "src/common/check.h"
 #include "src/common/config.h"
 #include "src/common/logging.h"
@@ -63,6 +77,8 @@
 #include "src/core/search_checkpoint.h"
 #include "src/data/benchmarks.h"
 #include "src/data/teacher.h"
+#include "src/kernels/autotune.h"
+#include "src/kernels/tune_db.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/runtime/fused_engine.h"
@@ -106,40 +122,59 @@ search_threads = 1
 use_eval_cache = false
 cache_dir =
 
+# Kernel autotuning (`gmorph_cli --autotune`): solver winners are written
+# here and picked up by any run via GMORPH_TUNE_DB. Empty resolves
+# $GMORPH_TUNE_DB, then <cache dir>/gmorph.tunedb.
+tune_db =
+
 # Checkpoint/resume: write a resumable checkpoint every N iterations (and at
 # search end); continue with `gmorph_cli --resume <checkpoint> <config>`.
 checkpoint_path =
 checkpoint_every = 0
 )";
 
-// Lowers the configured benchmark (or a saved fused graph) into an execution
-// plan and prints it with a per-step profile. No search, no teacher training.
-int DumpPlanMode(const gmorph::Config& config) {
+// Builds the configured benchmark's multi-task graph, or loads the fused
+// graph named by `input_graph`. Fills a one-line description for banners.
+bool BuildConfiguredGraph(const gmorph::Config& config, gmorph::AbsGraph* graph,
+                          std::string* label) {
   using namespace gmorph;
   const int bench_index = static_cast<int>(config.GetInt("benchmark", 1));
+  const std::string graph_path = config.GetString("input_graph", "");
+  if (!graph_path.empty()) {
+    if (!LoadGraph(graph_path, *graph)) {
+      std::fprintf(stderr, "failed to load %s\n", graph_path.c_str());
+      return false;
+    }
+    *label = "fused graph " + graph_path + " (benchmark B" + std::to_string(bench_index) + ")";
+    return true;
+  }
   BenchmarkScale scale;
   scale.train_size = 1;  // datasets are unused here; keep materialization cheap
   scale.test_size = 1;
   scale.cnn_width = config.GetInt("cnn_width", 8);
   const uint64_t seed = static_cast<uint64_t>(config.GetInt("seed", 42));
   BenchmarkDef def = MakeBenchmark(bench_index, scale, seed);
-
-  AbsGraph graph;
-  const std::string graph_path = config.GetString("input_graph", "");
-  if (!graph_path.empty()) {
-    if (!LoadGraph(graph_path, graph)) {
-      std::fprintf(stderr, "failed to load %s\n", graph_path.c_str());
-      return 2;
-    }
-    std::printf("plan for fused graph %s (benchmark B%d)\n", graph_path.c_str(), bench_index);
-  } else {
-    std::vector<ModelSpec> specs;
-    for (const auto& task : def.tasks) {
-      specs.push_back(task.model);
-    }
-    graph = ParseModelSpecs(specs);
-    std::printf("plan for unfused benchmark B%d (%zu tasks)\n", bench_index, def.tasks.size());
+  std::vector<ModelSpec> specs;
+  for (const auto& task : def.tasks) {
+    specs.push_back(task.model);
   }
+  *graph = ParseModelSpecs(specs);
+  *label = "unfused benchmark B" + std::to_string(bench_index) + " (" +
+           std::to_string(def.tasks.size()) + " tasks)";
+  return true;
+}
+
+// Lowers the configured benchmark (or a saved fused graph) into an execution
+// plan and prints it with a per-step profile. No search, no teacher training.
+int DumpPlanMode(const gmorph::Config& config) {
+  using namespace gmorph;
+  const uint64_t seed = static_cast<uint64_t>(config.GetInt("seed", 42));
+  AbsGraph graph;
+  std::string label;
+  if (!BuildConfiguredGraph(config, &graph, &label)) {
+    return 2;
+  }
+  std::printf("plan for %s\n", label.c_str());
 
   Rng rng(seed);
   MultiTaskModel model(graph, rng);
@@ -163,6 +198,64 @@ int DumpPlanMode(const gmorph::Config& config) {
                 static_cast<long long>(step.calls), step.total_ms);
   }
   std::printf("  %-32s %8.3f ms total step time\n", "", total_ms);
+  return 0;
+}
+
+// Benchmarks the applicable solvers on every kernel shape the configured
+// plan executes and records the winners in the tuning DB (see usage comment).
+int AutotuneMode(const gmorph::Config& config) {
+  using namespace gmorph;
+  const uint64_t seed = static_cast<uint64_t>(config.GetInt("seed", 42));
+  AbsGraph graph;
+  std::string label;
+  if (!BuildConfiguredGraph(config, &graph, &label)) {
+    return 2;
+  }
+  Rng rng(seed);
+  MultiTaskModel model(graph, rng);
+  FusedEngine engine(&model);
+
+  // Tune both the per-sample descriptors (what plan annotation resolves) and
+  // the configured batch (what Run() bindings resolve); convs are
+  // batch-independent so the union stays small.
+  const int64_t batch = config.GetInt("batch_size", 1);
+  std::set<kernels::ProblemDesc> dedup;
+  for (const kernels::ProblemDesc& d : engine.KernelProblems(1)) {
+    dedup.insert(d);
+  }
+  if (batch != 1) {
+    for (const kernels::ProblemDesc& d : engine.KernelProblems(batch)) {
+      dedup.insert(d);
+    }
+  }
+  const std::vector<kernels::ProblemDesc> descs(dedup.begin(), dedup.end());
+
+  const std::string db_path = kernels::ResolveTuneDbPath(config.GetString("tune_db", ""));
+  auto db = std::make_shared<kernels::TuneDb>();
+  const kernels::TuneDb::LoadStats loaded = db->Load(db_path);
+  std::printf("autotuning %s: %zu shapes, db %s (%d prior entries)\n", label.c_str(),
+              descs.size(), db_path.c_str(), loaded.entries);
+
+  kernels::AutotuneOptions opts;
+  opts.warmup = static_cast<int>(config.GetInt("autotune_warmup", 1));
+  opts.repeats = static_cast<int>(config.GetInt("autotune_repeats", 5));
+  opts.force = config.GetBool("autotune_force", false);
+  int tuned = 0;
+  int reused = 0;
+  for (const kernels::TuneResult& r : kernels::TuneProblems(descs, *db, opts)) {
+    std::printf("  %-52s -> %-12s %8.2f GF/s%s\n", kernels::ProblemKey(r.desc).c_str(),
+                r.winner.c_str(), r.winner_gflops, r.reused ? " (cached)" : "");
+    ++(r.reused ? reused : tuned);
+  }
+  if (!db->Save(db_path)) {
+    std::fprintf(stderr, "failed to write tuning DB %s\n", db_path.c_str());
+    return 2;
+  }
+  // Later work in this process (and tests driving the CLI in-process) should
+  // resolve through the freshly tuned winners immediately.
+  kernels::SetGlobalTuneDb(db);
+  std::printf("tuned %d shape(s), reused %d, %lld total entries -> %s\n", tuned, reused,
+              static_cast<long long>(db->size()), db_path.c_str());
   return 0;
 }
 
@@ -213,6 +306,9 @@ int VerifyMode(const std::string& path) {
   }
   if (head.rfind("gmorph-checkpoint", 0) == 0) {
     return ReportDiagnostics(VerifyCheckpointFile(path));
+  }
+  if (head.rfind(kernels::kTuneDbHeaderPrefix, 0) == 0) {
+    return ReportDiagnostics(VerifyTuneDbFile(path));
   }
   if (head.rfind("GMORPHG", 0) == 0 ||
       (head.size() >= 8 && head.compare(0, 8, "1GHPROMG") == 0)) {
@@ -292,16 +388,18 @@ int main(int argc, char** argv) {
     return 0;
   }
   const bool dump_plan = argc == 3 && std::strcmp(argv[1], "--dump-plan") == 0;
+  const bool autotune = argc == 3 && std::strcmp(argv[1], "--autotune") == 0;
   const bool verify = argc == 3 && std::strcmp(argv[1], "--verify") == 0;
   const bool resume = argc == 4 && std::strcmp(argv[1], "--resume") == 0;
-  if (argc != 2 && !dump_plan && !verify && !resume) {
+  if (argc != 2 && !dump_plan && !autotune && !verify && !resume) {
     std::fprintf(stderr,
                  "usage: %s [--trace <out.json>] [--metrics <out.json>] <config-file>\n"
                  "       %s --resume <checkpoint> <config-file>\n"
-                 "       %s --dump-plan <config-file>\n       %s "
-                 "--verify <graph|plan|config|evalcache|checkpoint>\n"
+                 "       %s --dump-plan <config-file>\n"
+                 "       %s --autotune <config-file>\n       %s "
+                 "--verify <graph|plan|config|evalcache|checkpoint|tunedb>\n"
                  "       %s --print-default-config > gmorph.cfg\n",
-                 argv[0], argv[0], argv[0], argv[0], argv[0]);
+                 argv[0], argv[0], argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }
   if (verify) {
@@ -315,7 +413,7 @@ int main(int argc, char** argv) {
 
   Config config;
   try {
-    config = Config::FromFile(argv[resume ? 3 : dump_plan ? 2 : 1]);
+    config = Config::FromFile(argv[resume ? 3 : (dump_plan || autotune) ? 2 : 1]);
   } catch (const CheckError& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;
@@ -346,9 +444,9 @@ int main(int argc, char** argv) {
     SetKernelThreads(kernel_threads);
   }
 
-  if (dump_plan) {
+  if (dump_plan || autotune) {
     try {
-      return DumpPlanMode(config);
+      return dump_plan ? DumpPlanMode(config) : AutotuneMode(config);
     } catch (const CheckError& e) {
       std::fprintf(stderr, "%s\n", e.what());
       return 2;
