@@ -13,6 +13,12 @@
 // GMORPH_NUM_THREADS controls the kernel thread count; run with 1 and N to
 // compare threading scale.
 //
+// --dtype f32|int8 filters which precision's benches run. The int8 lines
+// (qgemm_nn_*) benchmark the registry-resolved u8·s8 solver against the f32
+// packed path at the same shape and report the effective memory traffic of
+// both (`traffic_bytes` / `f32_traffic_bytes` / `traffic_ratio`), so the JSON
+// shows the bandwidth win as well as GFLOP/s.
+//
 // --sweep-solvers switches to the solver-registry sweep: every registered
 // GEMM solver is benchmarked (autotuner timing path) on each model shape for
 // all three variants, one JSON line per (shape, solver) plus a
@@ -156,6 +162,62 @@ constexpr GemmShape kGemmShapes[] = {
     {"vgg_c1", 8, 27, 1024},   {"vgg_c3", 16, 72, 256},  {"vgg_c8", 64, 288, 16},
 };
 
+// Int8 u8·s8 -> s32 GEMM against the f32 packed solver at the same shape
+// (solver vs solver — not MatmulNN, whose dispatch may pick a different f32
+// winner per shape). The f32-packed comparison is the acceptance bar for the
+// quantized engine path, so the line reports it as `speedup` directly;
+// `traffic_bytes` is the effective memory traffic of one product (u8 A + s8 B
+// + s32 C vs all-f32), which is where int8 actually wins on bandwidth-bound
+// shapes.
+void BenchQGemm(Rng& rng, const char* name, int64_t m, int64_t k, int64_t n) {
+  std::vector<uint8_t> a(static_cast<size_t>(m * k));
+  std::vector<int8_t> b(static_cast<size_t>(k * n));
+  std::vector<int32_t> c(static_cast<size_t>(m * n));
+  for (uint8_t& v : a) {
+    v = static_cast<uint8_t>(rng.NextInt(256));
+  }
+  for (int8_t& v : b) {
+    v = static_cast<int8_t>(rng.NextIntRange(-127, 127));
+  }
+  Tensor a32 = Tensor::RandomGaussian(Shape{m, k}, rng);
+  Tensor b32 = Tensor::RandomGaussian(Shape{k, n}, rng);
+  Tensor c32(Shape{m, n});
+
+  const kernels::SolverRegistry& registry = kernels::SolverRegistry::Global();
+  const kernels::ProblemDesc desc = kernels::QGemmProblem(m, k, n);
+  const kernels::ProblemDesc f32_desc =
+      kernels::GemmProblem(kernels::OpFamily::kGemmNN, m, k, n);
+  const kernels::QGemmSolver* solver = registry.ResolveQGemm(desc);
+  const kernels::GemmSolver* f32_solver = registry.FindGemm("gemm.packed");
+  const kernels::QGemmCall call{a.data(), b.data(), c.data()};
+  const kernels::GemmCall f32_call =
+      kernels::MakeGemmCall(f32_desc, a32.data(), b32.data(), c32.data(), false);
+  BenchResult q = Run([&] { solver->Run(desc, call); });
+  BenchResult f32 = Run([&] { f32_solver->Run(f32_desc, f32_call); });
+
+  const double flops = 2.0 * m * k * n;
+  const double gf = flops / q.seconds_per_iter / 1e9;
+  const double f32_gf = flops / f32.seconds_per_iter / 1e9;
+  const int64_t traffic = m * k + k * n + m * n * 4;        // u8 + s8 + s32
+  const int64_t f32_traffic = (m * k + k * n + m * n) * 4;  // all f32
+  char shape[96];
+  std::snprintf(shape, sizeof(shape), "%lldx%lldx%lld", static_cast<long long>(m),
+                static_cast<long long>(k), static_cast<long long>(n));
+  bench::EmitJsonLine(bench::Json()
+                          .Set("op", std::string("qgemm_nn_") + name)
+                          .Set("shape", shape)
+                          .Set("dtype", "int8")
+                          .Set("solver", solver->name())
+                          .Set("gflops", gf, 2)
+                          .Set("f32_gflops", f32_gf, 2)
+                          .Set("speedup", f32_gf > 0.0 ? gf / f32_gf : 0.0, 2)
+                          .Set("traffic_bytes", traffic)
+                          .Set("f32_traffic_bytes", f32_traffic)
+                          .Set("traffic_ratio",
+                               static_cast<double>(f32_traffic) / static_cast<double>(traffic), 2)
+                          .Set("bytes_per_op", q.bytes_per_iter));
+}
+
 // Benchmarks every applicable solver per (shape, GEMM variant) through the
 // autotuner's timing path and reports each candidate plus the selection.
 void SweepSolvers() {
@@ -199,32 +261,58 @@ void SweepSolvers() {
   }
 }
 
-void Main() {
+void Main(const std::string& dtype_filter) {
   Rng rng(42);
   bench::EmitJsonLine(bench::Json().Set("config", "kernel_threads").Set("value", KernelThreads()));
+  const bool run_f32 = dtype_filter.empty() || dtype_filter == "f32";
+  const bool run_int8 = dtype_filter.empty() || dtype_filter == "int8";
 
   // Square GEMM plus the scaled model shapes from the zoo:
   //   ViT (dim 32, 4 heads, 17 tokens): qkv (17,32,96), mlp (17,32,64)
   //   VGG (base width 8, 32x32 input): im2col GEMMs o x ckk x oh*ow
-  for (const GemmShape& shape : kGemmShapes) {
-    BenchGemm(rng, shape.name, shape.m, shape.k, shape.n);
+  if (run_f32) {
+    for (const GemmShape& shape : kGemmShapes) {
+      BenchGemm(rng, shape.name, shape.m, shape.k, shape.n);
+    }
+
+    BenchConv(rng, "vgg_first", 8, 3, 32, 8, 3, 1, 1);
+    BenchConv(rng, "vgg_mid", 8, 16, 16, 32, 3, 1, 1);
+    BenchConv(rng, "resnet_stride", 8, 16, 16, 32, 3, 2, 1);
+
+    BenchAttention(rng, 8, 17, 32, 4);
   }
 
-  BenchConv(rng, "vgg_first", 8, 3, 32, 8, 3, 1, 1);
-  BenchConv(rng, "vgg_mid", 8, 16, 16, 32, 3, 1, 1);
-  BenchConv(rng, "resnet_stride", 8, 16, 16, 32, 3, 2, 1);
-
-  BenchAttention(rng, 8, 17, 32, 4);
+  if (run_int8) {
+    for (const GemmShape& shape : kGemmShapes) {
+      BenchQGemm(rng, shape.name, shape.m, shape.k, shape.n);
+    }
+  }
 }
 
 }  // namespace
 }  // namespace gmorph
 
 int main(int argc, char** argv) {
-  if (argc > 1 && std::strcmp(argv[1], "--sweep-solvers") == 0) {
+  std::string dtype_filter;
+  bool sweep = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sweep-solvers") == 0) {
+      sweep = true;
+    } else if (std::strcmp(argv[i], "--dtype") == 0 && i + 1 < argc) {
+      dtype_filter = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--sweep-solvers] [--dtype f32|int8]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (!dtype_filter.empty() && dtype_filter != "f32" && dtype_filter != "int8") {
+    std::fprintf(stderr, "unknown --dtype '%s' (want f32 or int8)\n", dtype_filter.c_str());
+    return 2;
+  }
+  if (sweep) {
     gmorph::SweepSolvers();
     return 0;
   }
-  gmorph::Main();
+  gmorph::Main(dtype_filter);
   return 0;
 }

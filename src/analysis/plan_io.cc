@@ -234,6 +234,13 @@ class Parser {
         s.label = f.value;
       } else if (f.key == "solver" && !f.value.empty()) {
         s.solver = f.value;
+      } else if (f.key == "dtype") {
+        // Optional: plans written before quantization carry no token and
+        // default to f32.
+        if (!kernels::DTypeFromName(f.value, &s.dtype)) {
+          Err(lineno) << "unknown dtype '" << f.value << "'";
+          return;
+        }
       } else if (f.key == "relu" && f.value.empty()) {
         s.relu = true;
       } else {
@@ -393,6 +400,9 @@ void PlanToText(const PlanIR& plan, std::ostream& out) {
     }
     if (!step.solver.empty()) {
       out << " solver=" << step.solver;  // registry names contain no spaces
+    }
+    if (step.dtype != kernels::DType::kF32) {
+      out << " dtype=" << kernels::DTypeName(step.dtype);
     }
     if (step.relu) {
       out << " relu";

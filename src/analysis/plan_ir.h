@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/kernels/solver.h"
 #include "src/tensor/shape.h"
 
 namespace gmorph {
@@ -62,6 +63,11 @@ struct PlanStep {
   // empty for untuned/legacy plans and for step kinds without a tunable
   // kernel. For kConv this names the solver of the per-sample im2col GEMM.
   std::string solver;
+  // Execution precision of the step's kernel. kInt8 marks a quantized
+  // conv/linear step: its GEMM is the u8·s8 product and — for kConv — runs in
+  // the transposed orientation (rows = output pixels), which CheckSolvers
+  // accounts for. f32 plans serialize without a dtype token (back-compat).
+  kernels::DType dtype = kernels::DType::kF32;
 };
 
 // A maximal chain: steps run in listed order, then children fork (possibly in

@@ -484,6 +484,7 @@ class PlanChecker {
       const Shape& in = plan_.values[static_cast<size_t>(step.in0)].shape;
       const Shape& out = plan_.values[static_cast<size_t>(step.out)].shape;
       kernels::ProblemDesc desc;
+      desc.dtype = step.dtype;
       desc.threads = 1;
       switch (step.kind) {
         case PlanOp::kConv: {
@@ -492,9 +493,16 @@ class PlanChecker {
             continue;  // malformed signature already reported by plan.shape.*
           }
           desc.op = kernels::OpFamily::kGemmNN;
-          desc.m = w[0];
-          desc.k = w[1] * w[2] * w[3];
-          desc.n = out[1] * out[2];
+          if (step.dtype == kernels::DType::kInt8) {
+            // Quantized convs run transposed: col_u8[S, CKK] · Wt_s8[CKK, O].
+            desc.m = out[1] * out[2];
+            desc.k = w[1] * w[2] * w[3];
+            desc.n = w[0];
+          } else {
+            desc.m = w[0];
+            desc.k = w[1] * w[2] * w[3];
+            desc.n = out[1] * out[2];
+          }
           break;
         }
         case PlanOp::kLinear: {
@@ -526,14 +534,17 @@ class PlanChecker {
               << "solver '" << step.solver << "'";
           continue;
       }
-      const kernels::Solver* solver =
-          desc.op == kernels::OpFamily::kMaxPool
-              ? static_cast<const kernels::Solver*>(registry.FindPool(step.solver))
-              : static_cast<const kernels::Solver*>(registry.FindGemm(step.solver));
+      if (desc.dtype == kernels::DType::kInt8 && desc.op != kernels::OpFamily::kGemmNN) {
+        diags_.Error("plan.solver.dtype", path)
+            << "dtype int8 is only defined for conv/linear GEMM steps, not "
+            << PlanOpName(step.kind);
+        continue;
+      }
+      const kernels::Solver* solver = registry.FindForDesc(desc, step.solver);
       if (solver == nullptr) {
         diags_.Error("plan.solver.unknown", path)
             << "solver '" << step.solver << "' is not registered for "
-            << kernels::OpFamilyName(desc.op);
+            << kernels::OpFamilyName(desc.op) << " " << kernels::DTypeName(desc.dtype);
         continue;
       }
       if (!solver->IsApplicable(desc)) {

@@ -1,0 +1,105 @@
+#include "src/analysis/quant_verifier.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "src/quant/recipe.h"
+
+namespace gmorph {
+namespace {
+
+std::string LinePath(int lineno) { return "line " + std::to_string(lineno); }
+
+// The shared parser rejects an out-of-range in_zp with a generic field error.
+// Recover the specific token so the finding can carry the quant.zp rule id
+// instead of the catch-all quant.entry.
+bool ExtractBadZeroPoint(const std::string& line, long long* zp) {
+  const size_t pos = line.find("in_zp=");
+  if (pos == std::string::npos) {
+    return false;
+  }
+  const char* start = line.c_str() + pos + 6;
+  char* end = nullptr;
+  const long long v = std::strtoll(start, &end, 10);
+  if (end == start || (*end != '\0' && *end != ' ' && *end != '\t')) {
+    return false;
+  }
+  *zp = v;
+  return v < 0 || v > 255;
+}
+
+}  // namespace
+
+DiagnosticList VerifyQuantRecipeFile(const std::string& path) {
+  using quant::StepQuantSpec;
+
+  DiagnosticList diags;
+  std::ifstream in(path);
+  if (!in) {
+    diags.Error("quant.open", path) << "cannot open quantization recipe file";
+    return diags;
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    diags.Error("quant.header", path) << "empty recipe file";
+    return diags;
+  }
+  if (line.rfind(quant::kQuantRecipeHeaderPrefix, 0) != 0) {
+    diags.Error("quant.header", path)
+        << "missing " << quant::kQuantRecipeHeaderPrefix << " header";
+    return diags;
+  }
+  if (line != quant::kQuantRecipeHeader) {
+    diags.Error("quant.version", path) << "unsupported recipe version '" << line << "'";
+    return diags;
+  }
+
+  std::map<int64_t, int> first_line;  // seq -> line that introduced it
+  int lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) {
+      continue;
+    }
+    StepQuantSpec spec;
+    std::string error;
+    if (!quant::ParseQuantStepLine(line, &spec, &error)) {
+      long long zp = 0;
+      if (ExtractBadZeroPoint(line, &zp)) {
+        diags.Error("quant.zp", LinePath(lineno))
+            << "activation zero point " << zp << " outside u8 range [0, 255]";
+      } else {
+        diags.Error("quant.entry", LinePath(lineno)) << error;
+      }
+      continue;
+    }
+    if (!(spec.in_q.scale > 0.0f) || !std::isfinite(spec.in_q.scale)) {
+      diags.Error("quant.scale", LinePath(lineno))
+          << "activation scale " << spec.in_q.scale
+          << " is not positive finite; dequant would produce zeros or NaN";
+    }
+    for (size_t c = 0; c < spec.w_scales.size(); ++c) {
+      const float ws = spec.w_scales[c];
+      if (!(ws > 0.0f) || !std::isfinite(ws)) {
+        diags.Error("quant.scale", LinePath(lineno))
+            << "weight scale for output channel " << c << " is " << ws
+            << "; per-channel scales must be positive finite";
+      }
+    }
+    const auto [it, inserted] = first_line.emplace(spec.seq, lineno);
+    if (!inserted) {
+      diags.Error("quant.duplicate", LinePath(lineno))
+          << "duplicate spec for plan step seq=" << spec.seq << " (first at line "
+          << it->second << "; FindSeq resolves to the first)";
+    }
+  }
+  if (first_line.empty() && diags.empty()) {
+    diags.Warning("quant.entry", path) << "recipe has a valid header but no step lines";
+  }
+  return diags;
+}
+
+}  // namespace gmorph

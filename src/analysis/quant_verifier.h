@@ -1,0 +1,34 @@
+// Strict linter for "gmorph-quant v1" quantization recipe files.
+//
+// The runtime loader (quant::LoadQuantRecipe) already refuses malformed files
+// — a recipe drives numerics, so unlike the tunedb nothing is dropped
+// silently. This pass is the diagnostic counterpart wired into
+// `gmorph_cli --verify`: instead of one opaque load error it reports every
+// finding in the file as a structured diagnostic.
+//
+//   quant.open       cannot open the file
+//   quant.header     missing gmorph-quant header line
+//   quant.version    header names an unsupported format version
+//   quant.entry      step line fails the strict grammar (shared parser
+//                    ParseQuantStepLine, so the linter cannot drift from the
+//                    loader)
+//   quant.scale      in_scale or a per-channel weight scale is nonpositive or
+//                    nonfinite (would denormalize or NaN the dequant epilogue)
+//   quant.zp         activation zero point outside the u8 range [0, 255]
+//   quant.duplicate  two step lines share one plan seq (Quantize would apply
+//                    whichever FindSeq resolves — the duplicate is dead
+//                    weight at best, a conflicting spec at worst)
+#ifndef GMORPH_SRC_ANALYSIS_QUANT_VERIFIER_H_
+#define GMORPH_SRC_ANALYSIS_QUANT_VERIFIER_H_
+
+#include <string>
+
+#include "src/analysis/diagnostics.h"
+
+namespace gmorph {
+
+DiagnosticList VerifyQuantRecipeFile(const std::string& path);
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_ANALYSIS_QUANT_VERIFIER_H_

@@ -74,14 +74,13 @@ DiagnosticList VerifyTuneDbFile(const std::string& path) {
       diags.Error("tune.entry", LinePath(lineno)) << error;
       continue;
     }
-    const kernels::Solver* solver =
-        desc.op == OpFamily::kMaxPool
-            ? static_cast<const kernels::Solver*>(registry.FindPool(entry.solver))
-            : static_cast<const kernels::Solver*>(registry.FindGemm(entry.solver));
+    // Registry family is keyed by (op, dtype): int8 entries must name a
+    // qgemm.* solver, f32 entries a gemm.* one.
+    const kernels::Solver* solver = registry.FindForDesc(desc, entry.solver);
     if (solver == nullptr) {
       diags.Error("tune.solver", LinePath(lineno))
           << "solver '" << entry.solver << "' is not registered for "
-          << kernels::OpFamilyName(desc.op);
+          << kernels::OpFamilyName(desc.op) << " " << kernels::DTypeName(desc.dtype);
     } else if (!solver->IsApplicable(desc)) {
       diags.Error("tune.applicable", LinePath(lineno))
           << "solver '" << entry.solver << "' rejects " << kernels::ProblemKey(desc);

@@ -29,6 +29,12 @@ uint64_t HashEvalOptions(const EvalOptions& o) {
   }
   os << "|" << o.latency.warmup_runs << "|" << o.latency.measured_runs << "|"
      << o.latency.batch_size << "|" << o.rule_based_filtering;
+  // Quant fields join the hash only when enabled so the f32-only cache
+  // namespace is byte-stable across this feature's introduction.
+  if (o.quant.enabled) {
+    os << "|quant|" << o.quant.calib_batches << "|" << o.quant.calib_batch_size << "|"
+       << o.quant.drop_budget;
+  }
   return Fnv1aHash(os.str());
 }
 
@@ -69,6 +75,14 @@ PendingEval CandidateEvaluator::Screen(AbsGraph candidate, const HistoryDatabase
       out.epochs_run = hit->entry.epochs_run;
       out.task_scores = hit->entry.task_scores;
       out.trained_graph = std::move(hit->trained_graph);
+      // Quant outcomes are not cached (they depend on runtime solvers, not
+      // just the graph); rebuild the model from the trained weights and
+      // re-score the int8 plan so warm-cache searches still see it.
+      if (options_.quant.enabled && options_.quant_score && out.met_target &&
+          out.trained_graph.has_value()) {
+        MultiTaskModel model(*out.trained_graph, model_rng);
+        out.quant = options_.quant_score(model, *train_, *test_, out.task_scores, options_);
+      }
       pending.done = true;
       return pending;
     }
@@ -139,6 +153,15 @@ EvalOutcome CandidateEvaluator::Finish(PendingEval& pending) {
     obs::TraceSpan score_span("eval/score", obs::TraceCat::kEval, &out.stages.score);
     if (out.met_target) {
       out.trained_graph = pending.model->ExportTrainedGraph();
+      // Int8 scoring only for candidates that already earned elite status at
+      // f32: calibrate + quantize the fine-tuned model and measure the drop
+      // the int8 plan adds on top. The search metric stays the f32 latency;
+      // the outcome rides along so the driver can surface mixed-precision
+      // winners (and their int8 latency) without perturbing the trajectory.
+      if (options_.quant.enabled && options_.quant_score) {
+        out.quant =
+            options_.quant_score(*pending.model, *train_, *test_, out.task_scores, options_);
+      }
     }
     if (cache_ != nullptr) {
       EvaluationCache::Entry entry;

@@ -18,6 +18,7 @@
 #ifndef GMORPH_SRC_CORE_CANDIDATE_EVAL_H_
 #define GMORPH_SRC_CORE_CANDIDATE_EVAL_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -53,6 +54,39 @@ enum class EvalStatus {
   kEvaluated,           // fine-tuned this run
 };
 
+// Knobs for scoring a candidate's int8 plan (post-training quantization via
+// FusedEngine::Calibrate/Quantize). The scorer itself lives in the runtime
+// layer and is injected through EvalOptions::quant_score — core cannot link
+// against gmorph_runtime without a dependency cycle.
+struct QuantEvalOptions {
+  bool enabled = false;
+  // Calibration stream: `calib_batches` slices of `calib_batch_size` rows
+  // taken from the front of the representative (train) inputs.
+  int calib_batches = 2;
+  int64_t calib_batch_size = 16;
+  // Allowed per-task score drop of the int8 plan relative to the candidate's
+  // own f32 scores, as an absolute fraction (0.01 = 1 point of accuracy).
+  double drop_budget = 0.01;
+};
+
+// Result of scoring one candidate's int8 plan.
+struct QuantOutcome {
+  bool within_budget = false;  // quantized AND every task within drop_budget
+  int quantized_steps = 0;     // conv/linear steps switched to int8
+  double latency_ms = 0.0;     // engine latency of the quantized plan
+  double max_drop = 0.0;       // worst task drop vs the candidate's f32 scores
+  std::vector<double> task_scores;
+};
+
+// Runtime-layer scorer signature (see runtime/quant_scoring.h for the
+// implementation): calibrates + quantizes the candidate's engine, then
+// re-scores it on the test split. `f32_scores` are the candidate's fine-tuned
+// per-task scores (the drop baseline).
+struct EvalOptions;
+using QuantScoreFn = std::function<QuantOutcome(
+    MultiTaskModel& model, const MultiTaskDataset& train, const MultiTaskDataset& test,
+    const std::vector<double>& f32_scores, const EvalOptions& options)>;
+
 // The structured result of one candidate evaluation.
 struct EvalOutcome {
   EvalStatus status = EvalStatus::kEvaluated;
@@ -67,6 +101,9 @@ struct EvalOutcome {
   StageSeconds stages;
   // Trained weights; engaged exactly when met_target (the elite candidate).
   std::optional<AbsGraph> trained_graph;
+  // Int8 plan score; engaged when quant scoring is enabled, the candidate met
+  // the f32 target, and the scorer ran (mixed-precision winner candidate).
+  std::optional<QuantOutcome> quant;
 };
 
 // The evaluation-relevant option subset. Its hash namespaces the evaluation
@@ -75,6 +112,11 @@ struct EvalOptions {
   FinetuneOptions finetune;  // target_drop / predictive_termination folded in
   LatencyOptions latency;
   bool rule_based_filtering = false;
+  // Int8 scoring of met-target candidates. The quant fields join the options
+  // hash only when `quant.enabled` is set, so enabling the feature does not
+  // invalidate existing f32 evaluation caches.
+  QuantEvalOptions quant;
+  QuantScoreFn quant_score;  // injected by the runtime layer; may be empty
 };
 
 uint64_t HashEvalOptions(const EvalOptions& options);

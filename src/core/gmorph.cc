@@ -28,6 +28,8 @@ EvalOptions MakeEvalOptions(const GMorphOptions& options) {
   eval.finetune.predictive_termination = options.predictive_termination;
   eval.latency = options.latency;
   eval.rule_based_filtering = options.rule_based_filtering;
+  eval.quant = options.quant;
+  eval.quant_score = options.quant_score;
   return eval;
 }
 
@@ -333,6 +335,7 @@ GMorphResult GMorph::RunInternal(const SearchCheckpoint* resume) {
                 result.best_latency_ms = out.latency_ms;
                 result.best_flops = out.flops;
                 result.best_task_scores = out.task_scores;
+                result.best_quant = out.quant;
                 result.found_improvement = true;
               }
             } else {
@@ -344,6 +347,9 @@ GMorphResult GMorph::RunInternal(const SearchCheckpoint* resume) {
                               << "ms drop=" << record.accuracy_drop
                               << (out.met_target ? " [elite]" : "")
                               << (record.cache_hit ? " [cached]" : "")
+                              << (out.quant.has_value() && out.quant->within_budget
+                                      ? " [int8 ok]"
+                                      : out.quant.has_value() ? " [int8 over budget]" : "")
                               << " best=" << result.best_latency_ms << "ms";
             }
             break;

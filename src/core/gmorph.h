@@ -20,6 +20,7 @@
 #define GMORPH_SRC_CORE_GMORPH_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,12 @@ struct GMorphOptions {
   OptimizeMetric metric = OptimizeMetric::kLatency;
   FinetuneOptions finetune;
   LatencyOptions latency;
+  // Int8 scoring of met-target candidates (mixed-precision winners). The
+  // scorer lives in the runtime layer; the driver that owns both layers
+  // injects it (gmorph_cli sets ScoreQuantizedEngine when `quantize_search`
+  // is on). `quant.enabled` without a scorer is a no-op.
+  QuantEvalOptions quant;
+  QuantScoreFn quant_score;
   // Parallel search (paper §7): sample `parallel_candidates` mutations per
   // round and fine-tune them concurrently on `num_threads` workers. The
   // defaults reproduce the paper's sequential prototype. In parallel rounds
@@ -108,6 +115,10 @@ struct GMorphResult {
   double speedup = 1.0;
   std::vector<double> teacher_scores;
   std::vector<double> best_task_scores;
+  // Int8 plan score of the best graph (engaged when quant scoring ran for
+  // it). Not checkpointed: a resumed search rebuilds it when the best
+  // candidate is re-integrated, and loses it otherwise.
+  std::optional<QuantOutcome> best_quant;
   std::vector<IterationRecord> trace;
   double search_seconds = 0.0;
   int candidates_finetuned = 0;

@@ -23,23 +23,28 @@ void FillUniform(float* p, int64_t n, uint64_t seed) {
   }
 }
 
+void FillUniformU8(uint8_t* p, int64_t n, uint64_t seed) {
+  Rng rng(Rng::MixSeed(0x747561656e646200ull, seed));
+  for (int64_t i = 0; i < n; ++i) {
+    p[i] = static_cast<uint8_t>(rng.NextFloat() * 256.0f);
+  }
+}
+
+void FillUniformS8(int8_t* p, int64_t n, uint64_t seed) {
+  Rng rng(Rng::MixSeed(0x747561656e646200ull, seed));
+  for (int64_t i = 0; i < n; ++i) {
+    p[i] = static_cast<int8_t>(static_cast<int>(rng.NextFloat() * 255.0f) - 127);
+  }
+}
+
 uint64_t DescSeed(const ProblemDesc& desc) {
   return Rng::MixSeed(static_cast<uint64_t>(desc.op),
                       static_cast<uint64_t>(desc.m * 1315423911 + desc.k),
                       static_cast<uint64_t>(desc.n * 2654435761 + desc.aux0 * 97 + desc.aux1));
 }
 
-double MeasureSolverMs(const ProblemDesc& desc, const Solver* solver, const float* a,
-                       const float* b, float* c, const AutotuneOptions& options) {
-  auto run = [&] {
-    if (desc.op == OpFamily::kMaxPool) {
-      PoolCall call{a, c};
-      static_cast<const PoolSolver*>(solver)->Run(desc, call);
-    } else {
-      const GemmCall call = MakeGemmCall(desc, a, b, c, /*accumulate=*/false);
-      static_cast<const GemmSolver*>(solver)->Run(desc, call);
-    }
-  };
+template <typename Fn>
+double MeasureRunMs(const ProblemDesc& desc, Fn&& run, const AutotuneOptions& options) {
   if (desc.threads == 1 && KernelThreads() > 1) {
     // Nested-context descriptor: time it the way it runs in production,
     // inside an enclosing parallel region (ParallelFor then stays serial).
@@ -47,6 +52,29 @@ double MeasureSolverMs(const ProblemDesc& desc, const Solver* solver, const floa
     return MedianTimedMs(run, options.warmup, options.repeats);
   }
   return MedianTimedMs(run, options.warmup, options.repeats);
+}
+
+double MeasureSolverMs(const ProblemDesc& desc, const Solver* solver, const float* a,
+                       const float* b, float* c, const AutotuneOptions& options) {
+  return MeasureRunMs(
+      desc,
+      [&] {
+        if (desc.op == OpFamily::kMaxPool) {
+          PoolCall call{a, c};
+          static_cast<const PoolSolver*>(solver)->Run(desc, call);
+        } else {
+          const GemmCall call = MakeGemmCall(desc, a, b, c, /*accumulate=*/false);
+          static_cast<const GemmSolver*>(solver)->Run(desc, call);
+        }
+      },
+      options);
+}
+
+double MeasureQSolverMs(const ProblemDesc& desc, const Solver* solver, const uint8_t* a,
+                        const int8_t* b, int32_t* c, const AutotuneOptions& options) {
+  const QGemmCall call{a, b, c};
+  return MeasureRunMs(
+      desc, [&] { static_cast<const QGemmSolver*>(solver)->Run(desc, call); }, options);
 }
 
 }  // namespace
@@ -73,27 +101,40 @@ TuneResult TuneProblem(const ProblemDesc& desc, TuneDb& db, const AutotuneOption
   obs::TraceSpan span("kernel/autotune", obs::TraceCat::kKernel);
   Timer total;
 
-  // Synthetic operands sized for the descriptor. For pools, `a` is the input
-  // planes and `c` the pooled output; `b` is unused.
-  int64_t a_floats = 0, b_floats = 0, c_floats = 0;
-  if (desc.op == OpFamily::kMaxPool) {
-    const int64_t oh = PooledDim(desc.k, desc.aux0, desc.aux1);
-    const int64_t ow = PooledDim(desc.n, desc.aux0, desc.aux1);
-    GMORPH_CHECK(oh >= 1 && ow >= 1, "untunable pool descriptor " << ProblemKey(desc));
-    a_floats = desc.m * desc.k * desc.n;
-    c_floats = desc.m * oh * ow;
-  } else {
-    a_floats = desc.m * desc.k;
-    b_floats = desc.k * desc.n;
-    c_floats = desc.m * desc.n;
-  }
-  std::unique_ptr<float[]> a(new float[static_cast<size_t>(a_floats)]);
-  std::unique_ptr<float[]> b(b_floats > 0 ? new float[static_cast<size_t>(b_floats)] : nullptr);
-  std::unique_ptr<float[]> c(new float[static_cast<size_t>(c_floats)]);
+  // Synthetic operands sized for the descriptor, in the descriptor's dtype.
+  // For pools, `a` is the input planes and `c` the pooled output; `b` is
+  // unused. Int8 descs benchmark on u8 activations and s8 weights.
+  std::unique_ptr<float[]> a, b, c;
+  std::unique_ptr<uint8_t[]> qa;
+  std::unique_ptr<int8_t[]> qb;
+  std::unique_ptr<int32_t[]> qc;
   const uint64_t seed = DescSeed(desc);
-  FillUniform(a.get(), a_floats, seed);
-  if (b_floats > 0) {
-    FillUniform(b.get(), b_floats, seed + 1);
+  if (desc.dtype == DType::kInt8) {
+    qa.reset(new uint8_t[static_cast<size_t>(desc.m * desc.k)]);
+    qb.reset(new int8_t[static_cast<size_t>(desc.k * desc.n)]);
+    qc.reset(new int32_t[static_cast<size_t>(desc.m * desc.n)]);
+    FillUniformU8(qa.get(), desc.m * desc.k, seed);
+    FillUniformS8(qb.get(), desc.k * desc.n, seed + 1);
+  } else {
+    int64_t a_floats = 0, b_floats = 0, c_floats = 0;
+    if (desc.op == OpFamily::kMaxPool) {
+      const int64_t oh = PooledDim(desc.k, desc.aux0, desc.aux1);
+      const int64_t ow = PooledDim(desc.n, desc.aux0, desc.aux1);
+      GMORPH_CHECK(oh >= 1 && ow >= 1, "untunable pool descriptor " << ProblemKey(desc));
+      a_floats = desc.m * desc.k * desc.n;
+      c_floats = desc.m * oh * ow;
+    } else {
+      a_floats = desc.m * desc.k;
+      b_floats = desc.k * desc.n;
+      c_floats = desc.m * desc.n;
+    }
+    a.reset(new float[static_cast<size_t>(a_floats)]);
+    b.reset(b_floats > 0 ? new float[static_cast<size_t>(b_floats)] : nullptr);
+    c.reset(new float[static_cast<size_t>(c_floats)]);
+    FillUniform(a.get(), a_floats, seed);
+    if (b_floats > 0) {
+      FillUniform(b.get(), b_floats, seed + 1);
+    }
   }
 
   const double flops = static_cast<double>(ProblemFlops(desc));
@@ -104,7 +145,9 @@ TuneResult TuneProblem(const ProblemDesc& desc, TuneDb& db, const AutotuneOption
   for (const Solver* solver : candidates) {
     SolverSample sample;
     sample.solver = solver->name();
-    sample.ms = MeasureSolverMs(desc, solver, a.get(), b.get(), c.get(), options);
+    sample.ms = desc.dtype == DType::kInt8
+                    ? MeasureQSolverMs(desc, solver, qa.get(), qb.get(), qc.get(), options)
+                    : MeasureSolverMs(desc, solver, a.get(), b.get(), c.get(), options);
     sample.gflops = sample.ms > 0.0 ? flops / (sample.ms * 1e6) : 0.0;
     benchmarks.Increment();
     result.samples.push_back(std::move(sample));

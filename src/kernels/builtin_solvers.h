@@ -15,6 +15,10 @@ const GemmSolver* GemmDotSolver();     // "gemm.dot"
 const PoolSolver* PoolGenericSolver();  // "pool.generic"
 const PoolSolver* Pool2x2Solver();      // "pool.2x2s2"
 
+const QGemmSolver* QGemmRefSolver();     // "qgemm.ref"
+const QGemmSolver* QGemmPackedSolver();  // "qgemm.packed"
+const QGemmSolver* QGemmVnniSolver();    // "qgemm.vnni" (AVX512-VNNI builds)
+
 }  // namespace gmorph::kernels
 
 #endif  // GMORPH_SRC_KERNELS_BUILTIN_SOLVERS_H_

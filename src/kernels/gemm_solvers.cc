@@ -38,8 +38,12 @@ constexpr int64_t kRowGrain = 16;  // ParallelFor grain over output rows
 // declares itself inapplicable rather than thrash the arena.
 constexpr int64_t kDirectMaxPackFloats = int64_t{1} << 22;
 
-bool IsGemmFamily(OpFamily op) {
-  return op == OpFamily::kGemmNN || op == OpFamily::kGemmNT || op == OpFamily::kGemmTN;
+// The f32 solvers serve any GEMM family, but only f32 problems — int8 descs
+// belong to the qgemm solvers (int8_solvers.cc).
+bool IsGemmFamily(const ProblemDesc& desc) {
+  return (desc.op == OpFamily::kGemmNN || desc.op == OpFamily::kGemmNT ||
+          desc.op == OpFamily::kGemmTN) &&
+         desc.dtype == DType::kF32;
 }
 
 // ---- Direct (unpacked) wide path -----------------------------------------
@@ -348,7 +352,7 @@ void GemmDot(int64_t m, int64_t k, int64_t n, const MatView& a, const MatView& b
 class GemmRef final : public GemmSolver {
  public:
   const char* name() const override { return "gemm.ref"; }
-  bool IsApplicable(const ProblemDesc& desc) const override { return IsGemmFamily(desc.op); }
+  bool IsApplicable(const ProblemDesc& desc) const override { return IsGemmFamily(desc); }
   void Run(const ProblemDesc& desc, const GemmCall& call) const override {
     // The views are canonical (MakeGemmCall), so the data pointers are the
     // original row-major arrays and the reference loops replay exactly.
@@ -372,7 +376,7 @@ class GemmDirect final : public GemmSolver {
  public:
   const char* name() const override { return "gemm.direct"; }
   bool IsApplicable(const ProblemDesc& desc) const override {
-    if (!IsGemmFamily(desc.op)) {
+    if (!IsGemmFamily(desc)) {
       return false;
     }
     // The NT layout has strided B rows; the solver materializes a row-major
@@ -409,7 +413,7 @@ class GemmDirect final : public GemmSolver {
 class GemmPacked final : public GemmSolver {
  public:
   const char* name() const override { return "gemm.packed"; }
-  bool IsApplicable(const ProblemDesc& desc) const override { return IsGemmFamily(desc.op); }
+  bool IsApplicable(const ProblemDesc& desc) const override { return IsGemmFamily(desc); }
   int64_t WorkspaceBytes(const ProblemDesc& desc) const override {
     const int64_t nc = std::min<int64_t>(desc.n, kNC);
     const int64_t col_panels = (nc + kNR - 1) / kNR;
@@ -423,7 +427,7 @@ class GemmPacked final : public GemmSolver {
 class GemmDotSolverImpl final : public GemmSolver {
  public:
   const char* name() const override { return "gemm.dot"; }
-  bool IsApplicable(const ProblemDesc& desc) const override { return IsGemmFamily(desc.op); }
+  bool IsApplicable(const ProblemDesc& desc) const override { return IsGemmFamily(desc); }
   int64_t WorkspaceBytes(const ProblemDesc& desc) const override {
     int64_t floats = 0;
     if (desc.op == OpFamily::kGemmTN && desc.m > 1) {

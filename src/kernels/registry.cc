@@ -21,6 +21,7 @@ constexpr int64_t kDirectMaxFloats = 48 * 1024;  // working set of the no-pack p
 SolverRegistry::SolverRegistry() {
   gemm_ = {GemmRefSolver(), GemmDirectSolver(), GemmPackedSolver(), GemmDotSolver()};
   pool_ = {PoolGenericSolver(), Pool2x2Solver()};
+  qgemm_ = {QGemmRefSolver(), QGemmPackedSolver(), QGemmVnniSolver()};
 }
 
 const SolverRegistry& SolverRegistry::Global() {
@@ -46,10 +47,35 @@ const PoolSolver* SolverRegistry::FindPool(std::string_view name) const {
   return nullptr;
 }
 
+const QGemmSolver* SolverRegistry::FindQGemm(std::string_view name) const {
+  for (const QGemmSolver* s : qgemm_) {
+    if (name == s->name()) {
+      return s;
+    }
+  }
+  return nullptr;
+}
+
+const Solver* SolverRegistry::FindForDesc(const ProblemDesc& desc, std::string_view name) const {
+  if (desc.op == OpFamily::kMaxPool) {
+    return FindPool(name);
+  }
+  if (desc.dtype == DType::kInt8) {
+    return FindQGemm(name);
+  }
+  return FindGemm(name);
+}
+
 std::vector<const Solver*> SolverRegistry::Applicable(const ProblemDesc& desc) const {
   std::vector<const Solver*> out;
   if (desc.op == OpFamily::kMaxPool) {
     for (const PoolSolver* s : pool_) {
+      if (s->IsApplicable(desc)) {
+        out.push_back(s);
+      }
+    }
+  } else if (desc.dtype == DType::kInt8) {
+    for (const QGemmSolver* s : qgemm_) {
       if (s->IsApplicable(desc)) {
         out.push_back(s);
       }
@@ -84,6 +110,19 @@ const PoolSolver* SolverRegistry::HeuristicPool(const ProblemDesc& desc) const {
   return PoolGenericSolver();
 }
 
+const QGemmSolver* SolverRegistry::HeuristicQGemm(const ProblemDesc& desc) const {
+  // The packed paths' panel setup only loses on problems too small to matter;
+  // mirror the f32 tiny-problem cutoff. VNNI beats the portable s16 path
+  // whenever the build carries it.
+  if (2 * desc.m * desc.k * desc.n <= kTinyFlops) {
+    return QGemmRefSolver();
+  }
+  if (QGemmVnniSolver()->IsApplicable(desc)) {
+    return QGemmVnniSolver();
+  }
+  return QGemmPackedSolver();
+}
+
 const GemmSolver* SolverRegistry::ResolveGemm(const ProblemDesc& desc) const {
   if (const TuneDb* db = GlobalTuneDb(); db != nullptr) {
     static obs::Counter& hits = obs::GetCounter("kernels.resolve_db_hits");
@@ -96,6 +135,20 @@ const GemmSolver* SolverRegistry::ResolveGemm(const ProblemDesc& desc) const {
     misses.Increment();
   }
   return HeuristicGemm(desc);
+}
+
+const QGemmSolver* SolverRegistry::ResolveQGemm(const ProblemDesc& desc) const {
+  if (const TuneDb* db = GlobalTuneDb(); db != nullptr) {
+    static obs::Counter& hits = obs::GetCounter("kernels.resolve_db_hits");
+    static obs::Counter& misses = obs::GetCounter("kernels.resolve_heuristic");
+    if (const TuneDb::Entry* e = db->Lookup(desc);
+        e != nullptr && e->resolved != nullptr && e->resolved->IsApplicable(desc)) {
+      hits.Increment();
+      return static_cast<const QGemmSolver*>(e->resolved);
+    }
+    misses.Increment();
+  }
+  return HeuristicQGemm(desc);
 }
 
 const PoolSolver* SolverRegistry::ResolvePool(const ProblemDesc& desc) const {

@@ -21,10 +21,18 @@ class SolverRegistry {
 
   const std::vector<const GemmSolver*>& gemm_solvers() const { return gemm_; }
   const std::vector<const PoolSolver*>& pool_solvers() const { return pool_; }
+  const std::vector<const QGemmSolver*>& qgemm_solvers() const { return qgemm_; }
 
   // Name lookup across the family's solver list; nullptr when unknown.
   const GemmSolver* FindGemm(std::string_view name) const;
   const PoolSolver* FindPool(std::string_view name) const;
+  const QGemmSolver* FindQGemm(std::string_view name) const;
+
+  // Dispatches on (desc.op, desc.dtype): the registered Solver* with that
+  // name that could serve desc's family, or nullptr. The tuning DB and the
+  // offline linters resolve names through this so an int8 entry can never
+  // alias an f32 solver.
+  const Solver* FindForDesc(const ProblemDesc& desc, std::string_view name) const;
 
   // Every registered solver (of desc's family) with IsApplicable(desc).
   std::vector<const Solver*> Applicable(const ProblemDesc& desc) const;
@@ -34,18 +42,21 @@ class SolverRegistry {
   // no allocation, so it is safe on the steady-state hot path.
   const GemmSolver* ResolveGemm(const ProblemDesc& desc) const;
   const PoolSolver* ResolvePool(const ProblemDesc& desc) const;
+  const QGemmSolver* ResolveQGemm(const ProblemDesc& desc) const;
 
   // The untuned default: reproduces the historical hard-coded dispatch
   // (tiny/narrow -> reference, wide cache-resident -> direct, wide -> packed,
   // narrow-N -> dot; generic pooling).
   const GemmSolver* HeuristicGemm(const ProblemDesc& desc) const;
   const PoolSolver* HeuristicPool(const ProblemDesc& desc) const;
+  const QGemmSolver* HeuristicQGemm(const ProblemDesc& desc) const;
 
  private:
   SolverRegistry();
 
   std::vector<const GemmSolver*> gemm_;
   std::vector<const PoolSolver*> pool_;
+  std::vector<const QGemmSolver*> qgemm_;
 };
 
 }  // namespace gmorph::kernels

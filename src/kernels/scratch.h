@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 namespace gmorph {
@@ -70,6 +71,17 @@ class ScratchScope {
 
   // Contents are uninitialized (reused allocations carry stale data).
   float* AllocFloats(size_t n) { return arena_.AllocFloats(n); }
+
+  // Typed scratch for the non-f32 kernels (u8/s8 operands, s16 packing
+  // panels, s32 accumulators): n elements of T carved from the float arena,
+  // rounded up to whole float slots. Same lifetime rules as AllocFloats.
+  template <typename T>
+  T* Alloc(size_t n) {
+    static_assert(std::is_trivial_v<T> && alignof(T) <= alignof(float),
+                  "scratch types must pack into the float arena");
+    const size_t floats = (n * sizeof(T) + sizeof(float) - 1) / sizeof(float);
+    return reinterpret_cast<T*>(arena_.AllocFloats(floats));
+  }
 
  private:
   ScratchArena& arena_;

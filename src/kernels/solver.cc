@@ -36,13 +36,45 @@ bool OpFamilyFromName(std::string_view name, OpFamily* out) {
   return true;
 }
 
+const char* DTypeName(DType dtype) {
+  switch (dtype) {
+    case DType::kF32:
+      return "f32";
+    case DType::kInt8:
+      return "int8";
+  }
+  return "unknown";
+}
+
+bool DTypeFromName(std::string_view name, DType* out) {
+  if (name == "f32") {
+    *out = DType::kF32;
+  } else if (name == "int8") {
+    *out = DType::kInt8;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 std::string ProblemKey(const ProblemDesc& desc) {
-  char buf[160];
-  std::snprintf(buf, sizeof(buf), "%s m=%lld k=%lld n=%lld aux0=%lld aux1=%lld threads=%d",
-                OpFamilyName(desc.op), static_cast<long long>(desc.m),
-                static_cast<long long>(desc.k), static_cast<long long>(desc.n),
-                static_cast<long long>(desc.aux0), static_cast<long long>(desc.aux1),
-                desc.threads);
+  char buf[176];
+  // f32 keys keep their historical spelling; the dtype token only appears for
+  // quantized problems, so pre-dtype diagnostics and goldens are unchanged.
+  if (desc.dtype == DType::kF32) {
+    std::snprintf(buf, sizeof(buf), "%s m=%lld k=%lld n=%lld aux0=%lld aux1=%lld threads=%d",
+                  OpFamilyName(desc.op), static_cast<long long>(desc.m),
+                  static_cast<long long>(desc.k), static_cast<long long>(desc.n),
+                  static_cast<long long>(desc.aux0), static_cast<long long>(desc.aux1),
+                  desc.threads);
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "%s dtype=%s m=%lld k=%lld n=%lld aux0=%lld aux1=%lld threads=%d",
+                  OpFamilyName(desc.op), DTypeName(desc.dtype), static_cast<long long>(desc.m),
+                  static_cast<long long>(desc.k), static_cast<long long>(desc.n),
+                  static_cast<long long>(desc.aux0), static_cast<long long>(desc.aux1),
+                  desc.threads);
+  }
   return buf;
 }
 
@@ -59,6 +91,12 @@ ProblemDesc GemmProblem(OpFamily op, int64_t m, int64_t k, int64_t n) {
   desc.k = k;
   desc.n = n;
   desc.threads = ContextThreads();
+  return desc;
+}
+
+ProblemDesc QGemmProblem(int64_t m, int64_t k, int64_t n) {
+  ProblemDesc desc = GemmProblem(OpFamily::kGemmNN, m, k, n);
+  desc.dtype = DType::kInt8;
   return desc;
 }
 

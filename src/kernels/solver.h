@@ -37,6 +37,19 @@ enum class OpFamily : uint8_t {
 const char* OpFamilyName(OpFamily op);
 bool OpFamilyFromName(std::string_view name, OpFamily* out);
 
+// Element type of a problem. f32 is the historical default; int8 denotes the
+// quantized u8·s8 -> s32 product (A unsigned activations, B signed weights,
+// C int32 accumulators — the oneDNN-style asymmetric/symmetric split). The
+// tuning DB keys on it so int8 shapes tune independently of their f32 twins.
+enum class DType : uint8_t {
+  kF32,
+  kInt8,
+};
+
+// Stable text names ("f32", "int8") for the tuning DB, recipes, and plans.
+const char* DTypeName(DType dtype);
+bool DTypeFromName(std::string_view name, DType* out);
+
 // The canonical problem descriptor: the key solvers, the autotuner, and the
 // tuning DB all agree on. For the GEMM families m/k/n are the *logical*
 // product dimensions (C is m x n, the contraction runs over k) — NOT the
@@ -51,6 +64,7 @@ bool OpFamilyFromName(std::string_view name, OpFamily* out);
 // parallel regime.
 struct ProblemDesc {
   OpFamily op = OpFamily::kGemmNN;
+  DType dtype = DType::kF32;
   int64_t m = 0;
   int64_t k = 0;
   int64_t n = 0;
@@ -59,11 +73,12 @@ struct ProblemDesc {
   int threads = 1;
 
   friend bool operator==(const ProblemDesc& a, const ProblemDesc& b) {
-    return a.op == b.op && a.m == b.m && a.k == b.k && a.n == b.n && a.aux0 == b.aux0 &&
-           a.aux1 == b.aux1 && a.threads == b.threads;
+    return a.op == b.op && a.dtype == b.dtype && a.m == b.m && a.k == b.k && a.n == b.n &&
+           a.aux0 == b.aux0 && a.aux1 == b.aux1 && a.threads == b.threads;
   }
   friend bool operator<(const ProblemDesc& a, const ProblemDesc& b) {
     if (a.op != b.op) return a.op < b.op;
+    if (a.dtype != b.dtype) return a.dtype < b.dtype;
     if (a.m != b.m) return a.m < b.m;
     if (a.k != b.k) return a.k < b.k;
     if (a.n != b.n) return a.n < b.n;
@@ -80,6 +95,9 @@ std::string ProblemKey(const ProblemDesc& desc);
 // Builds a GEMM descriptor from the logical dims, with `threads` resolved from
 // the current execution context (1 inside a parallel region).
 ProblemDesc GemmProblem(OpFamily op, int64_t m, int64_t k, int64_t n);
+// Quantized GEMM descriptor: always the NN layout (row-major u8 A, row-major
+// s8 B), dtype = kInt8.
+ProblemDesc QGemmProblem(int64_t m, int64_t k, int64_t n);
 // Max-pool descriptor; planes = batch * channels.
 ProblemDesc PoolProblem(int64_t planes, int64_t h, int64_t w, int64_t kernel, int64_t stride);
 // Arithmetic work for throughput reporting: 2*m*k*n for GEMMs, one op per
@@ -118,6 +136,17 @@ struct PoolCall {
   float* out;
 };
 
+// A bound quantized GEMM: C_s32[M,N] = A_u8[M,K] · B_s8[K,N], all row-major
+// and contiguous. Integer accumulation is exact, so results are bitwise
+// independent of the thread count and the solver choice by construction —
+// every int8 solver must produce identical bits. Dequantization is the
+// caller's epilogue, not the solver's job.
+struct QGemmCall {
+  const uint8_t* a;
+  const int8_t* b;
+  int32_t* c;
+};
+
 // Output spatial extent of a valid pooled dimension.
 int64_t PooledDim(int64_t in, int64_t kernel, int64_t stride);
 
@@ -154,6 +183,13 @@ class PoolSolver : public Solver {
   virtual void Run(const ProblemDesc& desc, const PoolCall& call) const = 0;
 };
 
+class QGemmSolver : public Solver {
+ public:
+  // Requires IsApplicable(desc) and desc.dtype == kInt8. Always overwrites C
+  // (quantized epilogues fold accumulation downstream).
+  virtual void Run(const ProblemDesc& desc, const QGemmCall& call) const = 0;
+};
+
 // Reference GEMM loops in the caller-facing argument orders (see
 // tensor_ops.h for the layout contract). They are the oracle for the
 // randomized solver cross-check tests, the tiny-problem fast path, and the
@@ -164,6 +200,10 @@ void RefMatmulNT(const float* a, const float* b, float* c, int64_t m, int64_t n,
                  bool accumulate = false);
 void RefMatmulTN(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n,
                  bool accumulate = false);
+
+// Reference u8·s8 -> s32 loop, the oracle for the int8 solver cross-checks.
+void RefQMatmulNN(const uint8_t* a, const int8_t* b, int32_t* c, int64_t m, int64_t k,
+                  int64_t n);
 
 }  // namespace gmorph::kernels
 

@@ -92,12 +92,8 @@ bool ParseDouble(const std::string& s, double* out) {
   return true;
 }
 
-const Solver* ResolveName(OpFamily op, const std::string& name) {
-  const SolverRegistry& reg = SolverRegistry::Global();
-  if (op == OpFamily::kMaxPool) {
-    return reg.FindPool(name);
-  }
-  return reg.FindGemm(name);
+const Solver* ResolveName(const ProblemDesc& desc, const std::string& name) {
+  return SolverRegistry::Global().FindForDesc(desc, name);
 }
 
 }  // namespace
@@ -134,6 +130,13 @@ bool ParseTuneEntryLine(const std::string& line, ProblemDesc* desc, TuneDb::Entr
         return false;
       }
       have_op = true;
+    } else if (key == "dtype") {
+      // Optional: v1 DBs written before the dtype dimension carry no token
+      // and load as f32 (the ProblemDesc default), so old files stay valid.
+      if (!DTypeFromName(val, &d.dtype)) {
+        *error = "unknown dtype '" + val + "'";
+        return false;
+      }
     } else if (key == "m" && ParseInt64(val, &d.m)) {
       have_m = true;
     } else if (key == "k" && ParseInt64(val, &d.k)) {
@@ -169,7 +172,13 @@ bool ParseTuneEntryLine(const std::string& line, ProblemDesc* desc, TuneDb::Entr
 
 std::string FormatTuneEntryLine(const ProblemDesc& desc, const TuneDb::Entry& entry) {
   std::ostringstream os;
-  os << "entry op=" << OpFamilyName(desc.op) << " m=" << desc.m << " k=" << desc.k
+  os << "entry op=" << OpFamilyName(desc.op);
+  if (desc.dtype != DType::kF32) {
+    // f32 entries keep the historical spelling so pre-dtype DB files and a
+    // resave of one stay byte-identical.
+    os << " dtype=" << DTypeName(desc.dtype);
+  }
+  os << " m=" << desc.m << " k=" << desc.k
      << " n=" << desc.n << " aux0=" << desc.aux0 << " aux1=" << desc.aux1
      << " threads=" << desc.threads << " solver=" << entry.solver
      << " gflops=" << FormatDouble(entry.gflops) << " ms=" << FormatDouble(entry.ms);
@@ -210,7 +219,7 @@ TuneDb::LoadStats TuneDb::Load(const std::string& path) {
     if (!usable) {
       continue;
     }
-    entry.resolved = ResolveName(desc.op, entry.solver);
+    entry.resolved = ResolveName(desc, entry.solver);
     if (entry.resolved == nullptr) {
       ++stats.skipped;  // solver unknown to this build
       continue;
@@ -256,7 +265,7 @@ const TuneDb::Entry* TuneDb::Lookup(const ProblemDesc& desc) const {
 bool TuneDb::Contains(const ProblemDesc& desc) const { return Lookup(desc) != nullptr; }
 
 void TuneDb::Record(const ProblemDesc& desc, Entry entry) {
-  entry.resolved = ResolveName(desc.op, entry.solver);
+  entry.resolved = ResolveName(desc, entry.solver);
   std::unique_lock<std::shared_mutex> lock(mutex_);
   entries_[desc] = std::move(entry);
 }

@@ -1,0 +1,93 @@
+#include "src/quant/qparams.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gmorph::quant {
+
+void TensorRange::Observe(const float* x, int64_t n) {
+  if (n <= 0) {
+    return;
+  }
+  float lo = seen ? min_v : x[0];
+  float hi = seen ? max_v : x[0];
+  for (int64_t i = 0; i < n; ++i) {
+    lo = std::min(lo, x[i]);
+    hi = std::max(hi, x[i]);
+  }
+  min_v = lo;
+  max_v = hi;
+  seen = true;
+}
+
+ActQuant ActQuantFromRange(const TensorRange& range) {
+  ActQuant q;
+  if (!range.seen) {
+    return q;
+  }
+  // Force the range to cover 0 so the zero point is an exact u8 code.
+  const float lo = std::min(range.min_v, 0.0f);
+  const float hi = std::max(range.max_v, 0.0f);
+  const float span = hi - lo;
+  if (!(span > 0.0f) || !std::isfinite(span)) {
+    return q;
+  }
+  q.scale = span / 255.0f;
+  q.zero_point = static_cast<int32_t>(std::lround(-lo / q.scale));
+  q.zero_point = std::clamp(q.zero_point, 0, 255);
+  return q;
+}
+
+uint8_t QuantizeValue(float x, const ActQuant& q) {
+  const int32_t v = static_cast<int32_t>(std::lround(x / q.scale)) + q.zero_point;
+  return static_cast<uint8_t>(std::clamp(v, 0, 255));
+}
+
+void QuantizeActivations(const float* x, int64_t n, const ActQuant& q, uint8_t* out) {
+  const float inv = 1.0f / q.scale;
+  const int32_t zp = q.zero_point;
+  for (int64_t i = 0; i < n; ++i) {
+    const int32_t v = static_cast<int32_t>(std::lround(x[i] * inv)) + zp;
+    out[i] = static_cast<uint8_t>(std::clamp(v, 0, 255));
+  }
+}
+
+float SymmetricScale(float abs_max) {
+  constexpr float kMinScale = 1e-12f;
+  return std::max(abs_max / 127.0f, kMinScale);
+}
+
+int8_t QuantizeWeight(float w, float scale) {
+  const int32_t v = static_cast<int32_t>(std::lround(w / scale));
+  return static_cast<int8_t>(std::clamp(v, -127, 127));
+}
+
+std::vector<float> RowAbsMaxScales(const float* w, int64_t rows, int64_t cols) {
+  std::vector<float> scales(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    float mx = 0.0f;
+    const float* row = w + r * cols;
+    for (int64_t c = 0; c < cols; ++c) {
+      mx = std::max(mx, std::fabs(row[c]));
+    }
+    scales[static_cast<size_t>(r)] = SymmetricScale(mx);
+  }
+  return scales;
+}
+
+std::vector<float> ColAbsMaxScales(const float* w, int64_t rows, int64_t cols) {
+  std::vector<float> mx(static_cast<size_t>(cols), 0.0f);
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = w + r * cols;
+    for (int64_t c = 0; c < cols; ++c) {
+      mx[static_cast<size_t>(c)] = std::max(mx[static_cast<size_t>(c)], std::fabs(row[c]));
+    }
+  }
+  std::vector<float> scales(static_cast<size_t>(cols));
+  for (int64_t c = 0; c < cols; ++c) {
+    scales[static_cast<size_t>(c)] = SymmetricScale(mx[static_cast<size_t>(c)]);
+  }
+  return scales;
+}
+
+}  // namespace gmorph::quant

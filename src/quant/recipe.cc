@@ -1,0 +1,205 @@
+#include "src/quant/recipe.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace gmorph::quant {
+namespace {
+
+// %.9g round-trips any float32 exactly through text.
+std::string FormatFloat(float v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(v));
+  return buf;
+}
+
+bool ParseInt64(const std::string& s, int64_t* out) {
+  if (s.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseFloat(const std::string& s, float* out) {
+  if (s.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const float v = std::strtof(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+std::string SanitizeLabel(const std::string& label) {
+  std::string out = label.empty() ? std::string("-") : label;
+  for (char& c : out) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '=') {
+      c = '_';
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const StepQuantSpec* QuantRecipe::FindSeq(int64_t seq) const {
+  for (const StepQuantSpec& s : steps) {
+    if (s.seq == seq) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+bool ParseQuantStepLine(const std::string& line, StepQuantSpec* spec, std::string* error) {
+  std::istringstream is(line);
+  std::string tok;
+  is >> tok;
+  if (tok != "step") {
+    *error = "expected 'step'";
+    return false;
+  }
+  StepQuantSpec s;
+  bool have_seq = false, have_kind = false, have_scale = false, have_zp = false,
+       have_w = false;
+  while (is >> tok) {
+    const size_t eq = tok.find('=');
+    if (eq == std::string::npos) {
+      *error = "bad token '" + tok + "'";
+      return false;
+    }
+    const std::string key = tok.substr(0, eq);
+    const std::string val = tok.substr(eq + 1);
+    int64_t iv = 0;
+    if (key == "seq" && ParseInt64(val, &s.seq) && s.seq >= 0) {
+      have_seq = true;
+    } else if (key == "kind" && !val.empty()) {
+      s.kind = val;
+      have_kind = true;
+    } else if (key == "label" && !val.empty()) {
+      s.label = val;
+    } else if (key == "in_scale" && ParseFloat(val, &s.in_q.scale)) {
+      have_scale = true;
+    } else if (key == "in_zp" && ParseInt64(val, &iv) && iv >= 0 && iv <= 255) {
+      s.in_q.zero_point = static_cast<int32_t>(iv);
+      have_zp = true;
+    } else if (key == "w_scales" && !val.empty()) {
+      size_t pos = 0;
+      while (pos <= val.size()) {
+        const size_t comma = val.find(',', pos);
+        const std::string item =
+            val.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+        float f = 0.0f;
+        if (!ParseFloat(item, &f)) {
+          *error = "bad w_scales item '" + item + "'";
+          return false;
+        }
+        s.w_scales.push_back(f);
+        if (comma == std::string::npos) {
+          break;
+        }
+        pos = comma + 1;
+      }
+      have_w = true;
+    } else {
+      *error = "bad step field '" + tok + "'";
+      return false;
+    }
+  }
+  if (!have_seq || !have_kind || !have_scale || !have_zp || !have_w) {
+    *error = "missing required field (need seq, kind, in_scale, in_zp, w_scales)";
+    return false;
+  }
+  *spec = std::move(s);
+  return true;
+}
+
+std::string FormatQuantStepLine(const StepQuantSpec& spec) {
+  std::ostringstream os;
+  os << "step seq=" << spec.seq << " kind=" << spec.kind
+     << " label=" << SanitizeLabel(spec.label) << " in_scale=" << FormatFloat(spec.in_q.scale)
+     << " in_zp=" << spec.in_q.zero_point << " w_scales=";
+  for (size_t i = 0; i < spec.w_scales.size(); ++i) {
+    if (i != 0) {
+      os << ',';
+    }
+    os << FormatFloat(spec.w_scales[i]);
+  }
+  return os.str();
+}
+
+bool SaveQuantRecipe(const QuantRecipe& recipe, const std::string& path, std::string* error) {
+  namespace fs = std::filesystem;
+  const fs::path target(path);
+  std::error_code ec;
+  if (target.has_parent_path()) {
+    fs::create_directories(target.parent_path(), ec);
+  }
+  const fs::path tmp = target.string() + ".tmp";
+  {
+    std::ofstream os(tmp);
+    if (!os) {
+      *error = "cannot open '" + tmp.string() + "' for writing";
+      return false;
+    }
+    os << kQuantRecipeHeader << "\n";
+    for (const StepQuantSpec& s : recipe.steps) {
+      os << FormatQuantStepLine(s) << "\n";
+    }
+    os.flush();
+    if (!os) {
+      *error = "write to '" + tmp.string() + "' failed";
+      return false;
+    }
+  }
+  fs::rename(tmp, target, ec);
+  if (ec) {
+    *error = "rename to '" + path + "' failed: " + ec.message();
+    return false;
+  }
+  return true;
+}
+
+bool LoadQuantRecipe(const std::string& path, QuantRecipe* recipe, std::string* error) {
+  std::ifstream is(path);
+  if (!is) {
+    *error = "cannot open '" + path + "'";
+    return false;
+  }
+  std::string line;
+  if (!std::getline(is, line) || line != kQuantRecipeHeader) {
+    *error = "bad header (want '" + std::string(kQuantRecipeHeader) + "')";
+    return false;
+  }
+  QuantRecipe out;
+  int lineno = 1;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) {
+      continue;
+    }
+    StepQuantSpec spec;
+    std::string why;
+    if (!ParseQuantStepLine(line, &spec, &why)) {
+      *error = "line " + std::to_string(lineno) + ": " + why;
+      return false;
+    }
+    out.steps.push_back(std::move(spec));
+  }
+  *recipe = std::move(out);
+  return true;
+}
+
+}  // namespace gmorph::quant

@@ -1,0 +1,59 @@
+// The quantization recipe: the on-disk artifact calibration produces and the
+// engine consumes. Text, one step per line ("gmorph-quant v1"):
+//
+//   gmorph-quant v1
+//   step seq=0 kind=conv label=conv1 in_scale=0.0123 in_zp=14 w_scales=0.1,0.2
+//   step seq=3 kind=linear label=head0 in_scale=0.2 in_zp=0 w_scales=0.05
+//
+// `seq` is the step's index in the engine's lowered plan, `kind` names the op
+// family, `in_scale`/`in_zp` are the u8 asymmetric activation parameters and
+// `w_scales` the per-output-channel symmetric s8 weight scales. The format
+// mirrors the tunedb's key=value line discipline; the strict linter lives in
+// src/analysis/quant_verifier so the loader here only needs to be tolerant of
+// whitespace, not of corruption.
+#ifndef GMORPH_SRC_QUANT_RECIPE_H_
+#define GMORPH_SRC_QUANT_RECIPE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/quant/qparams.h"
+
+namespace gmorph::quant {
+
+inline constexpr char kQuantRecipeHeaderPrefix[] = "gmorph-quant";
+inline constexpr char kQuantRecipeHeader[] = "gmorph-quant v1";
+
+struct StepQuantSpec {
+  int64_t seq = -1;
+  std::string kind;   // "conv" | "linear"
+  std::string label;  // step label, informational (spaces are sanitized)
+  ActQuant in_q;
+  std::vector<float> w_scales;  // one per output channel
+};
+
+struct QuantRecipe {
+  std::vector<StepQuantSpec> steps;
+
+  // Spec for a plan step, or nullptr when the step is not quantized.
+  const StepQuantSpec* FindSeq(int64_t seq) const;
+};
+
+// One step line, both directions; shared with the analysis-layer linter so
+// writer and verifier cannot drift. Parse rejects malformed lines with a
+// human-readable reason; it does not enforce cross-line rules (duplicates),
+// which belong to the verifier.
+bool ParseQuantStepLine(const std::string& line, StepQuantSpec* spec, std::string* error);
+std::string FormatQuantStepLine(const StepQuantSpec& spec);
+
+// Whole-file IO. Save is atomic (tmp + rename, the tunedb discipline). Load
+// fails (returns false) on a missing file, bad header, or any malformed step
+// line — a recipe drives numerics, so unlike the tunedb nothing is dropped
+// silently.
+bool SaveQuantRecipe(const QuantRecipe& recipe, const std::string& path, std::string* error);
+bool LoadQuantRecipe(const std::string& path, QuantRecipe* recipe, std::string* error);
+
+}  // namespace gmorph::quant
+
+#endif  // GMORPH_SRC_QUANT_RECIPE_H_

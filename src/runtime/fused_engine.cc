@@ -68,10 +68,14 @@ FusedEngine::FusedEngine(MultiTaskModel* model, const Options& options)
   }
 
   AnnotateSolvers();
+  MaybeVerifyPlan();
+}
 
-  // Self-check the freshly built plan: always in debug builds, opt-in via
+void FusedEngine::MaybeVerifyPlan() const {
+  // Self-check the current plan: always in debug builds, opt-in via
   // GMORPH_VERIFY=1 in release. A verifier error here is a planner bug, so it
-  // is fatal rather than a diagnostic the caller could ignore.
+  // is fatal rather than a diagnostic the caller could ignore. Runs again
+  // after Quantize() — the int8 annotations must lint clean too.
 #ifdef NDEBUG
   static const bool verify_plan = [] {
     const char* v = std::getenv("GMORPH_VERIFY");
@@ -514,29 +518,42 @@ bool FusedEngine::StepProblemDesc(const Step& step, int64_t batch,
     case OpKind::kConv: {
       // The per-sample im2col GEMM of Conv2dForwardInto: W[O, C*KH*KW] times
       // the column matrix [C*KH*KW, OH*OW]. It always runs inside the
-      // per-batch ParallelFor, i.e. in the serial nested regime.
+      // per-batch ParallelFor, i.e. in the serial nested regime. A quantized
+      // step runs the transposed orientation instead — col_u8[OH*OW, C*KH*KW]
+      // times Wt_s8[C*KH*KW, O] — so rows and columns swap.
       const Shape& w = step.weight.shape();
       const Shape& out = values_[static_cast<size_t>(step.out)].shape;
       if (w.Rank() != 4 || out.Rank() != 3) {
         return false;
       }
       desc->op = kernels::OpFamily::kGemmNN;
-      desc->m = w[0];
-      desc->k = w[1] * w[2] * w[3];
-      desc->n = out[1] * out[2];
+      if (step.qconv != nullptr) {
+        desc->dtype = kernels::DType::kInt8;
+        desc->m = out[1] * out[2];
+        desc->k = w[1] * w[2] * w[3];
+        desc->n = w[0];
+      } else {
+        desc->dtype = kernels::DType::kF32;
+        desc->m = w[0];
+        desc->k = w[1] * w[2] * w[3];
+        desc->n = out[1] * out[2];
+      }
       desc->aux0 = desc->aux1 = 0;
       desc->threads = 1;
       return true;
     }
     case OpKind::kLinear: {
       // LinearForwardInto flattens leading dims into rows, so m scales with
-      // the batch while k/n come from the weight.
+      // the batch while k/n come from the weight. The quantized path keeps
+      // the same logical dims, just at dtype int8.
       const Shape& w = step.weight.shape();
       if (w.Rank() != 2 || w[0] <= 0) {
         return false;
       }
       const Shape& in = values_[static_cast<size_t>(step.in0)].shape;
       desc->op = kernels::OpFamily::kGemmNN;
+      desc->dtype =
+          step.qlinear != nullptr ? kernels::DType::kInt8 : kernels::DType::kF32;
       desc->m = batch * (in.NumElements() / w[0]);
       desc->k = w[0];
       desc->n = w[1];
@@ -570,8 +587,13 @@ void FusedEngine::AnnotateSolvers() {
     if (!StepProblemDesc(step, /*batch=*/1, &desc)) {
       continue;
     }
-    step.solver = desc.op == kernels::OpFamily::kMaxPool ? registry.ResolvePool(desc)->name()
-                                                         : registry.ResolveGemm(desc)->name();
+    if (desc.op == kernels::OpFamily::kMaxPool) {
+      step.solver = registry.ResolvePool(desc)->name();
+    } else if (desc.dtype == kernels::DType::kInt8) {
+      step.solver = registry.ResolveQGemm(desc)->name();
+    } else {
+      step.solver = registry.ResolveGemm(desc)->name();
+    }
   }
 }
 
@@ -584,6 +606,90 @@ std::vector<kernels::ProblemDesc> FusedEngine::KernelProblems(int64_t batch) con
     }
   }
   return std::vector<kernels::ProblemDesc>(dedup.begin(), dedup.end());
+}
+
+// ---------------------------------------------------------------------------
+// Int8 post-training quantization
+// ---------------------------------------------------------------------------
+
+quant::QuantRecipe FusedEngine::Calibrate(const std::vector<Tensor>& batches) {
+  quant::CalibrationObserver observer;
+  observer_ = &observer;
+  for (const Tensor& batch : batches) {
+    Run(batch);
+  }
+  observer_ = nullptr;
+
+  quant::QuantRecipe recipe;
+  for (size_t s = 0; s < steps_.size(); ++s) {
+    const Step& step = steps_[s];
+    if (step.kind != OpKind::kConv && step.kind != OpKind::kLinear) {
+      continue;
+    }
+    const quant::TensorRange* range = observer.Range(static_cast<int64_t>(s));
+    if (range == nullptr || !range->valid()) {
+      continue;  // step never executed over the calibration set
+    }
+    quant::StepQuantSpec spec;
+    spec.seq = static_cast<int64_t>(s);
+    spec.label = step.label;
+    spec.in_q = quant::ActQuantFromRange(*range);
+    const Shape& w = step.weight.shape();
+    if (step.kind == OpKind::kConv) {
+      if (w.Rank() != 4) {
+        continue;
+      }
+      spec.kind = "conv";
+      // Conv weights are (O, C, KH, KW): one contiguous row of C*KH*KW taps
+      // per output channel.
+      spec.w_scales = quant::RowAbsMaxScales(step.weight.data(), w[0], w[1] * w[2] * w[3]);
+    } else {
+      if (w.Rank() != 2) {
+        continue;
+      }
+      spec.kind = "linear";
+      // Linear weights are (in, out): output channels run over columns.
+      spec.w_scales = quant::ColAbsMaxScales(step.weight.data(), w[0], w[1]);
+    }
+    recipe.steps.push_back(std::move(spec));
+  }
+  return recipe;
+}
+
+int FusedEngine::Quantize(const quant::QuantRecipe& recipe) {
+  int applied = 0;
+  for (const quant::StepQuantSpec& spec : recipe.steps) {
+    if (spec.seq < 0 || spec.seq >= static_cast<int64_t>(steps_.size())) {
+      continue;
+    }
+    Step& step = steps_[static_cast<size_t>(spec.seq)];
+    const Shape& w = step.weight.shape();
+    if (step.kind == OpKind::kConv && spec.kind == "conv" && w.Rank() == 4 &&
+        static_cast<int64_t>(spec.w_scales.size()) == w[0]) {
+      step.qconv = std::make_unique<quant::QConvWeights>(
+          quant::PackConvWeights(step.weight, step.bias, spec.in_q, spec.w_scales));
+      step.qlinear.reset();
+      ++applied;
+    } else if (step.kind == OpKind::kLinear && spec.kind == "linear" && w.Rank() == 2 &&
+               static_cast<int64_t>(spec.w_scales.size()) == w[1]) {
+      step.qlinear = std::make_unique<quant::QLinearWeights>(
+          quant::PackLinearWeights(step.weight, step.bias, spec.in_q, spec.w_scales));
+      step.qconv.reset();
+      ++applied;
+    }
+  }
+  num_quantized_steps_ = 0;
+  for (const Step& step : steps_) {
+    num_quantized_steps_ += step.quantized() ? 1 : 0;
+  }
+  if (applied > 0) {
+    // Cached bindings pinned f32 solvers; rebuild them lazily, re-resolve the
+    // plan annotations at the new dtypes, and re-lint the plan.
+    bindings_.clear();
+    AnnotateSolvers();
+    MaybeVerifyPlan();
+  }
+  return applied;
 }
 
 // ---------------------------------------------------------------------------
@@ -619,12 +725,22 @@ FusedEngine::Binding& FusedEngine::BindingFor(int64_t batch) {
   // the batch, so the descriptor — and with it the tuned winner — can differ
   // between bindings. Steady-state Run() then never touches the tuning DB.
   bind->step_solvers.assign(steps_.size(), nullptr);
+  bind->step_qsolvers.assign(steps_.size(), nullptr);
   for (size_t s = 0; s < steps_.size(); ++s) {
     const Step& step = steps_[s];
+    kernels::ProblemDesc desc;
+    if (step.quantized()) {
+      // Quantized conv and linear both pin their u8·s8 solver here (conv's
+      // per-sample descriptor does not depend on the batch, but pinning keeps
+      // every steady-state path free of tuning-DB lookups).
+      if (StepProblemDesc(step, batch, &desc)) {
+        bind->step_qsolvers[s] = kernels::SolverRegistry::Global().ResolveQGemm(desc);
+      }
+      continue;
+    }
     if (step.kind != OpKind::kLinear) {
       continue;
     }
-    kernels::ProblemDesc desc;
     if (StepProblemDesc(step, batch, &desc)) {
       bind->step_solvers[s] = kernels::SolverRegistry::Global().ResolveGemm(desc);
     }
@@ -685,15 +801,31 @@ void FusedEngine::ExecStep(int seq, Binding& bind) {
   ++step.calls;
   const Tensor& in = bind.values[static_cast<size_t>(step.in0)];
   Tensor& out = bind.values[static_cast<size_t>(step.out)];
+  if (observer_ != nullptr &&
+      (step.kind == OpKind::kConv || step.kind == OpKind::kLinear)) {
+    observer_->Observe(seq, in.data(), in.size());
+  }
   switch (step.kind) {
     case OpKind::kConv:
-      Conv2dForwardInto(in, step.weight, step.bias, step.conv_args, out,
-                        step.skip >= 0 ? &bind.values[static_cast<size_t>(step.skip)] : nullptr,
-                        step.relu);
+      if (step.qconv != nullptr) {
+        quant::QConv2dForwardInto(
+            in, *step.qconv, step.conv_args, out,
+            step.skip >= 0 ? &bind.values[static_cast<size_t>(step.skip)] : nullptr, step.relu,
+            bind.step_qsolvers[static_cast<size_t>(seq)]);
+      } else {
+        Conv2dForwardInto(in, step.weight, step.bias, step.conv_args, out,
+                          step.skip >= 0 ? &bind.values[static_cast<size_t>(step.skip)] : nullptr,
+                          step.relu);
+      }
       break;
     case OpKind::kLinear:
-      LinearForwardInto(in, step.weight, step.bias, out, step.relu,
-                        bind.step_solvers[static_cast<size_t>(seq)]);
+      if (step.qlinear != nullptr) {
+        quant::QLinearForwardInto(in, *step.qlinear, out, step.relu,
+                                  bind.step_qsolvers[static_cast<size_t>(seq)]);
+      } else {
+        LinearForwardInto(in, step.weight, step.bias, out, step.relu,
+                          bind.step_solvers[static_cast<size_t>(seq)]);
+      }
       break;
     case OpKind::kMaxPool:
       MaxPool2dForwardInto(in, step.pool_kernel, step.pool_stride, out);
@@ -764,6 +896,9 @@ std::string FusedEngine::DumpPlan() const {
     os << " -> v" << s.out << " " << out.shape.ToString();
     if (!s.solver.empty()) {
       os << " solver=" << s.solver;
+    }
+    if (s.quantized()) {
+      os << " int8";
     }
     if (out.buffer >= 0) {
       os << " (buf" << out.buffer << (out.is_head ? ", head" : "") << ")";
@@ -843,6 +978,7 @@ PlanIR FusedEngine::ExportPlan() const {
     ps.pool_kernel = s.pool_kernel;
     ps.pool_stride = s.pool_stride;
     ps.solver = s.solver;
+    ps.dtype = s.quantized() ? kernels::DType::kInt8 : kernels::DType::kF32;
     plan.steps.push_back(std::move(ps));
   }
   plan.groups.reserve(groups_.size());

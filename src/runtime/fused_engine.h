@@ -40,6 +40,9 @@
 
 #include "src/analysis/plan_ir.h"
 #include "src/kernels/solver.h"
+#include "src/quant/calibrate.h"
+#include "src/quant/quant_ops.h"
+#include "src/quant/recipe.h"
 #include "src/runtime/engine.h"
 #include "src/tensor/conv_ops.h"
 
@@ -61,6 +64,22 @@ class FusedEngine : public InferenceEngine {
 
   std::vector<Tensor> Run(const Tensor& input) override;
   std::string Name() const override { return "fused"; }
+
+  // ---- Int8 post-training quantization ----
+  // Calibration: runs the f32 plan over each batch while observing the input
+  // range of every conv/linear step, then derives the per-step quantization
+  // recipe (u8 asymmetric activation params + per-output-channel s8 weight
+  // scales). The engine is left unchanged — apply the recipe with Quantize().
+  quant::QuantRecipe Calibrate(const std::vector<Tensor>& batches);
+  // Applies a recipe: packs s8 weights (conv weights transposed to (CKK, O)
+  // for the u8·s8 product), precomputes column sums / dequant scales / bias
+  // copies, drops all cached bindings, and re-annotates solvers. Steps whose
+  // seq/kind/channel-count do not match the live plan are skipped. Returns
+  // the number of steps switched to int8. Steady-state Run() afterwards still
+  // performs zero tensor-storage allocations — quantized steps draw their u8
+  // im2col / s32 accumulator workspace from the thread-local scratch arena.
+  int Quantize(const quant::QuantRecipe& recipe);
+  int num_quantized_steps() const { return num_quantized_steps_; }
 
   // ---- Introspection for tests / reporting ----
   int num_fused_convs() const { return num_fused_convs_; }
@@ -149,6 +168,11 @@ class FusedEngine : public InferenceEngine {
     // descriptor); empty for step kinds without one. Exported with the plan
     // so the PlanVerifier can lint applicability.
     std::string solver;
+    // Set by Quantize(): packed int8 parameters for kConv / kLinear steps.
+    // A step with one of these executes on the u8·s8 path.
+    std::unique_ptr<quant::QConvWeights> qconv;
+    std::unique_ptr<quant::QLinearWeights> qlinear;
+    bool quantized() const { return qconv != nullptr || qlinear != nullptr; }
     // kModule
     Module* module = nullptr;
     // Profiling accumulators (each step is executed by one thread at a time).
@@ -178,6 +202,8 @@ class FusedEngine : public InferenceEngine {
     // other kinds). Resolving once per (plan, batch) keeps the steady-state
     // Run() free of tuning-DB lookups.
     std::vector<const kernels::GemmSolver*> step_solvers;
+    // Same, for quantized steps (kConv and kLinear on the int8 path).
+    std::vector<const kernels::QGemmSolver*> step_qsolvers;
   };
 
   // ---- Construction passes ----
@@ -199,6 +225,9 @@ class FusedEngine : public InferenceEngine {
   // Records each step's registry-resolved solver name (tuned winner when a
   // tuning DB is loaded, heuristic default otherwise) at batch 1.
   void AnnotateSolvers();
+  // Runs the PlanVerifier over ExportPlan(): always in debug builds, opt-in
+  // via GMORPH_VERIFY=1 in release. Fatal on error (a planner bug).
+  void MaybeVerifyPlan() const;
 
   // ---- Execution ----
   Binding& BindingFor(int64_t batch);
@@ -221,6 +250,9 @@ class FusedEngine : public InferenceEngine {
   int num_eliminated_ = 0;
   int num_fused_linears_ = 0;
   int num_fallback_modules_ = 0;
+  int num_quantized_steps_ = 0;
+  // Non-null only while Calibrate() drives observed runs.
+  quant::CalibrationObserver* observer_ = nullptr;
 };
 
 }  // namespace gmorph

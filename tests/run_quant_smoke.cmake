@@ -1,0 +1,59 @@
+# End-to-end quantization smoke: `gmorph_cli --quantize` must calibrate the
+# benchmark plan, write a "gmorph-quant v1" recipe that passes
+# `gmorph_cli --verify`, apply it to at least one step, and run the quantized
+# engine — with every reported per-task accuracy drop inside the 1%-absolute
+# budget the acceptance bar sets.
+#
+# Invoked by ctest as:
+#   cmake -DCLI=<gmorph_cli> -DCFG=<cli_trace_smoke.cfg> -DOUT_DIR=<dir>
+#         -P run_quant_smoke.cmake
+
+set(RECIPE "${OUT_DIR}/quant_smoke.quantrecipe")
+set(SMOKE_CFG "${OUT_DIR}/quant_smoke.cfg")
+file(REMOVE "${RECIPE}" "${SMOKE_CFG}")
+
+# The shared tiny-search config, plus the recipe destination (the base config
+# does not set quant_* keys, so appending cannot shadow anything).
+file(READ "${CFG}" base_cfg)
+file(WRITE "${SMOKE_CFG}" "${base_cfg}\nquant_recipe = ${RECIPE}\n")
+
+# Calibrate + quantize + run: one mode covers the whole lifecycle.
+execute_process(
+  COMMAND "${CLI}" "--quantize" "${SMOKE_CFG}"
+  RESULT_VARIABLE quant_rc
+  OUTPUT_VARIABLE quant_out
+  ERROR_VARIABLE quant_err)
+if(NOT quant_rc EQUAL 0)
+  message(FATAL_ERROR "--quantize exited ${quant_rc}:\n${quant_out}\n${quant_err}")
+endif()
+if(NOT EXISTS "${RECIPE}")
+  message(FATAL_ERROR "--quantize did not write ${RECIPE}")
+endif()
+if(NOT quant_out MATCHES "([1-9][0-9]*) step\\(s\\) now int8")
+  message(FATAL_ERROR "--quantize applied no int8 step:\n${quant_out}")
+endif()
+if(NOT quant_out MATCHES "latency \\(batch [0-9]+\\): f32 [0-9.]+ ms -> int8 [0-9.]+ ms")
+  message(FATAL_ERROR "--quantize did not run the quantized engine:\n${quant_out}")
+endif()
+
+# Every reported per-task drop must sit inside the 1%-absolute budget.
+string(REGEX MATCHALL "drop ([+-][0-9.]+)" drops "${quant_out}")
+if(drops STREQUAL "")
+  message(FATAL_ERROR "--quantize reported no per-task drops:\n${quant_out}")
+endif()
+foreach(drop_match ${drops})
+  string(REGEX REPLACE "drop \\+?" "" drop "${drop_match}")
+  if(drop GREATER "0.0100001")
+    message(FATAL_ERROR "per-task drop ${drop} exceeds the 1% budget:\n${quant_out}")
+  endif()
+endforeach()
+
+# The written recipe must pass the strict linter.
+execute_process(
+  COMMAND "${CLI}" "--verify" "${RECIPE}"
+  RESULT_VARIABLE verify_rc
+  OUTPUT_VARIABLE verify_out
+  ERROR_VARIABLE verify_err)
+if(NOT verify_rc EQUAL 0)
+  message(FATAL_ERROR "--verify rejected the recipe (${verify_rc}):\n${verify_out}\n${verify_err}")
+endif()

@@ -7,6 +7,7 @@
 //   gmorph_cli --resume <checkpoint> <config-file>
 //   gmorph_cli --dump-plan <config-file>
 //   gmorph_cli --autotune <config-file>
+//   gmorph_cli --quantize <config-file>
 //   gmorph_cli --verify <file>
 //   gmorph_cli --print-default-config
 //
@@ -35,6 +36,16 @@
 // zero benchmarks. Any later run with GMORPH_TUNE_DB pointing at the file
 // (or the default location) resolves kernels through the tuned winners.
 //
+// --quantize runs int8 post-training quantization on the configured
+// benchmark's execution plan (or a fused graph via `input_graph`): the f32
+// plan is scored and timed on the synthetic test split, calibrated on
+// `quant_calib_batches` x `quant_calib_batch_size` representative inputs, the
+// "gmorph-quant v1" recipe is written to `quant_recipe`, applied, and the
+// int8 plan re-scored so the report isolates exactly the latency gain and
+// accuracy drop int8 adds. During a search, `quantize_search = true`
+// additionally scores every elite candidate's int8 plan (mixed-precision
+// winners).
+//
 // --verify lints a file through the static-analysis passes and exits nonzero
 // on any error diagnostic. The file kind is sniffed:
 //   - a binary .gmorph graph: GraphVerifier (with serializer round-trip),
@@ -47,6 +58,8 @@
 //     embedded-graph io.*/graph.* findings);
 //   - a `gmorph-tunedb v1` file: tuning-DB linter (tune.* rules — entry
 //     grammar, solver registration, shape applicability, duplicates);
+//   - a `gmorph-quant v1` recipe: quantization-recipe linter (quant.* rules —
+//     step grammar, scale sanity, zero-point range, duplicate steps);
 //   - otherwise a config file: the configured benchmark's graph (or its
 //     input_graph) is built and verified as above.
 // Exit codes: 0 clean, 1 diagnostics with errors, 2 unreadable input.
@@ -54,6 +67,7 @@
 // The config selects one of the built-in benchmarks (B1-B7), pre-trains its
 // task-specific teachers on the synthetic datasets, runs the search, and
 // writes the fused model (binary graph) and an optional Graphviz rendering.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -64,6 +78,7 @@
 #include "src/analysis/graph_verifier.h"
 #include "src/analysis/plan_io.h"
 #include "src/analysis/plan_verifier.h"
+#include "src/analysis/quant_verifier.h"
 #include "src/analysis/tunedb_verifier.h"
 #include "src/common/check.h"
 #include "src/common/config.h"
@@ -80,8 +95,11 @@
 #include "src/kernels/autotune.h"
 #include "src/kernels/tune_db.h"
 #include "src/obs/metrics.h"
+#include "src/obs/timing.h"
 #include "src/obs/trace.h"
+#include "src/quant/recipe.h"
 #include "src/runtime/fused_engine.h"
+#include "src/runtime/quant_scoring.h"
 
 namespace {
 
@@ -131,6 +149,15 @@ tune_db =
 # search end); continue with `gmorph_cli --resume <checkpoint> <config>`.
 checkpoint_path =
 checkpoint_every = 0
+
+# Int8 post-training quantization (`gmorph_cli --quantize`, and per-elite
+# scoring during search when quantize_search is on). The recipe is written to
+# quant_recipe and lintable via `gmorph_cli --verify`.
+quantize_search = false
+quant_recipe = gmorph.quantrecipe
+quant_calib_batches = 2
+quant_calib_batch_size = 16
+quant_drop_budget = 0.01
 )";
 
 // Builds the configured benchmark's multi-task graph, or loads the fused
@@ -259,6 +286,79 @@ int AutotuneMode(const gmorph::Config& config) {
   return 0;
 }
 
+// Calibrates the configured benchmark's plan on representative inputs, writes
+// the quantization recipe, applies it, and reports the f32 vs int8 latency
+// and per-task test scores (see usage comment).
+int QuantizeMode(const gmorph::Config& config) {
+  using namespace gmorph;
+  const int bench_index = static_cast<int>(config.GetInt("benchmark", 1));
+  const uint64_t seed = static_cast<uint64_t>(config.GetInt("seed", 42));
+  BenchmarkScale scale;
+  scale.train_size = config.GetInt("train_size", 128);
+  scale.test_size = config.GetInt("test_size", 64);
+  scale.cnn_width = config.GetInt("cnn_width", 8);
+  scale.noise_stddev = static_cast<float>(config.GetDouble("noise_stddev", 1.6));
+  BenchmarkDef def = MakeBenchmark(bench_index, scale, seed);
+
+  // The plan to quantize: a fused graph saved by a previous search (with its
+  // trained weights), or the unfused benchmark.
+  AbsGraph graph;
+  std::string label;
+  if (!BuildConfiguredGraph(config, &graph, &label)) {
+    return 2;
+  }
+  Rng rng(seed);
+  MultiTaskModel model(graph, rng);
+  FusedEngine engine(&model);
+  std::printf("quantizing %s (%d plan steps)\n", label.c_str(), engine.num_steps());
+
+  // f32 baseline through the same engine, so the reported drop isolates
+  // exactly what int8 adds.
+  const int64_t batch = config.GetInt("batch_size", 32);
+  const std::vector<double> f32_scores = EngineEvaluateMultiTask(engine, def.test, batch);
+  const Shape input_shape = graph.node(graph.root()).output_shape.WithBatch(batch);
+  const Tensor input = Tensor::Zeros(input_shape);
+  const double f32_ms = MedianTimedMs([&] { engine.Run(input); }, 1, 5);
+
+  // Calibrate on slices of the representative (train) inputs.
+  std::vector<Tensor> calib;
+  const int calib_batches = static_cast<int>(config.GetInt("quant_calib_batches", 2));
+  const int64_t calib_batch = config.GetInt("quant_calib_batch_size", 16);
+  int64_t start = 0;
+  for (int b = 0; b < calib_batches && start < def.train.size(); ++b) {
+    const int64_t count = std::min<int64_t>(calib_batch, def.train.size() - start);
+    calib.push_back(def.train.InputBatch(start, count));
+    start += count;
+  }
+  const quant::QuantRecipe recipe = engine.Calibrate(calib);
+
+  const std::string recipe_path = config.GetString("quant_recipe", "gmorph.quantrecipe");
+  std::string error;
+  if (!quant::SaveQuantRecipe(recipe, recipe_path, &error)) {
+    std::fprintf(stderr, "failed to write recipe: %s\n", error.c_str());
+    return 2;
+  }
+  const int applied = engine.Quantize(recipe);
+  std::printf("calibrated %zu step(s) -> %s; %d step(s) now int8\n", recipe.steps.size(),
+              recipe_path.c_str(), applied);
+  if (applied == 0) {
+    std::fprintf(stderr, "no step of the plan is quantizable\n");
+    return 2;
+  }
+
+  const std::vector<double> int8_scores = EngineEvaluateMultiTask(engine, def.test, batch);
+  const double int8_ms = MedianTimedMs([&] { engine.Run(input); }, 1, 5);
+  std::printf("latency (batch %lld): f32 %.3f ms -> int8 %.3f ms (%.2fx)\n",
+              static_cast<long long>(batch), f32_ms, int8_ms,
+              int8_ms > 0.0 ? f32_ms / int8_ms : 0.0);
+  for (size_t t = 0; t < f32_scores.size(); ++t) {
+    const std::string name = t < def.tasks.size() ? def.tasks[t].name : "task" + std::to_string(t);
+    std::printf("  %-13s f32 %.3f -> int8 %.3f (drop %+.4f)\n", name.c_str(), f32_scores[t],
+                int8_scores[t], f32_scores[t] - int8_scores[t]);
+  }
+  return 0;
+}
+
 // Prints every diagnostic; returns the --verify exit code for the list.
 int ReportDiagnostics(const gmorph::DiagnosticList& diags) {
   for (const auto& d : diags.items()) {
@@ -309,6 +409,9 @@ int VerifyMode(const std::string& path) {
   }
   if (head.rfind(kernels::kTuneDbHeaderPrefix, 0) == 0) {
     return ReportDiagnostics(VerifyTuneDbFile(path));
+  }
+  if (head.rfind(quant::kQuantRecipeHeaderPrefix, 0) == 0) {
+    return ReportDiagnostics(VerifyQuantRecipeFile(path));
   }
   if (head.rfind("GMORPHG", 0) == 0 ||
       (head.size() >= 8 && head.compare(0, 8, "1GHPROMG") == 0)) {
@@ -389,17 +492,19 @@ int main(int argc, char** argv) {
   }
   const bool dump_plan = argc == 3 && std::strcmp(argv[1], "--dump-plan") == 0;
   const bool autotune = argc == 3 && std::strcmp(argv[1], "--autotune") == 0;
+  const bool quantize = argc == 3 && std::strcmp(argv[1], "--quantize") == 0;
   const bool verify = argc == 3 && std::strcmp(argv[1], "--verify") == 0;
   const bool resume = argc == 4 && std::strcmp(argv[1], "--resume") == 0;
-  if (argc != 2 && !dump_plan && !autotune && !verify && !resume) {
+  if (argc != 2 && !dump_plan && !autotune && !quantize && !verify && !resume) {
     std::fprintf(stderr,
                  "usage: %s [--trace <out.json>] [--metrics <out.json>] <config-file>\n"
                  "       %s --resume <checkpoint> <config-file>\n"
                  "       %s --dump-plan <config-file>\n"
-                 "       %s --autotune <config-file>\n       %s "
-                 "--verify <graph|plan|config|evalcache|checkpoint|tunedb>\n"
+                 "       %s --autotune <config-file>\n"
+                 "       %s --quantize <config-file>\n       %s "
+                 "--verify <graph|plan|config|evalcache|checkpoint|tunedb|quantrecipe>\n"
                  "       %s --print-default-config > gmorph.cfg\n",
-                 argv[0], argv[0], argv[0], argv[0], argv[0], argv[0]);
+                 argv[0], argv[0], argv[0], argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }
   if (verify) {
@@ -413,7 +518,7 @@ int main(int argc, char** argv) {
 
   Config config;
   try {
-    config = Config::FromFile(argv[resume ? 3 : (dump_plan || autotune) ? 2 : 1]);
+    config = Config::FromFile(argv[resume ? 3 : (dump_plan || autotune || quantize) ? 2 : 1]);
   } catch (const CheckError& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;
@@ -444,9 +549,9 @@ int main(int argc, char** argv) {
     SetKernelThreads(kernel_threads);
   }
 
-  if (dump_plan || autotune) {
+  if (dump_plan || autotune || quantize) {
     try {
-      return dump_plan ? DumpPlanMode(config) : AutotuneMode(config);
+      return dump_plan ? DumpPlanMode(config) : autotune ? AutotuneMode(config) : QuantizeMode(config);
     } catch (const CheckError& e) {
       std::fprintf(stderr, "%s\n", e.what());
       return 2;
@@ -500,6 +605,13 @@ int main(int argc, char** argv) {
   options.cache_dir = config.GetString("cache_dir", "");
   options.checkpoint_path = config.GetString("checkpoint_path", "");
   options.checkpoint_every = static_cast<int>(config.GetInt("checkpoint_every", 0));
+  options.quant.enabled = config.GetBool("quantize_search", false);
+  if (options.quant.enabled) {
+    options.quant.calib_batches = static_cast<int>(config.GetInt("quant_calib_batches", 2));
+    options.quant.calib_batch_size = config.GetInt("quant_calib_batch_size", 16);
+    options.quant.drop_budget = config.GetDouble("quant_drop_budget", 0.01);
+    options.quant_score = ScoreQuantizedEngine;
+  }
   if (options.verbose) {
     SetLogLevel(LogLevel::kInfo);
   }
@@ -537,6 +649,12 @@ int main(int argc, char** argv) {
   for (size_t t = 0; t < def.tasks.size(); ++t) {
     std::printf("  %-13s teacher %.3f -> fused %.3f\n", def.tasks[t].name.c_str(),
                 result.teacher_scores[t], result.best_task_scores[t]);
+  }
+  if (result.best_quant.has_value()) {
+    const QuantOutcome& q = *result.best_quant;
+    std::printf("  int8 plan: %d step(s) quantized, %.2f ms, worst drop vs f32 %+.4f [%s]\n",
+                q.quantized_steps, q.latency_ms, q.max_drop,
+                q.within_budget ? "within budget" : "over budget");
   }
   std::printf("\n%s", result.best_graph.ToString().c_str());
 
