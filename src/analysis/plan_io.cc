@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/artifact_header.h"
+
 namespace gmorph {
 namespace {
 
@@ -97,8 +99,12 @@ class Parser {
       }
       if (!saw_header) {
         std::string version;
-        if (kw != "gmorph-plan" || !(is >> version) || version != "v1") {
-          Err(lineno) << "expected header 'gmorph-plan v1'";
+        std::string header = kw;
+        if (is >> version) {
+          header += " " + version;
+        }
+        if (CheckArtifactHeaderLine(header, kPlanArtifact) != HeaderCheck::kOk) {
+          Err(lineno) << "expected header '" << ArtifactHeaderLine(kPlanArtifact) << "'";
           return std::move(result_);
         }
         saw_header = true;
@@ -178,6 +184,12 @@ class Parser {
         v.from_module = true;
       } else if (f.key == "head" && f.value.empty()) {
         v.is_head = true;
+      } else if (f.key == "dtype") {
+        // Optional storage dtype; absent means f32 (all pre-dtype plans).
+        if (!kernels::DTypeFromName(f.value, &v.dtype)) {
+          Err(lineno) << "unknown dtype '" << f.value << "'";
+          return;
+        }
       } else {
         Err(lineno) << "bad value field '" << f.key << (f.value.empty() ? "" : "=") << f.value
                     << "'";
@@ -345,7 +357,7 @@ PlanParseResult ParsePlanTextFile(const std::string& path) {
 }
 
 void PlanToText(const PlanIR& plan, std::ostream& out) {
-  out << "gmorph-plan v1\n";
+  out << ArtifactHeaderLine(kPlanArtifact) << "\n";
   for (size_t v = 0; v < plan.values.size(); ++v) {
     const PlanValue& val = plan.values[v];
     out << "value " << v << " shape=" << ShapeToken(val.shape);
@@ -360,6 +372,9 @@ void PlanToText(const PlanIR& plan, std::ostream& out) {
     }
     if (val.buffer >= 0) {
       out << " buffer=" << val.buffer;
+    }
+    if (val.dtype != kernels::DType::kF32) {
+      out << " dtype=" << kernels::DTypeName(val.dtype);
     }
     out << "\n";
   }

@@ -42,6 +42,13 @@ struct PlanValue {
   bool from_module = false;
   bool is_head = false;
   int buffer = -1;     // arena slot for planned root values
+  // Storage dtype of the value's bytes in memory. Today every activation is
+  // stored f32 — quantized steps consume f32 input (u8 quantize at the
+  // boundary) and write f32 output (dequant epilogue) — so the engine always
+  // exports kF32; the dtype-propagation analysis certifies exactly that
+  // invariant, and the field is where a future bf16/int8-storage plan will
+  // record per-value precision. Serializes as an optional `dtype=` token.
+  kernels::DType dtype = kernels::DType::kF32;
 };
 
 struct PlanStep {

@@ -6,6 +6,7 @@
 #include <map>
 #include <string>
 
+#include "src/common/artifact_header.h"
 #include "src/quant/recipe.h"
 
 namespace gmorph {
@@ -47,14 +48,16 @@ DiagnosticList VerifyQuantRecipeFile(const std::string& path) {
     diags.Error("quant.header", path) << "empty recipe file";
     return diags;
   }
-  if (line.rfind(quant::kQuantRecipeHeaderPrefix, 0) != 0) {
-    diags.Error("quant.header", path)
-        << "missing " << quant::kQuantRecipeHeaderPrefix << " header";
-    return diags;
-  }
-  if (line != quant::kQuantRecipeHeader) {
-    diags.Error("quant.version", path) << "unsupported recipe version '" << line << "'";
-    return diags;
+  switch (CheckArtifactHeaderLine(line, kQuantRecipeArtifact)) {
+    case HeaderCheck::kMissing:
+      diags.Error("quant.header", path)
+          << "missing " << kQuantRecipeArtifact.kind << " header";
+      return diags;
+    case HeaderCheck::kWrongVersion:
+      diags.Error("quant.version", path) << "unsupported recipe version '" << line << "'";
+      return diags;
+    case HeaderCheck::kOk:
+      break;
   }
 
   std::map<int64_t, int> first_line;  // seq -> line that introduced it

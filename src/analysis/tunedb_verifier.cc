@@ -4,6 +4,7 @@
 #include <map>
 #include <string>
 
+#include "src/common/artifact_header.h"
 #include "src/kernels/registry.h"
 #include "src/kernels/tune_db.h"
 
@@ -31,13 +32,15 @@ DiagnosticList VerifyTuneDbFile(const std::string& path) {
     diags.Error("tune.header", path) << "empty tuning DB file";
     return diags;
   }
-  if (line.rfind(kernels::kTuneDbHeaderPrefix, 0) != 0) {
-    diags.Error("tune.header", path) << "missing " << kernels::kTuneDbHeaderPrefix << " header";
-    return diags;
-  }
-  if (line != kernels::kTuneDbHeader) {
-    diags.Error("tune.version", path) << "unsupported tuning DB version '" << line << "'";
-    return diags;
+  switch (CheckArtifactHeaderLine(line, kTuneDbArtifact)) {
+    case HeaderCheck::kMissing:
+      diags.Error("tune.header", path) << "missing " << kTuneDbArtifact.kind << " header";
+      return diags;
+    case HeaderCheck::kWrongVersion:
+      diags.Error("tune.version", path) << "unsupported tuning DB version '" << line << "'";
+      return diags;
+    case HeaderCheck::kOk:
+      break;
   }
 
   const SolverRegistry& registry = SolverRegistry::Global();

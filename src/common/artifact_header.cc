@@ -1,0 +1,65 @@
+#include "src/common/artifact_header.h"
+
+#include <cctype>
+
+namespace gmorph {
+namespace {
+
+// The version token: "v<decimal>", nothing else.
+bool ParseVersionToken(std::string_view token, int* version) {
+  if (token.size() < 2 || token.size() > 10 || token[0] != 'v') {
+    return false;
+  }
+  int value = 0;
+  for (size_t i = 1; i < token.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(token[i]))) {
+      return false;
+    }
+    value = value * 10 + (token[i] - '0');
+  }
+  *version = value;
+  return true;
+}
+
+}  // namespace
+
+std::string ArtifactHeaderLine(const ArtifactHeaderSpec& spec) {
+  return std::string(spec.kind) + " v" + std::to_string(spec.version);
+}
+
+HeaderCheck CheckArtifactHeaderLine(std::string_view line, const ArtifactHeaderSpec& spec) {
+  const std::string_view kind(spec.kind);
+  if (line.substr(0, kind.size()) != kind ||
+      (line.size() > kind.size() && line[kind.size()] != ' ')) {
+    return HeaderCheck::kMissing;
+  }
+  return line == ArtifactHeaderLine(spec) ? HeaderCheck::kOk : HeaderCheck::kWrongVersion;
+}
+
+bool ParseArtifactHeaderLine(std::string_view line, std::string* kind, int* version) {
+  constexpr std::string_view kPrefix = "gmorph-";
+  if (line.substr(0, kPrefix.size()) != kPrefix) {
+    return false;
+  }
+  const size_t space = line.find(' ');
+  if (space == std::string::npos || space == kPrefix.size()) {
+    return false;
+  }
+  size_t end = line.find(' ', space + 1);
+  if (end == std::string::npos) {
+    end = line.size();
+  }
+  int v = 0;
+  if (!ParseVersionToken(line.substr(space + 1, end - space - 1), &v)) {
+    return false;
+  }
+  if (kind != nullptr) {
+    kind->assign(line.substr(0, space));
+  }
+  if (version != nullptr) {
+    *version = v;
+  }
+  return true;
+}
+
+}  // namespace gmorph

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
-#include "src/analysis/graph_verifier.h"
+#include "src/analysis/driver.h"
 #include "src/common/check.h"
 #include "src/obs/trace.h"
 
@@ -94,7 +94,7 @@ PendingEval CandidateEvaluator::Screen(AbsGraph candidate, const HistoryDatabase
   DiagnosticList verdict;
   {
     obs::TraceSpan verify_span("eval/verify", obs::TraceCat::kEval, &out.stages.verify);
-    verdict = VerifyGraph(pending.graph);
+    verdict = RunGraphPasses(pending.graph);
   }
   if (!verdict.ok()) {
     out.status = EvalStatus::kRejectedByVerifier;

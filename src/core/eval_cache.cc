@@ -6,12 +6,13 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/common/artifact_header.h"
 #include "src/core/graph_io.h"
 
 namespace gmorph {
 namespace {
 
-constexpr const char* kHeader = "gmorph-evalcache v1";
+const std::string kHeader = ArtifactHeaderLine(kEvalCacheArtifact);
 
 std::string FormatDouble(double v) {
   char buf[64];
@@ -141,13 +142,15 @@ void ScanIndexFile(const std::string& path, const uint64_t* expected_options,
     diags.Error("cache.header", path) << "empty evaluation cache file";
     return;
   }
-  if (line.rfind("gmorph-evalcache", 0) != 0) {
-    diags.Error("cache.header", path) << "missing gmorph-evalcache header";
-    return;
-  }
-  if (line != kHeader) {
-    diags.Error("cache.version", path) << "unsupported cache version '" << line << "'";
-    return;
+  switch (CheckArtifactHeaderLine(line, kEvalCacheArtifact)) {
+    case HeaderCheck::kMissing:
+      diags.Error("cache.header", path) << "missing " << kEvalCacheArtifact.kind << " header";
+      return;
+    case HeaderCheck::kWrongVersion:
+      diags.Error("cache.version", path) << "unsupported cache version '" << line << "'";
+      return;
+    case HeaderCheck::kOk:
+      break;
   }
   int lineno = 1;
   bool saw_options = false;

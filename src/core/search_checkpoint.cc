@@ -6,12 +6,13 @@
 #include <sstream>
 #include <utility>
 
+#include "src/common/artifact_header.h"
 #include "src/core/graph_io.h"
 
 namespace gmorph {
 namespace {
 
-constexpr char kHeader[] = "gmorph-checkpoint v1";
+const std::string kHeader = ArtifactHeaderLine(kCheckpointArtifact);
 
 template <typename T>
 void WritePod(std::ostream& out, const T& value) {
@@ -159,15 +160,17 @@ CheckpointLoadResult LoadFromStream(std::istream& in, const std::string& path) {
     result.diagnostics.Error("ckpt.magic", path) << "empty file (missing header line)";
     return result;
   }
-  if (header.rfind("gmorph-checkpoint", 0) != 0) {
-    result.diagnostics.Error("ckpt.magic", path) << "not a GMorph checkpoint (header '" << header
-                                                 << "')";
-    return result;
-  }
-  if (header != kHeader) {
-    result.diagnostics.Error("ckpt.version", path)
-        << "unsupported checkpoint version '" << header << "' (expected '" << kHeader << "')";
-    return result;
+  switch (CheckArtifactHeaderLine(header, kCheckpointArtifact)) {
+    case HeaderCheck::kMissing:
+      result.diagnostics.Error("ckpt.magic", path)
+          << "not a GMorph checkpoint (header '" << header << "')";
+      return result;
+    case HeaderCheck::kWrongVersion:
+      result.diagnostics.Error("ckpt.version", path)
+          << "unsupported checkpoint version '" << header << "' (expected '" << kHeader << "')";
+      return result;
+    case HeaderCheck::kOk:
+      break;
   }
 
   SearchCheckpoint ckpt;

@@ -10,6 +10,7 @@
 #include <sstream>
 #include <vector>
 
+#include "src/common/artifact_header.h"
 #include "src/kernels/registry.h"
 
 namespace gmorph::kernels {
@@ -192,7 +193,8 @@ TuneDb::LoadStats TuneDb::Load(const std::string& path) {
     return stats;  // missing file: empty DB, not an error
   }
   std::string line;
-  if (!std::getline(in, line) || line != kTuneDbHeader) {
+  if (!std::getline(in, line) ||
+      CheckArtifactHeaderLine(line, kTuneDbArtifact) != HeaderCheck::kOk) {
     return stats;
   }
   stats.ok = true;

@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/common/artifact_header.h"
+
 namespace gmorph::quant {
 namespace {
 
@@ -179,8 +181,9 @@ bool LoadQuantRecipe(const std::string& path, QuantRecipe* recipe, std::string* 
     return false;
   }
   std::string line;
-  if (!std::getline(is, line) || line != kQuantRecipeHeader) {
-    *error = "bad header (want '" + std::string(kQuantRecipeHeader) + "')";
+  if (!std::getline(is, line) ||
+      CheckArtifactHeaderLine(line, kQuantRecipeArtifact) != HeaderCheck::kOk) {
+    *error = "bad header (want '" + ArtifactHeaderLine(kQuantRecipeArtifact) + "')";
     return false;
   }
   QuantRecipe out;

@@ -6,7 +6,7 @@
 #include <set>
 #include <sstream>
 
-#include "src/analysis/plan_verifier.h"
+#include "src/analysis/driver.h"
 #include "src/common/check.h"
 #include "src/common/parallel_for.h"
 #include "src/kernels/registry.h"
@@ -85,7 +85,12 @@ void FusedEngine::MaybeVerifyPlan() const {
   constexpr bool verify_plan = true;
 #endif
   if (verify_plan) {
-    const DiagnosticList verdict = VerifyPlan(ExportPlan());
+    // Route through the unified driver so the plan gets the full pass
+    // pipeline (PlanVerifier + dtype propagation + memory certification);
+    // the summary note is muted — this is a self-check, not a report.
+    MemAnalysisOptions mem;
+    mem.summary = false;
+    const DiagnosticList verdict = RunPlanPasses(ExportPlan(), mem);
     GMORPH_CHECK(verdict.ok(), "execution plan failed verification:\n" << verdict.ToString());
   }
 }

@@ -1,0 +1,30 @@
+# Rule-catalog doc sync: docs/RULES.md is generated from
+# `gmorph_cli --verify --list-rules` and must stay byte-identical to it. When
+# this test fails, regenerate with:
+#   build/tools/gmorph_cli --verify --list-rules > docs/RULES.md
+#
+# Invoked by ctest as:
+#   cmake -DCLI=<gmorph_cli> -DDOC=<docs/RULES.md> -DOUT_DIR=<dir>
+#         -P run_rules_doc_sync.cmake
+
+set(GENERATED "${OUT_DIR}/rules_doc_sync.md")
+file(REMOVE "${GENERATED}")
+
+execute_process(
+  COMMAND "${CLI}" "--verify" "--list-rules"
+  RESULT_VARIABLE list_rc
+  OUTPUT_VARIABLE list_out
+  ERROR_VARIABLE list_err)
+if(NOT list_rc EQUAL 0)
+  message(FATAL_ERROR "--list-rules exited ${list_rc}:\n${list_err}")
+endif()
+file(WRITE "${GENERATED}" "${list_out}")
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files "${GENERATED}" "${DOC}"
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+          "docs/RULES.md is out of date with the rule registry; regenerate with:\n"
+          "  gmorph_cli --verify --list-rules > docs/RULES.md")
+endif()

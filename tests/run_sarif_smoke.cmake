@@ -1,0 +1,70 @@
+# SARIF pipeline smoke: `gmorph_cli --verify --format=sarif` on a seeded-defect
+# plan must (1) exit 1 like text mode, (2) emit a log that python's strict JSON
+# parser accepts, and (3) carry exactly the rule ids the text renderer reports
+# for the same file — the two formats are views of one analysis, not two
+# analyses.
+#
+# Invoked by ctest as:
+#   cmake -DCLI=<gmorph_cli> -DPLAN=<plan_buffer_overlap.plan> -DOUT_DIR=<dir>
+#         -P run_sarif_smoke.cmake
+
+set(SARIF "${OUT_DIR}/sarif_smoke.sarif")
+file(REMOVE "${SARIF}")
+
+execute_process(
+  COMMAND "${CLI}" "--verify" "--format=sarif" "${PLAN}"
+  RESULT_VARIABLE sarif_rc
+  OUTPUT_VARIABLE sarif_out
+  ERROR_VARIABLE sarif_err)
+if(NOT sarif_rc EQUAL 1)
+  message(FATAL_ERROR "--format=sarif on a defective plan exited ${sarif_rc} (want 1):\n${sarif_out}\n${sarif_err}")
+endif()
+file(WRITE "${SARIF}" "${sarif_out}")
+
+execute_process(
+  COMMAND "${CLI}" "--verify" "${PLAN}"
+  RESULT_VARIABLE text_rc
+  OUTPUT_VARIABLE text_out
+  ERROR_VARIABLE text_err)
+if(NOT text_rc EQUAL 1)
+  message(FATAL_ERROR "text --verify on the same plan exited ${text_rc} (want 1):\n${text_out}\n${text_err}")
+endif()
+
+# SARIF must be valid JSON by an independent strict parser.
+find_program(PYTHON3 python3)
+if(PYTHON3)
+  execute_process(
+    COMMAND "${PYTHON3}" "-m" "json.tool" "${SARIF}"
+    RESULT_VARIABLE json_rc
+    OUTPUT_VARIABLE json_out
+    ERROR_VARIABLE json_err)
+  if(NOT json_rc EQUAL 0)
+    message(FATAL_ERROR "python3 -m json.tool rejected the SARIF log:\n${json_err}")
+  endif()
+else()
+  message(WARNING "python3 not found; skipping strict JSON validation")
+endif()
+
+if(NOT sarif_out MATCHES "\"version\": \"2.1.0\"")
+  message(FATAL_ERROR "SARIF log lacks the 2.1.0 version marker:\n${sarif_out}")
+endif()
+
+# Every rule id the text mode printed must appear as a SARIF ruleId, and SARIF
+# must not invent rule ids text mode never reported.
+string(REGEX MATCHALL "\\[([a-z0-9_.]+)\\]" text_rules "${text_out}")
+if(text_rules STREQUAL "")
+  message(FATAL_ERROR "text mode reported no rule ids:\n${text_out}")
+endif()
+foreach(match ${text_rules})
+  string(REGEX REPLACE "[][]" "" rule "${match}")
+  if(NOT sarif_out MATCHES "\"ruleId\": \"${rule}\"")
+    message(FATAL_ERROR "text mode fired ${rule} but the SARIF log has no such ruleId:\n${sarif_out}")
+  endif()
+endforeach()
+string(REGEX MATCHALL "\"ruleId\": \"([a-z0-9_.]+)\"" sarif_rules "${sarif_out}")
+foreach(match ${sarif_rules})
+  string(REGEX REPLACE "\"ruleId\": \"([a-z0-9_.]+)\"" "\\1" rule "${match}")
+  if(NOT text_out MATCHES "\\[${rule}\\]")
+    message(FATAL_ERROR "SARIF reports ${rule} but text mode never fired it:\n${text_out}")
+  endif()
+endforeach()

@@ -8,7 +8,10 @@
 //   gmorph_cli --dump-plan <config-file>
 //   gmorph_cli --autotune <config-file>
 //   gmorph_cli --quantize <config-file>
-//   gmorph_cli --verify <file>
+//   gmorph_cli --export-plan <config-file> <out.plan>
+//   gmorph_cli --verify [--list-rules] [--format=text|json|sarif]
+//              [--Werror=<rule|prefix>] [--Wno=<rule|prefix>]
+//              [--baseline=<file>] <file>
 //   gmorph_cli --print-default-config
 //
 // --trace writes a Chrome trace-event JSON (loadable in Perfetto /
@@ -46,23 +49,25 @@
 // additionally scores every elite candidate's int8 plan (mixed-precision
 // winners).
 //
-// --verify lints a file through the static-analysis passes and exits nonzero
-// on any error diagnostic. The file kind is sniffed:
-//   - a binary .gmorph graph: GraphVerifier (with serializer round-trip),
-//     then lowered through the FusedEngine and the plan re-checked;
-//   - a `gmorph-plan v1` text plan: PlanVerifier (symbolic execution —
-//     buffer overlaps, cross-branch races, stale aliases, kernel shapes);
-//   - a `gmorph-evalcache v1` index: cache linter (entry syntax, referenced
-//     trained graphs, fingerprint agreement — cache.* rules);
-//   - a `gmorph-checkpoint v1` file: checkpoint decoder (ckpt.* rules plus
-//     embedded-graph io.*/graph.* findings);
-//   - a `gmorph-tunedb v1` file: tuning-DB linter (tune.* rules — entry
-//     grammar, solver registration, shape applicability, duplicates);
-//   - a `gmorph-quant v1` recipe: quantization-recipe linter (quant.* rules —
-//     step grammar, scale sanity, zero-point range, duplicate steps);
-//   - otherwise a config file: the configured benchmark's graph (or its
-//     input_graph) is built and verified as above.
-// Exit codes: 0 clean, 1 diagnostics with errors, 2 unreadable input.
+// --export-plan lowers the configured benchmark (or `input_graph`) through
+// the FusedEngine planner and writes the execution plan as a `gmorph-plan v1`
+// text file — the artifact `--verify` lints and the CI plan-lint job sweeps.
+// `export_quantized = true` calibrates int8 first so the exported plan
+// carries the mixed-precision step dtypes.
+//
+// --verify lints a file through the unified analysis driver
+// (src/analysis/driver.h) and exits nonzero on any error diagnostic. The file
+// kind is sniffed from its head (binary graph magic, or the shared
+// "gmorph-<kind> vN" header line); unknown files fall back to being parsed as
+// a search config naming a benchmark, whose graph is built, verified, lowered
+// and plan-checked. Plans additionally run the dtype-propagation analysis
+// (plan.dtype.*) and the peak-memory certifier (plan.mem.*).
+//   --list-rules          print the full rule catalog and exit;
+//   --format=F            text (default) | json | sarif (SARIF 2.1.0);
+//   --Werror=<rule|pfx>   promote matching warnings to errors;
+//   --Wno=<rule|pfx>      drop matching warnings/notes (never errors);
+//   --baseline=<file>     suppress known findings ("rule.id node path" lines).
+// Exit codes: 0 clean after policy, 1 errors survived, 2 unreadable input.
 //
 // The config selects one of the built-in benchmarks (B1-B7), pre-trains its
 // task-specific teachers on the synthetic datasets, runs the search, and
@@ -75,11 +80,9 @@
 #include <string>
 #include <vector>
 
-#include "src/analysis/graph_verifier.h"
+#include "src/analysis/driver.h"
 #include "src/analysis/plan_io.h"
-#include "src/analysis/plan_verifier.h"
-#include "src/analysis/quant_verifier.h"
-#include "src/analysis/tunedb_verifier.h"
+#include "src/analysis/rules.h"
 #include "src/common/check.h"
 #include "src/common/config.h"
 #include "src/common/logging.h"
@@ -359,110 +362,120 @@ int QuantizeMode(const gmorph::Config& config) {
   return 0;
 }
 
-// Prints every diagnostic; returns the --verify exit code for the list.
-int ReportDiagnostics(const gmorph::DiagnosticList& diags) {
-  for (const auto& d : diags.items()) {
-    std::printf("%s\n", d.ToString().c_str());
-  }
-  if (!diags.ok()) {
-    std::printf("verify: %d error(s)\n", diags.error_count());
-    return 1;
-  }
-  std::printf("verify: clean (%zu warning(s)/note(s))\n", diags.size());
-  return 0;
-}
-
-// Verifies a fully built graph and, when it is clean, its execution plan.
-int VerifyGraphAndPlan(const gmorph::AbsGraph& graph, uint64_t seed) {
+// Lints one file through the unified analysis driver (see usage comment).
+// `args` is everything after --verify: flags plus one input path.
+int VerifyMode(const std::vector<std::string>& args) {
   using namespace gmorph;
-  GraphVerifyOptions opts;
-  opts.roundtrip = true;
-  DiagnosticList diags = VerifyGraph(graph, opts);
-  if (diags.ok()) {
-    // Graph invariants hold, so lowering is safe; re-check the derived plan.
+  AnalysisOptions options;
+  AnalysisFormat format = AnalysisFormat::kText;
+  std::string path;
+  for (const std::string& arg : args) {
+    if (arg == "--list-rules") {
+      std::fputs(ListRulesText().c_str(), stdout);
+      return 0;
+    }
+    if (arg.rfind("--format=", 0) == 0) {
+      const std::string value = arg.substr(9);
+      if (value == "text") {
+        format = AnalysisFormat::kText;
+      } else if (value == "json") {
+        format = AnalysisFormat::kJson;
+      } else if (value == "sarif") {
+        format = AnalysisFormat::kSarif;
+      } else {
+        std::fprintf(stderr, "verify: unknown --format '%s' (want text|json|sarif)\n",
+                     value.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--Werror=", 0) == 0) {
+      options.werror.push_back(arg.substr(9));
+    } else if (arg.rfind("--Wno=", 0) == 0) {
+      options.wno.push_back(arg.substr(6));
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      options.baseline_path = arg.substr(11);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "verify: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else if (!path.empty()) {
+      std::fprintf(stderr, "verify: more than one input file ('%s' and '%s')\n", path.c_str(),
+                   arg.c_str());
+      return 2;
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "verify: no input file (or use --list-rules)\n");
+    return 2;
+  }
+  // The analysis layer cannot link the runtime; lowering verified graphs into
+  // plans for the plan passes is injected here.
+  options.plan_from_graph = [](const AbsGraph& graph, uint64_t seed) {
     Rng rng(seed);
     MultiTaskModel model(graph, rng);
     FusedEngine engine(&model);
-    diags.Merge(VerifyPlan(engine.ExportPlan()));
-  }
-  return ReportDiagnostics(diags);
+    return engine.ExportPlan();
+  };
+  const AnalysisReport report = AnalyzeFile(path, options);
+  std::fputs(RenderAnalysis(report, format).c_str(), stdout);
+  return report.exit_code();
 }
 
-// Lints one file through the static-analysis passes (see usage comment).
-int VerifyMode(const std::string& path) {
+// Lowers the configured benchmark (or a saved fused graph) into an execution
+// plan and writes it as a `gmorph-plan v1` text file — the artifact the
+// analysis driver lints. `export_quantized = true` calibrates on a small
+// representative split and applies int8 first, so the exported plan carries
+// the mixed-precision step dtypes.
+int ExportPlanMode(const gmorph::Config& config, const std::string& out_path) {
   using namespace gmorph;
-  std::ifstream probe(path, std::ios::binary);
-  if (!probe) {
-    std::fprintf(stderr, "verify: cannot open %s\n", path.c_str());
-    return 2;
-  }
-  std::string head(24, '\0');
-  probe.read(head.data(), static_cast<std::streamsize>(head.size()));
-  head.resize(static_cast<size_t>(probe.gcount()));
-  probe.close();
-
-  if (head.rfind("gmorph-evalcache", 0) == 0) {
-    return ReportDiagnostics(VerifyEvalCacheFile(path));
-  }
-  if (head.rfind("gmorph-checkpoint", 0) == 0) {
-    return ReportDiagnostics(VerifyCheckpointFile(path));
-  }
-  if (head.rfind(kernels::kTuneDbHeaderPrefix, 0) == 0) {
-    return ReportDiagnostics(VerifyTuneDbFile(path));
-  }
-  if (head.rfind(quant::kQuantRecipeHeaderPrefix, 0) == 0) {
-    return ReportDiagnostics(VerifyQuantRecipeFile(path));
-  }
-  if (head.rfind("GMORPHG", 0) == 0 ||
-      (head.size() >= 8 && head.compare(0, 8, "1GHPROMG") == 0)) {
-    // Binary graph (magic, either byte order). Loading already runs the
-    // GraphVerifier; re-verify with round-trip and then lint the plan.
-    GraphLoadResult loaded = TryLoadGraph(path);
-    if (!loaded.ok()) {
-      return ReportDiagnostics(loaded.diagnostics);
-    }
-    return VerifyGraphAndPlan(*loaded.graph, /*seed=*/42);
-  }
-  if (head.rfind("gmorph-plan", 0) == 0) {
-    PlanParseResult parsed = ParsePlanTextFile(path);
-    DiagnosticList diags = std::move(parsed.diagnostics);
-    if (diags.ok()) {
-      diags.Merge(VerifyPlan(parsed.plan));
-    }
-    return ReportDiagnostics(diags);
-  }
-  // Fall back to treating it as a search config naming a benchmark.
-  Config config;
-  try {
-    config = Config::FromFile(path);
-  } catch (const CheckError& e) {
-    std::fprintf(stderr, "verify: %s is neither a graph, a plan, nor a config: %s\n",
-                 path.c_str(), e.what());
-    return 2;
-  }
   const uint64_t seed = static_cast<uint64_t>(config.GetInt("seed", 42));
   AbsGraph graph;
-  const std::string graph_path = config.GetString("input_graph", "");
-  if (!graph_path.empty()) {
-    GraphLoadResult loaded = TryLoadGraph(graph_path);
-    if (!loaded.ok()) {
-      return ReportDiagnostics(loaded.diagnostics);
-    }
-    graph = std::move(*loaded.graph);
-  } else {
-    const int bench_index = static_cast<int>(config.GetInt("benchmark", 1));
+  std::string label;
+  if (!BuildConfiguredGraph(config, &graph, &label)) {
+    return 2;
+  }
+  Rng rng(seed);
+  MultiTaskModel model(graph, rng);
+  FusedEngine engine(&model);
+  int quantized = 0;
+  if (config.GetBool("export_quantized", false)) {
+    const int calib_batches = static_cast<int>(config.GetInt("quant_calib_batches", 2));
+    const int64_t calib_batch = config.GetInt("quant_calib_batch_size", 16);
+    // Calibration needs representative inputs; materialize just enough of the
+    // benchmark's train split to fill the calibration batches.
     BenchmarkScale scale;
-    scale.train_size = 1;
+    scale.train_size = std::max<int64_t>(1, calib_batches * calib_batch);
     scale.test_size = 1;
     scale.cnn_width = config.GetInt("cnn_width", 8);
+    scale.noise_stddev = static_cast<float>(config.GetDouble("noise_stddev", 1.6));
+    const int bench_index = static_cast<int>(config.GetInt("benchmark", 1));
     BenchmarkDef def = MakeBenchmark(bench_index, scale, seed);
-    std::vector<ModelSpec> specs;
-    for (const auto& task : def.tasks) {
-      specs.push_back(task.model);
+    std::vector<Tensor> calib;
+    int64_t start = 0;
+    for (int b = 0; b < calib_batches && start < def.train.size(); ++b) {
+      const int64_t count = std::min<int64_t>(calib_batch, def.train.size() - start);
+      calib.push_back(def.train.InputBatch(start, count));
+      start += count;
     }
-    graph = ParseModelSpecs(specs);
+    quantized = engine.Quantize(engine.Calibrate(calib));
+    if (quantized == 0) {
+      std::fprintf(stderr, "export-plan: no step of the plan is quantizable\n");
+      return 2;
+    }
   }
-  return VerifyGraphAndPlan(graph, seed);
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "export-plan: cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  PlanToText(engine.ExportPlan(), out);
+  if (!out) {
+    std::fprintf(stderr, "export-plan: failed writing %s\n", out_path.c_str());
+    return 2;
+  }
+  std::printf("exported plan for %s (%d step(s), %d int8) -> %s\n", label.c_str(),
+              engine.num_steps(), quantized, out_path.c_str());
+  return 0;
 }
 
 }  // namespace
@@ -493,23 +506,28 @@ int main(int argc, char** argv) {
   const bool dump_plan = argc == 3 && std::strcmp(argv[1], "--dump-plan") == 0;
   const bool autotune = argc == 3 && std::strcmp(argv[1], "--autotune") == 0;
   const bool quantize = argc == 3 && std::strcmp(argv[1], "--quantize") == 0;
-  const bool verify = argc == 3 && std::strcmp(argv[1], "--verify") == 0;
+  const bool verify = argc >= 2 && std::strcmp(argv[1], "--verify") == 0;
   const bool resume = argc == 4 && std::strcmp(argv[1], "--resume") == 0;
-  if (argc != 2 && !dump_plan && !autotune && !quantize && !verify && !resume) {
+  const bool export_plan = argc == 4 && std::strcmp(argv[1], "--export-plan") == 0;
+  if (argc != 2 && !dump_plan && !autotune && !quantize && !verify && !resume && !export_plan) {
     std::fprintf(stderr,
                  "usage: %s [--trace <out.json>] [--metrics <out.json>] <config-file>\n"
                  "       %s --resume <checkpoint> <config-file>\n"
                  "       %s --dump-plan <config-file>\n"
                  "       %s --autotune <config-file>\n"
-                 "       %s --quantize <config-file>\n       %s "
-                 "--verify <graph|plan|config|evalcache|checkpoint|tunedb|quantrecipe>\n"
+                 "       %s --quantize <config-file>\n"
+                 "       %s --export-plan <config-file> <out.plan>\n"
+                 "       %s --verify [--list-rules] [--format=text|json|sarif]\n"
+                 "                [--Werror=<rule|prefix>] [--Wno=<rule|prefix>]\n"
+                 "                [--baseline=<file>]\n"
+                 "                <graph|plan|config|evalcache|checkpoint|tunedb|quantrecipe>\n"
                  "       %s --print-default-config > gmorph.cfg\n",
-                 argv[0], argv[0], argv[0], argv[0], argv[0], argv[0], argv[0]);
+                 argv[0], argv[0], argv[0], argv[0], argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }
   if (verify) {
     try {
-      return VerifyMode(argv[2]);
+      return VerifyMode(std::vector<std::string>(argv + 2, argv + argc));
     } catch (const CheckError& e) {
       std::fprintf(stderr, "%s\n", e.what());
       return 2;
@@ -518,7 +536,8 @@ int main(int argc, char** argv) {
 
   Config config;
   try {
-    config = Config::FromFile(argv[resume ? 3 : (dump_plan || autotune || quantize) ? 2 : 1]);
+    config = Config::FromFile(
+        argv[resume ? 3 : (dump_plan || autotune || quantize || export_plan) ? 2 : 1]);
   } catch (const CheckError& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;
@@ -549,9 +568,12 @@ int main(int argc, char** argv) {
     SetKernelThreads(kernel_threads);
   }
 
-  if (dump_plan || autotune || quantize) {
+  if (dump_plan || autotune || quantize || export_plan) {
     try {
-      return dump_plan ? DumpPlanMode(config) : autotune ? AutotuneMode(config) : QuantizeMode(config);
+      return dump_plan   ? DumpPlanMode(config)
+             : autotune  ? AutotuneMode(config)
+             : quantize  ? QuantizeMode(config)
+                         : ExportPlanMode(config, argv[3]);
     } catch (const CheckError& e) {
       std::fprintf(stderr, "%s\n", e.what());
       return 2;
