@@ -18,6 +18,14 @@ std::unique_ptr<InferenceEngine> MakeEngine(EngineKind kind, MultiTaskModel* mod
   return nullptr;
 }
 
+EngineReplica MakeEngineReplica(EngineKind kind, const AbsGraph& graph, uint64_t seed) {
+  EngineReplica replica;
+  Rng rng(seed);
+  replica.model = std::make_unique<MultiTaskModel>(graph, rng);
+  replica.engine = MakeEngine(kind, replica.model.get());
+  return replica;
+}
+
 double MeasureEngineLatencyMs(InferenceEngine& engine, const Shape& per_sample_input,
                               int64_t batch, int warmup, int repeats) {
   Tensor input = Tensor::Zeros(per_sample_input.WithBatch(batch));

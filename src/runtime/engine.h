@@ -48,6 +48,27 @@ enum class EngineKind { kEager, kFused };
 
 std::unique_ptr<InferenceEngine> MakeEngine(EngineKind kind, MultiTaskModel* model);
 
+// A self-contained engine instance: the engine plus the model it executes.
+// Engines reference live model state (linear weight handles, fallback
+// modules) and are not safe for concurrent Run() calls, so a serving replica
+// pool instantiates one EngineReplica per worker — each replica owns its own
+// MultiTaskModel materialized from the (weight-carrying) graph, sharing no
+// mutable state with its siblings. This is also the hot-swap unit: a swap
+// hands a whole replica (model + engine) to the pool and receives the
+// previous one back, so in-flight batches on the old engine stay valid until
+// they complete.
+struct EngineReplica {
+  std::unique_ptr<MultiTaskModel> model;
+  std::unique_ptr<InferenceEngine> engine;
+
+  explicit operator bool() const { return engine != nullptr; }
+};
+
+// Builds a replica of `kind` over its own copy of `graph` (weights stored in
+// the graph are materialized into the fresh model; `seed` covers any
+// parameters the graph does not pin).
+EngineReplica MakeEngineReplica(EngineKind kind, const AbsGraph& graph, uint64_t seed = 42);
+
 // Median wall-clock latency (ms) of `engine` on a zero batch of `batch` rows.
 // Shares the warmup/median logic with MeasureLatencyMs (src/obs/timing.h),
 // so search-time and engine-bench latencies are measured identically.

@@ -1,0 +1,91 @@
+#include "src/serving/replica_pool.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace gmorph {
+namespace {
+
+// Runs `engine` once per batch size so bindings / scratch arenas are grown.
+// `inputs[b-1]` must be a batch-b input tensor.
+void WarmEngine(InferenceEngine& engine, const std::vector<Tensor>& inputs) {
+  for (const Tensor& input : inputs) {
+    engine.Run(input);
+  }
+}
+
+std::vector<Tensor> MakeBatchInputs(const Shape& per_sample_input, int max_batch) {
+  std::vector<Tensor> inputs;
+  inputs.reserve(static_cast<size_t>(max_batch));
+  for (int b = 1; b <= max_batch; ++b) {
+    inputs.push_back(Tensor::Zeros(per_sample_input.WithBatch(b)));
+  }
+  return inputs;
+}
+
+}  // namespace
+
+ReplicaPool::ReplicaPool(std::vector<EngineReplica> replicas, const Shape& per_sample_input,
+                         int max_batch, bool warm)
+    : per_sample_input_(per_sample_input), max_batch_(max_batch) {
+  GMORPH_CHECK(!replicas.empty(), "replica pool needs at least one replica");
+  GMORPH_CHECK(max_batch_ >= 1);
+  elems_per_sample_ = per_sample_input_.WithBatch(1).NumElements();
+  slots_.reserve(replicas.size());
+  for (EngineReplica& replica : replicas) {
+    GMORPH_CHECK(replica.engine != nullptr, "replica without an engine");
+    auto slot = std::make_unique<Slot>();
+    slot->replica = std::move(replica);
+    slot->batch_inputs = MakeBatchInputs(per_sample_input_, max_batch_);
+    if (warm) {
+      WarmEngine(*slot->replica.engine, slot->batch_inputs);
+    }
+    slots_.push_back(std::move(slot));
+  }
+}
+
+void ReplicaPool::RunBatch(int slot_index, const std::vector<const Tensor*>& rows) {
+  GMORPH_CHECK(slot_index >= 0 && slot_index < size());
+  const int batch = static_cast<int>(rows.size());
+  GMORPH_CHECK(batch >= 1 && batch <= max_batch_);
+  Slot& slot = *slots_[static_cast<size_t>(slot_index)];
+  std::lock_guard<std::mutex> lock(slot.mu);
+  Tensor& input = slot.batch_inputs[static_cast<size_t>(batch - 1)];
+  float* dst = input.data();
+  for (int r = 0; r < batch; ++r, dst += elems_per_sample_) {
+    if (rows[static_cast<size_t>(r)] == nullptr) {
+      std::memset(dst, 0, static_cast<size_t>(elems_per_sample_) * sizeof(float));
+      continue;
+    }
+    const Tensor& row = *rows[static_cast<size_t>(r)];
+    GMORPH_CHECK(row.size() == elems_per_sample_, "request payload shape mismatch");
+    std::memcpy(dst, row.data(), static_cast<size_t>(elems_per_sample_) * sizeof(float));
+  }
+  slot.replica.engine->Run(input);
+}
+
+EngineReplica ReplicaPool::Swap(int slot_index, EngineReplica incoming, bool warm) {
+  GMORPH_CHECK(slot_index >= 0 && slot_index < size());
+  GMORPH_CHECK(incoming.engine != nullptr, "cannot swap in an empty replica");
+  if (warm) {
+    // Warm on inputs owned by this (control) thread: the incoming engine is
+    // exclusively ours until installed, and the slot's prebound storage stays
+    // untouched for the in-flight batch.
+    WarmEngine(*incoming.engine, MakeBatchInputs(per_sample_input_, max_batch_));
+  }
+  Slot& slot = *slots_[static_cast<size_t>(slot_index)];
+  std::lock_guard<std::mutex> lock(slot.mu);
+  std::swap(slot.replica, incoming);
+  swap_count_.fetch_add(1, std::memory_order_relaxed);
+  return incoming;  // the previous replica, handed back to the caller
+}
+
+InferenceEngine* ReplicaPool::engine(int slot_index) {
+  GMORPH_CHECK(slot_index >= 0 && slot_index < size());
+  return slots_[static_cast<size_t>(slot_index)]->replica.engine.get();
+}
+
+}  // namespace gmorph

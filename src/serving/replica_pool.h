@@ -1,0 +1,74 @@
+// N independent engine replicas with prebound batch storage and FusedInf-style
+// hot-swap (PAPERS.md: swapping fused models in and out under load for
+// on-demand scenarios).
+//
+// Each slot owns an EngineReplica (model + engine, no mutable state shared
+// with siblings — see src/runtime/engine.h) plus one preallocated input
+// tensor per batch size 1..max_batch. A batch run gathers request rows into
+// the prebound input and executes the engine, so the steady-state serving
+// path performs zero tensor-storage allocations. A slot mutex serializes the
+// slot's worker against Swap(): the incoming engine is warmed before the lock
+// is taken and the in-flight batch completes on the old engine, so a swap
+// under full load drops no request.
+#ifndef GMORPH_SRC_SERVING_REPLICA_POOL_H_
+#define GMORPH_SRC_SERVING_REPLICA_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/runtime/engine.h"
+
+namespace gmorph {
+
+class ReplicaPool {
+ public:
+  // `replicas` must be non-empty; every slot serves `per_sample_input`-shaped
+  // requests at batch sizes up to `max_batch`. With `warm` set (the default)
+  // each engine runs once per batch size at construction so bindings and
+  // scratch arenas are grown before serving starts.
+  ReplicaPool(std::vector<EngineReplica> replicas, const Shape& per_sample_input,
+              int max_batch, bool warm = true);
+
+  int size() const { return static_cast<int>(slots_.size()); }
+  int max_batch() const { return max_batch_; }
+
+  // Executes one batch on `slot`: copies `rows` (per-sample tensors; null
+  // entries mean a zero payload) into the slot's prebound batch input of size
+  // rows.size() and runs the engine. Called by the slot's worker thread;
+  // blocks a concurrent Swap() of the same slot until the batch completes.
+  void RunBatch(int slot, const std::vector<const Tensor*>& rows);
+
+  // Hot-swap: atomically replaces `slot`'s replica and returns the previous
+  // one. With `warm` set the incoming engine is run once per batch size on
+  // its own freshly allocated inputs *before* the slot lock is taken, so the
+  // serving path never executes a cold engine (warm-up allocation happens on
+  // the swapping control thread, keeping the workers' steady state
+  // zero-alloc). The in-flight batch finishes on the old engine untouched.
+  EngineReplica Swap(int slot, EngineReplica incoming, bool warm = true);
+
+  int64_t swap_count() const { return swap_count_.load(std::memory_order_relaxed); }
+
+  // Test introspection: the engine currently installed in `slot`. Not safe
+  // against a concurrent Swap() of the same slot.
+  InferenceEngine* engine(int slot);
+
+ private:
+  struct Slot {
+    EngineReplica replica;
+    std::mutex mu;                     // serializes RunBatch vs Swap
+    std::vector<Tensor> batch_inputs;  // [b-1] = prebound input of batch size b
+  };
+
+  Shape per_sample_input_;
+  int max_batch_ = 1;
+  int64_t elems_per_sample_ = 0;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::atomic<int64_t> swap_count_{0};
+};
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_SERVING_REPLICA_POOL_H_

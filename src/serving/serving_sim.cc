@@ -1,62 +1,27 @@
 #include "src/serving/serving_sim.h"
 
 #include <algorithm>
-#include <cmath>
+#include <deque>
 #include <string>
 
 #include "src/common/check.h"
-#include "src/common/rng.h"
-#include "src/obs/metrics.h"
 #include "src/obs/timing.h"
 #include "src/obs/trace.h"
 
 namespace gmorph {
-namespace {
 
-// Virtual trace lanes for the simulated timeline: one server lane plus a small
-// pool of request lanes (requests round-robin across them so overlapping
-// lifecycles stay readable in Perfetto). Base offset keeps the virtual tids
-// clear of real thread ids.
-constexpr int kServerLane = 1000;
-constexpr int kRequestLaneBase = 1001;
-constexpr int kNumRequestLanes = 32;
-
-}  // namespace
-
-ServingStats SimulateServingWithServiceTimes(const std::vector<double>& service_time_ms,
-                                             const ServingOptions& options) {
-  GMORPH_CHECK(!service_time_ms.empty());
+ServingStats SimulateServingWithTable(const ServiceTimeTable& table,
+                                      const ServingOptions& options) {
+  GMORPH_CHECK(!table.empty());
   GMORPH_CHECK(options.arrival_qps > 0.0 && options.num_requests > 0);
-  const int max_batch = std::min<int>(options.max_batch,
-                                      static_cast<int>(service_time_ms.size()));
+  const int max_batch = std::min(options.max_batch, table.max_batch());
   GMORPH_CHECK(max_batch >= 1);
 
-  // Poisson arrivals: exponential inter-arrival gaps (ms).
-  Rng rng(options.seed);
-  std::vector<double> arrival(static_cast<size_t>(options.num_requests));
-  double t = 0.0;
-  const double mean_gap_ms = 1000.0 / options.arrival_qps;
-  for (auto& a : arrival) {
-    double u = rng.NextDouble();
-    while (u <= 1e-12) {
-      u = rng.NextDouble();
-    }
-    t += -std::log(u) * mean_gap_ms;
-    a = t;
-  }
+  const std::vector<double> arrival =
+      GenerateArrivalsMs(options.arrival_qps, options.num_requests, options.seed);
 
-  ServingStats stats;
-  stats.service_time_ms = service_time_ms;
-  std::vector<double> latencies;
-  latencies.reserve(arrival.size());
-
-  obs::Histogram& m_latency = obs::GetHistogram("serving.request_latency_ms");
-  obs::Histogram& m_batch =
-      obs::GetHistogram("serving.batch_size", {1, 2, 4, 8, 16, 32, 64, 128, 256});
-  obs::Histogram& m_queue =
-      obs::GetHistogram("serving.queue_depth", {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
-  obs::Counter& m_requests = obs::GetCounter("serving.requests");
-  obs::Counter& m_batches = obs::GetCounter("serving.batches");
+  ServingMetrics& m = ServingMetrics::Get();
+  StatsBuilder builder;
 
   // The simulation runs in virtual milliseconds; trace spans are emitted on
   // virtual lanes anchored at the current real clock so the simulated
@@ -64,92 +29,86 @@ ServingStats SimulateServingWithServiceTimes(const std::vector<double>& service_
   const bool tracing = obs::TraceEnabled();
   const double anchor_us = static_cast<double>(MonotonicNowNs()) * 1e-3;
   if (tracing) {
-    obs::SetVirtualLaneName(kServerLane, "sim/server");
-    for (int l = 0; l < kNumRequestLanes; ++l) {
-      obs::SetVirtualLaneName(kRequestLaneBase + l, "sim/requests-" + std::to_string(l));
-    }
+    NameServingTraceLanes("sim");
   }
 
+  const double sla = options.sla_ms;
   double server_free_at = 0.0;
-  size_t next = 0;
-  int64_t served_total = 0;
   double last_completion = 0.0;
-  while (next < arrival.size()) {
-    const double start = std::max(server_free_at, arrival[next]);
+  size_t admitted_upto = 0;  // arrivals [0, admitted_upto) have been admitted or shed
+  std::deque<size_t> queue;  // admitted, unserved request indices (FIFO)
+
+  // Admits every arrival up to virtual time `t`. With an SLA, a request whose
+  // deadline is provably unmeetable given the queue it would join is shed at
+  // its arrival instant — the same decision the threaded server takes in
+  // Submit().
+  auto admit_until = [&](double t) {
+    while (admitted_upto < arrival.size() && arrival[admitted_upto] <= t) {
+      const size_t i = admitted_upto++;
+      if (sla > 0.0 && DeadlineUnmeetable(arrival[i], arrival[i] + sla,
+                                          static_cast<int>(queue.size()), table, max_batch)) {
+        builder.AddShed();
+        m.shed.Increment();
+        continue;
+      }
+      queue.push_back(i);
+    }
+  };
+
+  while (true) {
+    if (queue.empty()) {
+      if (admitted_upto == arrival.size()) {
+        break;
+      }
+      admit_until(arrival[admitted_upto]);
+      continue;
+    }
+    const double start = std::max(server_free_at, arrival[queue.front()]);
     // Adaptive batching: everything queued by `start`, capped at max_batch.
-    size_t batch_end = next;
-    while (batch_end < arrival.size() && arrival[batch_end] <= start &&
-           static_cast<int>(batch_end - next) < max_batch) {
-      ++batch_end;
-    }
-    // Queue depth when the server picks up work: everything that has arrived
-    // and not yet been served (the batch cap does not bound what is waiting).
-    size_t queued = batch_end;
-    while (queued < arrival.size() && arrival[queued] <= start) {
-      ++queued;
-    }
-    m_queue.Observe(static_cast<double>(queued - next));
-    const int batch = static_cast<int>(batch_end - next);
-    const double completion = start + service_time_ms[static_cast<size_t>(batch - 1)];
-    for (size_t i = next; i < batch_end; ++i) {
+    admit_until(start);
+    const int batch = NextBatchSize(static_cast<int>(queue.size()), max_batch);
+    // Queue depth when the server picks up work: everything admitted and not
+    // yet served (the batch cap does not bound what is waiting).
+    m.queue_depth.Observe(static_cast<double>(queue.size()));
+    const double completion = start + table.BatchMs(batch);
+    for (int b = 0; b < batch; ++b) {
+      const size_t i = queue.front();
+      queue.pop_front();
       const double latency_ms = completion - arrival[i];
-      latencies.push_back(latency_ms);
-      m_latency.Observe(latency_ms);
+      builder.AddLatency(latency_ms);
+      m.latency_ms.Observe(latency_ms);
       if (tracing) {
-        obs::RecordManualSpan("request", obs::TraceCat::kServing,
-                              anchor_us + arrival[i] * 1e3, latency_ms * 1e3,
-                              kRequestLaneBase + static_cast<int>(i % kNumRequestLanes));
+        EmitRequestSpan(anchor_us, arrival[i], latency_ms, static_cast<int64_t>(i));
       }
     }
     if (tracing) {
       obs::RecordManualSpan("batch=" + std::to_string(batch), obs::TraceCat::kServing,
-                            anchor_us + start * 1e3, (completion - start) * 1e3, kServerLane);
+                            anchor_us + start * 1e3, (completion - start) * 1e3,
+                            kServingServerLane);
     }
-    m_batch.Observe(static_cast<double>(batch));
-    m_batches.Increment();
-    served_total += batch;
-    ++stats.num_batches;
+    m.batch_size.Observe(static_cast<double>(batch));
+    m.batches.Increment();
+    builder.AddBatch(batch);
     server_free_at = completion;
     last_completion = completion;
-    next = batch_end;
   }
-  m_requests.Increment(static_cast<int64_t>(arrival.size()));
+  m.requests.Increment(static_cast<int64_t>(arrival.size()));
 
-  std::sort(latencies.begin(), latencies.end());
-  auto percentile = [&](double p) {
-    const size_t idx = static_cast<size_t>(p * static_cast<double>(latencies.size() - 1));
-    return latencies[idx];
-  };
-  double sum = 0.0;
-  for (double l : latencies) {
-    sum += l;
-  }
-  stats.mean_latency_ms = sum / static_cast<double>(latencies.size());
-  stats.p50_latency_ms = percentile(0.50);
-  stats.p95_latency_ms = percentile(0.95);
-  stats.p99_latency_ms = percentile(0.99);
-  stats.mean_batch_size =
-      static_cast<double>(served_total) / static_cast<double>(stats.num_batches);
   const double makespan_ms = last_completion - arrival.front();
-  stats.throughput_qps = makespan_ms > 0.0
-                             ? static_cast<double>(served_total) / (makespan_ms / 1000.0)
-                             : 0.0;
-  return stats;
+  return builder.Finalize(makespan_ms, table);
+}
+
+ServingStats SimulateServingWithServiceTimes(const std::vector<double>& service_time_ms,
+                                             const ServingOptions& options) {
+  GMORPH_CHECK(!service_time_ms.empty());
+  return SimulateServingWithTable(ServiceTimeTable(service_time_ms), options);
 }
 
 ServingStats SimulateServing(InferenceEngine& engine, const Shape& per_sample_input,
                              const ServingOptions& options) {
-  obs::TraceSpan calibrate_span("serving/calibrate", obs::TraceCat::kServing);
-  std::vector<double> service(static_cast<size_t>(options.max_batch));
-  for (int b = 1; b <= options.max_batch; ++b) {
-    // One preallocated input per batch size, reused across every calibration
-    // run — measured times then exclude input-allocation noise and the
-    // engine's steady-state (warmed binding) path is what gets calibrated.
-    const Tensor input = Tensor::Zeros(per_sample_input.WithBatch(b));
-    service[static_cast<size_t>(b - 1)] =
-        MeasureEngineLatencyMs(engine, input, /*warmup=*/1, options.calibration_runs);
-  }
-  return SimulateServingWithServiceTimes(service, options);
+  const ServiceTimeTable table = CalibrateServiceTimes(
+      engine, per_sample_input, options.max_batch, options.calibration_runs, /*warmup=*/1);
+  return SimulateServingWithTable(table, options);
 }
 
 }  // namespace gmorph

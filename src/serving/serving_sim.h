@@ -1,42 +1,27 @@
-// Model-serving simulation (paper §7, "Applicability of GMorph"): GMorph pays
-// a one-time offline search cost to raise *online serving throughput*. This
-// module quantifies that claim: an event-driven queueing simulator with
-// measured service times.
+// Virtual-time backend of the serving scheduler (paper §7, "Applicability of
+// GMorph"): GMorph pays a one-time offline search cost to raise *online
+// serving throughput*, and this module quantifies that claim deterministically.
 //
-// The simulator first calibrates the engine's real batch latency for each
-// batch size (on this machine), then replays a Poisson arrival stream through
-// a single-server queue with adaptive batching: whenever the server frees up,
-// it takes every queued request up to `max_batch` and serves them as one
-// batch. Reported latency is per-request queueing + service time.
+// The simulator executes the exact scheduler policy the real threaded server
+// (server.h) runs — continuous batching via NextBatchSize, SLA admission via
+// DeadlineUnmeetable, stats via StatsBuilder — but advances a virtual clock
+// priced by the calibrated service-time table instead of executing engines,
+// so results are bit-for-bit reproducible from (seed, service times) alone.
+//
+// The flow: calibrate the engine's real batch latency for each batch size
+// (CalibrateServiceTimes, shared with the server), then replay a Poisson
+// arrival stream through a single-server queue with adaptive batching —
+// whenever the server frees up, it takes every queued request up to
+// `max_batch` and serves them as one batch. Reported latency is per-request
+// queueing + service time.
 #ifndef GMORPH_SRC_SERVING_SERVING_SIM_H_
 #define GMORPH_SRC_SERVING_SERVING_SIM_H_
 
 #include <vector>
 
-#include "src/runtime/engine.h"
+#include "src/serving/scheduler.h"
 
 namespace gmorph {
-
-struct ServingOptions {
-  double arrival_qps = 200.0;  // Poisson arrival rate
-  int num_requests = 500;
-  int max_batch = 8;
-  uint64_t seed = 1;
-  // Latency calibration repetitions per batch size.
-  int calibration_runs = 3;
-};
-
-struct ServingStats {
-  double throughput_qps = 0.0;  // completed requests / makespan
-  double mean_latency_ms = 0.0;
-  double p50_latency_ms = 0.0;
-  double p95_latency_ms = 0.0;
-  double p99_latency_ms = 0.0;
-  double mean_batch_size = 0.0;
-  int num_batches = 0;
-  // service_time_ms[b-1] = calibrated latency of batch size b.
-  std::vector<double> service_time_ms;
-};
 
 // Calibrates per-batch-size service times of `engine` (real execution), then
 // simulates the queue. Deterministic given options.seed and the calibration.
@@ -44,9 +29,16 @@ ServingStats SimulateServing(InferenceEngine& engine, const Shape& per_sample_in
                              const ServingOptions& options);
 
 // Pure simulation entry point used by tests: takes precomputed service times
-// (ms, indexed by batch size - 1) instead of measuring an engine.
+// (ms, indexed by batch size - 1) instead of measuring an engine. With
+// options.sla_ms == 0 this reproduces the pre-scheduler simulator bit-for-bit
+// (pinned by the golden regression test); with an SLA it additionally sheds
+// provably-late requests at their virtual arrival instant.
 ServingStats SimulateServingWithServiceTimes(const std::vector<double>& service_time_ms,
                                              const ServingOptions& options);
+
+// Table-typed variant (the scheduler-core interface both backends share).
+ServingStats SimulateServingWithTable(const ServiceTimeTable& table,
+                                      const ServingOptions& options);
 
 }  // namespace gmorph
 

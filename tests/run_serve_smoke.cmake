@@ -1,0 +1,69 @@
+# Smoke test for the threaded serving path: runs `gmorph_cli --serve` on a
+# tiny benchmark under real load (with a mid-run hot-swap) and validates the
+# report and the metrics snapshot.
+#
+# Invoked by ctest as:
+#   cmake -DCLI=<gmorph_cli> -DOUT_DIR=<dir> -P run_serve_smoke.cmake
+#
+# Checks:
+#   - the CLI exits 0 (nonzero means an admitted request was lost),
+#   - the report carries the zero-drop line ("lost 0") and a swap,
+#   - the metrics snapshot holds the serving.* instruments and parses as
+#     strict JSON (python3 -m json.tool, when python3 exists).
+
+set(CFG_FILE "${OUT_DIR}/cli_serve_smoke.cfg")
+set(METRICS_FILE "${OUT_DIR}/cli_serve_metrics.json")
+file(REMOVE "${METRICS_FILE}")
+file(WRITE "${CFG_FILE}" "\
+benchmark = 1
+cnn_width = 4
+seed = 42
+calibration_runs = 1
+serve_engine = fused
+serve_replicas = 2
+serve_max_batch = 4
+serve_qps = 600
+serve_requests = 120
+serve_sla_ms = 0
+serve_swap = true
+")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env "GMORPH_METRICS=${METRICS_FILE}"
+          "${CLI}" --serve "${CFG_FILE}"
+  RESULT_VARIABLE run_rc
+  OUTPUT_VARIABLE run_out
+  ERROR_VARIABLE run_err)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "gmorph_cli --serve exited ${run_rc}:\n${run_out}\n${run_err}")
+endif()
+
+foreach(needle "lost 0" "swaps 1" "throughput" "served 120 request(s)")
+  string(FIND "${run_out}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "--serve report is missing expected content '${needle}':\n${run_out}")
+  endif()
+endforeach()
+
+if(NOT EXISTS "${METRICS_FILE}")
+  message(FATAL_ERROR "GMORPH_METRICS was set but ${METRICS_FILE} was not written")
+endif()
+file(READ "${METRICS_FILE}" metrics)
+foreach(needle "serving.request_latency_ms" "serving.batch_size" "serving.queue_depth"
+        "serving.requests" "serving.batches" "serving.engine_swaps")
+  string(FIND "${metrics}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "metrics ${METRICS_FILE} is missing expected content: ${needle}")
+  endif()
+endforeach()
+
+find_program(PYTHON3 python3)
+if(PYTHON3)
+  execute_process(COMMAND "${PYTHON3}" -m json.tool "${METRICS_FILE}"
+                  RESULT_VARIABLE json_rc OUTPUT_QUIET ERROR_VARIABLE json_err)
+  if(NOT json_rc EQUAL 0)
+    message(FATAL_ERROR "${METRICS_FILE} is not valid JSON:\n${json_err}")
+  endif()
+else()
+  message(STATUS "python3 not found; skipping strict JSON validation")
+endif()

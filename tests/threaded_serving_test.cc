@@ -1,0 +1,296 @@
+// Threaded serving backend: ReplicaPool batch gather / hot-swap and
+// ThreadedServer continuous batching, SLA shedding, and swap-under-load.
+// The concurrency tests here are the TSan targets of the `serving` label:
+// producers hammer Submit() while the control thread hot-swaps replicas, and
+// the invariant checked is that no admitted request is ever lost.
+#include "src/serving/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/core/model_parser.h"
+#include "src/models/zoo.h"
+#include "src/serving/replica_pool.h"
+#include "src/serving/scheduler.h"
+
+namespace gmorph {
+namespace {
+
+// Stub engine: counts runs, records the last input, optionally sleeps to
+// simulate service time. No model needed — EngineReplica tolerates a null
+// model because only the engine participates in serving.
+class StubEngine : public InferenceEngine {
+ public:
+  explicit StubEngine(double sleep_ms = 0.0) : sleep_ms_(sleep_ms) {}
+
+  std::vector<Tensor> Run(const Tensor& input) override {
+    runs_.fetch_add(1, std::memory_order_relaxed);
+    rows_.fetch_add(input.shape().Dim(0), std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      last_input_ = input;
+    }
+    if (sleep_ms_ > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<int64_t>(sleep_ms_ * 1000.0)));
+    }
+    return {};
+  }
+
+  std::string Name() const override { return "stub"; }
+
+  int64_t runs() const { return runs_.load(std::memory_order_relaxed); }
+  int64_t rows() const { return rows_.load(std::memory_order_relaxed); }
+  Tensor last_input() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return last_input_;
+  }
+
+ private:
+  double sleep_ms_;
+  std::atomic<int64_t> runs_{0};
+  std::atomic<int64_t> rows_{0};
+  mutable std::mutex mu_;
+  Tensor last_input_;
+};
+
+EngineReplica StubReplica(double sleep_ms = 0.0) {
+  EngineReplica r;
+  r.engine = std::make_unique<StubEngine>(sleep_ms);
+  return r;
+}
+
+std::vector<EngineReplica> StubReplicas(int n, double sleep_ms = 0.0) {
+  std::vector<EngineReplica> replicas;
+  for (int i = 0; i < n; ++i) {
+    replicas.push_back(StubReplica(sleep_ms));
+  }
+  return replicas;
+}
+
+const Shape kRow({1, 4});
+
+TEST(ReplicaPoolTest, RunBatchGathersRowsIntoPreboundInput) {
+  ReplicaPool pool(StubReplicas(1), kRow, /*max_batch=*/4, /*warm=*/false);
+  auto* stub = static_cast<StubEngine*>(pool.engine(0));
+
+  Tensor a = Tensor::Full(kRow, 1.0f);
+  Tensor b = Tensor::Full(kRow, 2.0f);
+  pool.RunBatch(0, {&a, &b});
+  Tensor seen = stub->last_input();
+  ASSERT_EQ(seen.shape().Dim(0), 2);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(seen.data()[i], 1.0f);
+    EXPECT_EQ(seen.data()[4 + i], 2.0f);
+  }
+
+  // A null row is a zero payload — even after the prebound input held data.
+  pool.RunBatch(0, {&b, nullptr});
+  seen = stub->last_input();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(seen.data()[i], 2.0f);
+    EXPECT_EQ(seen.data()[4 + i], 0.0f);
+  }
+  EXPECT_EQ(stub->runs(), 2);
+  EXPECT_EQ(stub->rows(), 4);
+}
+
+TEST(ReplicaPoolTest, SwapReturnsPreviousReplicaAndWarmsIncoming) {
+  ReplicaPool pool(StubReplicas(1), kRow, /*max_batch=*/2, /*warm=*/false);
+  InferenceEngine* original = pool.engine(0);
+
+  EngineReplica incoming = StubReplica();
+  InferenceEngine* incoming_engine = incoming.engine.get();
+  EngineReplica previous = pool.Swap(0, std::move(incoming), /*warm=*/true);
+
+  EXPECT_EQ(previous.engine.get(), original);
+  EXPECT_EQ(pool.engine(0), incoming_engine);
+  EXPECT_EQ(pool.swap_count(), 1);
+  // Warm-up ran the incoming engine once per batch size before installation.
+  EXPECT_EQ(static_cast<StubEngine*>(incoming_engine)->runs(), 2);
+}
+
+TEST(ThreadedServerTest, ServesEverythingSubmitted) {
+  ReplicaPool pool(StubReplicas(2, /*sleep_ms=*/0.2), kRow, 8, /*warm=*/false);
+  ThreadedServer server(&pool, ServiceTimeTable(), ServerOptions{});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(server.Submit());
+  }
+  server.Drain();
+  EXPECT_EQ(server.completed(), 100);
+  EXPECT_EQ(server.shed(), 0);
+  server.Stop();
+
+  const ServingStats stats = server.Stats();
+  EXPECT_EQ(stats.num_completed, 100);
+  EXPECT_GT(stats.throughput_qps, 0.0);
+  EXPECT_GE(stats.mean_batch_size, 1.0);
+  EXPECT_LE(stats.p50_latency_ms, stats.p95_latency_ms);
+  EXPECT_LE(stats.p95_latency_ms, stats.p99_latency_ms);
+}
+
+TEST(ThreadedServerTest, BacklogFormsMultiRequestBatches) {
+  // One slow replica: while a 3ms batch runs, the queue builds up, so later
+  // batches ride the continuous-batching path at sizes > 1.
+  ReplicaPool pool(StubReplicas(1, /*sleep_ms=*/3.0), kRow, 8, /*warm=*/false);
+  ThreadedServer server(&pool, ServiceTimeTable(), ServerOptions{});
+  for (int i = 0; i < 48; ++i) {
+    server.Submit();
+  }
+  server.Drain();
+  server.Stop();
+  const ServingStats stats = server.Stats();
+  EXPECT_EQ(stats.num_completed, 48);
+  EXPECT_GT(stats.mean_batch_size, 1.5);
+  EXPECT_LE(stats.mean_batch_size, 8.0);
+}
+
+TEST(ThreadedServerTest, StopDrainsTheQueueFirst) {
+  ReplicaPool pool(StubReplicas(1, /*sleep_ms=*/1.0), kRow, 4, /*warm=*/false);
+  ServerOptions options;
+  options.max_batch = 4;
+  auto server = std::make_unique<ThreadedServer>(&pool, ServiceTimeTable(), options);
+  for (int i = 0; i < 20; ++i) {
+    server->Submit();
+  }
+  server->Stop();  // no Drain(): Stop itself must not abandon queued work
+  EXPECT_EQ(server->completed(), 20);
+}
+
+TEST(ThreadedServerTest, SlaAdmissionShedsUnderBacklog) {
+  // 5ms service, 12ms SLA, one replica, max_batch 4: with the optimistic
+  // bound, a request finding >= 8 queued ahead is provably late. Flooding 64
+  // requests far faster than 5ms drains keeps the queue deep, so a healthy
+  // fraction must shed — and accounting must balance exactly.
+  ReplicaPool pool(StubReplicas(1, /*sleep_ms=*/5.0), kRow, 4, /*warm=*/false);
+  ServerOptions options;
+  options.max_batch = 4;
+  options.sla_ms = 12.0;
+  ThreadedServer server(&pool, ServiceTimeTable({5.0, 5.0, 5.0, 5.0}), options);
+  int admitted = 0;
+  for (int i = 0; i < 64; ++i) {
+    admitted += server.Submit() ? 1 : 0;
+  }
+  server.Drain();
+  server.Stop();
+  EXPECT_EQ(server.submitted(), 64);
+  EXPECT_GT(server.shed(), 0);
+  EXPECT_EQ(server.completed(), admitted);
+  EXPECT_EQ(server.completed() + server.shed(), 64);
+}
+
+TEST(ThreadedServerTest, ImpossibleSlaShedsEverything) {
+  ReplicaPool pool(StubReplicas(1), kRow, 4, /*warm=*/false);
+  ServerOptions options;
+  options.sla_ms = 0.5;  // below the 1ms fastest service time: never meetable
+  options.max_batch = 4;
+  ThreadedServer server(&pool, ServiceTimeTable({1.0, 1.0, 1.0, 1.0}), options);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(server.Submit());
+  }
+  server.Stop();
+  EXPECT_EQ(server.shed(), 10);
+  EXPECT_EQ(server.completed(), 0);
+}
+
+// The TSan target: four producers flood Submit() while the control thread
+// repeatedly hot-swaps both replica slots under load. Nothing admitted may be
+// lost, swaps must all land, and the post-hoc stats must stay coherent.
+TEST(ThreadedServerTest, HotSwapUnderLoadLosesNoRequests) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 50;
+  constexpr int kSwaps = 8;
+
+  ReplicaPool pool(StubReplicas(2, /*sleep_ms=*/0.5), kRow, 8, /*warm=*/false);
+  ThreadedServer server(&pool, ServiceTimeTable(), ServerOptions{});
+
+  std::vector<std::thread> producers;
+  Tensor payload = Tensor::Full(kRow, 3.0f);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&server, &payload] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        server.Submit(&payload);
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    });
+  }
+
+  std::vector<EngineReplica> retired;
+  for (int s = 0; s < kSwaps; ++s) {
+    retired.push_back(server.SwapReplica(s % 2, StubReplica(/*sleep_ms=*/0.5)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  for (std::thread& producer : producers) {
+    producer.join();
+  }
+  server.Drain();
+  server.Stop();
+
+  EXPECT_EQ(server.submitted(), kProducers * kPerProducer);
+  EXPECT_EQ(server.completed(), kProducers * kPerProducer);  // zero lost
+  EXPECT_EQ(server.shed(), 0);
+  EXPECT_EQ(pool.swap_count(), kSwaps);
+  for (const EngineReplica& r : retired) {
+    EXPECT_TRUE(static_cast<bool>(r));  // every swap returned a live replica
+  }
+  // Every served row ran on exactly one engine, retired or current. Each of
+  // the kSwaps incoming engines was also warmed once per batch size 1..8
+  // before installation (36 rows each) — warm-up rows are not requests.
+  int64_t rows = 0;
+  for (const EngineReplica& r : retired) {
+    rows += static_cast<const StubEngine*>(r.engine.get())->rows();
+  }
+  rows += static_cast<StubEngine*>(pool.engine(0))->rows();
+  rows += static_cast<StubEngine*>(pool.engine(1))->rows();
+  EXPECT_EQ(rows, kProducers * kPerProducer + kSwaps * 36);
+
+  const ServingStats stats = server.Stats();
+  EXPECT_EQ(stats.num_completed, kProducers * kPerProducer);
+  EXPECT_LE(stats.p50_latency_ms, stats.p95_latency_ms);
+  EXPECT_LE(stats.p95_latency_ms, stats.p99_latency_ms);
+  EXPECT_GE(stats.mean_batch_size, 1.0);
+}
+
+TEST(ThreadedServerTest, RealEngineEndToEndWithHotSwap) {
+  VisionModelOptions opts;
+  opts.base_width = 4;
+  opts.classes = 2;
+  AbsGraph g = ParseModelSpecs({MakeVgg11(opts)});
+
+  std::vector<EngineReplica> replicas;
+  replicas.push_back(MakeEngineReplica(EngineKind::kEager, g, /*seed=*/11));
+  replicas.push_back(MakeEngineReplica(EngineKind::kEager, g, /*seed=*/12));
+  const Shape row = g.node(0).output_shape;
+  ReplicaPool pool(std::move(replicas), row, /*max_batch=*/4);
+
+  ServiceTimeTable table =
+      CalibrateServiceTimes(*pool.engine(0), row, /*max_batch=*/4, /*repeats=*/1);
+  ServerOptions options;
+  options.max_batch = 4;
+  ThreadedServer server(&pool, table, options);
+
+  Rng rng(3);
+  Tensor sample = Tensor::RandomGaussian(row, rng, 0.5f);
+  for (int i = 0; i < 30; ++i) {
+    server.Submit(&sample);
+    if (i == 15) {
+      EngineReplica old = server.SwapReplica(0, MakeEngineReplica(EngineKind::kEager, g, 13));
+      EXPECT_TRUE(static_cast<bool>(old));
+    }
+  }
+  server.Drain();
+  server.Stop();
+  EXPECT_EQ(server.completed(), 30);
+  EXPECT_EQ(pool.swap_count(), 1);
+  const ServingStats stats = server.Stats();
+  EXPECT_GT(stats.throughput_qps, 0.0);
+}
+
+}  // namespace
+}  // namespace gmorph

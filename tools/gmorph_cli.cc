@@ -9,6 +9,7 @@
 //   gmorph_cli --autotune <config-file>
 //   gmorph_cli --quantize <config-file>
 //   gmorph_cli --export-plan <config-file> <out.plan>
+//   gmorph_cli --serve <config-file>
 //   gmorph_cli --verify [--list-rules] [--format=text|json|sarif]
 //              [--Werror=<rule|prefix>] [--Wno=<rule|prefix>]
 //              [--baseline=<file>] <file>
@@ -55,6 +56,17 @@
 // `export_quantized = true` calibrates int8 first so the exported plan
 // carries the mixed-precision step dtypes.
 //
+// --serve runs the real threaded multi-model server (src/serving/server.h)
+// on the configured benchmark graph (or `input_graph`): it builds
+// `serve_replicas` engine replicas, calibrates per-batch-size service times,
+// replays an open-loop Poisson arrival stream of `serve_requests` requests at
+// `serve_qps` against the wall clock, and reports throughput / latency
+// percentiles / batch and shed counts. `serve_sla_ms` > 0 turns on SLA-aware
+// admission; `serve_swap = true` hot-swaps a freshly built engine into slot 0
+// mid-run to prove no in-flight request is dropped. Exits nonzero if any
+// admitted request was lost. Combine with --metrics for the serving.*
+// histograms.
+//
 // --verify lints a file through the unified analysis driver
 // (src/analysis/driver.h) and exits nonzero on any error diagnostic. The file
 // kind is sniffed from its head (binary graph magic, or the shared
@@ -73,11 +85,13 @@
 // task-specific teachers on the synthetic datasets, runs the search, and
 // writes the fused model (binary graph) and an optional Graphviz rendering.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/analysis/driver.h"
@@ -103,6 +117,7 @@
 #include "src/quant/recipe.h"
 #include "src/runtime/fused_engine.h"
 #include "src/runtime/quant_scoring.h"
+#include "src/serving/server.h"
 
 namespace {
 
@@ -161,6 +176,18 @@ quant_recipe = gmorph.quantrecipe
 quant_calib_batches = 2
 quant_calib_batch_size = 16
 quant_drop_budget = 0.01
+
+# Threaded serving (`gmorph_cli --serve`): open-loop Poisson load against the
+# real multi-replica server. serve_engine is eager | fused; serve_sla_ms > 0
+# sheds provably-late requests at admission; serve_swap hot-swaps slot 0
+# mid-run to exercise the zero-drop swap path.
+serve_engine = fused
+serve_replicas = 2
+serve_max_batch = 8
+serve_qps = 500
+serve_requests = 200
+serve_sla_ms = 0
+serve_swap = true
 )";
 
 // Builds the configured benchmark's multi-task graph, or loads the fused
@@ -478,6 +505,89 @@ int ExportPlanMode(const gmorph::Config& config, const std::string& out_path) {
   return 0;
 }
 
+// Runs the real threaded server on the configured graph under open-loop
+// Poisson load, with an optional mid-run hot-swap (see usage comment). Exits
+// nonzero when any admitted request was lost — the bench/CI drop check.
+int ServeMode(const gmorph::Config& config) {
+  using namespace gmorph;
+  AbsGraph graph;
+  std::string label;
+  if (!BuildConfiguredGraph(config, &graph, &label)) {
+    return 2;
+  }
+  const uint64_t seed = static_cast<uint64_t>(config.GetInt("seed", 42));
+  const int num_replicas = static_cast<int>(config.GetInt("serve_replicas", 2));
+  const int max_batch = static_cast<int>(config.GetInt("serve_max_batch", 8));
+  const double qps = config.GetDouble("serve_qps", 500.0);
+  const int num_requests = static_cast<int>(config.GetInt("serve_requests", 200));
+  const double sla_ms = config.GetDouble("serve_sla_ms", 0.0);
+  const bool do_swap = config.GetBool("serve_swap", true);
+  const EngineKind kind = config.GetString("serve_engine", "fused") == "eager"
+                              ? EngineKind::kEager
+                              : EngineKind::kFused;
+  GMORPH_CHECK(num_replicas >= 1 && max_batch >= 1 && num_requests >= 1 && qps > 0.0);
+
+  std::printf("serving %s: %d replica(s), max_batch %d, %.0f qps x %d requests%s\n",
+              label.c_str(), num_replicas, max_batch, qps, num_requests,
+              do_swap ? ", hot-swap mid-run" : "");
+  std::vector<EngineReplica> replicas;
+  for (int i = 0; i < num_replicas; ++i) {
+    replicas.push_back(MakeEngineReplica(kind, graph, seed + static_cast<uint64_t>(i)));
+  }
+  const Shape row = graph.node(graph.root()).output_shape;
+  ReplicaPool pool(std::move(replicas), row, max_batch);
+  const ServiceTimeTable table =
+      CalibrateServiceTimes(*pool.engine(0), row, max_batch,
+                            static_cast<int>(config.GetInt("calibration_runs", 3)));
+  std::printf("calibrated service times (ms):");
+  for (double ms : table.ms()) {
+    std::printf(" %.3f", ms);
+  }
+  std::printf("\n");
+
+  ServerOptions options;
+  options.max_batch = max_batch;
+  options.sla_ms = sla_ms;
+  ThreadedServer server(&pool, table, options);
+
+  Rng rng(seed);
+  const Tensor sample = Tensor::RandomGaussian(row, rng, 0.5f);
+  const std::vector<double> arrivals = GenerateArrivalsMs(qps, num_requests, seed);
+  const double t0 = server.NowMs();
+  for (int i = 0; i < num_requests; ++i) {
+    const double wait_ms = t0 + arrivals[static_cast<size_t>(i)] - server.NowMs();
+    if (wait_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<int64_t>(wait_ms * 1000.0)));
+    }
+    server.Submit(&sample);
+    if (do_swap && i == num_requests / 2) {
+      EngineReplica retired = server.SwapReplica(
+          0, MakeEngineReplica(kind, graph, seed + 1000));
+      GMORPH_CHECK(static_cast<bool>(retired));
+    }
+  }
+  server.Drain();
+  server.Stop();
+
+  const ServingStats stats = server.Stats();
+  const int64_t lost = server.submitted() - server.completed() - server.shed();
+  std::printf("served %lld request(s) in %d batch(es), shed %lld, swaps %lld, lost %lld\n",
+              static_cast<long long>(server.completed()), stats.num_batches,
+              static_cast<long long>(server.shed()),
+              static_cast<long long>(pool.swap_count()), static_cast<long long>(lost));
+  std::printf("throughput %.1f qps | latency ms p50 %.3f p95 %.3f p99 %.3f mean %.3f | "
+              "mean batch %.2f\n",
+              stats.throughput_qps, stats.p50_latency_ms, stats.p95_latency_ms,
+              stats.p99_latency_ms, stats.mean_latency_ms, stats.mean_batch_size);
+  if (lost != 0) {
+    std::fprintf(stderr, "serve: %lld admitted request(s) were lost\n",
+                 static_cast<long long>(lost));
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -509,7 +619,9 @@ int main(int argc, char** argv) {
   const bool verify = argc >= 2 && std::strcmp(argv[1], "--verify") == 0;
   const bool resume = argc == 4 && std::strcmp(argv[1], "--resume") == 0;
   const bool export_plan = argc == 4 && std::strcmp(argv[1], "--export-plan") == 0;
-  if (argc != 2 && !dump_plan && !autotune && !quantize && !verify && !resume && !export_plan) {
+  const bool serve = argc == 3 && std::strcmp(argv[1], "--serve") == 0;
+  if (argc != 2 && !dump_plan && !autotune && !quantize && !verify && !resume && !export_plan &&
+      !serve) {
     std::fprintf(stderr,
                  "usage: %s [--trace <out.json>] [--metrics <out.json>] <config-file>\n"
                  "       %s --resume <checkpoint> <config-file>\n"
@@ -517,12 +629,14 @@ int main(int argc, char** argv) {
                  "       %s --autotune <config-file>\n"
                  "       %s --quantize <config-file>\n"
                  "       %s --export-plan <config-file> <out.plan>\n"
+                 "       %s --serve <config-file>\n"
                  "       %s --verify [--list-rules] [--format=text|json|sarif]\n"
                  "                [--Werror=<rule|prefix>] [--Wno=<rule|prefix>]\n"
                  "                [--baseline=<file>]\n"
                  "                <graph|plan|config|evalcache|checkpoint|tunedb|quantrecipe>\n"
                  "       %s --print-default-config > gmorph.cfg\n",
-                 argv[0], argv[0], argv[0], argv[0], argv[0], argv[0], argv[0], argv[0]);
+                 argv[0], argv[0], argv[0], argv[0], argv[0], argv[0], argv[0], argv[0],
+                 argv[0]);
     return 2;
   }
   if (verify) {
@@ -537,7 +651,9 @@ int main(int argc, char** argv) {
   Config config;
   try {
     config = Config::FromFile(
-        argv[resume ? 3 : (dump_plan || autotune || quantize || export_plan) ? 2 : 1]);
+        argv[resume                                                          ? 3
+             : (dump_plan || autotune || quantize || export_plan || serve) ? 2
+                                                                             : 1]);
   } catch (const CheckError& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;
@@ -568,11 +684,12 @@ int main(int argc, char** argv) {
     SetKernelThreads(kernel_threads);
   }
 
-  if (dump_plan || autotune || quantize || export_plan) {
+  if (dump_plan || autotune || quantize || export_plan || serve) {
     try {
       return dump_plan   ? DumpPlanMode(config)
              : autotune  ? AutotuneMode(config)
              : quantize  ? QuantizeMode(config)
+             : serve     ? ServeMode(config)
                          : ExportPlanMode(config, argv[3]);
     } catch (const CheckError& e) {
       std::fprintf(stderr, "%s\n", e.what());
