@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/analysis/dtype_analysis.h"
+#include "src/analysis/machine_verifier.h"
 #include "src/analysis/plan_io.h"
 #include "src/analysis/plan_verifier.h"
 #include "src/analysis/quant_verifier.h"
@@ -262,6 +263,9 @@ AnalysisReport AnalyzeFile(const std::string& path, const AnalysisOptions& optio
   } else if (kind == kTuneDbArtifact.kind) {
     report.input_kind = "tunedb";
     diags = VerifyTuneDbFile(path);
+  } else if (kind == kMachineArtifact.kind) {
+    report.input_kind = "machine";
+    diags = VerifyMachineFile(path);
   } else if (kind == kQuantRecipeArtifact.kind) {
     report.input_kind = "quantrecipe";
     diags = VerifyQuantRecipeFile(path);

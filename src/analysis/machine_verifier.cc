@@ -1,0 +1,97 @@
+#include "src/analysis/machine_verifier.h"
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "src/common/artifact_header.h"
+#include "src/kernels/machine.h"
+#include "src/kernels/tune_db.h"
+
+namespace gmorph {
+namespace {
+
+std::string LinePath(int lineno) { return "line " + std::to_string(lineno); }
+
+}  // namespace
+
+DiagnosticList VerifyMachineFile(const std::string& path) {
+  DiagnosticList diags;
+  std::ifstream in(path);
+  if (!in) {
+    diags.Error("machine.open", path) << "cannot open machine ceiling file";
+    return diags;
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    diags.Error("machine.header", path) << "empty machine ceiling file";
+    return diags;
+  }
+  switch (CheckArtifactHeaderLine(line, kMachineArtifact)) {
+    case HeaderCheck::kMissing:
+      diags.Error("machine.header", path) << "missing " << kMachineArtifact.kind << " header";
+      return diags;
+    case HeaderCheck::kWrongVersion:
+      diags.Error("machine.version", path) << "unsupported machine artifact version '" << line
+                                           << "'";
+      return diags;
+    case HeaderCheck::kOk:
+      break;
+  }
+
+  std::map<std::string, int> first_line;  // key -> line that introduced it
+  bool saw_fingerprint = false;
+  int lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    if (line.rfind("fingerprint", 0) == 0) {
+      if (saw_fingerprint) {
+        diags.Error("machine.fingerprint", LinePath(lineno)) << "repeated fingerprint line";
+        continue;
+      }
+      saw_fingerprint = true;
+      if (line.rfind("fingerprint ", 0) != 0 || line.size() != 12 + 16) {
+        diags.Error("machine.fingerprint", LinePath(lineno))
+            << "malformed fingerprint line (want 'fingerprint <16-hex>')";
+        continue;
+      }
+      if (line.substr(12) != kernels::BuildFingerprint()) {
+        diags.Warning("machine.fingerprint", LinePath(lineno))
+            << "fingerprint " << line.substr(12) << " differs from this build ("
+            << kernels::BuildFingerprint() << "); this binary will re-probe";
+      }
+      continue;
+    }
+    std::string key, error;
+    double value = 0.0;
+    if (!kernels::ParseMachineEntryLine(line, &key, &value, &error)) {
+      diags.Error("machine.entry", LinePath(lineno)) << error;
+      continue;
+    }
+    if (!(value > 0.0) || !std::isfinite(value)) {
+      diags.Error("machine.value", LinePath(lineno))
+          << key << " must be positive finite, got " << value;
+    }
+    const auto [it, inserted] = first_line.emplace(key, lineno);
+    if (!inserted) {
+      diags.Error("machine.entry", LinePath(lineno))
+          << "repeated " << key << " entry (first at line " << it->second << ")";
+    }
+  }
+  if (!saw_fingerprint) {
+    diags.Warning("machine.fingerprint", path)
+        << "no fingerprint line; ceilings cannot be matched to a build";
+  }
+  for (const char* required : {"threads", "peak_gflops", "triad_gbps"}) {
+    if (first_line.find(required) == first_line.end()) {
+      diags.Error("machine.missing", path) << "required entry '" << required << "' absent";
+    }
+  }
+  return diags;
+}
+
+}  // namespace gmorph

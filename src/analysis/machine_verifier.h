@@ -1,0 +1,17 @@
+// Strict linter for "gmorph-machine v1" ceiling artifacts (machine.* rules).
+// The tolerant loader lives in src/kernels/machine.h; both sides share
+// ParseMachineEntryLine so the formats can never drift.
+#ifndef GMORPH_SRC_ANALYSIS_MACHINE_VERIFIER_H_
+#define GMORPH_SRC_ANALYSIS_MACHINE_VERIFIER_H_
+
+#include <string>
+
+#include "src/analysis/diagnostics.h"
+
+namespace gmorph {
+
+DiagnosticList VerifyMachineFile(const std::string& path);
+
+}  // namespace gmorph
+
+#endif  // GMORPH_SRC_ANALYSIS_MACHINE_VERIFIER_H_

@@ -50,6 +50,13 @@ const RuleInfo kRules[] = {
     {"io.magic", kErr, "file does not start with the GMORPHG magic"},
     {"io.open", kErr, "graph file cannot be opened"},
     {"io.truncated", kErr, "binary graph ends mid-record"},
+    {"machine.entry", kErr, "malformed, unknown, or repeated machine ceiling entry line"},
+    {"machine.fingerprint", kWarn, "fingerprint missing, malformed (as an error), or from a foreign build"},
+    {"machine.header", kErr, "missing gmorph-machine header line"},
+    {"machine.missing", kErr, "required ceiling entry (threads/peak_gflops/triad_gbps) absent"},
+    {"machine.open", kErr, "machine ceiling file cannot be opened"},
+    {"machine.value", kErr, "ceiling value is not positive finite"},
+    {"machine.version", kErr, "unsupported machine artifact version"},
     {"plan.alias.cycle", kErr, "alias chain never reaches a non-alias root value"},
     {"plan.alias.shape", kErr, "alias reshapes to a different element count than its root"},
     {"plan.alias.stale", kErr, "alias read after its root's buffer was overwritten"},

@@ -28,6 +28,7 @@ inline constexpr ArtifactHeaderSpec kTuneDbArtifact{"gmorph-tunedb", 1};
 inline constexpr ArtifactHeaderSpec kQuantRecipeArtifact{"gmorph-quant", 1};
 inline constexpr ArtifactHeaderSpec kEvalCacheArtifact{"gmorph-evalcache", 1};
 inline constexpr ArtifactHeaderSpec kCheckpointArtifact{"gmorph-checkpoint", 1};
+inline constexpr ArtifactHeaderSpec kMachineArtifact{"gmorph-machine", 1};
 
 // "gmorph-tunedb v1" — what writers emit as the first line.
 std::string ArtifactHeaderLine(const ArtifactHeaderSpec& spec);

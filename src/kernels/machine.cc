@@ -1,0 +1,189 @@
+#include "src/kernels/machine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "src/common/parallel_for.h"
+#include "src/kernels/registry.h"
+#include "src/kernels/tune_db.h"
+#include "src/obs/timing.h"
+
+namespace gmorph::kernels {
+namespace {
+
+// Probe sizes: the GEMM is large enough to reach the blocked/packed solvers'
+// steady state but still runs in ~10ms per rep; the triad arrays total ~96MB
+// so every pass streams from DRAM, not the LLC.
+constexpr int64_t kGemmDim = 512;
+constexpr int64_t kTriadElems = int64_t{1} << 23;  // 8M floats per array
+
+double ProbePeakGemmGflops() {
+  const int64_t n = kGemmDim;
+  std::vector<float> a(static_cast<size_t>(n * n), 1.0f);
+  std::vector<float> b(static_cast<size_t>(n * n), 0.5f);
+  std::vector<float> c(static_cast<size_t>(n * n), 0.0f);
+  const ProblemDesc desc = GemmProblem(OpFamily::kGemmNN, n, n, n);
+  const GemmSolver* solver = SolverRegistry::Global().ResolveGemm(desc);
+  const GemmCall call = MakeGemmCall(desc, a.data(), b.data(), c.data(), /*accumulate=*/false);
+  const double ms = MedianTimedMs([&] { solver->Run(desc, call); }, /*warmup=*/2,
+                                  /*repeats=*/5);
+  return ms > 0.0 ? static_cast<double>(2 * n * n * n) / (ms * 1e6) : 0.0;
+}
+
+double ProbeTriadGbps() {
+  std::vector<float> a(static_cast<size_t>(kTriadElems), 0.0f);
+  std::vector<float> b(static_cast<size_t>(kTriadElems), 1.0f);
+  std::vector<float> c(static_cast<size_t>(kTriadElems), 2.0f);
+  const float scale = 3.0f;
+  const auto triad = [&] {
+    ParallelFor(0, kTriadElems, /*grain=*/int64_t{1} << 16, [&](int64_t lo, int64_t hi) {
+      float* pa = a.data();
+      const float* pb = b.data();
+      const float* pc = c.data();
+      for (int64_t i = lo; i < hi; ++i) {
+        pa[i] = pb[i] + scale * pc[i];
+      }
+    });
+  };
+  const double ms = MedianTimedMs(triad, /*warmup=*/1, /*repeats=*/5);
+  // STREAM accounting: two reads + one write per element, no RFO term.
+  const double bytes = static_cast<double>(kTriadElems) * 3.0 * sizeof(float);
+  return ms > 0.0 ? bytes / (ms * 1e6) : 0.0;
+}
+
+}  // namespace
+
+double MachineCeilings::RidgeIntensity() const {
+  return triad_gbps > 0.0 ? peak_gflops / triad_gbps : 0.0;
+}
+
+MachineCeilings ProbeMachineCeilings() {
+  MachineCeilings out;
+  out.threads = KernelThreads();
+  out.peak_gflops = ProbePeakGemmGflops();
+  out.triad_gbps = ProbeTriadGbps();
+  return out;
+}
+
+bool ParseMachineEntryLine(const std::string& line, std::string* key, double* value,
+                           std::string* error) {
+  std::istringstream in(line);
+  std::string k;
+  double v = 0.0;
+  if (!(in >> k >> v)) {
+    *error = "malformed machine entry (want '<key> <value>'): '" + line + "'";
+    return false;
+  }
+  std::string trailing;
+  if (in >> trailing) {
+    *error = "trailing content after machine entry value: '" + trailing + "'";
+    return false;
+  }
+  if (k != "threads" && k != "peak_gflops" && k != "triad_gbps") {
+    *error = "unknown machine entry key '" + k + "'";
+    return false;
+  }
+  *key = k;
+  *value = v;
+  return true;
+}
+
+MachineLoadResult LoadMachineCeilings(const std::string& path) {
+  MachineLoadResult result;
+  std::ifstream in(path);
+  if (!in) {
+    return result;
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != kMachineHeader) {
+    return result;
+  }
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    if (line.rfind("fingerprint ", 0) == 0) {
+      if (line.substr(12) != BuildFingerprint()) {
+        result.fingerprint_mismatch = true;
+      }
+      continue;
+    }
+    std::string key, error;
+    double value = 0.0;
+    if (!ParseMachineEntryLine(line, &key, &value, &error)) {
+      continue;  // tolerant loader: the linter reports these
+    }
+    if (key == "threads") {
+      result.ceilings.threads = static_cast<int>(value);
+    } else if (key == "peak_gflops") {
+      result.ceilings.peak_gflops = value;
+    } else if (key == "triad_gbps") {
+      result.ceilings.triad_gbps = value;
+    }
+  }
+  result.ok = result.ceilings.valid();
+  return result;
+}
+
+bool SaveMachineCeilings(const std::string& path, const MachineCeilings& ceilings) {
+  std::error_code ec;
+  const std::filesystem::path target(path);
+  if (target.has_parent_path()) {
+    std::filesystem::create_directories(target.parent_path(), ec);
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return false;
+    }
+    out << kMachineHeader << "\n";
+    out << "fingerprint " << BuildFingerprint() << "\n";
+    out << "threads " << ceilings.threads << "\n";
+    out << "peak_gflops " << ceilings.peak_gflops << "\n";
+    out << "triad_gbps " << ceilings.triad_gbps << "\n";
+    if (!out.good()) {
+      return false;
+    }
+  }
+  std::filesystem::rename(tmp, target, ec);
+  return !ec;
+}
+
+MachineCeilings LoadOrProbeMachineCeilings(const std::string& path, bool* probed) {
+  const MachineLoadResult loaded = LoadMachineCeilings(path);
+  if (loaded.ok && !loaded.fingerprint_mismatch &&
+      loaded.ceilings.threads == KernelThreads()) {
+    if (probed != nullptr) {
+      *probed = false;
+    }
+    return loaded.ceilings;
+  }
+  const MachineCeilings fresh = ProbeMachineCeilings();
+  SaveMachineCeilings(path, fresh);
+  if (probed != nullptr) {
+    *probed = true;
+  }
+  return fresh;
+}
+
+std::string ResolveMachinePath(const std::string& override_path) {
+  if (!override_path.empty()) {
+    return override_path;
+  }
+  if (const char* env = std::getenv("GMORPH_MACHINE_DB"); env != nullptr && *env != '\0') {
+    return env;
+  }
+  std::string dir = "gmorph_bench_cache";
+  if (const char* env = std::getenv("GMORPH_CACHE_DIR"); env != nullptr && *env != '\0') {
+    dir = env;
+  }
+  return dir + "/gmorph.machine";
+}
+
+}  // namespace gmorph::kernels

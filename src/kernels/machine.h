@@ -1,0 +1,76 @@
+// Machine-ceiling probe for roofline attribution.
+//
+// A roofline report needs two hardware ceilings: the peak sustained f32 GEMM
+// throughput (GFLOP/s, the compute roof) and the streaming memory bandwidth
+// (GB/s, a STREAM-style triad — the memory roof). Probing them costs real
+// wall time, so the result is persisted once per machine+build in a
+// fingerprinted text artifact next to the tuning DB:
+//
+//   gmorph-machine v1
+//   fingerprint <hex>
+//   threads 4
+//   peak_gflops 38.2
+//   triad_gbps 11.7
+//
+// The fingerprint is the tuning DB's BuildFingerprint() (compiler + flags +
+// target), so ceilings measured by a foreign build are re-probed rather than
+// trusted — -O0 "ceilings" would misclassify every step. The strict linter
+// (`gmorph_cli --verify`, machine.* rules) shares ParseMachineEntryLine with
+// the loader so the two can never drift.
+#ifndef GMORPH_SRC_KERNELS_MACHINE_H_
+#define GMORPH_SRC_KERNELS_MACHINE_H_
+
+#include <string>
+
+namespace gmorph::kernels {
+
+inline constexpr char kMachineHeaderPrefix[] = "gmorph-machine";
+inline constexpr char kMachineHeader[] = "gmorph-machine v1";
+
+struct MachineCeilings {
+  double peak_gflops = 0.0;  // best sustained f32 GEMM throughput
+  double triad_gbps = 0.0;   // STREAM-triad memory bandwidth
+  int threads = 0;           // kernel pool width the probe ran at
+
+  bool valid() const { return peak_gflops > 0.0 && triad_gbps > 0.0 && threads > 0; }
+
+  // Arithmetic intensity (flop/byte) at which the two roofs intersect; steps
+  // below it are memory-bound, above it compute-bound.
+  double RidgeIntensity() const;
+};
+
+// Runs both probes at the current kernel thread count (~a second of wall
+// time: a peak-seeking GEMM and a cache-busting triad, both median-of-N).
+MachineCeilings ProbeMachineCeilings();
+
+struct MachineLoadResult {
+  bool ok = false;                     // file opened, parsed, values sane
+  bool fingerprint_mismatch = false;   // foreign build: ceilings not trusted
+  MachineCeilings ceilings;
+};
+
+// Tolerant loader (missing file is just !ok); the strict linter lives in
+// src/analysis/machine_verifier.
+MachineLoadResult LoadMachineCeilings(const std::string& path);
+
+// Atomic save (tmp + rename), same discipline as the tuning DB.
+bool SaveMachineCeilings(const std::string& path, const MachineCeilings& ceilings);
+
+// Returns trusted cached ceilings when `path` holds a same-build artifact at
+// the current thread count, else probes and saves. `*probed` (optional)
+// reports whether a fresh probe ran.
+MachineCeilings LoadOrProbeMachineCeilings(const std::string& path, bool* probed = nullptr);
+
+// Artifact location: `override_path` if non-empty, else $GMORPH_MACHINE_DB,
+// else "<cache dir>/gmorph.machine" next to the tuning DB ($GMORPH_CACHE_DIR
+// or gmorph_bench_cache).
+std::string ResolveMachinePath(const std::string& override_path = "");
+
+// One "key value" entry line, shared with the analysis-layer linter. Valid
+// keys: threads, peak_gflops, triad_gbps.
+bool ParseMachineEntryLine(const std::string& line, std::string* key, double* value,
+                           std::string* error);
+
+}  // namespace gmorph::kernels
+
+#endif  // GMORPH_SRC_KERNELS_MACHINE_H_

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "src/common/check.h"
+#include "src/obs/proc_stats.h"
 
 namespace gmorph::obs {
 namespace {
@@ -196,6 +197,12 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name, std::vector<do
 }
 
 std::string MetricsRegistry::ToJson() const {
+  // Refresh the proc.* memory gauges first (GetGauge takes the registry
+  // mutex, so this must happen before the snapshot lock below) — every
+  // snapshot then carries current RSS figures without per-site wiring.
+  if (this == &Global()) {
+    UpdateProcessMemoryGauges();
+  }
   Impl& i = impl();
   std::lock_guard<std::mutex> lock(i.mutex);
   std::string out = "{\"counters\":{";

@@ -1,0 +1,246 @@
+#include "src/obs/perf_counters.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace gmorph::obs {
+
+PerfCounts& PerfCounts::operator+=(const PerfCounts& o) {
+  cycles += o.cycles;
+  instructions += o.instructions;
+  llc_loads += o.llc_loads;
+  llc_misses += o.llc_misses;
+  branch_misses += o.branch_misses;
+  samples += o.samples;
+  valid = valid || o.valid;
+  return *this;
+}
+
+double PerfCounts::Ipc() const {
+  return cycles > 0 ? static_cast<double>(instructions) / static_cast<double>(cycles) : 0.0;
+}
+
+double PerfCounts::LlcMissRate() const {
+  return llc_loads > 0 ? static_cast<double>(llc_misses) / static_cast<double>(llc_loads)
+                       : 0.0;
+}
+
+namespace {
+
+bool PerfDisabledByEnv() {
+  const char* env = std::getenv("GMORPH_NO_PERF");
+  return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+}
+
+#if defined(__linux__)
+// LLC (last-level cache) read access/miss as a PERF_TYPE_HW_CACHE config.
+constexpr uint64_t HwCacheConfig(uint64_t cache, uint64_t op, uint64_t result) {
+  return cache | (op << 8) | (result << 16);
+}
+
+int OpenPerfEvent(uint32_t type, uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = type;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = group_fd < 0 ? 1 : 0;  // leader starts disabled, armed below
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP;
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1, group_fd, /*flags=*/0));
+}
+#endif  // __linux__
+
+}  // namespace
+
+PerfCounterGroup::PerfCounterGroup() {
+#if defined(__linux__)
+  Open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+#else
+  error_ = "perf_event_open: not supported on this platform";
+#endif
+}
+
+PerfCounterGroup::PerfCounterGroup(uint32_t leader_type, uint64_t leader_config) {
+#if defined(__linux__)
+  Open(leader_type, leader_config);
+#else
+  (void)leader_type;
+  (void)leader_config;
+  error_ = "perf_event_open: not supported on this platform";
+#endif
+}
+
+void PerfCounterGroup::Open(uint32_t leader_type, uint64_t leader_config) {
+#if defined(__linux__)
+  if (PerfDisabledByEnv()) {
+    error_ = "perf_event_open: disabled by GMORPH_NO_PERF";
+    return;
+  }
+  group_fd_ = OpenPerfEvent(leader_type, leader_config, /*group_fd=*/-1);
+  if (group_fd_ < 0) {
+    // EACCES/EPERM: perf_event_paranoid or seccomp; ENOENT/ENODEV/EOPNOTSUPP:
+    // the PMU (or this event) does not exist; ENOSYS: kernel without perf.
+    error_ = std::string("perf_event_open: ") + std::strerror(errno);
+    return;
+  }
+  values_in_read_ = 1;  // the leader (cycles)
+  const struct {
+    uint32_t type;
+    uint64_t config;
+  } members[4] = {
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+      {PERF_TYPE_HW_CACHE, HwCacheConfig(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                                         PERF_COUNT_HW_CACHE_RESULT_ACCESS)},
+      {PERF_TYPE_HW_CACHE, HwCacheConfig(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                                         PERF_COUNT_HW_CACHE_RESULT_MISS)},
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+  };
+  for (int i = 0; i < 4; ++i) {
+    member_fds_[i] = OpenPerfEvent(members[i].type, members[i].config, group_fd_);
+    if (member_fds_[i] >= 0) {
+      ++values_in_read_;
+    }
+    // A member that fails (e.g. no LLC events on this PMU) just stays absent;
+    // the group keeps counting what it has.
+  }
+  ioctl(group_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(group_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+#else
+  (void)leader_type;
+  (void)leader_config;
+#endif
+}
+
+PerfCounterGroup::~PerfCounterGroup() {
+#if defined(__linux__)
+  for (int fd : member_fds_) {
+    if (fd >= 0) {
+      close(fd);
+    }
+  }
+  if (group_fd_ >= 0) {
+    close(group_fd_);
+  }
+#endif
+}
+
+bool PerfCounterGroup::Read(PerfCounts* out) const {
+#if defined(__linux__)
+  if (group_fd_ < 0) {
+    return false;
+  }
+  // PERF_FORMAT_GROUP layout: { u64 nr; u64 values[nr]; }, values in the
+  // order the events were opened, failed members absent.
+  uint64_t buf[1 + 5] = {0};
+  const ssize_t want =
+      static_cast<ssize_t>((1 + static_cast<size_t>(values_in_read_)) * sizeof(uint64_t));
+  if (read(group_fd_, buf, sizeof(buf)) < want) {
+    return false;
+  }
+  int slot = 1;  // buf[1] is the leader's value
+  out->cycles = static_cast<int64_t>(buf[slot++]);
+  int64_t* fields[4] = {&out->instructions, &out->llc_loads, &out->llc_misses,
+                        &out->branch_misses};
+  for (int i = 0; i < 4; ++i) {
+    *fields[i] = member_fds_[i] >= 0 ? static_cast<int64_t>(buf[slot++]) : -1;
+  }
+  out->samples = 0;
+  out->valid = true;
+  return true;
+#else
+  (void)out;
+  return false;
+#endif
+}
+
+namespace {
+
+struct ProbeResult {
+  bool available;
+  std::string error;
+};
+
+const ProbeResult& ProbeOnce() {
+  static const ProbeResult result = [] {
+    PerfCounterGroup group;
+    PerfCounts counts;
+    const bool ok = group.available() && group.Read(&counts);
+    return ProbeResult{ok, ok ? std::string() : group.error()};
+  }();
+  return result;
+}
+
+}  // namespace
+
+bool PerfCountersAvailable() { return ProbeOnce().available; }
+
+const std::string& PerfCountersError() { return ProbeOnce().error; }
+
+namespace internal {
+std::atomic<bool> g_step_counters_enabled{false};
+}  // namespace internal
+
+void EnableStepCounters() {
+  internal::g_step_counters_enabled.store(true, std::memory_order_relaxed);
+}
+
+void DisableStepCounters() {
+  internal::g_step_counters_enabled.store(false, std::memory_order_relaxed);
+}
+
+namespace {
+
+// Per-thread group, opened the first time this thread runs a PerfStepScope
+// while step counting is enabled. Counters are per-thread state, so each
+// engine worker owns its own group for its whole lifetime.
+const PerfCounterGroup* ThreadGroup() {
+  static thread_local PerfCounterGroup group;
+  return &group;
+}
+
+}  // namespace
+
+PerfStepScope::PerfStepScope(PerfCounts* acc) {
+  if (!StepCountersEnabled()) {
+    return;
+  }
+  const PerfCounterGroup* group = ThreadGroup();
+  if (!group->available() || !group->Read(&begin_)) {
+    return;
+  }
+  acc_ = acc;
+  group_ = group;
+}
+
+PerfStepScope::~PerfStepScope() {
+  if (acc_ == nullptr) {
+    return;
+  }
+  PerfCounts end;
+  if (!group_->Read(&end)) {
+    return;
+  }
+  PerfCounts delta;
+  // A member that never opened reads -1 on both sides; its delta stays 0.
+  delta.cycles = end.cycles - begin_.cycles;
+  delta.instructions = end.instructions - begin_.instructions;
+  delta.llc_loads = end.llc_loads - begin_.llc_loads;
+  delta.llc_misses = end.llc_misses - begin_.llc_misses;
+  delta.branch_misses = end.branch_misses - begin_.branch_misses;
+  delta.samples = 1;
+  delta.valid = true;
+  *acc_ += delta;
+}
+
+}  // namespace gmorph::obs

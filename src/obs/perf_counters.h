@@ -1,0 +1,130 @@
+// Hardware performance counters via perf_event_open(2).
+//
+// A PerfCounterGroup opens one counter group for the calling thread — cycles
+// (leader), instructions, LLC loads, LLC load misses, branch misses — and
+// reads all members in a single read(2) with PERF_FORMAT_GROUP, so a
+// before/after delta pair costs two syscalls and no drift between members.
+//
+// Unavailability is a fully supported steady state, not an error: containers
+// and CI runners routinely deny the syscall (EACCES under a restrictive
+// perf_event_paranoid, EPERM in seccomp sandboxes, ENOENT/ENOSYS without a
+// PMU). The group then constructs with available() == false and a
+// human-readable error(), Read() reports invalid counts, and every downstream
+// feature (--profile, roofline reports) degrades to "counters unavailable"
+// while still emitting its full report. GMORPH_NO_PERF=1 forces this path —
+// the tests use it to pin the fallback behavior on machines where counters
+// do work.
+//
+// Per-step accumulation (FusedEngine) goes through PerfStepScope, which
+// follows the tracer's cost contract exactly: when step counting is disabled
+// the constructor is a single relaxed atomic load — no syscall, no TLS group
+// creation. EnableStepCounters() flips the flag; each executing thread then
+// lazily opens its own group (counters are per-thread) and scopes accumulate
+// deltas into the caller's PerfCounts, unsynchronized, mirroring the
+// engine's per-step `seconds` contract (one thread per step at a time).
+#ifndef GMORPH_SRC_OBS_PERF_COUNTERS_H_
+#define GMORPH_SRC_OBS_PERF_COUNTERS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace gmorph::obs {
+
+// One reading (or accumulated delta) of the counter group. A counter whose
+// event failed to open individually (some PMUs lack LLC events) stays at -1
+// in raw readings; accumulated deltas treat it as 0.
+struct PerfCounts {
+  int64_t cycles = 0;
+  int64_t instructions = 0;
+  int64_t llc_loads = 0;
+  int64_t llc_misses = 0;
+  int64_t branch_misses = 0;
+  // Number of PerfStepScope deltas folded in (0 for raw readings).
+  int64_t samples = 0;
+  // True when at least one real hardware reading contributed.
+  bool valid = false;
+
+  PerfCounts& operator+=(const PerfCounts& o);
+
+  // Instructions per cycle; 0 when cycles were not measured.
+  double Ipc() const;
+  // LLC load miss rate in [0, 1]; 0 when loads were not measured.
+  double LlcMissRate() const;
+};
+
+class PerfCounterGroup {
+ public:
+  // Opens the default hardware group for the calling thread. Never throws:
+  // on failure available() is false and error() says why.
+  PerfCounterGroup();
+  // Opens a group whose leader is the given raw perf event (type, config).
+  // Tests pass an invalid type to exercise the ENOENT path deterministically.
+  PerfCounterGroup(uint32_t leader_type, uint64_t leader_config);
+  ~PerfCounterGroup();
+
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  bool available() const { return group_fd_ >= 0; }
+  // Why the group is unavailable ("perf_event_open: Permission denied ...");
+  // empty when available.
+  const std::string& error() const { return error_; }
+
+  // Cumulative counts since open. Returns false (and *out stays invalid)
+  // when the group is unavailable or the read fails.
+  bool Read(PerfCounts* out) const;
+
+ private:
+  void Open(uint32_t leader_type, uint64_t leader_config);
+
+  int group_fd_ = -1;
+  // fds of the member events, -1 where a member failed to open; slot order
+  // matches the PerfCounts fields after `cycles`.
+  int member_fds_[4] = {-1, -1, -1, -1};
+  int values_in_read_ = 0;  // events that contribute to the group read
+  std::string error_;
+};
+
+// One-shot process-level probe: opens (and closes) a default group once and
+// caches whether it worked. The roofline report header uses this; it is also
+// what --profile prints as "counters unavailable: <reason>".
+bool PerfCountersAvailable();
+const std::string& PerfCountersError();
+
+// ---- Per-step accumulation (FusedEngine) -----------------------------------
+
+namespace internal {
+extern std::atomic<bool> g_step_counters_enabled;
+}  // namespace internal
+
+// The single relaxed load gating every PerfStepScope.
+inline bool StepCountersEnabled() {
+  return internal::g_step_counters_enabled.load(std::memory_order_relaxed);
+}
+
+// Enables / disables per-step counter accumulation. Threads open their TLS
+// group lazily on the first scope they execute while enabled.
+void EnableStepCounters();
+void DisableStepCounters();
+
+// RAII delta accumulator: reads the calling thread's group at construction
+// and destruction and folds the delta into *acc (samples++, valid = true).
+// No-op when step counting is disabled or the thread's group is unavailable.
+class PerfStepScope {
+ public:
+  explicit PerfStepScope(PerfCounts* acc);
+  ~PerfStepScope();
+
+  PerfStepScope(const PerfStepScope&) = delete;
+  PerfStepScope& operator=(const PerfStepScope&) = delete;
+
+ private:
+  PerfCounts* acc_ = nullptr;
+  const PerfCounterGroup* group_ = nullptr;
+  PerfCounts begin_;
+};
+
+}  // namespace gmorph::obs
+
+#endif  // GMORPH_SRC_OBS_PERF_COUNTERS_H_

@@ -1,0 +1,40 @@
+#include "src/obs/proc_stats.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/obs/metrics.h"
+
+namespace gmorph::obs {
+
+bool ReadProcessMemory(ProcessMemory* out) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) {
+    return false;
+  }
+  bool saw_rss = false;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    long long kb = 0;
+    if (std::sscanf(line, "VmRSS: %lld kB", &kb) == 1) {
+      out->rss_bytes = static_cast<int64_t>(kb) * 1024;
+      saw_rss = true;
+    } else if (std::sscanf(line, "VmHWM: %lld kB", &kb) == 1) {
+      out->peak_rss_bytes = static_cast<int64_t>(kb) * 1024;
+    }
+  }
+  std::fclose(f);
+  return saw_rss;
+}
+
+bool UpdateProcessMemoryGauges() {
+  ProcessMemory mem;
+  if (!ReadProcessMemory(&mem)) {
+    return false;
+  }
+  GetGauge("proc.rss_bytes").Set(static_cast<double>(mem.rss_bytes));
+  GetGauge("proc.peak_rss_bytes").Set(static_cast<double>(mem.peak_rss_bytes));
+  return true;
+}
+
+}  // namespace gmorph::obs

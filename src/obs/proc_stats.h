@@ -1,0 +1,30 @@
+// Process memory gauges sourced from /proc/self/status.
+//
+// UpdateProcessMemoryGauges() refreshes `proc.rss_bytes` (VmRSS) and
+// `proc.peak_rss_bytes` (VmHWM) in the global metrics registry. The registry
+// snapshot path calls it, so every --metrics dump and every bench
+// metrics_snapshot trailer carries current memory figures without per-site
+// wiring. On systems without /proc the call is a no-op (returns false, no
+// gauges registered).
+#ifndef GMORPH_SRC_OBS_PROC_STATS_H_
+#define GMORPH_SRC_OBS_PROC_STATS_H_
+
+#include <cstdint>
+
+namespace gmorph::obs {
+
+struct ProcessMemory {
+  int64_t rss_bytes = 0;       // VmRSS
+  int64_t peak_rss_bytes = 0;  // VmHWM
+};
+
+// Reads /proc/self/status; false when unreadable (non-Linux, hardened mounts).
+bool ReadProcessMemory(ProcessMemory* out);
+
+// Reads current memory and stores it into the proc.* gauges. Returns false
+// (leaving the gauges untouched and unregistered) when /proc is unavailable.
+bool UpdateProcessMemoryGauges();
+
+}  // namespace gmorph::obs
+
+#endif  // GMORPH_SRC_OBS_PROC_STATS_H_

@@ -803,6 +803,9 @@ void FusedEngine::ExecStep(int seq, Binding& bind) {
   // Span both feeds the Perfetto trace (when enabled) and accumulates into the
   // per-step profile that Profile()/DumpPlan() report.
   obs::TraceSpan span(step.label, obs::TraceCat::kEngine, &step.seconds);
+  // Hardware-counter deltas for the roofline profile; disabled cost is one
+  // relaxed atomic load, mirroring the tracer contract.
+  obs::PerfStepScope counters(&step.counters);
   ++step.calls;
   const Tensor& in = bind.values[static_cast<size_t>(step.in0)];
   Tensor& out = bind.values[static_cast<size_t>(step.out)];
@@ -862,15 +865,73 @@ void FusedEngine::ExecStep(int seq, Binding& bind) {
 // Introspection
 // ---------------------------------------------------------------------------
 
+void FusedEngine::StepCostPerSample(const Step& step, double* flops, double* bytes) const {
+  *flops = 0.0;
+  *bytes = 0.0;
+  const auto elems = [&](int value) {
+    return value < 0 ? 0.0
+                     : static_cast<double>(
+                           values_[static_cast<size_t>(value)].shape.NumElements());
+  };
+  const double in_elems = elems(step.in0);
+  const double out_elems = elems(step.out);
+  switch (step.kind) {
+    case OpKind::kConv: {
+      const Shape& w = step.weight.shape();
+      const double weight_elems = static_cast<double>(w.NumElements());
+      // Per-sample im2col GEMM: 2 * O * (C*KH*KW) * (OH*OW), plus the fused
+      // epilogue (bias/skip/relu) at one op per output element.
+      *flops = 2.0 * static_cast<double>(w[0] * w[1] * w[2] * w[3]) * (out_elems / w[0]) +
+               out_elems * (step.skip >= 0 ? 2.0 : 1.0);
+      *bytes = 4.0 * (in_elems + weight_elems + out_elems + elems(step.skip)) +
+               4.0 * static_cast<double>(step.bias.size());
+      break;
+    }
+    case OpKind::kLinear: {
+      const Shape& w = step.weight.shape();
+      const double rows = w[0] > 0 ? in_elems / static_cast<double>(w[0]) : 0.0;
+      *flops = 2.0 * rows * static_cast<double>(w[0] * w[1]) + out_elems;
+      *bytes = 4.0 * (in_elems + static_cast<double>(w.NumElements()) + out_elems) +
+               4.0 * static_cast<double>(step.bias.size());
+      break;
+    }
+    case OpKind::kMaxPool:
+      // One compare per pooled window element.
+      *flops = out_elems * static_cast<double>(step.pool_kernel * step.pool_kernel);
+      *bytes = 4.0 * (in_elems + out_elems);
+      break;
+    case OpKind::kGlobalAvgPool:
+    case OpKind::kMeanPoolTokens:
+      *flops = in_elems;
+      *bytes = 4.0 * (in_elems + out_elems);
+      break;
+    case OpKind::kBilinearResize:
+      // 4-tap interpolation: ~8 ops per output element.
+      *flops = 8.0 * out_elems;
+      *bytes = 4.0 * (in_elems + out_elems);
+      break;
+    case OpKind::kTokenResize:
+      *flops = 4.0 * out_elems;
+      *bytes = 4.0 * (in_elems + out_elems);
+      break;
+    case OpKind::kModule:
+      // Opaque fallback: the roofline report labels these unattributed.
+      break;
+  }
+}
+
 std::vector<FusedEngine::StepProfile> FusedEngine::Profile() const {
   std::vector<StepProfile> out;
   out.reserve(steps_.size());
   for (const Step& s : steps_) {
     StepProfile p;
     p.label = s.label;
+    p.solver = s.solver;
     p.node = s.node;
     p.calls = s.calls;
     p.total_ms = s.seconds * 1e3;
+    StepCostPerSample(s, &p.flops, &p.bytes);
+    p.counters = s.counters;
     out.push_back(std::move(p));
   }
   return out;
@@ -880,6 +941,7 @@ void FusedEngine::ResetProfile() {
   for (Step& s : steps_) {
     s.calls = 0;
     s.seconds = 0.0;
+    s.counters = obs::PerfCounts{};
   }
 }
 

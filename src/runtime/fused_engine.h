@@ -40,6 +40,7 @@
 
 #include "src/analysis/plan_ir.h"
 #include "src/kernels/solver.h"
+#include "src/obs/perf_counters.h"
 #include "src/quant/calibrate.h"
 #include "src/quant/quant_ops.h"
 #include "src/quant/recipe.h"
@@ -92,13 +93,23 @@ class FusedEngine : public InferenceEngine {
   int num_buffers() const { return static_cast<int>(buffers_.size()); }
   int64_t planned_bytes_per_sample() const;
 
-  // Per-step cumulative wall time and invocation count since construction (or
-  // the last ResetProfile).
+  // Per-step cumulative wall time, invocation count, and hardware-counter
+  // deltas since construction (or the last ResetProfile). Counter deltas are
+  // only accumulated while obs::EnableStepCounters() is armed and
+  // perf_event_open is permitted; otherwise `counters` stays invalid and
+  // wall-time profiling is unaffected. `flops` / `bytes` are the step's
+  // per-sample arithmetic work and logical tensor traffic (operands +
+  // results; intermediate im2col materialization excluded) — 0 for opaque
+  // module fallbacks, which a roofline report cannot attribute.
   struct StepProfile {
     std::string label;
+    std::string solver;  // plan-time annotation; empty for untunable kinds
     int node = -1;
     int64_t calls = 0;
     double total_ms = 0.0;
+    double flops = 0.0;  // per sample
+    double bytes = 0.0;  // per sample
+    obs::PerfCounts counters;
   };
   std::vector<StepProfile> Profile() const;
   void ResetProfile();
@@ -178,6 +189,7 @@ class FusedEngine : public InferenceEngine {
     // Profiling accumulators (each step is executed by one thread at a time).
     int64_t calls = 0;
     double seconds = 0.0;
+    obs::PerfCounts counters;
   };
 
   // A maximal chain of the tree: steps run in order, then children fork (in
@@ -222,6 +234,9 @@ class FusedEngine : public InferenceEngine {
   // (kConv: the per-sample im2col GEMM; kLinear: the batched GEMM; kMaxPool:
   // the pool). Returns false for step kinds without one.
   bool StepProblemDesc(const Step& step, int64_t batch, kernels::ProblemDesc* desc) const;
+  // Per-sample arithmetic work and logical tensor traffic of a step (see
+  // StepProfile::flops/bytes); both 0 for opaque module fallbacks.
+  void StepCostPerSample(const Step& step, double* flops, double* bytes) const;
   // Records each step's registry-resolved solver name (tuned winner when a
   // tuning DB is loaded, heuristic default otherwise) at batch 1.
   void AnnotateSolvers();

@@ -137,6 +137,7 @@ ServingMetrics& ServingMetrics::Get() {
       obs::GetHistogram("serving.batch_size", {1, 2, 4, 8, 16, 32, 64, 128, 256}),
       obs::GetHistogram("serving.queue_depth",
                         {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}),
+      obs::GetHistogram("serving.queue_wait_ms"),
       obs::GetCounter("serving.requests"),
       obs::GetCounter("serving.batches"),
       obs::GetCounter("serving.shed"),

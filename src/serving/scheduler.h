@@ -149,9 +149,10 @@ class StatsBuilder {
 // The obs instruments both backends record through, resolved once (metric
 // names are part of the serving contract: DESIGN.md "Observability").
 struct ServingMetrics {
-  obs::Histogram& latency_ms;   // serving.request_latency_ms
-  obs::Histogram& batch_size;   // serving.batch_size
-  obs::Histogram& queue_depth;  // serving.queue_depth
+  obs::Histogram& latency_ms;     // serving.request_latency_ms
+  obs::Histogram& batch_size;     // serving.batch_size
+  obs::Histogram& queue_depth;    // serving.queue_depth
+  obs::Histogram& queue_wait_ms;  // serving.queue_wait_ms (admit -> run-start)
   obs::Counter& requests;       // serving.requests (admitted + shed)
   obs::Counter& batches;        // serving.batches
   obs::Counter& shed;           // serving.shed

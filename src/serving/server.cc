@@ -7,6 +7,7 @@
 #include "src/common/check.h"
 #include "src/obs/timing.h"
 #include "src/obs/trace.h"
+#include "src/serving/flight_recorder.h"
 
 namespace gmorph {
 
@@ -21,6 +22,9 @@ ThreadedServer::ThreadedServer(ReplicaPool* pool, ServiceTimeTable table,
   t0_ns_ = MonotonicNowNs();
   anchor_us_ = static_cast<double>(t0_ns_) * 1e-3;
   NameServingTraceLanes("serve");
+  if (!options_.flight_recorder_path.empty()) {
+    StartFlightRecorder();
+  }
   workers_.reserve(static_cast<size_t>(pool_->size()));
   for (int slot = 0; slot < pool_->size(); ++slot) {
     workers_.emplace_back([this, slot] { WorkerLoop(slot); });
@@ -40,6 +44,7 @@ bool ThreadedServer::Submit(const Tensor* sample) {
   const double now = NowMs();
   const int64_t index = submitted_++;
   m.requests.Increment();
+  RecordFlightEvent(FlightEventKind::kAdmit, now, index);
   if (first_arrival_ms_ < 0.0) {
     first_arrival_ms_ = now;
   }
@@ -48,9 +53,11 @@ bool ThreadedServer::Submit(const Tensor* sample) {
                          options_.max_batch, pool_->size())) {
     stats_.AddShed();
     m.shed.Increment();
+    RecordFlightEvent(FlightEventKind::kShed, now, index);
     return false;
   }
   queue_.push_back(Pending{sample, now, index});
+  RecordFlightEvent(FlightEventKind::kEnqueue, now, index);
   ++in_flight_;
   work_available_.notify_one();
   return true;
@@ -84,6 +91,14 @@ void ThreadedServer::WorkerLoop(int slot) {
         rows.push_back(queue_.front().sample);
         queue_.pop_front();
       }
+      const double formed_ms = NowMs();
+      RecordFlightEvent(FlightEventKind::kBatchFormed, formed_ms,
+                        static_cast<int64_t>(batch.size()), slot);
+      for (const Pending& p : batch) {
+        // Queue wait = admit -> run-start; batch formation is the run start.
+        m.queue_wait_ms.Observe(formed_ms - p.arrival_ms);
+        RecordFlightEvent(FlightEventKind::kRunStart, formed_ms, p.index, slot);
+      }
     }
     {
       obs::TraceSpan span("serving/batch", obs::TraceCat::kServing);
@@ -97,6 +112,7 @@ void ThreadedServer::WorkerLoop(int slot) {
         const double latency_ms = done_ms - p.arrival_ms;
         stats_.AddLatency(latency_ms);
         m.latency_ms.Observe(latency_ms);
+        RecordFlightEvent(FlightEventKind::kDone, done_ms, p.index, slot);
         if (tracing) {
           EmitRequestSpan(anchor_us_, p.arrival_ms, latency_ms, p.index);
         }
@@ -114,8 +130,13 @@ void ThreadedServer::WorkerLoop(int slot) {
 }
 
 void ThreadedServer::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [&] { return in_flight_ == 0; });
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    all_done_.wait(lock, [&] { return in_flight_ == 0; });
+  }
+  if (!options_.flight_recorder_path.empty()) {
+    WriteFlightRecorderJson(options_.flight_recorder_path);
+  }
 }
 
 void ThreadedServer::Stop() {
@@ -130,13 +151,19 @@ void ThreadedServer::Stop() {
   for (std::thread& worker : workers_) {
     worker.join();
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  joined_ = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    joined_ = true;
+  }
+  if (!options_.flight_recorder_path.empty()) {
+    WriteFlightRecorderJson(options_.flight_recorder_path);
+  }
 }
 
 EngineReplica ThreadedServer::SwapReplica(int slot, EngineReplica incoming, bool warm) {
   EngineReplica previous = pool_->Swap(slot, std::move(incoming), warm);
   ServingMetrics::Get().swaps.Increment();
+  RecordFlightEvent(FlightEventKind::kSwap, NowMs(), slot);
   return previous;
 }
 

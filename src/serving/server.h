@@ -43,6 +43,10 @@ struct ServerOptions {
   int max_batch = 8;
   // SLA admission deadline per request (ms after arrival); 0 accepts all.
   double sla_ms = 0.0;
+  // When non-empty: arms the flight recorder at construction and writes its
+  // JSON dump here at every Drain() and at Stop() — the black-box record of
+  // every scheduling decision this server took.
+  std::string flight_recorder_path;
 };
 
 class ThreadedServer {

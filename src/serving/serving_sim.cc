@@ -7,6 +7,7 @@
 #include "src/common/check.h"
 #include "src/obs/timing.h"
 #include "src/obs/trace.h"
+#include "src/serving/flight_recorder.h"
 
 namespace gmorph {
 
@@ -45,13 +46,16 @@ ServingStats SimulateServingWithTable(const ServiceTimeTable& table,
   auto admit_until = [&](double t) {
     while (admitted_upto < arrival.size() && arrival[admitted_upto] <= t) {
       const size_t i = admitted_upto++;
+      RecordFlightEvent(FlightEventKind::kAdmit, arrival[i], static_cast<int64_t>(i));
       if (sla > 0.0 && DeadlineUnmeetable(arrival[i], arrival[i] + sla,
                                           static_cast<int>(queue.size()), table, max_batch)) {
         builder.AddShed();
         m.shed.Increment();
+        RecordFlightEvent(FlightEventKind::kShed, arrival[i], static_cast<int64_t>(i));
         continue;
       }
       queue.push_back(i);
+      RecordFlightEvent(FlightEventKind::kEnqueue, arrival[i], static_cast<int64_t>(i));
     }
   };
 
@@ -71,12 +75,18 @@ ServingStats SimulateServingWithTable(const ServiceTimeTable& table,
     // yet served (the batch cap does not bound what is waiting).
     m.queue_depth.Observe(static_cast<double>(queue.size()));
     const double completion = start + table.BatchMs(batch);
+    RecordFlightEvent(FlightEventKind::kBatchFormed, start, batch);
     for (int b = 0; b < batch; ++b) {
       const size_t i = queue.front();
       queue.pop_front();
       const double latency_ms = completion - arrival[i];
       builder.AddLatency(latency_ms);
       m.latency_ms.Observe(latency_ms);
+      // Queue wait = admit -> run-start on the virtual clock; observational
+      // only, so the golden-pinned ServingStats math is untouched.
+      m.queue_wait_ms.Observe(start - arrival[i]);
+      RecordFlightEvent(FlightEventKind::kRunStart, start, static_cast<int64_t>(i));
+      RecordFlightEvent(FlightEventKind::kDone, completion, static_cast<int64_t>(i));
       if (tracing) {
         EmitRequestSpan(anchor_us, arrival[i], latency_ms, static_cast<int64_t>(i));
       }

@@ -1,0 +1,109 @@
+# End-to-end roofline-profile smoke: `gmorph_cli --profile` must probe (or
+# load) the machine ceilings, run the fused engine under the step profiler,
+# and emit the roofline attribution both as the text table and as JSON.
+#
+# Invoked by ctest as:
+#   cmake -DCLI=<gmorph_cli> -DCFG=<cli_trace_smoke.cfg> -DOUT_DIR=<dir>
+#         -P run_profile_smoke.cmake
+#
+# Checks:
+#   - the CLI exits 0 and the report carries the ceilings line, the per-step
+#     table header, and the hot-step ranking,
+#   - the counters line states either path explicitly (available / unavailable
+#     with a reason) — and GMORPH_NO_PERF=1 forces the unavailable path in a
+#     fresh process,
+#   - the machine-ceiling artifact it wrote passes `gmorph_cli --verify`,
+#   - the second run reuses the cached ceilings instead of re-probing,
+#   - the JSON export parses under python3's strict parser (when available).
+
+set(SMOKE_CFG "${OUT_DIR}/profile_smoke.cfg")
+set(MACHINE_DB "${OUT_DIR}/profile_smoke.machine")
+set(PROFILE_JSON "${OUT_DIR}/profile_smoke.json")
+file(REMOVE "${SMOKE_CFG}" "${MACHINE_DB}" "${PROFILE_JSON}")
+
+# The shared tiny-search config, plus the profile destinations (the base
+# config does not set profile_* or machine_db keys, so appending is safe).
+file(READ "${CFG}" base_cfg)
+file(WRITE "${SMOKE_CFG}" "\
+${base_cfg}
+profile_runs = 3
+machine_db = ${MACHINE_DB}
+profile_json = ${PROFILE_JSON}
+")
+
+execute_process(
+  COMMAND "${CLI}" "--profile" "${SMOKE_CFG}"
+  RESULT_VARIABLE profile_rc
+  OUTPUT_VARIABLE profile_out
+  ERROR_VARIABLE profile_err)
+if(NOT profile_rc EQUAL 0)
+  message(FATAL_ERROR "--profile exited ${profile_rc}:\n${profile_out}\n${profile_err}")
+endif()
+foreach(needle "machine ceilings" "ridge" "GFLOP/s" "bound" "hot steps:")
+  string(FIND "${profile_out}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "--profile report is missing '${needle}':\n${profile_out}")
+  endif()
+endforeach()
+# The counters line must state which path ran — never silently omit it.
+if(NOT profile_out MATCHES "counters: (available|unavailable \\()")
+  message(FATAL_ERROR "--profile did not report the counters path:\n${profile_out}")
+endif()
+
+# The ceilings artifact must exist and pass the strict machine.* linter.
+if(NOT EXISTS "${MACHINE_DB}")
+  message(FATAL_ERROR "--profile did not write ${MACHINE_DB}")
+endif()
+execute_process(
+  COMMAND "${CLI}" "--verify" "${MACHINE_DB}"
+  RESULT_VARIABLE verify_rc
+  OUTPUT_VARIABLE verify_out
+  ERROR_VARIABLE verify_err)
+if(NOT verify_rc EQUAL 0)
+  message(FATAL_ERROR "--verify rejected ${MACHINE_DB} (${verify_rc}):\n${verify_out}\n${verify_err}")
+endif()
+
+# Warm rerun: the fingerprint matches this build, so the ceilings must come
+# from the cache, not a re-probe.
+execute_process(
+  COMMAND "${CLI}" "--profile" "${SMOKE_CFG}"
+  RESULT_VARIABLE warm_rc
+  OUTPUT_VARIABLE warm_out
+  ERROR_VARIABLE warm_err)
+if(NOT warm_rc EQUAL 0)
+  message(FATAL_ERROR "warm --profile exited ${warm_rc}:\n${warm_out}\n${warm_err}")
+endif()
+string(FIND "${warm_out}" "cached from" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "warm --profile re-probed instead of using the cache:\n${warm_out}")
+endif()
+
+# GMORPH_NO_PERF must force the graceful-degradation path in a fresh process.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env "GMORPH_NO_PERF=1"
+          "${CLI}" "--profile" "${SMOKE_CFG}"
+  RESULT_VARIABLE noperf_rc
+  OUTPUT_VARIABLE noperf_out
+  ERROR_VARIABLE noperf_err)
+if(NOT noperf_rc EQUAL 0)
+  message(FATAL_ERROR "--profile under GMORPH_NO_PERF exited ${noperf_rc}:\n${noperf_err}")
+endif()
+string(FIND "${noperf_out}" "counters: unavailable" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "GMORPH_NO_PERF did not force the fallback:\n${noperf_out}")
+endif()
+
+# The JSON export must satisfy a strict parser.
+if(NOT EXISTS "${PROFILE_JSON}")
+  message(FATAL_ERROR "--profile did not write ${PROFILE_JSON}")
+endif()
+find_program(PYTHON3 python3)
+if(PYTHON3)
+  execute_process(COMMAND "${PYTHON3}" -m json.tool "${PROFILE_JSON}"
+                  RESULT_VARIABLE json_rc OUTPUT_QUIET ERROR_VARIABLE json_err)
+  if(NOT json_rc EQUAL 0)
+    message(FATAL_ERROR "${PROFILE_JSON} is not valid JSON:\n${json_err}")
+  endif()
+else()
+  message(STATUS "python3 not found; skipping strict JSON validation")
+endif()

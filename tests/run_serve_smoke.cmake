@@ -8,12 +8,16 @@
 # Checks:
 #   - the CLI exits 0 (nonzero means an admitted request was lost),
 #   - the report carries the zero-drop line ("lost 0") and a swap,
-#   - the metrics snapshot holds the serving.* instruments and parses as
-#     strict JSON (python3 -m json.tool, when python3 exists).
+#   - the metrics snapshot holds the serving.* instruments (including the
+#     admit->run-start queue-wait histogram and the process RSS gauges) and
+#     parses as strict JSON (python3 -m json.tool, when python3 exists),
+#   - --flight-recorder=<path> dumps the request-lifecycle event ring as
+#     strict JSON carrying every lifecycle kind and the swap.
 
 set(CFG_FILE "${OUT_DIR}/cli_serve_smoke.cfg")
 set(METRICS_FILE "${OUT_DIR}/cli_serve_metrics.json")
-file(REMOVE "${METRICS_FILE}")
+set(FLIGHT_FILE "${OUT_DIR}/cli_serve_flight.json")
+file(REMOVE "${METRICS_FILE}" "${FLIGHT_FILE}")
 file(WRITE "${CFG_FILE}" "\
 benchmark = 1
 cnn_width = 4
@@ -30,7 +34,7 @@ serve_swap = true
 
 execute_process(
   COMMAND ${CMAKE_COMMAND} -E env "GMORPH_METRICS=${METRICS_FILE}"
-          "${CLI}" --serve "${CFG_FILE}"
+          "${CLI}" --serve "--flight-recorder=${FLIGHT_FILE}" "${CFG_FILE}"
   RESULT_VARIABLE run_rc
   OUTPUT_VARIABLE run_out
   ERROR_VARIABLE run_err)
@@ -50,20 +54,38 @@ if(NOT EXISTS "${METRICS_FILE}")
 endif()
 file(READ "${METRICS_FILE}" metrics)
 foreach(needle "serving.request_latency_ms" "serving.batch_size" "serving.queue_depth"
-        "serving.requests" "serving.batches" "serving.engine_swaps")
+        "serving.requests" "serving.batches" "serving.engine_swaps"
+        "serving.queue_wait_ms" "proc.rss_bytes" "proc.peak_rss_bytes")
   string(FIND "${metrics}" "${needle}" pos)
   if(pos EQUAL -1)
     message(FATAL_ERROR "metrics ${METRICS_FILE} is missing expected content: ${needle}")
   endif()
 endforeach()
 
+# The flight recorder dump: every request lifecycle kind plus the hot-swap
+# must appear (the run completes 120 requests with one mid-run swap).
+if(NOT EXISTS "${FLIGHT_FILE}")
+  message(FATAL_ERROR "--flight-recorder was set but ${FLIGHT_FILE} was not written")
+endif()
+file(READ "${FLIGHT_FILE}" flight)
+foreach(needle "\"flight_recorder\"" "\"kind\":\"admit\"" "\"kind\":\"enqueue\""
+        "\"kind\":\"batch-formed\"" "\"kind\":\"run-start\"" "\"kind\":\"done\""
+        "\"kind\":\"swap\"")
+  string(FIND "${flight}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "flight dump ${FLIGHT_FILE} is missing: ${needle}")
+  endif()
+endforeach()
+
 find_program(PYTHON3 python3)
 if(PYTHON3)
-  execute_process(COMMAND "${PYTHON3}" -m json.tool "${METRICS_FILE}"
-                  RESULT_VARIABLE json_rc OUTPUT_QUIET ERROR_VARIABLE json_err)
-  if(NOT json_rc EQUAL 0)
-    message(FATAL_ERROR "${METRICS_FILE} is not valid JSON:\n${json_err}")
-  endif()
+  foreach(json_file "${METRICS_FILE}" "${FLIGHT_FILE}")
+    execute_process(COMMAND "${PYTHON3}" -m json.tool "${json_file}"
+                    RESULT_VARIABLE json_rc OUTPUT_QUIET ERROR_VARIABLE json_err)
+    if(NOT json_rc EQUAL 0)
+      message(FATAL_ERROR "${json_file} is not valid JSON:\n${json_err}")
+    endif()
+  endforeach()
 else()
   message(STATUS "python3 not found; skipping strict JSON validation")
 endif()

@@ -16,6 +16,7 @@
 
 #include "src/core/model_parser.h"
 #include "src/models/zoo.h"
+#include "src/serving/flight_recorder.h"
 #include "src/serving/replica_pool.h"
 #include "src/serving/scheduler.h"
 
@@ -255,6 +256,106 @@ TEST(ThreadedServerTest, HotSwapUnderLoadLosesNoRequests) {
   EXPECT_LE(stats.p50_latency_ms, stats.p95_latency_ms);
   EXPECT_LE(stats.p95_latency_ms, stats.p99_latency_ms);
   EXPECT_GE(stats.mean_batch_size, 1.0);
+}
+
+// Flight recorder against the real threaded backend: every admitted request
+// must leave exactly one admit + enqueue + run-start + done, every shed
+// request exactly one admit + shed, batch-formed must match num_batches, and
+// a swap under load must land in the record. This is the forensic contract
+// the lost-request dump in gmorph_cli relies on.
+TEST(ThreadedServerTest, FlightRecorderAccountsForEveryRequest) {
+  StopFlightRecorder();
+  ClearFlightRecorder();
+  StartFlightRecorder();
+
+  constexpr int kRequests = 64;
+  ReplicaPool pool(StubReplicas(2, /*sleep_ms=*/0.5), kRow, 8, /*warm=*/false);
+  ThreadedServer server(&pool, ServiceTimeTable(), ServerOptions{});
+  for (int i = 0; i < kRequests; ++i) {
+    server.Submit();
+    if (i == kRequests / 2) {
+      server.SwapReplica(0, StubReplica(/*sleep_ms=*/0.5));
+    }
+  }
+  server.Drain();
+  server.Stop();
+  StopFlightRecorder();
+
+  const ServingStats stats = server.Stats();
+  const std::vector<FlightEvent> events = FlightRecorderSnapshot();
+  EXPECT_EQ(FlightDroppedCount(), 0u);
+
+  // Per-request lifecycle ledger, indexed by submission order.
+  struct Ledger {
+    int admit = 0, shed = 0, enqueue = 0, run_start = 0, done = 0;
+  };
+  std::vector<Ledger> ledger(kRequests);
+  int batches_formed = 0;
+  int swaps = 0;
+  for (const FlightEvent& e : events) {
+    switch (e.kind) {
+      case FlightEventKind::kBatchFormed:
+        ++batches_formed;
+        EXPECT_GE(e.request, 1);  // batch size
+        EXPECT_GE(e.aux, 0);      // replica slot
+        continue;
+      case FlightEventKind::kSwap:
+        ++swaps;
+        continue;
+      default:
+        break;
+    }
+    ASSERT_GE(e.request, 0);
+    ASSERT_LT(e.request, kRequests);
+    Ledger& l = ledger[static_cast<size_t>(e.request)];
+    switch (e.kind) {
+      case FlightEventKind::kAdmit: ++l.admit; break;
+      case FlightEventKind::kShed: ++l.shed; break;
+      case FlightEventKind::kEnqueue: ++l.enqueue; break;
+      case FlightEventKind::kRunStart: ++l.run_start; break;
+      case FlightEventKind::kDone: ++l.done; break;
+      default: break;
+    }
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    const Ledger& l = ledger[static_cast<size_t>(i)];
+    EXPECT_EQ(l.admit, 1) << "request " << i;
+    // Either shed at admission or it went through the full pipeline — never
+    // both, never neither.
+    if (l.shed != 0) {
+      EXPECT_EQ(l.shed, 1) << "request " << i;
+      EXPECT_EQ(l.enqueue + l.run_start + l.done, 0) << "request " << i;
+    } else {
+      EXPECT_EQ(l.enqueue, 1) << "request " << i;
+      EXPECT_EQ(l.run_start, 1) << "request " << i;
+      EXPECT_EQ(l.done, 1) << "request " << i;
+    }
+  }
+  EXPECT_EQ(batches_formed, stats.num_batches);
+  EXPECT_EQ(swaps, 1);
+
+  ClearFlightRecorder();
+}
+
+// The zero-overhead contract: with the recorder disabled, a full serving run
+// leaves the ring untouched (the record path is one relaxed load + return).
+TEST(ThreadedServerTest, FlightRecorderDisabledRecordsNothing) {
+  StopFlightRecorder();
+  ClearFlightRecorder();
+
+  ReplicaPool pool(StubReplicas(1), kRow, 4, /*warm=*/false);
+  ServerOptions options;
+  options.max_batch = 4;
+  ThreadedServer server(&pool, ServiceTimeTable(), options);
+  for (int i = 0; i < 16; ++i) {
+    server.Submit();
+  }
+  server.Drain();
+  server.Stop();
+
+  EXPECT_EQ(server.completed(), 16);
+  EXPECT_EQ(FlightTotalRecorded(), 0u);
+  EXPECT_TRUE(FlightRecorderSnapshot().empty());
 }
 
 TEST(ThreadedServerTest, RealEngineEndToEndWithHotSwap) {

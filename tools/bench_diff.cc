@@ -1,0 +1,290 @@
+// bench_diff: compares two bench JSON-lines transcripts (micro_ops,
+// table3_engines, serving_throughput — anything emitted through
+// bench::EmitJsonLine) and fails on performance regressions.
+//
+// Usage:
+//   bench_diff [--threshold=<frac>] [--metrics=<k1,k2,...>] [--warn-only]
+//              <baseline.jsonl> <current.jsonl>
+//
+// Each input line is one flat JSON object. Lines are matched across the two
+// files by their identity fields — the values of `config`, `op`, `family`,
+// `shape`, `dtype` and `solver`, whichever are present (duplicate identities
+// keep their order of appearance, so repeated identical keys still pair up).
+// For every matched pair, each compared metric (default: gflops, speedup —
+// both higher-is-better) regressing by more than `threshold` (default 0.25,
+// i.e. a 25% relative drop; benches on shared CI runners are noisy) is a
+// regression. The `{"metrics_snapshot": ...}` trailer and lines missing an
+// identity are ignored.
+//
+// Exit codes: 0 no regressions (or --warn-only), 1 regressions found,
+// 2 unreadable input / bad flags. Baseline-only and current-only lines are
+// reported as notes, never failures — shape sets are allowed to evolve.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+// One parsed line: identity string plus the numeric fields.
+struct BenchLine {
+  std::string identity;
+  std::map<std::string, double> numbers;
+  int line_number = 0;
+};
+
+// The fields whose values (in this order) form a line's identity.
+constexpr const char* kIdentityKeys[] = {"config", "op", "family", "shape", "dtype", "solver"};
+
+// Minimal parser for the flat single-line JSON objects the benches emit:
+// string values, numeric values, and arrays (skipped). Returns false on lines
+// that are not flat objects (e.g. the metrics_snapshot trailer).
+bool ParseFlatJsonLine(const std::string& line, std::map<std::string, std::string>* strings,
+                       std::map<std::string, double>* numbers) {
+  size_t i = line.find_first_not_of(" \t");
+  if (i == std::string::npos || line[i] != '{') {
+    return false;
+  }
+  ++i;
+  auto skip_ws = [&] {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t' || line[i] == ',')) {
+      ++i;
+    }
+  };
+  auto parse_string = [&](std::string* out) {
+    // i sits on the opening quote.
+    ++i;
+    out->clear();
+    while (i < line.size() && line[i] != '"') {
+      if (line[i] == '\\' && i + 1 < line.size()) {
+        ++i;  // keep the escaped character verbatim; identities only compare
+      }
+      out->push_back(line[i++]);
+    }
+    if (i >= line.size()) {
+      return false;
+    }
+    ++i;  // closing quote
+    return true;
+  };
+  while (true) {
+    skip_ws();
+    if (i >= line.size()) {
+      return false;
+    }
+    if (line[i] == '}') {
+      return true;
+    }
+    if (line[i] != '"') {
+      return false;
+    }
+    std::string key;
+    if (!parse_string(&key)) {
+      return false;
+    }
+    skip_ws();
+    if (i >= line.size() || line[i] != ':') {
+      return false;
+    }
+    ++i;
+    skip_ws();
+    if (i >= line.size()) {
+      return false;
+    }
+    if (line[i] == '"') {
+      std::string value;
+      if (!parse_string(&value)) {
+        return false;
+      }
+      (*strings)[key] = value;
+    } else if (line[i] == '[') {
+      // Arrays carry no compared metrics; skip to the matching bracket.
+      int depth = 0;
+      while (i < line.size()) {
+        if (line[i] == '[') {
+          ++depth;
+        } else if (line[i] == ']' && --depth == 0) {
+          ++i;
+          break;
+        }
+        ++i;
+      }
+    } else if (line[i] == '{') {
+      return false;  // nested object: not a flat bench line
+    } else {
+      const size_t start = i;
+      while (i < line.size() && line[i] != ',' && line[i] != '}') {
+        ++i;
+      }
+      char* end = nullptr;
+      const std::string token = line.substr(start, i - start);
+      const double value = std::strtod(token.c_str(), &end);
+      if (end != token.c_str()) {
+        (*numbers)[key] = value;
+      }
+    }
+  }
+}
+
+// Loads every identifiable bench line of the file, in order.
+bool LoadBenchLines(const std::string& path, std::vector<BenchLine>* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_diff: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::map<std::string, std::string> strings;
+    std::map<std::string, double> numbers;
+    if (!ParseFlatJsonLine(line, &strings, &numbers)) {
+      continue;
+    }
+    std::string identity;
+    for (const char* key : kIdentityKeys) {
+      const auto it = strings.find(key);
+      if (it != strings.end()) {
+        identity += key;
+        identity += "=";
+        identity += it->second;
+        identity += " ";
+      }
+    }
+    if (identity.empty()) {
+      continue;
+    }
+    BenchLine bl;
+    bl.identity = identity;
+    bl.numbers = std::move(numbers);
+    bl.line_number = line_number;
+    out->push_back(std::move(bl));
+  }
+  return true;
+}
+
+std::vector<std::string> SplitCommas(const std::string& list) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= list.size()) {
+    const size_t comma = list.find(',', start);
+    const std::string item = list.substr(start, comma - start);
+    if (!item.empty()) {
+      out.push_back(item);
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold = 0.25;
+  std::vector<std::string> metrics = {"gflops", "speedup"};
+  bool warn_only = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threshold=", 0) == 0) {
+      char* end = nullptr;
+      threshold = std::strtod(arg.c_str() + 12, &end);
+      if (end == arg.c_str() + 12 || threshold < 0.0 || threshold >= 1.0) {
+        std::fprintf(stderr, "bench_diff: --threshold wants a fraction in [0, 1)\n");
+        return 2;
+      }
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics = SplitCommas(arg.substr(10));
+      if (metrics.empty()) {
+        std::fprintf(stderr, "bench_diff: --metrics wants a comma-separated key list\n");
+        return 2;
+      }
+    } else if (arg == "--warn-only") {
+      warn_only = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "bench_diff: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_diff [--threshold=<frac>] [--metrics=<k1,k2,...>] [--warn-only]\n"
+                 "                  <baseline.jsonl> <current.jsonl>\n");
+    return 2;
+  }
+
+  std::vector<BenchLine> baseline;
+  std::vector<BenchLine> current;
+  if (!LoadBenchLines(paths[0], &baseline) || !LoadBenchLines(paths[1], &current)) {
+    return 2;
+  }
+
+  // Pair lines by identity in order of appearance (a multimap of queues), so
+  // files with repeated identities still compare positionally within the key.
+  std::map<std::string, std::vector<const BenchLine*>> current_by_identity;
+  for (const BenchLine& bl : current) {
+    current_by_identity[bl.identity].push_back(&bl);
+  }
+  std::map<std::string, size_t> consumed;
+
+  int compared = 0;
+  int regressions = 0;
+  int improvements = 0;
+  int baseline_only = 0;
+  for (const BenchLine& base : baseline) {
+    auto it = current_by_identity.find(base.identity);
+    const size_t next = consumed[base.identity];
+    if (it == current_by_identity.end() || next >= it->second.size()) {
+      std::printf("note: baseline-only line %d: %s\n", base.line_number, base.identity.c_str());
+      ++baseline_only;
+      continue;
+    }
+    const BenchLine& cur = *it->second[next];
+    consumed[base.identity] = next + 1;
+    for (const std::string& metric : metrics) {
+      const auto b = base.numbers.find(metric);
+      const auto c = cur.numbers.find(metric);
+      if (b == base.numbers.end() || c == cur.numbers.end() || b->second <= 0.0) {
+        continue;
+      }
+      ++compared;
+      const double ratio = c->second / b->second;
+      if (ratio < 1.0 - threshold) {
+        std::printf("REGRESSION %s%s: %.3f -> %.3f (%.1f%% of baseline, floor %.1f%%)\n",
+                    base.identity.c_str(), metric.c_str(), b->second, c->second, ratio * 100.0,
+                    (1.0 - threshold) * 100.0);
+        ++regressions;
+      } else if (ratio > 1.0 + threshold) {
+        std::printf("improvement %s%s: %.3f -> %.3f (%.1f%% of baseline)\n",
+                    base.identity.c_str(), metric.c_str(), b->second, c->second, ratio * 100.0);
+        ++improvements;
+      }
+    }
+  }
+  int current_only = 0;
+  for (const auto& entry : current_by_identity) {
+    const size_t used = consumed.count(entry.first) ? consumed[entry.first] : 0;
+    for (size_t j = used; j < entry.second.size(); ++j) {
+      std::printf("note: current-only line %d: %s\n", entry.second[j]->line_number,
+                  entry.first.c_str());
+      ++current_only;
+    }
+  }
+
+  std::printf("bench_diff: %d metric(s) compared, %d regression(s), %d improvement(s), "
+              "%d baseline-only, %d current-only (threshold %.0f%%)\n",
+              compared, regressions, improvements, baseline_only, current_only,
+              threshold * 100.0);
+  if (regressions > 0) {
+    return warn_only ? 0 : 1;
+  }
+  return 0;
+}

@@ -3,9 +3,11 @@
 // accuracy threshold, fine-tuning hyper-parameters and search budget).
 //
 // Usage:
-//   gmorph_cli [--trace <out.json>] [--metrics <out.json>] <config-file>
+//   gmorph_cli [--trace <out.json>] [--metrics <out.json>]
+//              [--flight-recorder=<out.json>] <config-file>
 //   gmorph_cli --resume <checkpoint> <config-file>
 //   gmorph_cli --dump-plan <config-file>
+//   gmorph_cli --profile <config-file>
 //   gmorph_cli --autotune <config-file>
 //   gmorph_cli --quantize <config-file>
 //   gmorph_cli --export-plan <config-file> <out.plan>
@@ -19,6 +21,10 @@
 // chrome://tracing) covering the whole run; --metrics writes the metrics
 // registry snapshot at exit. Both combine with any mode and are also
 // reachable via the GMORPH_TRACE / GMORPH_METRICS environment variables.
+// --flight-recorder starts the serving flight recorder (a fixed-size ring of
+// request lifecycle events) and dumps it as JSON at exit; it combines with
+// any mode but only --serve (and code using the serving layer) records
+// events.
 //
 // --resume continues an interrupted search from a checkpoint written by a
 // previous run (config keys `checkpoint_path` / `checkpoint_every`). The
@@ -30,6 +36,20 @@
 // `input_graph = <file>`), lowers it through the FusedEngine execution
 // planner, and prints the plan (steps, buffer assignment, groups) plus a
 // per-step latency profile at the configured batch size.
+//
+// --profile runs the perf-counter roofline profiler on the configured
+// benchmark's execution plan (or `input_graph`): the machine's compute and
+// bandwidth ceilings are probed once and cached in the fingerprinted
+// `gmorph-machine v1` artifact (config key `machine_db`, else
+// $GMORPH_MACHINE_DB, else <cache dir>/gmorph.machine), the plan is run
+// `profile_runs` times at the configured batch with per-step hardware
+// counters (cycles, instructions, LLC loads/misses, branch misses) enabled,
+// and each step is attributed against the roofline: achieved GFLOP/s, GB/s,
+// arithmetic intensity, IPC, LLC miss rate, branch MPKI, and a
+// compute/memory-bound label with percent-of-roof. Where perf_event_open is
+// denied (containers, CI) the report degrades to "counters unavailable" and
+// still carries the full time/flops/roofline half. `profile_json = <path>`
+// additionally writes the report as JSON.
 //
 // --autotune benchmarks every applicable kernel solver on each problem shape
 // the configured benchmark's execution plan runs (conv im2col GEMMs, linear
@@ -65,7 +85,9 @@
 // admission; `serve_swap = true` hot-swaps a freshly built engine into slot 0
 // mid-run to prove no in-flight request is dropped. Exits nonzero if any
 // admitted request was lost. Combine with --metrics for the serving.*
-// histograms.
+// histograms and --flight-recorder=<path> for the per-request event record
+// (dumped at Drain()/Stop(); on a lost request the dump is what pinpoints
+// where its lifecycle stopped).
 //
 // --verify lints a file through the unified analysis driver
 // (src/analysis/driver.h) and exits nonzero on any error diagnostic. The file
@@ -110,16 +132,24 @@
 #include "src/data/benchmarks.h"
 #include "src/data/teacher.h"
 #include "src/kernels/autotune.h"
+#include "src/kernels/machine.h"
 #include "src/kernels/tune_db.h"
 #include "src/obs/metrics.h"
+#include "src/obs/perf_counters.h"
 #include "src/obs/timing.h"
 #include "src/obs/trace.h"
 #include "src/quant/recipe.h"
 #include "src/runtime/fused_engine.h"
 #include "src/runtime/quant_scoring.h"
+#include "src/runtime/roofline.h"
+#include "src/serving/flight_recorder.h"
 #include "src/serving/server.h"
 
 namespace {
+
+// Set by the peeled --flight-recorder=<path> flag; ServeMode threads it into
+// ServerOptions so the server dumps the ring at Drain()/Stop() too.
+std::string g_flight_recorder_path;
 
 constexpr const char* kDefaultConfig = R"(# GMorph search configuration (paper §3)
 benchmark = 1                 # built-in benchmark B1..B7 (Table 2)
@@ -162,6 +192,13 @@ cache_dir =
 # here and picked up by any run via GMORPH_TUNE_DB. Empty resolves
 # $GMORPH_TUNE_DB, then <cache dir>/gmorph.tunedb.
 tune_db =
+
+# Roofline profiling (`gmorph_cli --profile`): runs per profile, machine
+# ceiling artifact location (empty resolves $GMORPH_MACHINE_DB, then
+# <cache dir>/gmorph.machine), optional JSON report path.
+profile_runs = 10
+machine_db =
+profile_json =
 
 # Checkpoint/resume: write a resumable checkpoint every N iterations (and at
 # search end); continue with `gmorph_cli --resume <checkpoint> <config>`.
@@ -255,6 +292,62 @@ int DumpPlanMode(const gmorph::Config& config) {
                 static_cast<long long>(step.calls), step.total_ms);
   }
   std::printf("  %-32s %8.3f ms total step time\n", "", total_ms);
+  return 0;
+}
+
+// Runs the perf-counter roofline profiler on the configured plan: machine
+// ceilings from the cached/probed artifact, per-step hardware counters, and
+// compute/memory-bound attribution (see usage comment).
+int ProfileMode(const gmorph::Config& config) {
+  using namespace gmorph;
+  const uint64_t seed = static_cast<uint64_t>(config.GetInt("seed", 42));
+  AbsGraph graph;
+  std::string label;
+  if (!BuildConfiguredGraph(config, &graph, &label)) {
+    return 2;
+  }
+  Rng rng(seed);
+  MultiTaskModel model(graph, rng);
+  FusedEngine engine(&model);
+  std::printf("profiling %s (%d plan steps)\n", label.c_str(), engine.num_steps());
+
+  // The ceilings the steps are attributed against: cached when the artifact
+  // was written by this build at this thread count, probed (and saved) else.
+  bool probed = false;
+  const std::string machine_path =
+      kernels::ResolveMachinePath(config.GetString("machine_db", ""));
+  const kernels::MachineCeilings ceilings =
+      kernels::LoadOrProbeMachineCeilings(machine_path, &probed);
+  std::printf("machine ceilings %s %s\n", probed ? "probed ->" : "cached from",
+              machine_path.c_str());
+
+  const int64_t batch = config.GetInt("batch_size", 1);
+  const int runs = std::max(1, static_cast<int>(config.GetInt("profile_runs", 10)));
+  const Shape input_shape = graph.node(graph.root()).output_shape.WithBatch(batch);
+  const Tensor input = Tensor::Zeros(input_shape);
+  engine.Run(input);  // warmup: binds buffers, grows scratch arenas
+  obs::EnableStepCounters();
+  engine.ResetProfile();
+  for (int r = 0; r < runs; ++r) {
+    engine.Run(input);
+  }
+  obs::DisableStepCounters();
+
+  const RooflineReport report = BuildRooflineReport(engine.Profile(), ceilings, batch, runs);
+  std::fputs(RooflineReportText(report).c_str(), stdout);
+
+  const std::string json_path = config.GetString("profile_json", "");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (out) {
+      out << RooflineReportJson(report) << "\n";
+    }
+    if (!out) {
+      std::fprintf(stderr, "profile: cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    std::printf("profile JSON written to %s\n", json_path.c_str());
+  }
   return 0;
 }
 
@@ -548,6 +641,10 @@ int ServeMode(const gmorph::Config& config) {
   ServerOptions options;
   options.max_batch = max_batch;
   options.sla_ms = sla_ms;
+  options.flight_recorder_path = g_flight_recorder_path;
+  // Always record in serve mode (an event is one fetch_add + a slot write):
+  // the lost-request dump below must have content even without the flag.
+  StartFlightRecorder();
   ThreadedServer server(&pool, table, options);
 
   Rng rng(seed);
@@ -583,6 +680,13 @@ int ServeMode(const gmorph::Config& config) {
   if (lost != 0) {
     std::fprintf(stderr, "serve: %lld admitted request(s) were lost\n",
                  static_cast<long long>(lost));
+    // The flight recorder is the forensic record for exactly this failure;
+    // dump it even when the user did not ask for a path.
+    const std::string dump = g_flight_recorder_path.empty() ? "gmorph_flight_lost.json"
+                                                            : g_flight_recorder_path;
+    if (WriteFlightRecorderJson(dump)) {
+      std::fprintf(stderr, "serve: flight recorder dumped to %s\n", dump.c_str());
+    }
     return 1;
   }
   return 0;
@@ -603,6 +707,9 @@ int main(int argc, char** argv) {
       obs::WriteTraceJsonAtExit(argv[++i]);
     } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
       obs::WriteMetricsJsonAtExit(argv[++i]);
+    } else if (std::strncmp(argv[i], "--flight-recorder=", 18) == 0) {
+      g_flight_recorder_path = argv[i] + 18;
+      WriteFlightRecorderJsonAtExit(g_flight_recorder_path);
     } else {
       args.push_back(argv[i]);
     }
@@ -614,18 +721,21 @@ int main(int argc, char** argv) {
     return 0;
   }
   const bool dump_plan = argc == 3 && std::strcmp(argv[1], "--dump-plan") == 0;
+  const bool profile = argc == 3 && std::strcmp(argv[1], "--profile") == 0;
   const bool autotune = argc == 3 && std::strcmp(argv[1], "--autotune") == 0;
   const bool quantize = argc == 3 && std::strcmp(argv[1], "--quantize") == 0;
   const bool verify = argc >= 2 && std::strcmp(argv[1], "--verify") == 0;
   const bool resume = argc == 4 && std::strcmp(argv[1], "--resume") == 0;
   const bool export_plan = argc == 4 && std::strcmp(argv[1], "--export-plan") == 0;
   const bool serve = argc == 3 && std::strcmp(argv[1], "--serve") == 0;
-  if (argc != 2 && !dump_plan && !autotune && !quantize && !verify && !resume && !export_plan &&
-      !serve) {
+  if (argc != 2 && !dump_plan && !profile && !autotune && !quantize && !verify && !resume &&
+      !export_plan && !serve) {
     std::fprintf(stderr,
-                 "usage: %s [--trace <out.json>] [--metrics <out.json>] <config-file>\n"
+                 "usage: %s [--trace <out.json>] [--metrics <out.json>]\n"
+                 "                [--flight-recorder=<out.json>] <config-file>\n"
                  "       %s --resume <checkpoint> <config-file>\n"
                  "       %s --dump-plan <config-file>\n"
+                 "       %s --profile <config-file>\n"
                  "       %s --autotune <config-file>\n"
                  "       %s --quantize <config-file>\n"
                  "       %s --export-plan <config-file> <out.plan>\n"
@@ -633,10 +743,11 @@ int main(int argc, char** argv) {
                  "       %s --verify [--list-rules] [--format=text|json|sarif]\n"
                  "                [--Werror=<rule|prefix>] [--Wno=<rule|prefix>]\n"
                  "                [--baseline=<file>]\n"
-                 "                <graph|plan|config|evalcache|checkpoint|tunedb|quantrecipe>\n"
+                 "                <graph|plan|config|evalcache|checkpoint|tunedb|quantrecipe|"
+                 "machine>\n"
                  "       %s --print-default-config > gmorph.cfg\n",
                  argv[0], argv[0], argv[0], argv[0], argv[0], argv[0], argv[0], argv[0],
-                 argv[0]);
+                 argv[0], argv[0]);
     return 2;
   }
   if (verify) {
@@ -651,9 +762,9 @@ int main(int argc, char** argv) {
   Config config;
   try {
     config = Config::FromFile(
-        argv[resume                                                          ? 3
-             : (dump_plan || autotune || quantize || export_plan || serve) ? 2
-                                                                             : 1]);
+        argv[resume                                                                     ? 3
+             : (dump_plan || profile || autotune || quantize || export_plan || serve) ? 2
+                                                                                        : 1]);
   } catch (const CheckError& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;
@@ -684,9 +795,10 @@ int main(int argc, char** argv) {
     SetKernelThreads(kernel_threads);
   }
 
-  if (dump_plan || autotune || quantize || export_plan || serve) {
+  if (dump_plan || profile || autotune || quantize || export_plan || serve) {
     try {
       return dump_plan   ? DumpPlanMode(config)
+             : profile   ? ProfileMode(config)
              : autotune  ? AutotuneMode(config)
              : quantize  ? QuantizeMode(config)
              : serve     ? ServeMode(config)
